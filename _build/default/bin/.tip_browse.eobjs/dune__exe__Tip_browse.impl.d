@@ -1,0 +1,1 @@
+bin/tip_browse.ml: Arg Cmd Cmdliner List Option Printf String Term Tip_blade Tip_browser Tip_client Tip_core Tip_engine Tip_storage Tip_workload

@@ -1,0 +1,1 @@
+bin/tip_browse.mli:

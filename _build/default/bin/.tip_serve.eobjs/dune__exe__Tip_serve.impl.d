@@ -1,0 +1,1 @@
+bin/tip_serve.ml: Arg Cmd Cmdliner Option Printf Sys Term Tip_blade Tip_engine Tip_server Tip_storage Tip_workload

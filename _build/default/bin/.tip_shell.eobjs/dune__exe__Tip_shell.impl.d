@@ -1,0 +1,1 @@
+bin/tip_shell.ml: Arg Buffer Cmd Cmdliner List Logs Option Printf String Term Tip_blade Tip_core Tip_engine Tip_server Tip_sql Tip_storage Tip_workload

@@ -1,0 +1,158 @@
+(* tip_browse: the TIP Browser from the paper's Figure 2, as a CLI.
+
+   Renders a query result with a timeline column, highlights tuples valid
+   in the current window, and can sweep the window along the time line
+   (the slider) or re-evaluate under a different NOW (what-if).
+
+   Examples:
+     tip_browse --demo
+     tip_browse --demo --query "SELECT * FROM Prescription" --column valid
+     tip_browse --demo --frames 5
+     tip_browse --demo --now 1999-09-26
+     tip_browse --load db.snapshot --query "..." --column valid *)
+
+let rec main demo load query column now frames width from_ until interactive =
+  let db =
+    match demo, load with
+    | true, _ -> Tip_workload.Medical.demo_database ()
+    | false, Some file ->
+      Tip_blade.Values.register_types ();
+      let catalog = Tip_storage.Persist.load file in
+      let db = Tip_engine.Database.create ~catalog () in
+      Tip_blade.Blade.install db;
+      db
+    | false, None ->
+      prerr_endline "tip_browse: need --demo or --load FILE";
+      exit 1
+  in
+  let conn = Tip_client.Connection.connect_to db in
+  (match now with
+  | Some d -> (
+    match Tip_core.Chronon.of_string d with
+    | Some c -> Tip_client.Connection.set_now conn c
+    | None ->
+      prerr_endline ("tip_browse: bad --now date " ^ d);
+      exit 1)
+  | None -> ());
+  let sql = Option.value query ~default:"SELECT * FROM Prescription" in
+  let browser =
+    Tip_browser.Browser.open_query ~strip_width:width conn ~sql
+      ~time_column:column
+  in
+  (match from_, until with
+  | Some f, Some u -> (
+    match Tip_core.Chronon.of_string f, Tip_core.Chronon.of_string u with
+    | Some f, Some u ->
+      Tip_browser.Browser.set_window browser
+        (Tip_browser.Timeline.make_window ~from_:f ~until:u)
+    | _, _ ->
+      prerr_endline "tip_browse: bad --from/--until date";
+      exit 1)
+  | Some _, None | None, Some _ ->
+    prerr_endline "tip_browse: --from and --until go together";
+    exit 1
+  | None, None -> ());
+  if interactive then interact browser
+  else if frames <= 1 then print_string (Tip_browser.Browser.render browser)
+  else
+    List.iteri
+      (fun i frame ->
+        Printf.printf "--- frame %d ---\n%s\n" (i + 1) frame)
+      (Tip_browser.Browser.sweep browser ~frames)
+
+(* Keyboard-driven session: the slider and the NOW entry field of the
+   original GUI, driven by one-line commands. *)
+and interact browser =
+  let help () =
+    print_endline
+      "commands: l/r slide left/right | + / - zoom in/out | fit | \
+       now DATE | reset | q"
+  in
+  help ();
+  let rec loop () =
+    print_string (Tip_browser.Browser.render browser);
+    print_string "browse> ";
+    flush stdout;
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line -> (
+      match String.split_on_char ' ' (String.trim line)
+            |> List.filter (fun s -> s <> "")
+      with
+      | [ "q" ] | [ "quit" ] -> ()
+      | [ "l" ] ->
+        Tip_browser.Browser.slide browser (-1);
+        loop ()
+      | [ "r" ] ->
+        Tip_browser.Browser.slide browser 1;
+        loop ()
+      | [ "+" ] ->
+        Tip_browser.Browser.zoom browser 0.5;
+        loop ()
+      | [ "-" ] ->
+        Tip_browser.Browser.zoom browser 2.0;
+        loop ()
+      | [ "fit" ] ->
+        Tip_browser.Browser.set_window browser
+          (Tip_browser.Browser.fit_window browser);
+        loop ()
+      | [ "now"; date ] -> (
+        (match Tip_core.Chronon.of_string date with
+        | Some c -> Tip_browser.Browser.set_now browser c
+        | None -> Printf.printf "bad date %s\n" date);
+        loop ())
+      | [ "reset" ] ->
+        Tip_browser.Browser.reset_now browser;
+        loop ()
+      | [] -> loop ()
+      | _ ->
+        help ();
+        loop ())
+  in
+  loop ()
+
+let () =
+  let open Cmdliner in
+  let demo = Arg.(value & flag & info [ "demo" ] ~doc:"Browse the medical demo.") in
+  let load =
+    Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE"
+           ~doc:"Load a database snapshot.")
+  in
+  let query =
+    Arg.(value & opt (some string) None & info [ "query" ] ~docv:"SQL"
+           ~doc:"Query whose result to browse (default: the Prescription table).")
+  in
+  let column =
+    Arg.(value & opt string "valid" & info [ "column" ] ~docv:"NAME"
+           ~doc:"Temporal attribute to browse by.")
+  in
+  let now =
+    Arg.(value & opt (some string) None & info [ "now" ] ~docv:"DATE"
+           ~doc:"Evaluate under this NOW (what-if analysis).")
+  in
+  let frames =
+    Arg.(value & opt int 1 & info [ "frames" ] ~docv:"N"
+           ~doc:"Render N frames while sliding the window right.")
+  in
+  let width =
+    Arg.(value & opt int 48 & info [ "width" ] ~docv:"CHARS"
+           ~doc:"Timeline strip width.")
+  in
+  let from_ =
+    Arg.(value & opt (some string) None & info [ "from" ] ~docv:"DATE"
+           ~doc:"Window start (with --until).")
+  in
+  let until =
+    Arg.(value & opt (some string) None & info [ "until" ] ~docv:"DATE"
+           ~doc:"Window end (with --from).")
+  in
+  let interactive =
+    Arg.(value & flag & info [ "interactive"; "i" ]
+           ~doc:"Interactive session: slide, zoom and override NOW from the keyboard.")
+  in
+  let term =
+    Term.(const main $ demo $ load $ query $ column $ now $ frames $ width
+          $ from_ $ until $ interactive)
+  in
+  let info = Cmd.info "tip_browse" ~doc:"Browse temporal data on a timeline" in
+  exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,64 @@
+(* tip_serve: serve a TIP database over TCP.
+
+   Usage:
+     tip_serve --port 5499 --demo
+     tip_serve --port 5499 --load db.snapshot --save db.snapshot
+
+   Clients: tip_shell --connect 127.0.0.1:5499, or Tip_server.Remote. *)
+
+module Db = Tip_engine.Database
+
+let main port demo load save now =
+  let db =
+    match demo, load with
+    | true, _ -> Tip_workload.Medical.demo_database ()
+    | false, Some file ->
+      Tip_blade.Values.register_types ();
+      let catalog = Tip_storage.Persist.load file in
+      let db = Db.create ~catalog () in
+      Tip_blade.Blade.install db;
+      db
+    | false, None -> Tip_blade.Blade.create_database ()
+  in
+  Option.iter
+    (fun d -> ignore (Db.exec db (Printf.sprintf "SET NOW = '%s'" d)))
+    now;
+  let server = Tip_server.Server.listen ~port db in
+  Printf.printf "tip_server: listening on port %d%s\n%!"
+    (Tip_server.Server.port server)
+    (if demo then " (medical demo loaded)" else "");
+  let shutdown _ =
+    print_endline "tip_server: shutting down";
+    Option.iter
+      (fun file ->
+        Tip_storage.Persist.save (Db.catalog db) file;
+        Printf.printf "tip_server: saved to %s\n%!" file)
+      save;
+    exit 0
+  in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle shutdown);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle shutdown);
+  Tip_server.Server.serve server
+
+let () =
+  let open Cmdliner in
+  let port =
+    Arg.(value & opt int 5499 & info [ "port"; "p" ] ~docv:"PORT"
+           ~doc:"TCP port to listen on (0 picks an ephemeral port).")
+  in
+  let demo = Arg.(value & flag & info [ "demo" ] ~doc:"Preload the medical demo.") in
+  let load =
+    Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE"
+           ~doc:"Load a snapshot at startup.")
+  in
+  let save =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
+           ~doc:"Save a snapshot on shutdown (SIGINT/SIGTERM).")
+  in
+  let now =
+    Arg.(value & opt (some string) None & info [ "now" ] ~docv:"DATE"
+           ~doc:"Freeze NOW at the given chronon.")
+  in
+  let term = Term.(const main $ port $ demo $ load $ save $ now) in
+  let info = Cmd.info "tip_serve" ~doc:"TIP database server" in
+  exit (Cmd.eval (Cmd.v info term))

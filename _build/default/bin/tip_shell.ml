@@ -1,0 +1,233 @@
+(* tip_shell: an interactive SQL shell with the TIP DataBlade installed.
+
+   Usage:
+     tip_shell                      interactive REPL (statements end in ';')
+     tip_shell --demo               preload the paper's medical demo
+     tip_shell --load FILE          load a snapshot saved with \save
+     tip_shell -c "SQL; SQL"        run statements and exit
+     tip_shell --now 1999-10-15     freeze NOW (what-if)
+
+   Remote mode: tip_shell --connect HOST:PORT talks to a tip_server
+   instead of an embedded database (shell commands are local-only).
+
+   Shell commands: \save FILE, \load FILE, \tables, \now [DATE], \q. *)
+
+module Db = Tip_engine.Database
+
+let print_result result = print_endline (Db.render_result result)
+
+let handle_error f =
+  match f () with
+  | () -> ()
+  | exception Tip_sql.Parser.Error msg -> Printf.printf "error: %s\n" msg
+  | exception Tip_sql.Lexer.Error msg -> Printf.printf "error: %s\n" msg
+  | exception Db.Error msg -> Printf.printf "error: %s\n" msg
+  | exception Tip_engine.Planner.Plan_error msg -> Printf.printf "error: %s\n" msg
+  | exception Tip_engine.Expr_eval.Eval_error msg -> Printf.printf "error: %s\n" msg
+  | exception Tip_storage.Value.Type_error msg -> Printf.printf "error: %s\n" msg
+  | exception Tip_storage.Table.Constraint_violation msg ->
+    Printf.printf "error: %s\n" msg
+  | exception Tip_storage.Catalog.Catalog_error msg ->
+    Printf.printf "error: %s\n" msg
+  | exception Tip_storage.Schema.Schema_error msg ->
+    Printf.printf "error: %s\n" msg
+
+let run_sql db sql =
+  handle_error (fun () ->
+      List.iter
+        (fun stmt -> print_result (Db.exec_statement db ~params:[] stmt))
+        (Tip_sql.Parser.parse_script sql))
+
+let run_shell_command db_ref line =
+  let db = !db_ref in
+  let parts =
+    String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+  in
+  match parts with
+  | [ "\\q" ] | [ "\\quit" ] -> raise Exit
+  | [ "\\tables" ] -> run_sql db "SHOW TABLES"
+  | [ "\\save"; file ] ->
+    handle_error (fun () ->
+        Tip_storage.Persist.save (Db.catalog db) file;
+        Printf.printf "saved to %s\n" file)
+  | [ "\\load"; file ] ->
+    handle_error (fun () ->
+        Tip_blade.Values.register_types ();
+        let catalog = Tip_storage.Persist.load file in
+        let fresh = Db.create ~catalog () in
+        Tip_blade.Blade.install fresh;
+        db_ref := fresh;
+        Printf.printf "loaded %s\n" file)
+  | [ "\\now" ] ->
+    (match Db.now_override db with
+    | Some c -> Printf.printf "NOW = %s (override)\n" (Tip_core.Chronon.to_string c)
+    | None ->
+      Printf.printf "NOW = %s (wall clock)\n"
+        (Tip_core.Chronon.to_string (Tip_core.Tx_clock.now ())))
+  | [ "\\now"; date ] -> run_sql db (Printf.sprintf "SET NOW = '%s'" date)
+  | [ "\\help" ] ->
+    print_endline
+      "statements end with ';'.  \\tables  \\save FILE  \\load FILE  \\now [DATE]  \\q"
+  | _ -> Printf.printf "unknown command: %s (try \\help)\n" line
+
+let repl db =
+  let db_ref = ref db in
+  print_endline "TIP shell — temporal SQL with the TIP DataBlade. \\help for help.";
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    print_string (if Buffer.length buf = 0 then "tip> " else "...> ");
+    flush stdout;
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line ->
+      let trimmed = String.trim line in
+      if Buffer.length buf = 0 && String.length trimmed > 0 && trimmed.[0] = '\\'
+      then begin
+        (match run_shell_command db_ref trimmed with
+        | () -> loop ()
+        | exception Exit -> ())
+      end
+      else begin
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        let s = Buffer.contents buf in
+        if String.contains s ';' then begin
+          Buffer.clear buf;
+          run_sql !db_ref s;
+          loop ()
+        end
+        else loop ()
+      end
+  in
+  loop ()
+
+(* --- Command line -------------------------------------------------------------- *)
+
+(* Remote REPL: statements go over the wire, one per ';'. *)
+let remote_repl remote =
+  print_endline "TIP shell (remote) — statements end with ';'; \\q quits.";
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    print_string (if Buffer.length buf = 0 then "tip> " else "...> ");
+    flush stdout;
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line when String.trim line = "\\q" || String.trim line = "\\quit" -> ()
+    | line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n';
+      let s = Buffer.contents buf in
+      if String.contains s ';' then begin
+        Buffer.clear buf;
+        (* Parse locally to split statements correctly (';' may appear
+           inside string literals), then ship the canonical text. *)
+        (match Tip_sql.Parser.parse_script s with
+        | stmts ->
+          List.iter
+            (fun stmt ->
+              let text = Tip_sql.Pretty.statement_to_string stmt in
+              match Tip_server.Remote.execute remote text with
+              | result -> print_result result
+              | exception Tip_server.Remote.Remote_error msg ->
+                Printf.printf "error: %s\n" msg)
+            stmts
+        | exception Tip_sql.Parser.Error msg -> Printf.printf "error: %s\n" msg
+        | exception Tip_sql.Lexer.Error msg -> Printf.printf "error: %s\n" msg);
+        loop ()
+      end
+      else loop ()
+  in
+  loop ()
+
+let run_remote target command =
+  match String.split_on_char ':' target with
+  | [ host; port ] -> (
+    Tip_blade.Values.register_types ();
+    match Tip_server.Remote.connect ~host ~port:(int_of_string port) () with
+    | remote ->
+      (match command with
+      | Some sql -> (
+        match Tip_sql.Parser.parse_script sql with
+        | stmts ->
+          List.iter
+            (fun stmt ->
+              let text = Tip_sql.Pretty.statement_to_string stmt in
+              match Tip_server.Remote.execute remote text with
+              | result -> print_result result
+              | exception Tip_server.Remote.Remote_error msg ->
+                Printf.printf "error: %s\n" msg)
+            stmts
+        | exception Tip_sql.Parser.Error msg -> Printf.printf "error: %s\n" msg
+        | exception Tip_sql.Lexer.Error msg -> Printf.printf "error: %s\n" msg)
+      | None -> remote_repl remote);
+      Tip_server.Remote.close remote
+    | exception Tip_server.Remote.Remote_error msg ->
+      Printf.printf "cannot connect to %s: %s\n" target msg)
+  | _ -> print_endline "tip_shell: --connect expects HOST:PORT"
+
+let main demo load now command save verbose connect =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  match connect with
+  | Some target -> run_remote target command
+  | None ->
+  let db =
+    match demo, load with
+    | true, _ -> Tip_workload.Medical.demo_database ()
+    | false, Some file ->
+      (* TIP types must exist before the snapshot's literals are parsed. *)
+      Tip_blade.Values.register_types ();
+      let catalog = Tip_storage.Persist.load file in
+      let db = Db.create ~catalog () in
+      Tip_blade.Blade.install db;
+      db
+    | false, None -> Tip_blade.Blade.create_database ()
+  in
+  Option.iter (fun d -> run_sql db (Printf.sprintf "SET NOW = '%s'" d)) now;
+  (match command with
+  | Some sql -> run_sql db sql
+  | None -> repl db);
+  Option.iter
+    (fun file ->
+      Tip_storage.Persist.save (Db.catalog db) file;
+      Printf.printf "saved to %s\n" file)
+    save
+
+let () =
+  let open Cmdliner in
+  let demo =
+    Arg.(value & flag & info [ "demo" ] ~doc:"Preload the paper's medical demo data.")
+  in
+  let load =
+    Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE"
+           ~doc:"Load a database snapshot.")
+  in
+  let now =
+    Arg.(value & opt (some string) None & info [ "now" ] ~docv:"DATE"
+           ~doc:"Freeze NOW at the given chronon (what-if analysis).")
+  in
+  let command =
+    Arg.(value & opt (some string) None & info [ "c"; "command" ] ~docv:"SQL"
+           ~doc:"Execute the statements and exit.")
+  in
+  let save =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
+           ~doc:"Save a snapshot on exit.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ]
+           ~doc:"Trace statement execution (NOW binding and parsed form).")
+  in
+  let connect =
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT"
+           ~doc:"Connect to a tip_server instead of running embedded.")
+  in
+  let term =
+    Term.(const main $ demo $ load $ now $ command $ save $ verbose $ connect)
+  in
+  let info =
+    Cmd.info "tip_shell" ~doc:"SQL shell for the TIP temporal database"
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,1 @@
+examples/audit_history.ml: Printf Tip_blade Tip_engine

@@ -1,0 +1,1 @@
+examples/medical_demo.ml: List Printf Tip_browser Tip_client Tip_core Tip_engine Tip_storage Tip_workload

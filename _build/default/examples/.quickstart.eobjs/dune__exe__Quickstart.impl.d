@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Tip_blade Tip_engine

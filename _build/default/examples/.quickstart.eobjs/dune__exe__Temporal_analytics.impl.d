@@ -1,0 +1,1 @@
+examples/temporal_analytics.ml: Chronon Printf Tip_blade Tip_core Tip_engine Tip_workload Tx_clock

@@ -1,0 +1,1 @@
+examples/tsql2_layer.ml: Printf Tip_engine Tip_tsql2 Tip_workload

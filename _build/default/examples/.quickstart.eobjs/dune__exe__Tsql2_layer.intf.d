@@ -1,0 +1,1 @@
+examples/tsql2_layer.mli:

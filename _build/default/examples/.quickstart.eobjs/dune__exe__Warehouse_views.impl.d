@@ -1,0 +1,1 @@
+examples/warehouse_views.ml: Chronon List Printf Tip_blade Tip_core Tip_engine Tip_workload

@@ -1,0 +1,1 @@
+examples/whatif_now.ml: List Printf Tip_engine Tip_storage Tip_workload

@@ -1,0 +1,42 @@
+(* Quickstart: create a TIP-enabled database, store temporal data, query it.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Db = Tip_engine.Database
+
+let run db sql =
+  Printf.printf "tip> %s\n%s\n\n" sql (Db.render_result (Db.exec db sql))
+
+let () =
+  (* A fresh embedded database with the TIP DataBlade installed: the five
+     temporal datatypes and their routines are now part of SQL. *)
+  let db = Tip_blade.Blade.create_database () in
+
+  (* Freeze NOW so the output is reproducible (and to show off what-if). *)
+  run db "SET NOW = '1999-10-15'";
+
+  (* Chronon = a point in time, Span = a duration, Element = a set of
+     periods; string literals cast automatically. *)
+  run db
+    "CREATE TABLE project (name CHAR(20) PRIMARY KEY, kickoff Chronon, \
+     standup_every Span, staffed Element)";
+  run db
+    "INSERT INTO project VALUES ('tip', '1999-01-11 09:30:00', '1', \
+     '{[1999-01-11, 1999-06-30], [1999-09-01, NOW]}'), ('warehouse', \
+     '1999-05-03', '7', '{[1999-05-03, NOW]}')";
+
+  (* Temporal queries are plain SQL plus TIP routines. *)
+  run db "SELECT name, length(staffed)::INT / 86400 AS days_staffed FROM project";
+  run db
+    "SELECT name FROM project WHERE contains(staffed, '1999-05-15'::Chronon)";
+  run db
+    "SELECT p1.name, p2.name, intersect(p1.staffed, p2.staffed) FROM \
+     project p1, project p2 WHERE p1.name < p2.name AND \
+     overlaps(p1.staffed, p2.staffed)";
+
+  (* NOW-relative data answers differently as time advances. *)
+  run db "SELECT name FROM project WHERE contains(staffed, now())";
+  run db "SET NOW = '1999-08-01'";
+  run db "SELECT name FROM project WHERE contains(staffed, now())";
+
+  print_endline "Done. Try `dune exec bin/tip_shell.exe -- --demo` next."

@@ -1,0 +1,60 @@
+(* Temporal analytics over the synthetic medical database: profiles
+   (per-instant aggregation) and granularities — the machinery built for
+   E12/E13 doing real analytical work on a generated workload.
+
+   Run with: dune exec examples/temporal_analytics.exe *)
+
+open Tip_core
+module Db = Tip_engine.Database
+
+let run db sql =
+  Printf.printf "tip> %s\n%s\n\n" sql (Db.render_result (Db.exec db sql))
+
+let () =
+  let db = Tip_blade.Blade.create_database () in
+  ignore (Db.exec db "SET NOW = '2001-06-01'");
+  let data =
+    Tip_workload.Medical.generate ~seed:2024 ~patients:40 ~prescriptions:300 ()
+  in
+  Tx_clock.with_override (Chronon.of_ymd 2001 6 1) (fun () ->
+      Tip_workload.Medical.load_native db data);
+  Printf.printf
+    "A generated hospital workload: 300 prescriptions over 40 patients,\n\
+     1995-2000. Questions a pharmacy planner would ask:\n\n";
+
+  print_endline "--- Peak load: how many prescriptions ran at once? ---\n";
+  run db
+    "SELECT max_value(group_profile(valid)) AS peak, \
+     start(argmax(group_profile(valid))) AS peak_starts FROM Prescription";
+
+  print_endline "--- Which patients ever overlapped 4+ prescriptions? ---\n";
+  run db
+    "SELECT patient, max_value(group_profile(valid)) AS peak FROM \
+     Prescription GROUP BY patient HAVING max_value(group_profile(valid)) >= 4 \
+     ORDER BY 2 DESC, patient LIMIT 8";
+
+  print_endline
+    "--- Time under heavy load (3+ simultaneous), per drug ---\n";
+  run db
+    "SELECT drug, length(at_least(group_profile(valid), 3))::INT / 86400 \
+     AS heavy_days FROM Prescription GROUP BY drug \
+     ORDER BY 2 DESC LIMIT 5";
+
+  print_endline "--- Month-level reporting via granularities ---\n";
+  run db
+    "SELECT trunc(start(valid), 'month')::CHAR AS month_start, COUNT(*) \
+     FROM Prescription WHERE year(start(valid)) = 1997 \
+     GROUP BY trunc(start(valid), 'month') ORDER BY 1 LIMIT 6";
+
+  print_endline
+    "--- Billing months: prescriptions scaled to whole months ---\n";
+  run db
+    "SELECT patient, length(scale(group_union(valid), 'month'))::INT / 86400 \
+     AS billed_days, length(group_union(valid))::INT / 86400 AS actual_days \
+     FROM Prescription GROUP BY patient ORDER BY patient LIMIT 6";
+
+  print_endline "--- Prescription age distribution, in whole weeks ---\n";
+  run db
+    "SELECT granules_between(start(valid), finish(valid), 'week') AS weeks, \
+     COUNT(*) FROM Prescription GROUP BY granules_between(start(valid), \
+     finish(valid), 'week') ORDER BY 1 LIMIT 8"

@@ -1,0 +1,53 @@
+(* The paper's future work, made executable: "we will investigate how
+   closely TIP can approach a full-featured temporal query language like
+   TSQL2 in expressive power".
+
+   This example runs TSQL2-flavored queries through the Tsql2 layer,
+   which translates them into plain TIP SQL — the sequenced semantics
+   (join only while simultaneously valid; carry the intersected
+   timestamp) come for free from TIP routines.
+
+   Run with: dune exec examples/tsql2_layer.exe *)
+
+module Db = Tip_engine.Database
+module T = Tip_tsql2.Tsql2
+
+let run db sql =
+  let translated = T.translate sql in
+  Printf.printf "tsql2> %s\n  -->  %s\n%s\n\n" sql translated
+    (Db.render_result (Db.exec db translated))
+
+let () =
+  let db = Tip_workload.Medical.demo_database () in
+  print_endline
+    "TSQL2-flavored queries over the medical demo (NOW = 1999-10-15).\n";
+
+  (* Sequenced selection: the timestamp column appears automatically. *)
+  run db "SELECT patient, drug FROM Prescription p WHERE drug = 'Aspirin'";
+
+  (* The paper's Query 2, TSQL2 style: no explicit overlaps/intersect —
+     sequenced join semantics supply both. *)
+  run db
+    "SELECT p1.patient FROM Prescription p1, Prescription p2 WHERE \
+     p1.drug = 'Diabeta' AND p2.drug = 'Aspirin' AND p1.patient = p2.patient";
+
+  (* VALID() in predicates. *)
+  run db
+    "SELECT patient, drug FROM Prescription p WHERE \
+     contains(VALID(p), '1999-10-03'::Chronon)";
+
+  (* SNAPSHOT: TSQL2's non-temporal query. *)
+  run db
+    "SELECT SNAPSHOT patient, length(group_union(valid))::INT / 86400 AS days \
+     FROM Prescription GROUP BY patient ORDER BY patient";
+
+  (* And the measured distance to full TSQL2: *)
+  print_endline "Not expressible in the layer (raises Unsupported):";
+  (match T.translate "SELECT patient, COUNT(*) FROM Prescription p GROUP BY patient" with
+  | exception T.Unsupported msg -> Printf.printf "  sequenced GROUP BY: %s\n" msg
+  | _ -> ());
+  print_endline
+    "\nConclusion (matches the paper's position): selection, projection,\n\
+     sequenced joins and snapshot queries translate mechanically onto TIP\n\
+     routines; per-instant aggregation is the first construct that would\n\
+     need an engine-level temporal grouping operator."

@@ -1,0 +1,49 @@
+(* NOW semantics (experiment E7): the same query over unchanged data
+   returns different answers at different times, and SET NOW lets a user
+   evaluate queries in a temporal context different from the present.
+
+   Run with: dune exec examples/whatif_now.exe *)
+
+module Db = Tip_engine.Database
+
+let () =
+  let db = Tip_workload.Medical.demo_database () in
+  let current_meds =
+    "SELECT patient, drug FROM Prescription WHERE contains(valid, now()) \
+     ORDER BY patient, drug"
+  in
+  let under_30_days =
+    "SELECT patient FROM Prescription WHERE patientdob > 'NOW-30' \
+     ORDER BY patient"
+  in
+  let ask now =
+    ignore (Db.exec db (Printf.sprintf "SET NOW = '%s'" now));
+    Printf.printf "\n--- evaluated as of %s ---\n" now;
+    Printf.printf "Currently prescribed:\n%s\n"
+      (Db.render_result (Db.exec db current_meds));
+    Printf.printf "Patients under 30 days old:\n%s\n"
+      (Db.render_result (Db.exec db under_30_days))
+  in
+  Printf.printf "Query 1: %s\n" current_meds;
+  Printf.printf "Query 2: %s\n" under_30_days;
+  Printf.printf
+    "\nThe data never changes below — only NOW does. Diabeta's timestamp is \
+     {[1999-10-01, NOW]},\nso it stays current forever; fixed periods drift \
+     into the past; 'NOW-30' tracks the clock.\n";
+  List.iter ask
+    [ "1999-09-22"; "1999-10-03"; "1999-10-15"; "1999-12-01"; "2001-01-01" ];
+  (* Length of a NOW-relative element grows with time. *)
+  let growth =
+    "SELECT length(valid)::INT / 86400 AS days_on_diabeta FROM Prescription \
+     WHERE drug = 'Diabeta'"
+  in
+  Printf.printf "\nQuery 3: %s\n" growth;
+  List.iter
+    (fun now ->
+      ignore (Db.exec db (Printf.sprintf "SET NOW = '%s'" now));
+      match Db.rows_exn (Db.exec db growth) with
+      | [ [| v |] ] ->
+        Printf.printf "  as of %s: %s days\n" now
+          (Tip_storage.Value.to_display_string v)
+      | _ -> ())
+    [ "1999-10-02"; "1999-10-15"; "2000-01-01"; "2000-10-01" ]

@@ -1,0 +1,1 @@
+lib/blade/blade.ml: Allen Array Chronon Element Granularity Instant List Period Printf Profile Scan Span Tip_core Tip_engine Tip_storage Tx_clock Value Values

@@ -1,0 +1,1 @@
+lib/blade/blade.mli: Tip_engine

@@ -1,0 +1,1 @@
+lib/blade/values.ml: Chronon Element Instant List Option Period Printf Profile Scan Span Tip_core Tip_storage Value

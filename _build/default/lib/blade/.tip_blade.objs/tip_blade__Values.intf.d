@@ -1,0 +1,1 @@
+lib/blade/values.mli: Chronon Element Instant Period Profile Span Tip_core Tip_storage Value

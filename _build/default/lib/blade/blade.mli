@@ -1,0 +1,31 @@
+(** The TIP DataBlade: one [install] call makes the five temporal types
+    and some fifty routines behave as if built into the DBMS.
+
+    Installed surface (all reachable from plain SQL):
+    - implicit casts from string literals to every TIP type, and the
+      widening chain chronon → instant → period → element; explicit
+      narrowing casts bind NOW (["NOW-1"::Instant::Chronon]);
+    - overloaded arithmetic ([chronon - chronon] is a span; [chronon +
+      chronon] is a type error, as the paper insists) and NOW-aware
+      comparisons (a chronon compared with [NOW-7] may change answer as
+      time advances);
+    - Allen's thirteen interval operators on periods, plus
+      [allen_relation];
+    - the element set algebra: [union], [intersect], [difference],
+      [complement], [overlaps], [contains], [length], [start], [finish],
+      [first], [last], [extent], [count_periods], [is_empty],
+      [normalize], and the NOW-preserving [add_period];
+    - aggregates [group_union] (temporal coalescing) and
+      [group_intersect];
+    - planner hints: [overlaps]/[contains] are interval-sargable, and
+      chronon/instant values can feed [SET NOW].
+
+    Naming notes: the end of a period/element is [finish] (END is a SQL
+    keyword) and set complement is [complement(element, period)]. *)
+
+(** Installs the blade into a database (registers the global types on
+    first use). Call once, right after {!Tip_engine.Database.create}. *)
+val install : Tip_engine.Database.t -> unit
+
+(** A fresh database with the blade installed. *)
+val create_database : unit -> Tip_engine.Database.t

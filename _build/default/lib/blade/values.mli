@@ -1,0 +1,64 @@
+(** TIP's five datatypes as engine values.
+
+    Extends the storage layer's value universe with payload constructors
+    for Chronon, Span, Instant, Period and Element, and registers their
+    vtables (literal parsing, printing, ordering, index extents) in the
+    global datatype registry — the "new datatypes" half of the
+    DataBlade. The routines/casts/operators half lives in {!Blade}. *)
+
+open Tip_core
+open Tip_storage
+
+type Value.ext +=
+  | V_chronon of Chronon.t
+  | V_span of Span.t
+  | V_instant of Instant.t
+  | V_period of Period.t
+  | V_element of Element.t
+  | V_profile of Profile.t
+      (** the sixth type: per-instant aggregation results *)
+
+(** {1 Canonical type names} *)
+
+val chronon_type : string
+val span_type : string
+val instant_type : string
+val period_type : string
+val element_type : string
+val profile_type : string
+
+(** {1 Constructors} *)
+
+val chronon : Chronon.t -> Value.t
+val span : Span.t -> Value.t
+val instant : Instant.t -> Value.t
+val period : Period.t -> Value.t
+val element : Element.t -> Value.t
+val profile : Profile.t -> Value.t
+
+(** {1 Accessors}
+
+    All raise {!Value.Type_error} on the wrong payload. *)
+
+val as_chronon : Value.t -> Chronon.t
+val as_span : Value.t -> Span.t
+val as_instant : Value.t -> Instant.t
+val as_period : Value.t -> Period.t
+val as_element : Value.t -> Element.t
+val as_profile : Value.t -> Profile.t
+
+(** Loose reading: any timestamp-ish value (element, period, instant,
+    chronon or DATE) as an element. Used by aggregates, whose inputs
+    bypass cast resolution. *)
+val to_element_value : Value.t -> Element.t
+
+(** {1 Registration} *)
+
+(** Registers the five datatypes in the global registry; idempotent.
+    Must run before parsing snapshots that contain TIP values. *)
+val register_types : unit -> unit
+
+(**/**)
+
+val period_extent : Period.t -> (int * int) option
+val element_extents : Element.t -> (int * int) list

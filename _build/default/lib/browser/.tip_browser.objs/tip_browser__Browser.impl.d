@@ -1,0 +1,1 @@
+lib/browser/browser.ml: Array Buffer Chronon Element Format List Printf Span Stdlib String Timeline Tip_blade Tip_client Tip_core Tip_engine Tip_storage Tx_clock Value

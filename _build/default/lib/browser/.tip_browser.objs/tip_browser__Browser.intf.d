@@ -1,0 +1,1 @@
+lib/browser/browser.mli: Timeline Tip_client Tip_core Tip_storage

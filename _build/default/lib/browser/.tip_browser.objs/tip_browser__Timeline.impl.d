@@ -1,0 +1,1 @@
+lib/browser/timeline.ml: Bytes Char Chronon List Span Stdlib String Tip_core

@@ -1,0 +1,1 @@
+lib/browser/timeline.mli: Chronon Period Span Tip_core

@@ -1,0 +1,64 @@
+(** The TIP Browser, in text form (the paper's Figure 2).
+
+    The user browses a table or query result by any temporal attribute;
+    a movable, resizable window lies over the time line; tuples valid in
+    the window are highlighted; each tuple's valid periods render as
+    timeline segments in the rightmost column; a slider moves the
+    window; and NOW can be overridden to evaluate the query in a
+    temporal context different from the present (what-if analysis). *)
+
+exception Browser_error of string
+
+type t
+
+(** Runs the query and fits the window to the result's temporal extent.
+    [time_column] must name a Chronon/Instant/Period/Element (or DATE)
+    output column.
+    @raise Browser_error when the column is missing or non-temporal. *)
+val open_query :
+  ?strip_width:int -> Tip_client.Connection.t -> sql:string ->
+  time_column:string -> t
+
+(** [open_query] over [SELECT * FROM table]. *)
+val open_table :
+  ?strip_width:int -> Tip_client.Connection.t -> table:string ->
+  time_column:string -> t
+
+(** Re-runs the query under the connection's current NOW. *)
+val refresh : t -> unit
+
+(** {1 Window controls} *)
+
+val window : t -> Timeline.window
+val set_window : t -> Timeline.window -> unit
+
+(** The slider: positive steps move right; one step is an eighth of the
+    window. *)
+val slide : t -> int -> unit
+
+val zoom : t -> float -> unit
+
+(** Refits the window to the (grounded) extent of the current rows. *)
+val fit_window : t -> Timeline.window
+
+(** {1 What-if analysis} *)
+
+(** Re-evaluates everything as if NOW were the given chronon. *)
+val set_now : t -> Tip_core.Chronon.t -> unit
+
+val reset_now : t -> unit
+
+(** {1 Rendering} *)
+
+(** Is the row's temporal attribute non-empty within the window? *)
+val is_valid_in_window : t -> Tip_storage.Value.t array -> bool
+
+val valid_count : t -> int
+
+(** One full screen: header (query, NOW, window, valid count), the
+    aligned result table with validity markers and timeline strips, a
+    density footer and an axis. *)
+val render : t -> string
+
+(** [frames] renders while sliding right one step per frame. *)
+val sweep : t -> frames:int -> string list

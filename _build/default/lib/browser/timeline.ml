@@ -1,0 +1,105 @@
+(* Timeline strips: fixed-width character renderings of the periods an
+   element covers within a window — the ASCII counterpart of the segment
+   column on the right of the paper's Figure 2. *)
+
+open Tip_core
+
+type window = { from_ : Chronon.t; until : Chronon.t }
+
+let make_window ~from_ ~until =
+  if Chronon.compare from_ until >= 0 then
+    invalid_arg "Timeline.make_window: empty window";
+  { from_; until }
+
+let window_width w = Chronon.diff w.until w.from_
+
+(* Shifts the window by a span (negative moves left). *)
+let shift w span =
+  { from_ = Chronon.add w.from_ span; until = Chronon.add w.until span }
+
+(* Scales the window around its center. *)
+let zoom w factor =
+  if factor <= 0. then invalid_arg "Timeline.zoom: non-positive factor";
+  let width = Span.to_seconds (window_width w) in
+  let center = Chronon.add w.from_ (Span.of_seconds (width / 2)) in
+  let half = Stdlib.max 1 (int_of_float (float_of_int width *. factor /. 2.)) in
+  { from_ = Chronon.sub center (Span.of_seconds half);
+    until = Chronon.add center (Span.of_seconds half) }
+
+(* The boundaries of cell [i] of [width] cells across the window. *)
+let cell_bounds w ~width i =
+  let total = Span.to_seconds (window_width w) in
+  let lo = Chronon.to_unix_seconds w.from_ + (total * i / width) in
+  let hi = Chronon.to_unix_seconds w.from_ + (total * (i + 1) / width) - 1 in
+  (lo, Stdlib.max lo hi)
+
+(* Renders the ground periods into a strip of [width] characters:
+   ['#'] where the element covers part of the cell, ['.'] elsewhere.
+   [?mark] (usually NOW) overlays ['!'] on a covered cell and ['|'] on an
+   uncovered one, so the current instant is visible on every row. *)
+let strip ?mark ~width ~window ground =
+  let buf = Bytes.make width '.' in
+  let covers (lo, hi) =
+    List.exists
+      (fun (s, e) ->
+        Chronon.to_unix_seconds s <= hi && lo <= Chronon.to_unix_seconds e)
+      ground
+  in
+  for i = 0 to width - 1 do
+    if covers (cell_bounds window ~width i) then Bytes.set buf i '#'
+  done;
+  (match mark with
+  | Some at ->
+    let at = Chronon.to_unix_seconds at in
+    for i = 0 to width - 1 do
+      let lo, hi = cell_bounds window ~width i in
+      if lo <= at && at <= hi then
+        Bytes.set buf i (if Bytes.get buf i = '#' then '!' else '|')
+    done
+  | None -> ());
+  Bytes.to_string buf
+
+(* Does the element intersect the window at all? *)
+let visible ~window ground =
+  let wlo = Chronon.to_unix_seconds window.from_ in
+  let whi = Chronon.to_unix_seconds window.until in
+  List.exists
+    (fun (s, e) ->
+      Chronon.to_unix_seconds s <= whi && wlo <= Chronon.to_unix_seconds e)
+    ground
+
+(* A density footer: per cell, how many of the given elements cover it,
+   rendered as a digit ('+' beyond 9). *)
+let density ~width ~window grounds =
+  let buf = Bytes.make width ' ' in
+  for i = 0 to width - 1 do
+    let bounds = cell_bounds window ~width i in
+    let n =
+      List.fold_left
+        (fun n ground ->
+          let lo, hi = bounds in
+          if
+            List.exists
+              (fun (s, e) ->
+                Chronon.to_unix_seconds s <= hi && lo <= Chronon.to_unix_seconds e)
+              ground
+          then n + 1
+          else n)
+        0 grounds
+    in
+    let c =
+      if n = 0 then '.'
+      else if n <= 9 then Char.chr (Char.code '0' + n)
+      else '+'
+    in
+    Bytes.set buf i c
+  done;
+  Bytes.to_string buf
+
+(* An axis line with the window's boundary dates. *)
+let axis ~width ~window =
+  let left = Chronon.to_string window.from_ in
+  let right = Chronon.to_string window.until in
+  let pad = width - String.length left - String.length right in
+  if pad >= 1 then left ^ String.make pad ' ' ^ right
+  else left ^ " .. " ^ right

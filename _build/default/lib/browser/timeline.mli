@@ -1,0 +1,39 @@
+(** Timeline strips: fixed-width character renderings of the periods an
+    element covers within a window — the ASCII counterpart of the segment
+    column on the right of the paper's Figure 2. *)
+
+open Tip_core
+
+(** A half-open view [from_, until] over the time line. *)
+type window = { from_ : Chronon.t; until : Chronon.t }
+
+(** @raise Invalid_argument when [from_ >= until]. *)
+val make_window : from_:Chronon.t -> until:Chronon.t -> window
+
+val window_width : window -> Span.t
+
+(** Shifts the window (negative spans move left). *)
+val shift : window -> Span.t -> window
+
+(** Scales the window around its center; factor > 0. *)
+val zoom : window -> float -> window
+
+(** Renders ground periods into [width] characters: ['#'] where covered,
+    ['.'] elsewhere. [?mark] (usually NOW) overlays ['!'] on a covered
+    cell and ['|'] on an uncovered one. *)
+val strip :
+  ?mark:Chronon.t -> width:int -> window:window -> Period.ground list -> string
+
+(** Does the element intersect the window at all? *)
+val visible : window:window -> Period.ground list -> bool
+
+(** Per-cell count of covering elements, as digits (['+'] beyond 9) —
+    the "distribution of result tuples over time". *)
+val density : width:int -> window:window -> Period.ground list list -> string
+
+(** An axis line labelled with the window's boundary dates. *)
+val axis : width:int -> window:window -> string
+
+(**/**)
+
+val cell_bounds : window -> width:int -> int -> int * int

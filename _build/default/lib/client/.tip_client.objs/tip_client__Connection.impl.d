@@ -1,0 +1,1 @@
+lib/client/connection.ml: Fun Result_set Tip_blade Tip_core Tip_engine Tip_sql

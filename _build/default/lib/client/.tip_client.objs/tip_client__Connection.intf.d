@@ -1,0 +1,1 @@
+lib/client/connection.mli: Result_set Tip_core Tip_engine Tip_storage

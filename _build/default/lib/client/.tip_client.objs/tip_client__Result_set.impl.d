@@ -1,0 +1,1 @@
+lib/client/result_set.ml: Array Format String Tip_blade Tip_engine Tip_storage Value

@@ -1,0 +1,1 @@
+lib/client/result_set.mli: Tip_core Tip_engine Tip_storage Value

@@ -1,0 +1,1 @@
+lib/client/statement.ml: Connection List Result_set String Tip_blade Tip_engine Tip_sql Tip_storage Value

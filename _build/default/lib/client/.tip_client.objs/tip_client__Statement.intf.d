@@ -1,0 +1,1 @@
+lib/client/statement.mli: Connection Result_set Tip_core Tip_engine Tip_storage Value

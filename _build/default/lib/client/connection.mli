@@ -1,0 +1,54 @@
+(** Client connections — the OCaml analog of the TIP C/Java libraries.
+
+    A connection wraps an embedded database session and carries its own
+    NOW override (Section 4's what-if mechanism), so two clients of the
+    same database can evaluate queries in different temporal contexts;
+    the override is installed around each statement and the database's
+    own setting restored afterwards. *)
+
+module Db = Tip_engine.Database
+
+exception Client_error of string
+
+type t
+
+(** Opens a connection to a fresh embedded database; the TIP blade is
+    installed unless [blade:false]. *)
+val connect : ?blade:bool -> unit -> t
+
+(** Attaches to an existing database (shared embedded server). *)
+val connect_to : Db.t -> t
+
+val close : t -> unit
+val is_closed : t -> bool
+val database : t -> Db.t
+
+(** {1 What-if analysis} *)
+
+(** Evaluate this session's statements as if NOW were the given
+    chronon. *)
+val set_now : t -> Tip_core.Chronon.t -> unit
+
+val clear_now : t -> unit
+val session_now : t -> Tip_core.Chronon.t option
+
+(** Runs [f] with this session's NOW installed in the shared database
+    (exception-safe restore). Used internally and by prepared
+    statements. *)
+val with_session_now : t -> (unit -> 'a) -> 'a
+
+(** {1 Execution} *)
+
+(** @raise Client_error when the connection is closed. *)
+val execute : ?params:(string * Tip_storage.Value.t) list -> t -> string -> Db.result
+
+val execute_script :
+  ?params:(string * Tip_storage.Value.t) list -> t -> string -> Db.result
+
+(** Single-shot query returning a cursor-style result set. *)
+val query :
+  ?params:(string * Tip_storage.Value.t) list -> t -> string -> Result_set.t
+
+(** @raise Client_error when the statement is not DML. *)
+val execute_update :
+  ?params:(string * Tip_storage.Value.t) list -> t -> string -> int

@@ -1,0 +1,90 @@
+(* Cursor-style result sets with typed accessors — the analog of the TIP
+   Browser's "customized type mapping": values of TIP datatypes come back
+   as the corresponding OCaml objects from the core library. *)
+
+open Tip_storage
+module Db = Tip_engine.Database
+
+exception Result_error of string
+
+let result_error fmt = Format.kasprintf (fun s -> raise (Result_error s)) fmt
+
+type t = {
+  names : string array;
+  rows : Value.t array array;
+  mutable cursor : int; (* -1 = before first row *)
+}
+
+let of_result = function
+  | Db.Rows { names; rows } ->
+    { names = Array.of_list names; rows = Array.of_list rows; cursor = -1 }
+  | Db.Affected _ | Db.Message _ ->
+    result_error "statement did not produce rows"
+
+let column_count t = Array.length t.names
+let column_names t = Array.to_list t.names
+let row_count t = Array.length t.rows
+
+let column_index t name =
+  let name = String.lowercase_ascii name in
+  match
+    Array.find_index (fun n -> String.lowercase_ascii n = name) t.names
+  with
+  | Some i -> i
+  | None -> result_error "no column %s in result" name
+
+(* Cursor movement, JDBC style: [next] advances and reports whether a
+   current row exists. *)
+let next t =
+  if t.cursor + 1 < Array.length t.rows then begin
+    t.cursor <- t.cursor + 1;
+    true
+  end
+  else false
+
+let rewind t = t.cursor <- -1
+
+let current_row t =
+  if t.cursor < 0 || t.cursor >= Array.length t.rows then
+    result_error "no current row (call next first)"
+  else t.rows.(t.cursor)
+
+let get_value t i =
+  let row = current_row t in
+  if i < 0 || i >= Array.length row then result_error "column %d out of range" i;
+  row.(i)
+
+let get t name = get_value t (column_index t name)
+
+let is_null t i = Value.is_null (get_value t i)
+
+(* --- Typed accessors -------------------------------------------------------- *)
+
+let wrap_type_error f v =
+  match f v with
+  | x -> x
+  | exception Value.Type_error msg -> result_error "%s" msg
+
+let get_int t i = wrap_type_error Value.to_int (get_value t i)
+let get_float t i = wrap_type_error Value.to_float (get_value t i)
+let get_bool t i = wrap_type_error Value.to_bool (get_value t i)
+let get_string t i = Value.to_display_string (get_value t i)
+let get_date t i = wrap_type_error Value.to_date (get_value t i)
+
+let get_chronon t i = wrap_type_error Tip_blade.Values.as_chronon (get_value t i)
+let get_span t i = wrap_type_error Tip_blade.Values.as_span (get_value t i)
+let get_instant t i = wrap_type_error Tip_blade.Values.as_instant (get_value t i)
+let get_period t i = wrap_type_error Tip_blade.Values.as_period (get_value t i)
+let get_element t i = wrap_type_error Tip_blade.Values.as_element (get_value t i)
+
+(* Loose temporal reading used by the browser: any Chronon, Instant,
+   Period, Element or DATE value as an element. *)
+let get_temporal t i =
+  wrap_type_error Tip_blade.Values.to_element_value (get_value t i)
+
+let iter f t =
+  Array.iter f t.rows
+
+let fold f init t = Array.fold_left f init t.rows
+
+let to_list t = Array.to_list t.rows

@@ -1,0 +1,68 @@
+(** Cursor-style result sets with typed accessors — the analog of the
+    JDBC 2.0 "customized type mapping" the paper's browser uses: values
+    of TIP datatypes come back as the corresponding OCaml objects from
+    the core library. *)
+
+open Tip_storage
+module Db = Tip_engine.Database
+
+exception Result_error of string
+
+type t
+
+(** @raise Result_error when the statement did not return rows. *)
+val of_result : Db.result -> t
+
+val column_count : t -> int
+val column_names : t -> string list
+val row_count : t -> int
+
+(** Case-insensitive.
+    @raise Result_error on unknown names. *)
+val column_index : t -> string -> int
+
+(** {1 Cursor movement (JDBC style)} *)
+
+(** Advances to the next row; [false] past the end. The cursor starts
+    before the first row. *)
+val next : t -> bool
+
+val rewind : t -> unit
+
+(** {1 Accessors on the current row}
+
+    All raise {!Result_error} without a current row, on bad indices, or
+    on type mismatches. *)
+
+val get_value : t -> int -> Value.t
+
+(** By column name. *)
+val get : t -> string -> Value.t
+
+val is_null : t -> int -> bool
+val get_int : t -> int -> int
+val get_float : t -> int -> float
+val get_bool : t -> int -> bool
+
+(** Display form of any value. *)
+val get_string : t -> int -> string
+
+val get_date : t -> int -> Tip_core.Chronon.t
+
+(** {2 TIP type mapping} *)
+
+val get_chronon : t -> int -> Tip_core.Chronon.t
+val get_span : t -> int -> Tip_core.Span.t
+val get_instant : t -> int -> Tip_core.Instant.t
+val get_period : t -> int -> Tip_core.Period.t
+val get_element : t -> int -> Tip_core.Element.t
+
+(** Any temporal value (chronon/instant/period/element/DATE) as an
+    element; what the browser uses. *)
+val get_temporal : t -> int -> Tip_core.Element.t
+
+(** {1 Whole-set iteration} *)
+
+val iter : (Value.t array -> unit) -> t -> unit
+val fold : ('a -> Value.t array -> 'a) -> 'a -> t -> 'a
+val to_list : t -> Value.t array list

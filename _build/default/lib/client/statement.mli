@@ -1,0 +1,35 @@
+(** Prepared statements: parse once, bind [:name] host variables,
+    execute many times — the paper's input parameters (the [:w] of the
+    Tylenol query). *)
+
+open Tip_storage
+module Db = Tip_engine.Database
+
+exception Statement_error of string
+
+type t
+
+(** @raise Statement_error on parse errors. *)
+val prepare : Connection.t -> string -> t
+
+(** Later binds of the same name override earlier ones. *)
+val bind : t -> string -> Value.t -> unit
+
+val bind_int : t -> string -> int -> unit
+val bind_float : t -> string -> float -> unit
+val bind_string : t -> string -> string -> unit
+val bind_bool : t -> string -> bool -> unit
+val bind_chronon : t -> string -> Tip_core.Chronon.t -> unit
+val bind_span : t -> string -> Tip_core.Span.t -> unit
+val bind_instant : t -> string -> Tip_core.Instant.t -> unit
+val bind_period : t -> string -> Tip_core.Period.t -> unit
+val bind_element : t -> string -> Tip_core.Element.t -> unit
+val clear_bindings : t -> unit
+
+(** Runs under the connection's session NOW. *)
+val execute : t -> Db.result
+
+val query : t -> Result_set.t
+
+(** @raise Statement_error when the statement is not DML. *)
+val execute_update : t -> int

@@ -1,0 +1,1 @@
+lib/core/allen.ml: Chronon Fmt Period String

@@ -1,0 +1,1 @@
+lib/core/allen.mli: Chronon Format Period

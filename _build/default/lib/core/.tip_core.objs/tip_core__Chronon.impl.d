@@ -1,0 +1,1 @@
+lib/core/chronon.ml: Fmt Int Scan Span Stdlib

@@ -1,0 +1,1 @@
+lib/core/chronon.mli: Format Scan Span

@@ -1,0 +1,1 @@
+lib/core/element.ml: Chronon Fmt List Period Scan Span

@@ -1,0 +1,1 @@
+lib/core/element.mli: Chronon Format Period Scan Span

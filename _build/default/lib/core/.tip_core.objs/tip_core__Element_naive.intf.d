@@ -1,0 +1,1 @@
+lib/core/element_naive.mli: Period

@@ -1,0 +1,1 @@
+lib/core/granularity.ml: Chronon Element Fmt List Period Span Stdlib String

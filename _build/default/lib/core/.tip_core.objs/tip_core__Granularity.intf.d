@@ -1,0 +1,1 @@
+lib/core/granularity.mli: Chronon Element Format Period

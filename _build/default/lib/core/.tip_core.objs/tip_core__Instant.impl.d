@@ -1,0 +1,1 @@
+lib/core/instant.ml: Chronon Fmt Scan Span

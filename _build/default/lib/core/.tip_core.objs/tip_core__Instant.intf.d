@@ -1,0 +1,1 @@
+lib/core/instant.mli: Chronon Format Scan Span

@@ -1,0 +1,1 @@
+lib/core/period.ml: Chronon Fmt Instant Option Scan

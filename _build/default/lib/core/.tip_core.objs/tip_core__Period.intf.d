@@ -1,0 +1,1 @@
+lib/core/period.mli: Chronon Format Instant Scan Span

@@ -1,0 +1,1 @@
+lib/core/profile.ml: Chronon Element Fmt Int List Period Scan Span Stdlib

@@ -1,0 +1,1 @@
+lib/core/span.ml: Float Fmt Int Scan Stdlib

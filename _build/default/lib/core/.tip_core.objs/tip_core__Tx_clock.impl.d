@@ -1,0 +1,1 @@
+lib/core/tx_clock.ml: Chronon Fun Unix

@@ -1,0 +1,123 @@
+(* Allen's thirteen interval relations [Allen, CACM 1983], adapted to
+   closed intervals over discrete (one-second) time.
+
+   Under the discrete closed reading, "p meets q" holds when q starts at
+   the chronon immediately after p ends (no gap, no shared chronon);
+   "p before q" requires at least a one-chronon gap. With that convention
+   the thirteen relations are jointly exhaustive and pairwise disjoint for
+   non-empty periods, which [classify_ground] makes evident case by case. *)
+
+type relation =
+  | Before
+  | Meets
+  | Overlaps
+  | Finished_by
+  | Contains
+  | Starts
+  | Equals
+  | Started_by
+  | During
+  | Finishes
+  | Overlapped_by
+  | Met_by
+  | After
+
+let all_relations =
+  [ Before; Meets; Overlaps; Finished_by; Contains; Starts; Equals;
+    Started_by; During; Finishes; Overlapped_by; Met_by; After ]
+
+let inverse = function
+  | Before -> After
+  | Meets -> Met_by
+  | Overlaps -> Overlapped_by
+  | Finished_by -> Finishes
+  | Contains -> During
+  | Starts -> Started_by
+  | Equals -> Equals
+  | Started_by -> Starts
+  | During -> Contains
+  | Finishes -> Finished_by
+  | Overlapped_by -> Overlaps
+  | Met_by -> Meets
+  | After -> Before
+
+let relation_name = function
+  | Before -> "before"
+  | Meets -> "meets"
+  | Overlaps -> "overlaps"
+  | Finished_by -> "finished_by"
+  | Contains -> "contains"
+  | Starts -> "starts"
+  | Equals -> "equals"
+  | Started_by -> "started_by"
+  | During -> "during"
+  | Finishes -> "finishes"
+  | Overlapped_by -> "overlapped_by"
+  | Met_by -> "met_by"
+  | After -> "after"
+
+let relation_of_name name =
+  match String.lowercase_ascii name with
+  | "before" -> Some Before
+  | "meets" -> Some Meets
+  | "overlaps" -> Some Overlaps
+  | "finished_by" -> Some Finished_by
+  | "contains" -> Some Contains
+  | "starts" -> Some Starts
+  | "equals" -> Some Equals
+  | "started_by" -> Some Started_by
+  | "during" -> Some During
+  | "finishes" -> Some Finishes
+  | "overlapped_by" -> Some Overlapped_by
+  | "met_by" -> Some Met_by
+  | "after" -> Some After
+  | _ -> None
+
+let pp ppf r = Fmt.string ppf (relation_name r)
+
+let classify_ground ((s1, e1) : Period.ground) ((s2, e2) : Period.ground) =
+  let c_start = Chronon.compare s1 s2 in
+  let c_end = Chronon.compare e1 e2 in
+  if c_start < 0 then begin
+    (* p starts strictly first *)
+    if Chronon.compare (Chronon.succ e1) s2 < 0 then Before
+    else if Chronon.equal (Chronon.succ e1) s2 then Meets
+    else if c_end < 0 then Overlaps
+    else if c_end = 0 then Finished_by
+    else Contains
+  end
+  else if c_start = 0 then begin
+    if c_end < 0 then Starts else if c_end = 0 then Equals else Started_by
+  end
+  else begin
+    (* q starts strictly first: mirror the first branch *)
+    if Chronon.compare (Chronon.succ e2) s1 < 0 then After
+    else if Chronon.equal (Chronon.succ e2) s1 then Met_by
+    else if c_end > 0 then Overlapped_by
+    else if c_end = 0 then Finishes
+    else During
+  end
+
+let classify ~now p q =
+  match Period.ground ~now p, Period.ground ~now q with
+  | Some gp, Some gq -> Some (classify_ground gp gq)
+  | None, _ | _, None -> None
+
+let holds ~now r p q =
+  match classify ~now p q with
+  | Some r' -> r = r'
+  | None -> false
+
+let before ~now p q = holds ~now Before p q
+let meets ~now p q = holds ~now Meets p q
+let overlaps ~now p q = holds ~now Overlaps p q
+let finished_by ~now p q = holds ~now Finished_by p q
+let contains ~now p q = holds ~now Contains p q
+let starts ~now p q = holds ~now Starts p q
+let equals ~now p q = holds ~now Equals p q
+let started_by ~now p q = holds ~now Started_by p q
+let during ~now p q = holds ~now During p q
+let finishes ~now p q = holds ~now Finishes p q
+let overlapped_by ~now p q = holds ~now Overlapped_by p q
+let met_by ~now p q = holds ~now Met_by p q
+let after ~now p q = holds ~now After p q

@@ -1,0 +1,59 @@
+(** Allen's thirteen interval relations (Allen, CACM 1983) over periods.
+
+    Adapted to closed intervals on discrete time: [Meets] holds when the
+    second period starts at the chronon immediately after the first ends;
+    [Before] requires at least a one-chronon gap. With that convention the
+    thirteen relations are jointly exhaustive and pairwise disjoint for
+    non-empty periods. *)
+
+type relation =
+  | Before
+  | Meets
+  | Overlaps
+  | Finished_by
+  | Contains
+  | Starts
+  | Equals
+  | Started_by
+  | During
+  | Finishes
+  | Overlapped_by
+  | Met_by
+  | After
+
+(** All thirteen relations, in the order above. *)
+val all_relations : relation list
+
+(** The converse relation: [inverse Before = After], etc. *)
+val inverse : relation -> relation
+
+val relation_name : relation -> string
+val relation_of_name : string -> relation option
+val pp : Format.formatter -> relation -> unit
+
+(** The unique relation holding between two ground periods. *)
+val classify_ground : Period.ground -> Period.ground -> relation
+
+(** [classify ~now p q] grounds both periods under [now]; [None] if either
+    is empty. *)
+val classify : now:Chronon.t -> Period.t -> Period.t -> relation option
+
+(** [holds ~now r p q] tests a specific relation; empty periods satisfy
+    none. *)
+val holds : now:Chronon.t -> relation -> Period.t -> Period.t -> bool
+
+(** {1 One predicate per relation} *)
+
+val before : now:Chronon.t -> Period.t -> Period.t -> bool
+val meets : now:Chronon.t -> Period.t -> Period.t -> bool
+val overlaps : now:Chronon.t -> Period.t -> Period.t -> bool
+val finished_by : now:Chronon.t -> Period.t -> Period.t -> bool
+val contains : now:Chronon.t -> Period.t -> Period.t -> bool
+val starts : now:Chronon.t -> Period.t -> Period.t -> bool
+val equals : now:Chronon.t -> Period.t -> Period.t -> bool
+val started_by : now:Chronon.t -> Period.t -> Period.t -> bool
+val during : now:Chronon.t -> Period.t -> Period.t -> bool
+val finishes : now:Chronon.t -> Period.t -> Period.t -> bool
+val overlapped_by : now:Chronon.t -> Period.t -> Period.t -> bool
+val met_by : now:Chronon.t -> Period.t -> Period.t -> bool
+val after : now:Chronon.t -> Period.t -> Period.t -> bool

@@ -1,0 +1,70 @@
+(* Deliberately-naive implementations of the Element set algebra.
+
+   These are the quadratic algorithms one would get without the sorted
+   normalized representation: union inserts one period at a time into an
+   unsorted set, intersection takes the pairwise product. They serve two
+   purposes: as a differential-testing oracle for [Element], and as the
+   baseline in the E4 benchmark backing Section 3's claim that the real
+   implementation is "linear in the number of periods". *)
+
+type ground = Period.ground list
+
+(* Inserts [p] into an unsorted disjoint set, absorbing every period it
+   touches. Each insertion scans the whole set: O(n) per period, O(n^2)
+   for a union. *)
+let insert_period set p =
+  let touches (s1, e1) (s2, e2) =
+    (* Overlapping or adjacent (closed, discrete time). *)
+    Chronon.compare s1 (Chronon.succ e2) <= 0
+    && Chronon.compare s2 (Chronon.succ e1) <= 0
+  in
+  let merged, rest =
+    List.fold_left
+      (fun (cur, rest) q ->
+        if touches cur q then
+          let s, e = cur and s', e' = q in
+          ((Chronon.min s s', Chronon.max e e'), rest)
+        else (cur, q :: rest))
+      (p, []) set
+  in
+  merged :: rest
+
+let union a b = List.fold_left insert_period a b
+
+let intersect a b =
+  let clip (s1, e1) (s2, e2) =
+    let s = Chronon.max s1 s2 and e = Chronon.min e1 e2 in
+    if Chronon.compare s e <= 0 then Some (s, e) else None
+  in
+  List.concat_map (fun p -> List.filter_map (clip p) b) a
+
+let difference a b =
+  let rec subtract_one (s1, e1) (s2, e2) =
+    ignore subtract_one;
+    if Chronon.compare e2 s1 < 0 || Chronon.compare e1 s2 < 0 then
+      [ (s1, e1) ]
+    else begin
+      let before =
+        if Chronon.compare s1 s2 < 0 then [ (s1, Chronon.pred s2) ] else []
+      in
+      let after =
+        if Chronon.compare e2 e1 < 0 then [ (Chronon.succ e2, e1) ] else []
+      in
+      before @ after
+    end
+  in
+  let subtract_all p =
+    List.fold_left
+      (fun pieces q -> List.concat_map (fun piece -> subtract_one piece q) pieces)
+      [ p ] b
+  in
+  List.concat_map subtract_all a
+
+let overlaps a b =
+  List.exists
+    (fun p -> List.exists (fun q -> Period.ground_overlaps p q) b)
+    a
+
+(* Sorts the final result so naive and linear outputs compare equal. *)
+let normalized set =
+  List.sort (fun (s1, _) (s2, _) -> Chronon.compare s1 s2) (union [] set)

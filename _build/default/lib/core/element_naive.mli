@@ -1,0 +1,28 @@
+(** Quadratic reference implementations of the Element set algebra.
+
+    Used as a differential-testing oracle for {!Element} and as the
+    baseline in the benchmark backing the paper's Section 3 claim that
+    the real algorithms run in linear time. Inputs are unsorted lists of
+    disjoint ground periods. *)
+
+type ground = Period.ground list
+
+(** O(n) insertion into an unsorted disjoint set, absorbing every period
+    it overlaps or is adjacent to. *)
+val insert_period : ground -> Period.ground -> ground
+
+(** O(n·m) union by repeated insertion. *)
+val union : ground -> ground -> ground
+
+(** O(n·m) pairwise-product intersection. *)
+val intersect : ground -> ground -> ground
+
+(** O(n·m) difference by repeated subtraction. *)
+val difference : ground -> ground -> ground
+
+(** O(n·m) overlap test. *)
+val overlaps : ground -> ground -> bool
+
+(** Sorted, disjoint, maximal form of an arbitrary ground set, for
+    comparing naive results against {!Element.ground} output. *)
+val normalized : ground -> ground

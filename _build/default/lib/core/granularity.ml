@@ -1,0 +1,140 @@
+(* Granularities: the TSQL2 notion of coarser time units layered over
+   the chronon.
+
+   TIP (like SQL's DATE/DATETIME) fixes the chronon at one second; TSQL2
+   lets timestamps live at SECOND/DAY/MONTH/... granularity. This module
+   supplies the calendar machinery to emulate that: truncation to the
+   enclosing granule, granule periods, stepping, counting, and scaling a
+   whole element up to granule boundaries (TSQL2's CAST to a coarser
+   granularity). Weeks are ISO (Monday-based); months and years follow
+   the civil calendar, so granules are not all the same length. *)
+
+type t = Second | Minute | Hour | Day | Week | Month | Year
+
+let all = [ Second; Minute; Hour; Day; Week; Month; Year ]
+
+let to_string = function
+  | Second -> "second"
+  | Minute -> "minute"
+  | Hour -> "hour"
+  | Day -> "day"
+  | Week -> "week"
+  | Month -> "month"
+  | Year -> "year"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "second" | "seconds" -> Some Second
+  | "minute" | "minutes" -> Some Minute
+  | "hour" | "hours" -> Some Hour
+  | "day" | "days" -> Some Day
+  | "week" | "weeks" -> Some Week
+  | "month" | "months" -> Some Month
+  | "year" | "years" -> Some Year
+  | _ -> None
+
+let pp ppf g = Fmt.string ppf (to_string g)
+
+(* Day of week, 0 = Monday .. 6 = Sunday (ISO). 1970-01-01 was a
+   Thursday. *)
+let day_of_week c =
+  let days =
+    let s = Chronon.to_unix_seconds (Chronon.start_of_day c) in
+    s / Span.seconds_per_day
+  in
+  ((days mod 7) + 7 + 3) mod 7
+
+(* --- Truncation -------------------------------------------------------- *)
+
+let truncate g c =
+  let year, month, _day, _hh, _mm, _ss = Chronon.to_civil c in
+  match g with
+  | Second -> c
+  | Minute ->
+    let s = Chronon.to_unix_seconds c in
+    Chronon.of_unix_seconds (s - (((s mod 60) + 60) mod 60))
+  | Hour ->
+    let s = Chronon.to_unix_seconds c in
+    Chronon.of_unix_seconds (s - (((s mod 3600) + 3600) mod 3600))
+  | Day -> Chronon.start_of_day c
+  | Week ->
+    Chronon.sub (Chronon.start_of_day c) (Span.of_days (day_of_week c))
+  | Month -> Chronon.of_ymd year month 1
+  | Year -> Chronon.of_ymd year 1 1
+
+(* Start of the next granule. *)
+let next g c =
+  let t = truncate g c in
+  match g with
+  | Second -> Chronon.succ t
+  | Minute -> Chronon.add t (Span.of_minutes 1)
+  | Hour -> Chronon.add t (Span.of_hours 1)
+  | Day -> Chronon.add t (Span.of_days 1)
+  | Week -> Chronon.add t (Span.of_days 7)
+  | Month ->
+    let year, month, _, _, _, _ = Chronon.to_civil t in
+    if month = 12 then Chronon.of_ymd (year + 1) 1 1
+    else Chronon.of_ymd year (month + 1) 1
+  | Year ->
+    let year, _, _, _, _, _ = Chronon.to_civil t in
+    Chronon.of_ymd (year + 1) 1 1
+
+(* The granule containing [c], as a ground period (closed). *)
+let granule g c : Period.ground = (truncate g c, Chronon.pred (next g c))
+
+(* Number of granule boundaries crossed from [a] to [b] (so same granule
+   = 0, adjacent granules = 1); negative when b < a. *)
+let rec between g a b =
+  if Chronon.compare a b > 0 then -between g b a
+  else begin
+    match g with
+    | Second -> Span.to_seconds (Chronon.diff b a)
+    | Minute | Hour | Day | Week ->
+      (* fixed-length granules: arithmetic, not iteration *)
+      let len =
+        match g with
+        | Minute -> 60
+        | Hour -> 3_600
+        | Day -> Span.seconds_per_day
+        | Week -> 7 * Span.seconds_per_day
+        | Second | Month | Year -> assert false
+      in
+      let fa = Chronon.to_unix_seconds (truncate g a) in
+      let fb = Chronon.to_unix_seconds (truncate g b) in
+      (fb - fa) / len
+    | Month ->
+      let ya, ma, _, _, _, _ = Chronon.to_civil a in
+      let yb, mb, _, _, _, _ = Chronon.to_civil b in
+      ((yb - ya) * 12) + (mb - ma)
+    | Year ->
+      let ya, _, _, _, _, _ = Chronon.to_civil a in
+      let yb, _, _, _, _, _ = Chronon.to_civil b in
+      yb - ya
+  end
+
+(* --- Scaling elements ---------------------------------------------------- *)
+
+(* Expands every period to whole granules (TSQL2's cast to a coarser
+   granularity: any granule the period touches is covered entirely). *)
+let scale_ground g ground =
+  List.map
+    (fun (s, e) -> (truncate g s, Chronon.pred (next g e)))
+    ground
+
+let scale ~now g element =
+  (* expansion can make periods adjacent/overlapping: renormalize *)
+  let expanded = scale_ground g (Element.ground ~now element) in
+  Element.normalize ~now (Element.of_ground_list expanded)
+
+(* Calendar shift by whole months/years, clamping the day (Jan 31 +
+   1 month = Feb 28/29), preserving the time of day. *)
+let add_months c n =
+  let year, month, day, hh, mm, ss = Chronon.to_civil c in
+  let total = ((year * 12) + (month - 1)) + n in
+  let year' = if total >= 0 then total / 12 else ((total + 1) / 12) - 1 in
+  let month' = total - (year' * 12) + 1 in
+  let day' = Stdlib.min day (Chronon.days_in_month year' month') in
+  Chronon.of_civil ~year:year' ~month:month' ~day:day' ~hour:hh ~minute:mm
+    ~second:ss
+
+let add_years c n = add_months c (12 * n)

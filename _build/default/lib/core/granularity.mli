@@ -1,0 +1,46 @@
+(** Granularities: TSQL2's coarser time units layered over the chronon.
+
+    Supplies truncation to the enclosing granule, granule periods,
+    boundary counting, calendar-aware month/year shifts, and scaling a
+    whole element up to granule boundaries (TSQL2's cast to a coarser
+    granularity). Weeks are ISO (Monday-based); month and year granules
+    follow the civil calendar and are not all the same length. *)
+
+type t = Second | Minute | Hour | Day | Week | Month | Year
+
+val all : t list
+val to_string : t -> string
+
+(** Accepts singular and plural names, case-insensitively. *)
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit
+
+(** 0 = Monday .. 6 = Sunday (ISO). *)
+val day_of_week : Chronon.t -> int
+
+(** Start of the enclosing granule (idempotent). *)
+val truncate : t -> Chronon.t -> Chronon.t
+
+(** Start of the next granule. *)
+val next : t -> Chronon.t -> Chronon.t
+
+(** The (closed) granule containing the chronon. *)
+val granule : t -> Chronon.t -> Period.ground
+
+(** Granule boundaries crossed from [a] to [b]: same granule = 0,
+    adjacent = 1; negative when [b < a]. For [Second] this is the exact
+    span in seconds. *)
+val between : t -> Chronon.t -> Chronon.t -> int
+
+(** Expands every period of the element to whole granules and
+    renormalizes — any granule a period touches becomes fully covered. *)
+val scale : now:Chronon.t -> t -> Element.t -> Element.t
+
+val scale_ground : t -> Period.ground list -> Period.ground list
+
+(** Calendar shift by whole months, clamping the day-of-month (Jan 31 +
+    1 month = Feb 28/29) and preserving the time of day. *)
+val add_months : Chronon.t -> int -> Chronon.t
+
+val add_years : Chronon.t -> int -> Chronon.t

@@ -1,0 +1,76 @@
+(* An [Instant] is either a fixed chronon or a NOW-relative time: an
+   offset (a span) from the special symbol NOW, whose interpretation
+   changes as time advances. "NOW-1" denotes yesterday.
+
+   All observations of a NOW-relative instant go through [bind], which
+   substitutes a concrete chronon (the current transaction time) for NOW. *)
+
+type t =
+  | Fixed of Chronon.t
+  | Now_relative of Span.t
+
+let of_chronon c = Fixed c
+let now = Now_relative Span.zero
+let now_plus span = Now_relative span
+let now_minus span = Now_relative (Span.neg span)
+
+let is_now_relative = function Fixed _ -> false | Now_relative _ -> true
+
+let bind ~now:current = function
+  | Fixed c -> c
+  | Now_relative offset -> Chronon.add current offset
+
+let add t span =
+  match t with
+  | Fixed c -> Fixed (Chronon.add c span)
+  | Now_relative offset -> Now_relative (Span.add offset span)
+
+let sub t span = add t (Span.neg span)
+
+(* [diff a b ~now] needs a NOW binding unless both instants move with NOW,
+   in which case the offsets subtract exactly. *)
+let diff ~now:current a b =
+  match a, b with
+  | Now_relative x, Now_relative y -> Span.sub x y
+  | (Fixed _ | Now_relative _), _ ->
+    Chronon.diff (bind ~now:current a) (bind ~now:current b)
+
+let compare_at ~now:current a b =
+  Chronon.compare (bind ~now:current a) (bind ~now:current b)
+
+(* Structural equality: [NOW-1] equals [NOW-1] but not yesterday's date. *)
+let equal a b =
+  match a, b with
+  | Fixed x, Fixed y -> Chronon.equal x y
+  | Now_relative x, Now_relative y -> Span.equal x y
+  | Fixed _, Now_relative _ | Now_relative _, Fixed _ -> false
+
+let pp ppf = function
+  | Fixed c -> Chronon.pp ppf c
+  | Now_relative offset ->
+    if Span.equal offset Span.zero then Fmt.string ppf "NOW"
+    else if Span.is_negative offset then Fmt.pf ppf "NOW%a" Span.pp offset
+    else Fmt.pf ppf "NOW+%a" Span.pp offset
+
+let to_string t = Fmt.str "%a" pp t
+
+let scan s =
+  if Scan.eat_keyword s "NOW" then begin
+    Scan.skip_ws s;
+    match Scan.peek s with
+    | Some '+' ->
+      Scan.advance s;
+      Scan.skip_ws s;
+      Now_relative (Span.scan s)
+    | Some '-' ->
+      Scan.advance s;
+      Scan.skip_ws s;
+      Now_relative (Span.neg (Span.scan s))
+    | Some _ | None -> Now_relative Span.zero
+  end
+  else Fixed (Chronon.scan s)
+
+let of_string str =
+  try Some (Scan.parse_all scan str) with Scan.Parse_error _ -> None
+
+let of_string_exn str = Scan.parse_all scan str

@@ -1,0 +1,53 @@
+(** Either a fixed chronon or a NOW-relative time.
+
+    A NOW-relative instant is an offset of type {!Span.t} from the special
+    symbol NOW, whose interpretation changes as time advances: ["NOW-1"]
+    denotes yesterday. Notation: a chronon literal, or [NOW[±span]]. *)
+
+type t =
+  | Fixed of Chronon.t
+  | Now_relative of Span.t
+
+val of_chronon : Chronon.t -> t
+
+(** The symbol NOW itself. *)
+val now : t
+
+val now_plus : Span.t -> t
+val now_minus : Span.t -> t
+val is_now_relative : t -> bool
+
+(** [bind ~now t] substitutes [now] (the current transaction time) for the
+    symbol NOW, yielding a concrete chronon. *)
+val bind : now:Chronon.t -> t -> Chronon.t
+
+(** {1 Arithmetic} *)
+
+val add : t -> Span.t -> t
+val sub : t -> Span.t -> t
+
+(** [diff ~now a b] is the span from [b] to [a], evaluated under [now].
+    When both instants are NOW-relative the result is independent of [now]. *)
+val diff : now:Chronon.t -> t -> t -> Span.t
+
+(** {1 Comparison} *)
+
+(** Order under a NOW binding; this is how the DBMS compares instants, so
+    the answer may change as time advances. *)
+val compare_at : now:Chronon.t -> t -> t -> int
+
+(** Structural equality: [NOW-1] equals [NOW-1], not yesterday's date. *)
+val equal : t -> t -> bool
+
+(** {1 Text} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val of_string : string -> t option
+
+(** @raise Scan.Parse_error on malformed input. *)
+val of_string_exn : string -> t
+
+(**/**)
+
+val scan : Scan.t -> t

@@ -1,0 +1,72 @@
+(* Minimal character scanner shared by the temporal-literal parsers.
+
+   All TIP literals (chronons, spans, instants, periods, elements) are
+   parsed with this cursor; parsers raise [Parse_error] with a message
+   that includes the offending position. *)
+
+exception Parse_error of string
+
+type t = { src : string; mutable pos : int }
+
+let of_string src = { src; pos = 0 }
+
+let fail s msg =
+  raise (Parse_error (Printf.sprintf "%s at position %d in %S" msg s.pos s.src))
+
+let eof s = s.pos >= String.length s.src
+
+let peek s = if eof s then None else Some s.src.[s.pos]
+
+let advance s = s.pos <- s.pos + 1
+
+let next s =
+  match peek s with
+  | None -> fail s "unexpected end of input"
+  | Some c -> advance s; c
+
+let skip_ws s =
+  while (not (eof s)) && (s.src.[s.pos] = ' ' || s.src.[s.pos] = '\t') do
+    advance s
+  done
+
+let eat_char s c =
+  match peek s with
+  | Some c' when c' = c -> advance s; true
+  | Some _ | None -> false
+
+let expect_char s c =
+  if not (eat_char s c) then fail s (Printf.sprintf "expected %C" c)
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Consumes one or more decimal digits and returns their integer value. *)
+let unsigned_int s =
+  let start = s.pos in
+  while (not (eof s)) && is_digit s.src.[s.pos] do
+    advance s
+  done;
+  if s.pos = start then fail s "expected digits";
+  int_of_string (String.sub s.src start (s.pos - start))
+
+(* Case-insensitive keyword match; consumes it when present. *)
+let eat_keyword s kw =
+  let n = String.length kw in
+  if s.pos + n <= String.length s.src
+     && String.uppercase_ascii (String.sub s.src s.pos n) = kw
+  then begin
+    s.pos <- s.pos + n;
+    true
+  end
+  else false
+
+let expect_eof s =
+  skip_ws s;
+  if not (eof s) then fail s "trailing input"
+
+(* Runs [f] over the whole of [str], requiring that it be consumed. *)
+let parse_all f str =
+  let s = of_string str in
+  skip_ws s;
+  let v = f s in
+  expect_eof s;
+  v

@@ -1,0 +1,38 @@
+(** Minimal character scanner shared by the temporal-literal parsers. *)
+
+exception Parse_error of string
+
+type t = { src : string; mutable pos : int }
+
+val of_string : string -> t
+
+(** @raise Parse_error with position information. *)
+val fail : t -> string -> 'a
+
+val eof : t -> bool
+val peek : t -> char option
+val advance : t -> unit
+
+(** @raise Parse_error at end of input. *)
+val next : t -> char
+
+val skip_ws : t -> unit
+val eat_char : t -> char -> bool
+
+(** @raise Parse_error when the next character differs. *)
+val expect_char : t -> char -> unit
+
+val is_digit : char -> bool
+
+(** One or more decimal digits as an integer.
+    @raise Parse_error when none are present. *)
+val unsigned_int : t -> int
+
+(** Case-insensitive keyword match; consumes it when present. *)
+val eat_keyword : t -> string -> bool
+
+(** @raise Parse_error on trailing input. *)
+val expect_eof : t -> unit
+
+(** Runs [f] over the whole of the string, requiring full consumption. *)
+val parse_all : (t -> 'a) -> string -> 'a

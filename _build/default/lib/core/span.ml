@@ -1,0 +1,105 @@
+(* A [Span] is a signed duration, stored as a whole number of seconds.
+
+   The external notation is the paper's [+|-]days[ hours:minutes:seconds]:
+   "7 12:00:00" is seven and a half days, "-7" is seven days back,
+   "0 08:00:00" is eight hours. *)
+
+type t = int
+
+let seconds_per_minute = 60
+let seconds_per_hour = 3_600
+let seconds_per_day = 86_400
+
+let zero = 0
+
+let of_seconds sec = sec
+let to_seconds t = t
+
+let of_minutes m = m * seconds_per_minute
+let of_hours h = h * seconds_per_hour
+let of_days d = d * seconds_per_day
+let of_weeks w = w * 7 * seconds_per_day
+
+let of_dhms ~days ~hours ~minutes ~seconds =
+  if hours < 0 || hours > 23 then invalid_arg "Span.of_dhms: hours";
+  if minutes < 0 || minutes > 59 then invalid_arg "Span.of_dhms: minutes";
+  if seconds < 0 || seconds > 59 then invalid_arg "Span.of_dhms: seconds";
+  let magnitude =
+    abs days * seconds_per_day + hours * seconds_per_hour
+    + minutes * seconds_per_minute + seconds
+  in
+  if days < 0 then -magnitude else magnitude
+
+let days t = abs t / seconds_per_day
+let is_negative t = t < 0
+
+let add = ( + )
+let sub = ( - )
+let neg t = -t
+let abs = abs
+let scale_int t k = t * k
+
+(* Fractional scaling rounds to the nearest whole second. *)
+let scale_float t x =
+  int_of_float (Float.round (float_of_int t *. x))
+
+let ratio a b =
+  if b = 0 then invalid_arg "Span.ratio: zero divisor";
+  float_of_int a /. float_of_int b
+
+let compare = Int.compare
+let equal = Int.equal
+let min = Stdlib.min
+let max = Stdlib.max
+
+let pp ppf t =
+  let magnitude = Stdlib.abs t in
+  let d = magnitude / seconds_per_day in
+  let rest = magnitude mod seconds_per_day in
+  let sign = if t < 0 then "-" else "" in
+  if rest = 0 then Fmt.pf ppf "%s%d" sign d
+  else
+    Fmt.pf ppf "%s%d %02d:%02d:%02d" sign d (rest / seconds_per_hour)
+      (rest mod seconds_per_hour / seconds_per_minute)
+      (rest mod seconds_per_minute)
+
+let to_string t = Fmt.str "%a" pp t
+
+(* Grammar: ['+'|'-'] days [' ' hh ':' mm ':' ss]. The optional time part
+   is bounded (hh<=23 etc.) so that the printed form round-trips. *)
+let scan s =
+  let negative =
+    if Scan.eat_char s '-' then true
+    else begin
+      ignore (Scan.eat_char s '+');
+      false
+    end
+  in
+  let d = Scan.unsigned_int s in
+  let saved = s.Scan.pos in
+  let time_part =
+    if Scan.eat_char s ' ' then begin
+      match Scan.peek s with
+      | Some c when Scan.is_digit c ->
+        let hh = Scan.unsigned_int s in
+        Scan.expect_char s ':';
+        let mm = Scan.unsigned_int s in
+        Scan.expect_char s ':';
+        let ss = Scan.unsigned_int s in
+        if hh > 23 || mm > 59 || ss > 59 then
+          Scan.fail s "time-of-day component out of range";
+        hh * seconds_per_hour + mm * seconds_per_minute + ss
+      | Some _ | None ->
+        (* The space belonged to the surrounding context, not to us. *)
+        s.Scan.pos <- saved;
+        0
+    end
+    else 0
+  in
+  let magnitude = d * seconds_per_day + time_part in
+  if negative then -magnitude else magnitude
+
+let of_string str =
+  try Some (Scan.parse_all scan str) with Scan.Parse_error _ -> None
+
+let of_string_exn str = Scan.parse_all scan str

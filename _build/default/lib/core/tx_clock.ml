@@ -1,0 +1,24 @@
+(* Source of the current transaction time.
+
+   The special symbol NOW is interpreted as the current transaction time
+   during query evaluation (Section 2 of the paper), so the engine binds
+   one chronon from this clock per statement. The override supports both
+   deterministic tests and the browser's what-if analysis, where the user
+   evaluates queries "in a temporal context different from the present". *)
+
+let override : Chronon.t option ref = ref None
+
+let wall_clock () = Chronon.of_unix_seconds (int_of_float (Unix.time ()))
+
+let now () =
+  match !override with
+  | Some c -> c
+  | None -> wall_clock ()
+
+let set_override c = override := Some c
+let clear_override () = override := None
+
+let with_override c f =
+  let saved = !override in
+  override := Some c;
+  Fun.protect ~finally:(fun () -> override := saved) f

@@ -1,0 +1,1 @@
+lib/engine/builtins.ml: Array Buffer Extension Float Format Stdlib String Tip_core Tip_storage Value

@@ -1,0 +1,1 @@
+lib/engine/csv.ml: Array Buffer Format Fun List Persist Schema String Table Tip_storage Value

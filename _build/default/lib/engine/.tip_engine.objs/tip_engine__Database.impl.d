@@ -1,0 +1,1 @@
+lib/engine/database.ml: Array Buffer Builtins Catalog Csv Executor Expr_eval Extension Format List Logs Option Plan Planner Printf Schema Seq Stdlib String Table Tip_core Tip_sql Tip_storage Value

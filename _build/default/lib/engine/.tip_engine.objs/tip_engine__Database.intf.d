@@ -1,0 +1,1 @@
+lib/engine/database.mli: Catalog Extension Tip_core Tip_sql Tip_storage Value

@@ -1,0 +1,1 @@
+lib/engine/executor.ml: Array Btree Expr_eval Extension Hashtbl Int Interval_index List Option Plan Printf Seq Table Tip_sql Tip_storage Value

@@ -1,0 +1,1 @@
+lib/engine/executor.mli: Expr_eval Plan Seq Tip_storage Value

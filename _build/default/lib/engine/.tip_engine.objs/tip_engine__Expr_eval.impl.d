@@ -1,0 +1,1 @@
+lib/engine/expr_eval.ml: Array Extension Format Hashtbl List Option String Tip_core Tip_sql Tip_storage Value

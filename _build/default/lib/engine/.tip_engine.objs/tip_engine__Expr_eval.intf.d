@@ -1,0 +1,1 @@
+lib/engine/expr_eval.mli: Extension Tip_core Tip_sql Tip_storage Value

@@ -1,0 +1,1 @@
+lib/engine/extension.ml: Array Format Hashtbl Int List Option Printf String Tip_core Tip_storage Value

@@ -1,0 +1,1 @@
+lib/engine/extension.mli: Tip_core Tip_storage Value

@@ -1,0 +1,1 @@
+lib/engine/plan.ml: Array Btree Expr_eval Extension Fmt Interval_index List Printf String Table Tip_sql Tip_storage

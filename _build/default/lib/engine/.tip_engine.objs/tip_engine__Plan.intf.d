@@ -1,0 +1,1 @@
+lib/engine/plan.mli: Btree Expr_eval Extension Format Interval_index Table Tip_sql Tip_storage

@@ -1,0 +1,1 @@
+lib/engine/planner.ml: Array Btree Catalog Executor Expr_eval Extension Format List Option Plan Printf Schema String Table Tip_core Tip_sql Tip_storage Value

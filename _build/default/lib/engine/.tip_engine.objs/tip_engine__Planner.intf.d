@@ -1,0 +1,1 @@
+lib/engine/planner.mli: Catalog Expr_eval Extension Plan Schema Tip_sql Tip_storage

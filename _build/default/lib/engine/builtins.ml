@@ -1,0 +1,136 @@
+(* Built-in scalar functions, installed into every database's extension
+   registry at creation — through exactly the same mechanism a DataBlade
+   uses, which keeps the engine core free of special cases and lets
+   blades overload these names for their own types (the TIP blade adds
+   [length(Element)] next to the string [length] here). *)
+
+open Tip_storage
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Value.Type_error s)) fmt
+
+let str_value s = Value.Str s
+let int_value n = Value.Int n
+let float_value f = Value.Float f
+
+let install ext =
+  let open Extension in
+  let r name params impl = register_routine ext ~name ~params impl in
+  let r_lax name params impl =
+    register_routine ext ~name ~params ~strict:false impl
+  in
+
+  (* --- Strings ---------------------------------------------------------- *)
+  r "upper" [ P_string ] (fun ~now:_ a ->
+      str_value (String.uppercase_ascii (Value.to_string_value a.(0))));
+  r "lower" [ P_string ] (fun ~now:_ a ->
+      str_value (String.lowercase_ascii (Value.to_string_value a.(0))));
+  r "length" [ P_string ] (fun ~now:_ a ->
+      int_value (String.length (Value.to_string_value a.(0))));
+  r "char_length" [ P_string ] (fun ~now:_ a ->
+      int_value (String.length (Value.to_string_value a.(0))));
+  r "trim" [ P_string ] (fun ~now:_ a ->
+      str_value (String.trim (Value.to_string_value a.(0))));
+  r "reverse" [ P_string ] (fun ~now:_ a ->
+      let s = Value.to_string_value a.(0) in
+      let n = String.length s in
+      str_value (String.init n (fun i -> s.[n - 1 - i])));
+  (* substr(s, from[, count]); [from] is 1-based, as in SQL. *)
+  let substring s from count =
+    let n = String.length s in
+    let start = Stdlib.max 0 (from - 1) in
+    let start = Stdlib.min start n in
+    let count = Stdlib.max 0 (Stdlib.min count (n - start)) in
+    String.sub s start count
+  in
+  r "substr" [ P_string; P_int ] (fun ~now:_ a ->
+      let s = Value.to_string_value a.(0) in
+      str_value (substring s (Value.to_int a.(1)) (String.length s)));
+  r "substr" [ P_string; P_int; P_int ] (fun ~now:_ a ->
+      str_value
+        (substring (Value.to_string_value a.(0)) (Value.to_int a.(1))
+           (Value.to_int a.(2))));
+  (* replace(s, old, new): every occurrence. *)
+  r "replace" [ P_string; P_string; P_string ] (fun ~now:_ a ->
+      let s = Value.to_string_value a.(0) in
+      let old_sub = Value.to_string_value a.(1) in
+      let new_sub = Value.to_string_value a.(2) in
+      if old_sub = "" then str_value s
+      else begin
+        let buf = Buffer.create (String.length s) in
+        let ol = String.length old_sub in
+        let rec go i =
+          if i > String.length s - ol then
+            Buffer.add_string buf (String.sub s i (String.length s - i))
+          else if String.sub s i ol = old_sub then begin
+            Buffer.add_string buf new_sub;
+            go (i + ol)
+          end
+          else begin
+            Buffer.add_char buf s.[i];
+            go (i + 1)
+          end
+        in
+        go 0;
+        str_value (Buffer.contents buf)
+      end);
+  (* strpos(s, sub): 1-based position of the first occurrence, 0 if none. *)
+  r "strpos" [ P_string; P_string ] (fun ~now:_ a ->
+      let s = Value.to_string_value a.(0) in
+      let sub = Value.to_string_value a.(1) in
+      let n = String.length s and m = String.length sub in
+      let rec go i =
+        if i + m > n then 0
+        else if String.sub s i m = sub then i + 1
+        else go (i + 1)
+      in
+      int_value (if m = 0 then 1 else go 0));
+
+  (* --- Numbers ----------------------------------------------------------- *)
+  r "abs" [ P_int ] (fun ~now:_ a -> int_value (abs (Value.to_int a.(0))));
+  r "abs" [ P_float ] (fun ~now:_ a ->
+      float_value (Float.abs (Value.to_float a.(0))));
+  r "round" [ P_float ] (fun ~now:_ a ->
+      int_value (int_of_float (Float.round (Value.to_float a.(0)))));
+  r "floor" [ P_float ] (fun ~now:_ a ->
+      int_value (int_of_float (Float.floor (Value.to_float a.(0)))));
+  r "ceil" [ P_float ] (fun ~now:_ a ->
+      int_value (int_of_float (Float.ceil (Value.to_float a.(0)))));
+  r "sqrt" [ P_float ] (fun ~now:_ a ->
+      let x = Value.to_float a.(0) in
+      if x < 0. then type_error "sqrt of negative number";
+      float_value (Float.sqrt x));
+  r "power" [ P_float; P_float ] (fun ~now:_ a ->
+      float_value (Float.pow (Value.to_float a.(0)) (Value.to_float a.(1))));
+  r "sign" [ P_float ] (fun ~now:_ a ->
+      let x = Value.to_float a.(0) in
+      int_value (Stdlib.compare x 0.));
+
+  (* --- NULL handling ------------------------------------------------------- *)
+  (* COALESCE needs to see its NULL arguments, hence non-strict. *)
+  let first_non_null a =
+    match Array.find_opt (fun v -> not (Value.is_null v)) a with
+    | Some v -> v
+    | None -> Value.Null
+  in
+  r_lax "coalesce" [ P_any; P_any ] (fun ~now:_ a -> first_non_null a);
+  r_lax "coalesce" [ P_any; P_any; P_any ] (fun ~now:_ a -> first_non_null a);
+  r_lax "coalesce" [ P_any; P_any; P_any; P_any ] (fun ~now:_ a ->
+      first_non_null a);
+  r "nullif" [ P_any; P_any ] (fun ~now:_ a ->
+      if Value.equal a.(0) a.(1) then Value.Null else a.(0));
+
+  (* --- Comparisons over any ordered type ------------------------------------ *)
+  r "greatest" [ P_any; P_any ] (fun ~now:_ a ->
+      if Value.compare a.(0) a.(1) >= 0 then a.(0) else a.(1));
+  r "least" [ P_any; P_any ] (fun ~now:_ a ->
+      if Value.compare a.(0) a.(1) <= 0 then a.(0) else a.(1));
+
+  (* --- Dates ------------------------------------------------------------------ *)
+  r "current_date" [] (fun ~now _ ->
+      Value.Date (Tip_core.Chronon.start_of_day now));
+  r "date_year" [ P_date ] (fun ~now:_ a ->
+      int_value (Tip_core.Chronon.year (Value.to_date a.(0))));
+  r "date_add_days" [ P_date; P_int ] (fun ~now:_ a ->
+      Value.Date
+        (Tip_core.Chronon.add (Value.to_date a.(0))
+           (Tip_core.Span.of_days (Value.to_int a.(1)))))

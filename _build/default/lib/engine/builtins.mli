@@ -1,0 +1,11 @@
+(** Built-in scalar functions, installed into every database's extension
+    registry at creation through the same mechanism a DataBlade uses.
+
+    Strings: [upper], [lower], [length], [char_length], [trim],
+    [reverse], [substr] (1-based, 2- and 3-argument), [replace],
+    [strpos]. Numbers: [abs], [round], [floor], [ceil], [sqrt], [power],
+    [sign]. NULL handling: [coalesce] (2–4 args), [nullif]. Ordered:
+    [greatest], [least]. Dates: [current_date] (follows the statement's
+    NOW), [date_year], [date_add_days]. *)
+
+val install : Extension.t -> unit

@@ -1,0 +1,168 @@
+(* CSV import/export for tables (the COPY statement).
+
+   RFC-4180-style quoting: fields containing commas, quotes or newlines
+   are wrapped in double quotes, with embedded quotes doubled. NULL is
+   an unquoted empty field; a quoted empty string ("") stays an empty
+   string — the usual disambiguation. Cell values travel in display
+   syntax and are re-parsed by column type on import, so blade values
+   (NOW included) round-trip. *)
+
+open Tip_storage
+
+exception Csv_error of string
+
+let csv_error fmt = Format.kasprintf (fun s -> raise (Csv_error s)) fmt
+
+(* --- Writing --------------------------------------------------------------- *)
+
+let needs_quoting s =
+  s = ""
+  || String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let quote_field s =
+  if not (needs_quoting s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let field_of_value v =
+  if Value.is_null v then "" else quote_field (Value.to_display_string v)
+
+(* Writes the table as CSV with a header line; returns the row count. *)
+let export table path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let schema = Table.schema table in
+      let names =
+        List.map (fun c -> quote_field c.Schema.name) (Schema.columns schema)
+      in
+      output_string oc (String.concat "," names);
+      output_char oc '\n';
+      let n = ref 0 in
+      Table.iteri
+        (fun _ row ->
+          incr n;
+          output_string oc
+            (String.concat ","
+               (Array.to_list (Array.map field_of_value row)));
+          output_char oc '\n')
+        table;
+      !n)
+
+(* --- Reading ---------------------------------------------------------------- *)
+
+(* A streaming CSV record reader handling quoted fields with embedded
+   newlines. Returns fields as (text, was_quoted). *)
+let read_record ic =
+  match input_line ic with
+  | exception End_of_file -> None
+  | first_line ->
+    let fields = ref [] in
+    let buf = Buffer.create 32 in
+    let quoted = ref false in
+    let finish () =
+      fields := (Buffer.contents buf, !quoted) :: !fields;
+      Buffer.clear buf;
+      quoted := false
+    in
+    (* The record may span lines when a quoted field contains '\n'. *)
+    let rec scan line i in_quotes =
+      if i >= String.length line then begin
+        if in_quotes then begin
+          (* embedded newline: pull the next physical line *)
+          Buffer.add_char buf '\n';
+          match input_line ic with
+          | next -> scan next 0 true
+          | exception End_of_file -> csv_error "unterminated quoted field"
+        end
+        else finish ()
+      end
+      else begin
+        let c = line.[i] in
+        if in_quotes then begin
+          if c = '"' then begin
+            if i + 1 < String.length line && line.[i + 1] = '"' then begin
+              Buffer.add_char buf '"';
+              scan line (i + 2) true
+            end
+            else scan line (i + 1) false
+          end
+          else begin
+            Buffer.add_char buf c;
+            scan line (i + 1) true
+          end
+        end
+        else if c = '"' && Buffer.length buf = 0 && not !quoted then begin
+          quoted := true;
+          scan line (i + 1) true
+        end
+        else if c = ',' then begin
+          finish ();
+          scan line (i + 1) false
+        end
+        else if c = '\r' && i = String.length line - 1 then scan line (i + 1) false
+        else begin
+          Buffer.add_char buf c;
+          scan line (i + 1) false
+        end
+      end
+    in
+    scan first_line 0 false;
+    Some (List.rev !fields)
+
+(* Re-parses one CSV field into the column's type. Unquoted empty is
+   NULL; parsing goes through the snapshot machinery so extension
+   literals work. *)
+let value_of_field ty (text, was_quoted) =
+  if text = "" && not was_quoted then Value.Null
+  else Persist.parse_value ty (Persist.escape_cell text)
+
+(* Reads CSV (header required, names checked) and hands each typed row
+   to [insert]; returns the row count. *)
+let import ~schema ~insert path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header =
+        match read_record ic with
+        | Some fields -> List.map (fun (text, _) -> String.lowercase_ascii text) fields
+        | None -> csv_error "empty CSV file"
+      in
+      let expected =
+        List.map (fun c -> c.Schema.name) (Schema.columns schema)
+      in
+      if header <> expected then
+        csv_error "CSV header %s does not match table columns %s"
+          (String.concat "," header)
+          (String.concat "," expected);
+      let types =
+        Array.of_list (List.map (fun c -> c.Schema.ty) (Schema.columns schema))
+      in
+      let n = ref 0 in
+      let rec rows () =
+        match read_record ic with
+        | None -> ()
+        | Some fields ->
+          if List.length fields <> Array.length types then
+            csv_error "row %d has %d fields, expected %d" (!n + 1)
+              (List.length fields) (Array.length types);
+          let row =
+            Array.of_list
+              (List.mapi (fun i f -> value_of_field types.(i) f) fields)
+          in
+          insert row;
+          incr n;
+          rows ()
+      in
+      rows ();
+      !n)

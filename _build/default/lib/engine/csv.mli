@@ -1,0 +1,27 @@
+(** CSV import/export for tables (the COPY statement).
+
+    RFC-4180-style quoting; NULL is an unquoted empty field while a
+    quoted empty string stays a string. Values travel in display syntax
+    and re-parse by column type, so blade values — including symbolic
+    NOW — round-trip. *)
+
+exception Csv_error of string
+
+(** Writes the table as CSV with a header line; returns the row count.
+    @raise Sys_error on I/O failure. *)
+val export : Tip_storage.Table.t -> string -> int
+
+(** Reads CSV (header must match the schema's column names) and hands
+    each typed row to [insert]; returns the row count.
+    @raise Csv_error on malformed input
+    @raise Sys_error on I/O failure. *)
+val import :
+  schema:Tip_storage.Schema.t ->
+  insert:(Tip_storage.Value.t array -> unit) ->
+  string ->
+  int
+
+(**/**)
+
+val quote_field : string -> string
+val read_record : in_channel -> (string * bool) list option

@@ -1,0 +1,642 @@
+(* The database facade: parse, bind NOW, plan, execute.
+
+   NOW handling (the paper's Section 2/4 semantics): each statement binds
+   the special symbol NOW exactly once, to the current transaction time —
+   either the wall clock or a per-database override installed by
+   [SET NOW = ...] (the what-if mechanism the TIP Browser exposes). The
+   binding is pushed into [Tip_core.Tx_clock] for the duration of the
+   statement so that every blade routine, cast and comparison observes
+   the same frozen instant.
+
+   Transactions are single-connection with an in-memory undo log: insert,
+   delete and update are undoable; DDL auto-commits (documented in
+   DESIGN.md). *)
+
+open Tip_storage
+module Ast = Tip_sql.Ast
+module Parser = Tip_sql.Parser
+
+exception Error of string
+
+let db_error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* Statement tracing; enable with Logs.Src.set_level (or tip_shell
+   --verbose). *)
+let log_src = Logs.Src.create "tip.database" ~doc:"TIP statement execution"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type undo =
+  | U_insert of Table.t * int
+  | U_delete of Table.t * Value.t array
+  | U_update of Table.t * int * Value.t array
+  | U_savepoint of string (* marker; undone entries stop here *)
+
+type tx = { mutable undo : undo list }
+
+type t = {
+  catalog : Catalog.t;
+  ext : Extension.t;
+  mutable now_override : Tip_core.Chronon.t option;
+  mutable tx : tx option;
+}
+
+type result =
+  | Rows of { names : string list; rows : Value.t array list }
+  | Affected of int
+  | Message of string
+
+(* [catalog] lets a database be opened over a catalog restored from a
+   snapshot (any extension types must be registered before loading). *)
+let create ?catalog () =
+  let ext = Extension.create () in
+  Builtins.install ext;
+  { catalog = (match catalog with Some c -> c | None -> Catalog.create ());
+    ext;
+    now_override = None;
+    tx = None }
+
+let catalog t = t.catalog
+let extension t = t.ext
+let now_override t = t.now_override
+let in_transaction t = t.tx <> None
+
+let log_undo t u =
+  match t.tx with Some tx -> tx.undo <- u :: tx.undo | None -> ()
+
+let undo_entry = function
+  | U_insert (table, rid) -> ignore (Table.delete table rid)
+  | U_delete (table, row) -> ignore (Table.insert table row)
+  | U_update (table, rid, old_row) -> ignore (Table.update table rid old_row)
+  | U_savepoint _ -> ()
+
+(* --- Value coercion into a column ---------------------------------------- *)
+
+(* Implements the blade's "automatic casts from SQL strings": a string
+   arriving in a Chronon/Span/.../DATE column is parsed as a literal of
+   that type; other mismatches go through registered implicit casts. *)
+let coerce_into t ~now col_ty v =
+  match Schema.coerce col_ty v with
+  | Some v -> v
+  | None -> (
+    match col_ty, v with
+    | Schema.T_ext target, Value.Str s -> (
+      match Value.lookup_type target with
+      | Some vt -> (
+        match vt.Value.parse s with
+        | v -> v
+        | exception _ -> db_error "cannot parse %S as %s" s target)
+      | None -> db_error "type %s not registered" target)
+    | Schema.T_ext target, v -> (
+      match
+        Extension.find_implicit_cast t.ext ~from_type:(Value.type_name v)
+          ~to_type:target
+      with
+      | Some cast -> cast.Extension.cast_impl ~now v
+      | None ->
+        db_error "cannot store %s in a %s column" (Value.type_name v) target)
+    | Schema.T_date, Value.Str s -> (
+      match Tip_core.Chronon.of_string s with
+      | Some c -> Value.Date (Tip_core.Chronon.start_of_day c)
+      | None -> db_error "cannot parse %S as DATE" s)
+    | Schema.T_date, v -> (
+      match Extension.to_chronon t.ext v with
+      | Some c -> Value.Date (Tip_core.Chronon.start_of_day c)
+      | None -> db_error "cannot store %s in a DATE column" (Value.type_name v))
+    | _, _ ->
+      db_error "cannot store %s in a %s column" (Value.type_name v)
+        (Schema.type_name col_ty))
+
+(* --- Statement execution ----------------------------------------------------- *)
+
+let statement_now t =
+  match t.now_override with
+  | Some c -> c
+  | None -> Tip_core.Tx_clock.now ()
+
+let make_ectx t ~now ~params =
+  { Expr_eval.now;
+    params = List.map (fun (k, v) -> (String.lowercase_ascii k, v)) params;
+    ext = t.ext }
+
+(* Evaluates an expression that may reference parameters and subqueries
+   but no columns (INSERT values, SET NOW). *)
+let eval_standalone t ectx expr =
+  let env =
+    Expr_eval.base_env ~ext:t.ext
+      ~plan_subquery:(Planner.subquery_runner ~ext:t.ext ~ectx t.catalog)
+      ~resolve_column:(fun _ name ->
+        db_error "column reference %s not allowed here" name)
+      ()
+  in
+  (Expr_eval.compile env expr) ectx [||]
+
+let run_select t ectx select =
+  let plan, names = Planner.plan ~ext:t.ext ~ectx t.catalog select in
+  let rows = Executor.collect ectx plan in
+  Rows { names = Array.to_list names; rows }
+
+(* Single-table DML helper: compiled predicate + matching rids. *)
+let dml_matches t ectx table where =
+  let schema = Table.schema table in
+  let layout_resolve _q name = Schema.column_index_exn schema name in
+  let pred =
+    Option.map
+      (fun e ->
+        Expr_eval.compile
+          (Expr_eval.base_env ~ext:t.ext
+             ~plan_subquery:
+               (Planner.subquery_runner_for_table ~ext:t.ext ~ectx t.catalog
+                  schema)
+             ~resolve_column:layout_resolve ())
+          e)
+      where
+  in
+  let matches = ref [] in
+  List.iter
+    (fun rid ->
+      match Table.get table rid with
+      | None -> ()
+      | Some row ->
+        let keep =
+          match pred with
+          | None -> true
+          | Some p -> Expr_eval.to_predicate p ectx row
+        in
+        if keep then matches := (rid, row) :: !matches)
+    (Table.rids table);
+  List.rev !matches
+
+(* The transaction-time shadow table of [table], when WITH HISTORY is
+   on: recognized structurally (same columns plus a trailing [_tt]), so
+   the link survives snapshots. *)
+let history_of t table =
+  match Catalog.find_table t.catalog (Table.name table ^ "_history") with
+  | None -> None
+  | Some h ->
+    let hschema = Table.schema h in
+    let n = Schema.arity hschema in
+    if
+      n = Schema.arity (Table.schema table) + 1
+      && (Schema.column hschema (n - 1)).Schema.name = "_tt"
+    then Some (h, n - 1)
+    else None
+
+(* Appends an open history row for a freshly current [row]. *)
+let history_open t ~now table row =
+  match history_of t table, Extension.history_support t.ext with
+  | Some (h, _), Some support ->
+    let hrow = Array.append row [| support.Extension.open_timestamp ~now |] in
+    let hrid = Table.insert h hrow in
+    log_undo t (U_insert (h, hrid))
+  | _, _ -> ()
+
+(* Closes the open history row matching [row] (all columns equal). *)
+let history_close t ~now table row =
+  match history_of t table, Extension.history_support t.ext with
+  | Some (h, tt), Some support ->
+    let closed = ref false in
+    Table.iteri
+      (fun hrid hrow ->
+        if not !closed then begin
+          let same =
+            support.Extension.is_open hrow.(tt)
+            &&
+            let rec all i =
+              i >= tt || (Value.equal hrow.(i) row.(i) && all (i + 1))
+            in
+            all 0
+          in
+          if same then begin
+            let hrow' = Array.copy hrow in
+            hrow'.(tt) <- support.Extension.close_timestamp ~now hrow.(tt);
+            if Table.update h hrid hrow' then
+              log_undo t (U_update (h, hrid, hrow));
+            closed := true
+          end
+        end)
+      h
+  | _, _ -> ()
+
+let insert_row t ~now table values =
+  let schema = Table.schema table in
+  let row =
+    Array.mapi
+      (fun i v -> coerce_into t ~now (Schema.column schema i).Schema.ty v)
+      values
+  in
+  let rid = Table.insert table row in
+  log_undo t (U_insert (table, rid));
+  history_open t ~now table row;
+  rid
+
+let reorder_columns schema columns values =
+  match columns with
+  | None ->
+    if List.length values <> Schema.arity schema then
+      db_error "INSERT arity mismatch: expected %d values, got %d"
+        (Schema.arity schema) (List.length values);
+    Array.of_list values
+  | Some cols ->
+    if List.length cols <> List.length values then
+      db_error "INSERT column list and VALUES differ in length";
+    let row = Array.make (Schema.arity schema) Value.Null in
+    List.iter2
+      (fun col v ->
+        let i = Schema.column_index_exn schema col in
+        row.(i) <- v)
+      cols values;
+    row
+
+let rec exec_statement t ~params stmt =
+  let now = statement_now t in
+  Log.debug (fun m ->
+      m "executing (NOW = %s): %s"
+        (Tip_core.Chronon.to_string now)
+        (Tip_sql.Pretty.statement_to_string stmt));
+  Tip_core.Tx_clock.with_override now (fun () ->
+      let ectx = make_ectx t ~now ~params in
+      match stmt with
+      | Ast.Select select -> run_select t ectx select
+      | Ast.Select_compound compound ->
+        let plan, names =
+          Planner.plan_union ~ext:t.ext ~ectx t.catalog compound
+        in
+        Rows { names = Array.to_list names; rows = Executor.collect ectx plan }
+      | Ast.Explain (Ast.Select select) ->
+        let plan, _ = Planner.plan ~ext:t.ext ~ectx t.catalog select in
+        Message (Plan.to_string plan)
+      | Ast.Explain (Ast.Select_compound compound) ->
+        let plan, _ = Planner.plan_union ~ext:t.ext ~ectx t.catalog compound in
+        Message (Plan.to_string plan)
+      | Ast.Explain _ -> db_error "EXPLAIN supports only SELECT"
+      | Ast.Insert { table; columns; source } -> (
+        let table =
+          match Catalog.find_table t.catalog table with
+          | Some tbl -> tbl
+          | None -> db_error "no such table: %s" table
+        in
+        let schema = Table.schema table in
+        match source with
+        | Ast.Values rows ->
+          let n =
+            List.fold_left
+              (fun n exprs ->
+                let values = List.map (eval_standalone t ectx) exprs in
+                let row = reorder_columns schema columns values in
+                ignore (insert_row t ~now table row);
+                n + 1)
+              0 rows
+          in
+          Affected n
+        | Ast.Query select ->
+          let plan, _ = Planner.plan ~ext:t.ext ~ectx t.catalog select in
+          let n = ref 0 in
+          Seq.iter
+            (fun produced ->
+              let row =
+                reorder_columns schema columns (Array.to_list produced)
+              in
+              ignore (insert_row t ~now table row);
+              incr n)
+            (Executor.run ectx plan);
+          Affected !n)
+      | Ast.Update { table; assignments; where } ->
+        let table =
+          match Catalog.find_table t.catalog table with
+          | Some tbl -> tbl
+          | None -> db_error "no such table: %s" table
+        in
+        let schema = Table.schema table in
+        let layout_resolve _q name = Schema.column_index_exn schema name in
+        let env =
+          Expr_eval.base_env ~ext:t.ext
+            ~plan_subquery:
+              (Planner.subquery_runner_for_table ~ext:t.ext ~ectx t.catalog
+                 schema)
+            ~resolve_column:layout_resolve ()
+        in
+        let compiled_assignments =
+          List.map
+            (fun (col, e) ->
+              let i = Schema.column_index_exn schema col in
+              (i, Expr_eval.compile env e))
+            assignments
+        in
+        let matches = dml_matches t ectx table where in
+        List.iter
+          (fun (rid, old_row) ->
+            let row = Array.copy old_row in
+            List.iter
+              (fun (i, c) ->
+                row.(i) <-
+                  coerce_into t ~now (Schema.column schema i).Schema.ty
+                    (c ectx old_row))
+              compiled_assignments;
+            if Table.update table rid row then begin
+              log_undo t (U_update (table, rid, old_row));
+              history_close t ~now table old_row;
+              (match Table.get table rid with
+              | Some stored -> history_open t ~now table stored
+              | None -> ())
+            end)
+          matches;
+        Affected (List.length matches)
+      | Ast.Delete { table; where } ->
+        let table =
+          match Catalog.find_table t.catalog table with
+          | Some tbl -> tbl
+          | None -> db_error "no such table: %s" table
+        in
+        let matches = dml_matches t ectx table where in
+        List.iter
+          (fun (rid, old_row) ->
+            if Table.delete table rid then begin
+              log_undo t (U_delete (table, old_row));
+              history_close t ~now table old_row
+            end)
+          matches;
+        Affected (List.length matches)
+      | Ast.Create_table { table; if_not_exists; columns; with_history } ->
+        if if_not_exists && Catalog.find_table t.catalog table <> None then
+          Message (Printf.sprintf "table %s already exists, skipped" table)
+        else begin
+          let cols =
+            List.map
+              (fun (c : Ast.column_def) ->
+                let ty = Schema.type_of_name ?param:c.col_type_param c.col_type in
+                Schema.make_column ~not_null:c.col_not_null
+                  ~primary_key:c.col_primary_key c.col_name ty)
+              columns
+          in
+          ignore (Catalog.create_table t.catalog (Schema.make ~table_name:table cols));
+          if with_history then begin
+            match Extension.history_support t.ext with
+            | None ->
+              (* undo the main table so the failure is clean *)
+              ignore (Catalog.drop_table t.catalog table);
+              db_error
+                "WITH HISTORY requires a temporal blade with history support"
+            | Some support ->
+              (* history rows repeat values over time, so the shadow drops
+                 uniqueness but keeps NOT NULL *)
+              let hcols =
+                List.map
+                  (fun (c : Schema.column) ->
+                    Schema.make_column ~not_null:c.Schema.not_null c.Schema.name
+                      c.Schema.ty)
+                  cols
+                @ [ Schema.make_column "_tt"
+                      (Schema.type_of_name support.Extension.timestamp_type) ]
+              in
+              ignore
+                (Catalog.create_table t.catalog
+                   (Schema.make ~table_name:(table ^ "_history") hcols))
+          end;
+          Message
+            (Printf.sprintf "table %s created%s"
+               (String.lowercase_ascii table)
+               (if with_history then " (with transaction-time history)" else ""))
+        end
+      | Ast.Create_table_as { table; query } ->
+        (* Column types are inferred from the first non-NULL value in
+           each output column; all-NULL columns default to TEXT. *)
+        let plan, names = Planner.plan ~ext:t.ext ~ectx t.catalog query in
+        let rows = Executor.collect ectx plan in
+        let type_of_column i =
+          let rec probe = function
+            | [] -> Schema.T_char None
+            | row :: rest -> (
+              match row.(i) with
+              | Value.Null -> probe rest
+              | Value.Int _ -> Schema.T_int
+              | Value.Float _ -> Schema.T_float
+              | Value.Bool _ -> Schema.T_bool
+              | Value.Str _ -> Schema.T_char None
+              | Value.Date _ -> Schema.T_date
+              | Value.Ext (name, _) -> Schema.T_ext name)
+          in
+          probe rows
+        in
+        let cols =
+          Array.to_list
+            (Array.mapi
+               (fun i name -> Schema.make_column name (type_of_column i))
+               names)
+        in
+        let created =
+          Catalog.create_table t.catalog (Schema.make ~table_name:table cols)
+        in
+        List.iter (fun row -> ignore (Table.insert created row)) rows;
+        Message
+          (Printf.sprintf "table %s created (%d rows)"
+             (String.lowercase_ascii table)
+             (List.length rows))
+      | Ast.Drop_table { table; if_exists } ->
+        if Catalog.drop_table t.catalog table then
+          Message (Printf.sprintf "table %s dropped" table)
+        else if if_exists then Message "no such table, skipped"
+        else db_error "no such table: %s" table
+      | Ast.Create_index { index; table; column; unique; using } ->
+        let kind =
+          match Option.map String.lowercase_ascii using with
+          | None | Some "btree" | Some "ordered" -> Table.Ordered
+          | Some "interval" -> Table.Interval
+          | Some other -> db_error "unknown index kind %s" other
+        in
+        ignore
+          (Catalog.create_index t.catalog ~idx_name:index ~table_name:table
+             ~column ~unique ~kind);
+        Message (Printf.sprintf "index %s created" index)
+      | Ast.Drop_index { index } ->
+        if Catalog.drop_index t.catalog index then
+          Message (Printf.sprintf "index %s dropped" index)
+        else db_error "no such index: %s" index
+      | Ast.Begin_tx ->
+        if t.tx <> None then db_error "already in a transaction";
+        t.tx <- Some { undo = [] };
+        Message "BEGIN"
+      | Ast.Commit_tx ->
+        if t.tx = None then db_error "no transaction in progress";
+        t.tx <- None;
+        Message "COMMIT"
+      | Ast.Rollback_tx -> (
+        match t.tx with
+        | None -> db_error "no transaction in progress"
+        | Some tx ->
+          List.iter undo_entry tx.undo;
+          t.tx <- None;
+          Message "ROLLBACK")
+      | Ast.Savepoint name -> (
+        match t.tx with
+        | None -> db_error "SAVEPOINT requires a transaction"
+        | Some tx ->
+          tx.undo <- U_savepoint (String.lowercase_ascii name) :: tx.undo;
+          Message (Printf.sprintf "SAVEPOINT %s" name))
+      | Ast.Rollback_to name -> (
+        match t.tx with
+        | None -> db_error "no transaction in progress"
+        | Some tx ->
+          let name = String.lowercase_ascii name in
+          (* Undo back to (and keep) the marker, so the savepoint can be
+             rolled back to again. *)
+          let rec unwind = function
+            | [] -> db_error "no such savepoint: %s" name
+            | U_savepoint n :: _ as rest when n = name -> rest
+            | u :: rest ->
+              undo_entry u;
+              unwind rest
+          in
+          tx.undo <- unwind tx.undo;
+          Message (Printf.sprintf "ROLLBACK TO %s" name))
+      | Ast.Release_savepoint name -> (
+        match t.tx with
+        | None -> db_error "no transaction in progress"
+        | Some tx ->
+          let name = String.lowercase_ascii name in
+          let found = ref false in
+          tx.undo <-
+            List.filter
+              (fun u ->
+                match u with
+                | U_savepoint n when n = name && not !found ->
+                  found := true;
+                  false
+                | _ -> true)
+              tx.undo;
+          if not !found then db_error "no such savepoint: %s" name;
+          Message (Printf.sprintf "RELEASE %s" name))
+      | Ast.Copy_to { table; file } ->
+        let table =
+          match Catalog.find_table t.catalog table with
+          | Some tbl -> tbl
+          | None -> db_error "no such table: %s" table
+        in
+        let n =
+          try Csv.export table file
+          with Sys_error msg | Csv.Csv_error msg -> db_error "COPY: %s" msg
+        in
+        Message (Printf.sprintf "COPY %d rows to %s" n file)
+      | Ast.Copy_from { table; file } ->
+        let table =
+          match Catalog.find_table t.catalog table with
+          | Some tbl -> tbl
+          | None -> db_error "no such table: %s" table
+        in
+        let n =
+          try
+            Csv.import ~schema:(Table.schema table)
+              ~insert:(fun row -> ignore (insert_row t ~now table row))
+              file
+          with Sys_error msg | Csv.Csv_error msg -> db_error "COPY: %s" msg
+        in
+        Affected n
+      | Ast.Set_now None ->
+        t.now_override <- None;
+        Message "NOW restored to the transaction clock"
+      | Ast.Set_now (Some e) -> (
+        let v = eval_standalone t ectx e in
+        let chronon =
+          match v with
+          | Value.Str s -> Tip_core.Chronon.of_string s
+          | v -> Extension.to_chronon t.ext v
+        in
+        match chronon with
+        | Some c ->
+          t.now_override <- Some c;
+          Message
+            (Printf.sprintf "NOW set to %s" (Tip_core.Chronon.to_string c))
+        | None ->
+          db_error "SET NOW expects a time value, got %s" (Value.type_name v))
+      | Ast.Show_tables ->
+        Rows
+          { names = [ "table_name" ];
+            rows =
+              List.map
+                (fun name -> [| Value.Str name |])
+                (Catalog.table_names t.catalog) }
+      | Ast.Describe { table } ->
+        let table =
+          match Catalog.find_table t.catalog table with
+          | Some tbl -> tbl
+          | None -> db_error "no such table: %s" table
+        in
+        let schema = Table.schema table in
+        Rows
+          { names = [ "column"; "type"; "not_null"; "primary_key" ];
+            rows =
+              List.map
+                (fun (c : Schema.column) ->
+                  [| Value.Str c.name;
+                     Value.Str (Schema.type_name c.ty);
+                     Value.Bool c.not_null;
+                     Value.Bool c.primary_key |])
+                (Schema.columns schema) })
+
+and exec ?(params = []) t sql =
+  match Parser.parse sql with
+  | stmt -> exec_statement t ~params stmt
+  | exception Parser.Error msg -> db_error "%s" msg
+
+(* Runs a ';'-separated script, returning the last result. *)
+let exec_script ?(params = []) t sql =
+  match Parser.parse_script sql with
+  | [] -> Message "empty script"
+  | stmts ->
+    List.fold_left
+      (fun _ stmt -> exec_statement t ~params stmt)
+      (Message "") stmts
+  | exception Parser.Error msg -> db_error "%s" msg
+
+(* --- Result helpers ----------------------------------------------------------- *)
+
+let rows_exn = function
+  | Rows { rows; _ } -> rows
+  | Affected _ | Message _ -> db_error "statement did not return rows"
+
+let names_exn = function
+  | Rows { names; _ } -> names
+  | Affected _ | Message _ -> db_error "statement did not return rows"
+
+let affected_exn = function
+  | Affected n -> n
+  | Rows _ | Message _ -> db_error "statement did not return a row count"
+
+(* Renders a result as an aligned text table (psql-style). *)
+let render_result result =
+  match result with
+  | Message m -> m
+  | Affected n -> Printf.sprintf "(%d row%s affected)" n (if n = 1 then "" else "s")
+  | Rows { names; rows } ->
+    let cells =
+      List.map (fun row -> Array.map Value.to_display_string row) rows
+    in
+    let ncols = List.length names in
+    let widths = Array.of_list (List.map String.length names) in
+    List.iter
+      (fun row ->
+        Array.iteri
+          (fun i cell ->
+            if i < ncols then widths.(i) <- Stdlib.max widths.(i) (String.length cell))
+          row)
+      cells;
+    let buf = Buffer.create 256 in
+    let pad s w = s ^ String.make (w - String.length s) ' ' in
+    Buffer.add_string buf
+      (String.concat " | " (List.mapi (fun i n -> pad n widths.(i)) names));
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (String.concat "-+-"
+         (List.mapi (fun i _ -> String.make widths.(i) '-') names));
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun row ->
+        Buffer.add_string buf
+          (String.concat " | "
+             (List.mapi (fun i _ -> pad row.(i) widths.(i)) names));
+        Buffer.add_char buf '\n')
+      cells;
+    Buffer.add_string buf
+      (Printf.sprintf "(%d row%s)" (List.length rows)
+         (if List.length rows = 1 then "" else "s"));
+    Buffer.contents buf

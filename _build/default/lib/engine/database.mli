@@ -1,0 +1,64 @@
+(** The database facade: parse, bind NOW, plan, execute.
+
+    NOW handling (the paper's Sections 2/4): each statement binds the
+    special symbol NOW exactly once, to the current transaction time —
+    the wall clock, or a per-database override installed by
+    [SET NOW = ...] (the browser's what-if mechanism). The binding is
+    pushed into {!Tip_core.Tx_clock} for the statement's duration so
+    every blade routine, cast and comparison observes the same frozen
+    instant.
+
+    Transactions are single-connection with an in-memory undo log
+    (insert/delete/update are undoable; DDL auto-commits). *)
+
+open Tip_storage
+module Ast = Tip_sql.Ast
+
+exception Error of string
+
+type t
+
+type result =
+  | Rows of { names : string list; rows : Value.t array list }
+  | Affected of int  (** DML row count *)
+  | Message of string  (** DDL acknowledgements, EXPLAIN text, ... *)
+
+(** A fresh database with built-in scalar functions installed. Pass
+    [catalog] to open over a snapshot restored with
+    {!Tip_storage.Persist.load} (register extension types first). *)
+val create : ?catalog:Catalog.t -> unit -> t
+
+val catalog : t -> Catalog.t
+
+(** The registry a DataBlade installs into. *)
+val extension : t -> Extension.t
+
+(** The [SET NOW] override currently in force, if any. *)
+val now_override : t -> Tip_core.Chronon.t option
+
+val in_transaction : t -> bool
+
+(** {1 Execution} *)
+
+(** Parses and executes one statement; [params] binds [:name] host
+    variables.
+    @raise Error (and planner/eval/constraint exceptions) on failure. *)
+val exec : ?params:(string * Value.t) list -> t -> string -> result
+
+(** Executes an already-parsed statement. *)
+val exec_statement :
+  t -> params:(string * Value.t) list -> Ast.statement -> result
+
+(** Runs a [';']-separated script; returns the last result. *)
+val exec_script : ?params:(string * Value.t) list -> t -> string -> result
+
+(** {1 Result helpers}
+
+    All raise {!Error} when the result has the wrong shape. *)
+
+val rows_exn : result -> Value.t array list
+val names_exn : result -> string list
+val affected_exn : result -> int
+
+(** Aligned text table (psql-style) for shells and examples. *)
+val render_result : result -> string

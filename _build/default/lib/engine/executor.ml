@@ -1,0 +1,267 @@
+(* Volcano-style pull execution: a plan runs as a lazy row sequence.
+
+   Joins materialize their build side only; scans, filters, projections
+   and limits stream. Aggregation and sorting are blocking, as they must
+   be. *)
+
+open Tip_storage
+module Ast = Tip_sql.Ast
+
+exception Exec_error of string
+
+(* Hash table keyed by a list of values (group keys / join keys). *)
+module Row_key = struct
+  type t = Value.t list
+
+  let equal a b =
+    List.length a = List.length b && List.for_all2 Value.equal a b
+
+  let hash vs = Hashtbl.hash (List.map Value.hash vs)
+end
+
+module Key_table = Hashtbl.Make (Row_key)
+
+(* --- Aggregate runners -------------------------------------------------- *)
+
+type runner = { step : Value.t array -> unit; final : unit -> Value.t }
+
+let numeric_add a b =
+  match a, b with
+  | Value.Int x, Value.Int y -> Value.Int (x + y)
+  | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+    Value.Float (Value.to_float a +. Value.to_float b)
+  | _, _ ->
+    raise (Exec_error (Printf.sprintf "SUM/AVG over non-numeric %s"
+                         (Value.type_name b)))
+
+let make_runner ctx (spec : Plan.agg_spec) : runner =
+  let eval_arg row =
+    match spec.arg with
+    | Some c -> c ctx row
+    | None -> Value.Null
+  in
+  (* DISTINCT: wrap the runner so each argument value steps once. *)
+  let distinct_wrap runner =
+    if not spec.Plan.distinct then runner
+    else begin
+      let seen = Key_table.create 16 in
+      { runner with
+        step =
+          (fun row ->
+            let v = eval_arg row in
+            if not (Value.is_null v) then begin
+              if not (Key_table.mem seen [ v ]) then begin
+                Key_table.replace seen [ v ] ();
+                runner.step row
+              end
+            end) }
+    end
+  in
+  distinct_wrap
+  @@
+  match spec.impl with
+  | Plan.Agg_count_star ->
+    let n = ref 0 in
+    { step = (fun _ -> incr n); final = (fun () -> Value.Int !n) }
+  | Plan.Agg_count ->
+    let n = ref 0 in
+    { step = (fun row -> if not (Value.is_null (eval_arg row)) then incr n);
+      final = (fun () -> Value.Int !n) }
+  | Plan.Agg_sum ->
+    let acc = ref Value.Null in
+    { step =
+        (fun row ->
+          let v = eval_arg row in
+          if not (Value.is_null v) then
+            acc := if Value.is_null !acc then v else numeric_add !acc v);
+      final = (fun () -> !acc) }
+  | Plan.Agg_avg ->
+    let acc = ref Value.Null and n = ref 0 in
+    { step =
+        (fun row ->
+          let v = eval_arg row in
+          if not (Value.is_null v) then begin
+            acc := (if Value.is_null !acc then v else numeric_add !acc v);
+            incr n
+          end);
+      final =
+        (fun () ->
+          if !n = 0 then Value.Null
+          else Value.Float (Value.to_float !acc /. float_of_int !n)) }
+  | Plan.Agg_min | Plan.Agg_max ->
+    let keep_smaller = spec.impl = Plan.Agg_min in
+    let acc = ref Value.Null in
+    { step =
+        (fun row ->
+          let v = eval_arg row in
+          if not (Value.is_null v) then
+            if Value.is_null !acc then acc := v
+            else begin
+              let c = Value.compare v !acc in
+              if (keep_smaller && c < 0) || ((not keep_smaller) && c > 0) then
+                acc := v
+            end);
+      final = (fun () -> !acc) }
+  | Plan.Agg_user (agg, _) ->
+    let acc = ref (agg.Extension.agg_init ()) in
+    { step =
+        (fun row ->
+          let v = eval_arg row in
+          if not (Value.is_null v) then
+            acc := agg.Extension.agg_step ~now:ctx.Expr_eval.now !acc v);
+      final = (fun () -> agg.Extension.agg_final ~now:ctx.Expr_eval.now !acc) }
+
+(* --- Sequence helpers ----------------------------------------------------- *)
+
+let seq_of_list l = List.to_seq l
+
+let concat_rows left right =
+  Array.append left right
+
+(* --- Execution -------------------------------------------------------------- *)
+
+let rec run ctx (plan : Plan.t) : Value.t array Seq.t =
+  match plan with
+  | Plan.One_row -> Seq.return [||]
+  | Plan.Seq_scan { table; _ } ->
+    (* Snapshot the rid list so concurrent mutation cannot skew the scan. *)
+    let rids = Table.rids table in
+    Seq.filter_map (fun rid -> Table.get table rid) (seq_of_list rids)
+  | Plan.Index_scan { table; btree; lo; hi; _ } ->
+    (* Rows come back in key order — the planner relies on this to
+       satisfy ORDER BY from an index. *)
+    let rids = Btree.range btree ~lo ~hi in
+    Seq.filter_map (fun rid -> Table.get table rid) (seq_of_list rids)
+  | Plan.Interval_scan { table; index; lo; hi; _ } ->
+    (* Multi-period values have one index entry per period, so a row can
+       match the probe window several times; dedupe before fetching.
+       Adaptive fallback: when the window matches most of the table the
+       index only adds overhead, and the recheck filter above makes a
+       plain scan equivalent — so degrade to one. *)
+    let rids = Interval_index.query_overlaps index ~lo ~hi in
+    if List.length rids > Table.row_count table / 2 then
+      Seq.filter_map (fun rid -> Table.get table rid)
+        (seq_of_list (Table.rids table))
+    else begin
+      let rids = List.sort_uniq Int.compare rids in
+      Seq.filter_map (fun rid -> Table.get table rid) (seq_of_list rids)
+    end
+  | Plan.Filter { input; pred; _ } ->
+    Seq.filter (fun row -> Expr_eval.to_predicate pred ctx row) (run ctx input)
+  | Plan.Nested_loop { left; right } ->
+    let right_rows = List.of_seq (run ctx right) in
+    Seq.concat_map
+      (fun lrow -> Seq.map (fun rrow -> concat_rows lrow rrow) (seq_of_list right_rows))
+      (run ctx left)
+  | Plan.Hash_join { left; right; left_keys; right_keys; _ } ->
+    (* Build on the right, probe from the left; NULL keys never join. *)
+    let build = Key_table.create 64 in
+    Seq.iter
+      (fun rrow ->
+        let key = List.map (fun c -> c ctx rrow) right_keys in
+        if not (List.exists Value.is_null key) then begin
+          let existing = Option.value (Key_table.find_opt build key) ~default:[] in
+          Key_table.replace build key (rrow :: existing)
+        end)
+      (run ctx right);
+    Seq.concat_map
+      (fun lrow ->
+        let key = List.map (fun c -> c ctx lrow) left_keys in
+        if List.exists Value.is_null key then Seq.empty
+        else begin
+          match Key_table.find_opt build key with
+          | None -> Seq.empty
+          | Some matches ->
+            (* entries were prepended during build; restore scan order *)
+            Seq.map (fun rrow -> concat_rows lrow rrow)
+              (seq_of_list (List.rev matches))
+        end)
+      (run ctx left)
+  | Plan.Left_outer_join { left; right; on; right_width; _ } ->
+    let right_rows = List.of_seq (run ctx right) in
+    let nulls = Array.make right_width Value.Null in
+    Seq.concat_map
+      (fun lrow ->
+        let matches =
+          List.filter
+            (fun rrow -> Expr_eval.to_predicate on ctx (concat_rows lrow rrow))
+            right_rows
+        in
+        match matches with
+        | [] -> Seq.return (concat_rows lrow nulls)
+        | _ -> Seq.map (fun rrow -> concat_rows lrow rrow) (seq_of_list matches))
+      (run ctx left)
+  | Plan.Project { input; exprs; _ } ->
+    Seq.map (fun row -> Array.map (fun c -> c ctx row) exprs) (run ctx input)
+  | Plan.Aggregate { input; keys; aggs; _ } -> run_aggregate ctx input keys aggs
+  | Plan.Sort { input; by; _ } ->
+    let rows = Array.of_seq (run ctx input) in
+    (* decorate-sort-undecorate: evaluate the keys once per row *)
+    let decorated =
+      Array.map (fun row -> (List.map (fun (c, _) -> c ctx row) by, row)) rows
+    in
+    let cmp (ka, _) (kb, _) =
+      let rec go ks1 ks2 dirs =
+        match ks1, ks2, dirs with
+        | [], [], [] -> 0
+        | k1 :: t1, k2 :: t2, (_, dir) :: td ->
+          let c = Value.compare k1 k2 in
+          let c = match dir with Ast.Asc -> c | Ast.Desc -> -c in
+          if c <> 0 then c else go t1 t2 td
+        | _, _, _ -> 0
+      in
+      go ka kb by
+    in
+    Array.stable_sort cmp decorated;
+    Seq.map snd (Array.to_seq decorated)
+  | Plan.Distinct input ->
+    let seen = Key_table.create 64 in
+    Seq.filter
+      (fun row ->
+        let key = Array.to_list row in
+        if Key_table.mem seen key then false
+        else begin
+          Key_table.replace seen key ();
+          true
+        end)
+      (run ctx input)
+  | Plan.Append inputs ->
+    List.fold_left
+      (fun acc input -> Seq.append acc (run ctx input))
+      Seq.empty inputs
+  | Plan.Limit { input; limit; offset } ->
+    let s = run ctx input in
+    let s = match offset with Some n -> Seq.drop n s | None -> s in
+    (match limit with Some n -> Seq.take n s | None -> s)
+
+and run_aggregate ctx input keys aggs =
+  let groups : (Value.t list * runner list) Key_table.t = Key_table.create 64 in
+  let order = ref [] in
+  Seq.iter
+    (fun row ->
+      let key = List.map (fun c -> c ctx row) keys in
+      let runners =
+        match Key_table.find_opt groups key with
+        | Some (_, runners) -> runners
+        | None ->
+          let runners = List.map (make_runner ctx) aggs in
+          Key_table.replace groups key (key, runners);
+          order := key :: !order;
+          runners
+      in
+      List.iter (fun r -> r.step row) runners)
+    (run ctx input);
+  let emit (key, runners) =
+    Array.of_list (key @ List.map (fun r -> r.final ()) runners)
+  in
+  if keys = [] && Key_table.length groups = 0 then begin
+    (* Grand aggregate over an empty input still yields one row. *)
+    let runners = List.map (make_runner ctx) aggs in
+    Seq.return (emit ([], runners))
+  end
+  else
+    Seq.map
+      (fun key -> emit (Key_table.find groups key))
+      (seq_of_list (List.rev !order))
+
+let collect ctx plan = List.of_seq (run ctx plan)

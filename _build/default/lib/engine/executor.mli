@@ -1,0 +1,23 @@
+(** Volcano-style pull execution: a plan runs as a lazy row sequence.
+
+    Scans, filters, projections and limits stream; joins materialize
+    only their build side; aggregation and sorting are blocking. The
+    sequence must be consumed within the statement whose context created
+    it (scans snapshot their rid list, but rows are shared). *)
+
+open Tip_storage
+
+exception Exec_error of string
+
+(** Lazy row stream for a plan. *)
+val run : Expr_eval.ctx -> Plan.t -> Value.t array Seq.t
+
+(** [run] materialized to a list. *)
+val collect : Expr_eval.ctx -> Plan.t -> Value.t array list
+
+(**/**)
+
+(** One aggregate accumulator instance (exposed for tests). *)
+type runner = { step : Value.t array -> unit; final : unit -> Value.t }
+
+val make_runner : Expr_eval.ctx -> Plan.agg_spec -> runner

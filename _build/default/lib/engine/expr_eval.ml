@@ -1,0 +1,480 @@
+(* Expression compilation and evaluation.
+
+   Expressions compile once (per statement) into closures over a row and
+   an evaluation context; evaluation then does no name resolution. SQL's
+   three-valued logic is implemented here: NULL propagates through
+   operators, AND/OR follow Kleene logic, and WHERE treats unknown as
+   false (the caller converts with [to_predicate]).
+
+   Built-in semantics cover the base types; any combination the engine
+   does not know falls through to the extension registry, keyed by the
+   operator symbol — that is how [chronon + span] or [chronon < NOW-7]
+   becomes meaningful once the TIP blade is installed. *)
+
+open Tip_storage
+module Ast = Tip_sql.Ast
+module Pretty = Tip_sql.Pretty
+
+exception Eval_error of string
+
+let eval_error fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+type ctx = {
+  now : Tip_core.Chronon.t;
+  params : (string * Value.t) list;
+  ext : Extension.t;
+}
+
+type compiled = ctx -> Value.t array -> Value.t
+
+(* A planned subquery: [sq_run ctx outer_row] produces its rows.
+   Non-correlated subqueries ignore the outer row (and get cached once
+   per statement); correlated ones read outer columns through hidden
+   parameters bound per row. *)
+type subquery_exec = {
+  sq_run : ctx -> Value.t array -> Value.t array list;
+  sq_correlated : bool;
+}
+
+type env = {
+  resolve_column : string option -> string -> int;
+  slot_of : Ast.expr -> int option;
+    (* pre-computed slots (group keys / aggregate results); checked at
+       every node so post-aggregation expressions can reference them *)
+  ext : Extension.t;
+  plan_subquery : Ast.select -> subquery_exec;
+    (* provided by the planner; must be stable (same select, same
+       answer), since both compilation and the row-free analysis call
+       it *)
+}
+
+let no_subqueries _select =
+  eval_error "subqueries are not allowed in this context"
+
+let base_env ?(plan_subquery = no_subqueries) ~ext ~resolve_column () =
+  { resolve_column; slot_of = (fun _ -> None); ext; plan_subquery }
+
+(* --- Built-in operator semantics ---------------------------------------- *)
+
+let arith_int_float op_int op_float a b =
+  match a, b with
+  | Value.Int x, Value.Int y -> Some (Value.Int (op_int x y))
+  | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+    Some (Value.Float (op_float (Value.to_float a) (Value.to_float b)))
+  | _, _ -> None
+
+let builtin_binop op a b =
+  match op with
+  | Ast.Add -> (
+    match a, b with
+    | Value.Date d, Value.Int n ->
+      Some (Value.Date (Tip_core.Chronon.add d (Tip_core.Span.of_days n)))
+    | Value.Int n, Value.Date d ->
+      Some (Value.Date (Tip_core.Chronon.add d (Tip_core.Span.of_days n)))
+    | _, _ -> arith_int_float ( + ) ( +. ) a b)
+  | Ast.Sub -> (
+    match a, b with
+    | Value.Date d, Value.Int n ->
+      Some (Value.Date (Tip_core.Chronon.sub d (Tip_core.Span.of_days n)))
+    | Value.Date x, Value.Date y ->
+      (* Plain SQL DATE subtraction: signed whole days. *)
+      let seconds = Tip_core.Span.to_seconds (Tip_core.Chronon.diff x y) in
+      Some (Value.Int (seconds / Tip_core.Span.seconds_per_day))
+    | _, _ -> arith_int_float ( - ) ( -. ) a b)
+  | Ast.Mul -> arith_int_float ( * ) ( *. ) a b
+  | Ast.Div -> (
+    match a, b with
+    | _, Value.Int 0 -> eval_error "division by zero"
+    | _, Value.Float 0. -> eval_error "division by zero"
+    | _, _ -> arith_int_float ( / ) ( /. ) a b)
+  | Ast.Mod -> (
+    match a, b with
+    | _, Value.Int 0 -> eval_error "division by zero"
+    | Value.Int x, Value.Int y -> Some (Value.Int (x mod y))
+    | _, _ -> None)
+  | Ast.Concat -> (
+    match a, b with
+    | Value.Str x, Value.Str y -> Some (Value.Str (x ^ y))
+    | _, _ -> None)
+  | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (
+    (* Plain SQL: a string literal compared against a DATE column reads
+       as a date literal. *)
+    let a, b =
+      match a, b with
+      | Value.Date _, Value.Str s -> (
+        match Tip_core.Chronon.of_string s with
+        | Some c -> (a, Value.Date (Tip_core.Chronon.start_of_day c))
+        | None -> (a, b))
+      | Value.Str s, Value.Date _ -> (
+        match Tip_core.Chronon.of_string s with
+        | Some c -> (Value.Date (Tip_core.Chronon.start_of_day c), b)
+        | None -> (a, b))
+      | _, _ -> (a, b)
+    in
+    (* Only same-kind comparisons are built in; anything else goes to the
+       extension registry so that implicit casts apply (e.g. a string
+       literal against a Chronon column). *)
+    let same_kind =
+      match a, b with
+      | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) -> true
+      | Value.Str _, Value.Str _ -> true
+      | Value.Bool _, Value.Bool _ -> true
+      | Value.Date _, Value.Date _ -> true
+      | Value.Ext (n1, _), Value.Ext (n2, _) -> String.equal n1 n2
+      | _, _ -> false
+    in
+    if not same_kind then None
+    else begin
+      match Value.compare a b with
+      | c ->
+        let r =
+          match op with
+          | Ast.Eq -> c = 0
+          | Ast.Neq -> c <> 0
+          | Ast.Lt -> c < 0
+          | Ast.Le -> c <= 0
+          | Ast.Gt -> c > 0
+          | Ast.Ge -> c >= 0
+          | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.Concat
+          | Ast.And | Ast.Or -> assert false
+        in
+        Some (Value.Bool r)
+      | exception Value.Type_error _ -> None
+    end)
+  | Ast.And | Ast.Or -> assert false (* handled lazily in compile *)
+
+let op_symbol = Pretty.binop_symbol
+
+let apply_binop ext ~now op a b =
+  if Value.is_null a || Value.is_null b then Value.Null
+  else begin
+    match builtin_binop op a b with
+    | Some v -> v
+    | None -> (
+      match Extension.apply_routine ext ~now ~name:(op_symbol op) [| a; b |] with
+      | v -> v
+      | exception Extension.Resolution_error _ ->
+        eval_error "operator %s undefined for %s and %s" (op_symbol op)
+          (Value.type_name a) (Value.type_name b))
+  end
+
+(* --- LIKE ----------------------------------------------------------------- *)
+
+(* SQL LIKE: '%' any sequence, '_' any single character. *)
+let like_match ~pattern text =
+  let np = String.length pattern and nt = String.length text in
+  (* memoized recursion over (pattern index, text index) *)
+  let memo = Hashtbl.create 16 in
+  let rec go pi ti =
+    match Hashtbl.find_opt memo (pi, ti) with
+    | Some r -> r
+    | None ->
+      let r =
+        if pi = np then ti = nt
+        else begin
+          match pattern.[pi] with
+          | '%' -> go (pi + 1) ti || (ti < nt && go pi (ti + 1))
+          | '_' -> ti < nt && go (pi + 1) (ti + 1)
+          | c -> ti < nt && text.[ti] = c && go (pi + 1) (ti + 1)
+        end
+      in
+      Hashtbl.replace memo (pi, ti) r;
+      r
+  in
+  go 0 0
+
+(* --- Casts ------------------------------------------------------------------ *)
+
+let cast_value ext ~now v ~to_type =
+  if Value.is_null v then Value.Null
+  else begin
+    match String.uppercase_ascii to_type with
+    | "INT" | "INTEGER" | "BIGINT" | "SMALLINT" -> (
+      match v with
+      | Value.Int _ -> v
+      | Value.Float f -> Value.Int (int_of_float f)
+      | Value.Str s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n -> Value.Int n
+        | None -> eval_error "cannot cast %S to INT" s)
+      | Value.Bool b -> Value.Int (if b then 1 else 0)
+      | Value.Ext _ -> Extension.apply_cast ext ~now v ~to_type:"int"
+      | _ -> eval_error "cannot cast %s to INT" (Value.type_name v))
+    | "FLOAT" | "REAL" | "DOUBLE" | "DECIMAL" | "NUMERIC" -> (
+      match v with
+      | Value.Float _ -> v
+      | Value.Int n -> Value.Float (float_of_int n)
+      | Value.Str s -> (
+        match float_of_string_opt (String.trim s) with
+        | Some f -> Value.Float f
+        | None -> eval_error "cannot cast %S to FLOAT" s)
+      | Value.Ext _ -> Extension.apply_cast ext ~now v ~to_type:"float"
+      | _ -> eval_error "cannot cast %s to FLOAT" (Value.type_name v))
+    | "CHAR" | "VARCHAR" | "TEXT" | "STRING" | "CHARACTER" ->
+      Value.Str (Value.to_display_string v)
+    | "BOOLEAN" | "BOOL" -> (
+      match v with
+      | Value.Bool _ -> v
+      | Value.Str ("t" | "true" | "TRUE") -> Value.Bool true
+      | Value.Str ("f" | "false" | "FALSE") -> Value.Bool false
+      | _ -> eval_error "cannot cast %s to BOOLEAN" (Value.type_name v))
+    | "DATE" -> (
+      match v with
+      | Value.Date _ -> v
+      | Value.Str s -> (
+        match Tip_core.Chronon.of_string s with
+        | Some c -> Value.Date (Tip_core.Chronon.start_of_day c)
+        | None -> eval_error "cannot cast %S to DATE" s)
+      | Value.Ext _ -> Extension.apply_cast ext ~now v ~to_type:"date"
+      | _ -> eval_error "cannot cast %s to DATE" (Value.type_name v))
+    | _ -> (
+      (* Extension type: registered casts, or parsing a string literal. *)
+      match Extension.apply_cast ext ~now v ~to_type with
+      | v -> v
+      | exception Extension.Resolution_error _ -> (
+        match v, Value.lookup_type to_type with
+        | Value.Str s, Some vt -> vt.Value.parse s
+        | _, _ ->
+          eval_error "no cast from %s to %s" (Value.type_name v) to_type))
+  end
+
+(* --- Compilation --------------------------------------------------------------- *)
+
+let literal_value = function
+  | Ast.L_int n -> Value.Int n
+  | Ast.L_float f -> Value.Float f
+  | Ast.L_string s -> Value.Str s
+  | Ast.L_bool b -> Value.Bool b
+  | Ast.L_null -> Value.Null
+
+(* Row-free expressions (no column, no aggregate slot) are constant for
+   the duration of one statement — NOW and parameters are fixed — so
+   their compiled form caches the first evaluation. This is what makes a
+   per-row recheck like [overlaps(valid, '{...}'::Element)] parse its
+   constant once, not once per row. *)
+let rec row_free env e =
+  env.slot_of e = None
+  &&
+  match e with
+  | Ast.Column _ | Ast.Count_star -> false
+  (* Parameters are not cached: hidden correlation parameters change per
+     outer row, and a plain lookup is cheap anyway. *)
+  | Ast.Param _ -> false
+  (* A correlated subquery reads the outer row through its hidden
+     parameters, so it is row-dependent even though its AST children do
+     not show it. *)
+  | Ast.Exists q | Ast.Scalar_subquery q | Ast.In_select { query = q; _ } -> (
+    (not (env.plan_subquery q).sq_correlated)
+    && List.for_all (row_free env) (Ast.children e))
+  | _ -> List.for_all (row_free env) (Ast.children e)
+
+let rec compile env expr : compiled =
+  match env.slot_of expr with
+  | Some slot -> fun _ row -> row.(slot)
+  | None ->
+    let compiled = compile_node env expr in
+    (match expr with
+    | Ast.Lit _ | Ast.Column _ -> compiled (* already cheap *)
+    | _ when row_free env expr ->
+      let cache = ref None in
+      fun ctx row -> (
+        match !cache with
+        | Some v -> v
+        | None ->
+          let v = compiled ctx row in
+          cache := Some v;
+          v)
+    | _ -> compiled)
+
+and compile_node env expr : compiled =
+  match expr with
+  | Ast.Lit l ->
+    let v = literal_value l in
+    fun _ _ -> v
+  | Ast.Column (q, name) ->
+    let i = env.resolve_column q name in
+    fun _ row -> row.(i)
+  | Ast.Param name -> (
+    fun ctx _ ->
+      match List.assoc_opt (String.lowercase_ascii name) ctx.params with
+      | Some v -> v
+      | None -> eval_error "unbound parameter :%s" name)
+  | Ast.Binop (Ast.And, a, b) ->
+    let ca = compile env a and cb = compile env b in
+    fun ctx row -> (
+      (* Kleene AND: false dominates NULL. *)
+      match ca ctx row with
+      | Value.Bool false -> Value.Bool false
+      | Value.Bool true -> truth_value (cb ctx row)
+      | Value.Null -> (
+        match truth_value (cb ctx row) with
+        | Value.Bool false -> Value.Bool false
+        | _ -> Value.Null)
+      | v -> eval_error "AND expects booleans, got %s" (Value.type_name v))
+  | Ast.Binop (Ast.Or, a, b) ->
+    let ca = compile env a and cb = compile env b in
+    fun ctx row -> (
+      match ca ctx row with
+      | Value.Bool true -> Value.Bool true
+      | Value.Bool false -> truth_value (cb ctx row)
+      | Value.Null -> (
+        match truth_value (cb ctx row) with
+        | Value.Bool true -> Value.Bool true
+        | _ -> Value.Null)
+      | v -> eval_error "OR expects booleans, got %s" (Value.type_name v))
+  | Ast.Binop (op, a, b) ->
+    let ca = compile env a and cb = compile env b in
+    let ext = env.ext in
+    fun ctx row -> apply_binop ext ~now:ctx.now op (ca ctx row) (cb ctx row)
+  | Ast.Unop (Ast.Not, e) ->
+    let ce = compile env e in
+    fun ctx row -> (
+      match ce ctx row with
+      | Value.Bool b -> Value.Bool (not b)
+      | Value.Null -> Value.Null
+      | v -> eval_error "NOT expects boolean, got %s" (Value.type_name v))
+  | Ast.Unop (Ast.Neg, e) ->
+    let ce = compile env e in
+    let ext = env.ext in
+    fun ctx row -> (
+      match ce ctx row with
+      | Value.Null -> Value.Null
+      | Value.Int n -> Value.Int (-n)
+      | Value.Float f -> Value.Float (-.f)
+      | v -> (
+        match Extension.apply_routine ext ~now:ctx.now ~name:"neg" [| v |] with
+        | r -> r
+        | exception Extension.Resolution_error _ ->
+          eval_error "cannot negate %s" (Value.type_name v)))
+  | Ast.Call (name, args) ->
+    let cargs = List.map (compile env) args in
+    let ext = env.ext in
+    fun ctx row ->
+      let argv = Array.of_list (List.map (fun c -> c ctx row) cargs) in
+      (match Extension.apply_routine ext ~now:ctx.now ~name argv with
+      | v -> v
+      | exception Extension.Resolution_error msg -> eval_error "%s" msg)
+  | Ast.Call_distinct (name, _) ->
+    fun _ _ ->
+      eval_error "%s(DISTINCT ...) outside aggregation context" name
+  | Ast.Count_star ->
+    fun _ _ -> eval_error "COUNT(*) outside aggregation context"
+  | Ast.Cast (e, ty) ->
+    let ce = compile env e in
+    let ext = env.ext in
+    fun ctx row -> cast_value ext ~now:ctx.now (ce ctx row) ~to_type:ty
+  | Ast.Case (arms, else_) ->
+    let carms = List.map (fun (c, v) -> (compile env c, compile env v)) arms in
+    let celse = Option.map (compile env) else_ in
+    fun ctx row ->
+      let rec go = function
+        | [] -> (
+          match celse with Some c -> c ctx row | None -> Value.Null)
+        | (cc, cv) :: rest -> (
+          match cc ctx row with
+          | Value.Bool true -> cv ctx row
+          | Value.Bool false | Value.Null -> go rest
+          | v -> eval_error "CASE expects boolean, got %s" (Value.type_name v))
+      in
+      go carms
+  | Ast.In_list { negated; scrutinee; choices } ->
+    let cs = compile env scrutinee in
+    let cchoices = List.map (compile env) choices in
+    let ext = env.ext in
+    fun ctx row ->
+      let v = cs ctx row in
+      if Value.is_null v then Value.Null
+      else begin
+        let rec go saw_null = function
+          | [] -> if saw_null then Value.Null else Value.Bool negated
+          | c :: rest -> (
+            match apply_binop ext ~now:ctx.now Ast.Eq v (c ctx row) with
+            | Value.Bool true -> Value.Bool (not negated)
+            | Value.Null -> go true rest
+            | _ -> go saw_null rest)
+        in
+        go false cchoices
+      end
+  | Ast.Between { negated; scrutinee; low; high } ->
+    let cs = compile env scrutinee
+    and cl = compile env low
+    and ch = compile env high in
+    let ext = env.ext in
+    fun ctx row ->
+      let v = cs ctx row in
+      let ge = apply_binop ext ~now:ctx.now Ast.Ge v (cl ctx row) in
+      let le = apply_binop ext ~now:ctx.now Ast.Le v (ch ctx row) in
+      let conj =
+        match ge, le with
+        | Value.Bool false, _ | _, Value.Bool false -> Value.Bool false
+        | Value.Bool true, Value.Bool true -> Value.Bool true
+        | _, _ -> Value.Null
+      in
+      (match conj with
+      | Value.Bool b -> Value.Bool (if negated then not b else b)
+      | v -> v)
+  | Ast.Like { negated; scrutinee; pattern } ->
+    let cs = compile env scrutinee and cp = compile env pattern in
+    fun ctx row -> (
+      match cs ctx row, cp ctx row with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | Value.Str text, Value.Str pattern ->
+        let m = like_match ~pattern text in
+        Value.Bool (if negated then not m else m)
+      | a, b ->
+        eval_error "LIKE expects strings, got %s and %s" (Value.type_name a)
+          (Value.type_name b))
+  | Ast.Is_null { negated; scrutinee } ->
+    let cs = compile env scrutinee in
+    fun ctx row ->
+      let isnull = Value.is_null (cs ctx row) in
+      Value.Bool (if negated then not isnull else isnull)
+  | Ast.Exists q ->
+    let sq = env.plan_subquery q in
+    fun ctx row -> Value.Bool (sq.sq_run ctx row <> [])
+  | Ast.In_select { negated; scrutinee; query } ->
+    let cs = compile env scrutinee in
+    let sq = env.plan_subquery query in
+    let ext = env.ext in
+    fun ctx row ->
+      let v = cs ctx row in
+      if Value.is_null v then Value.Null
+      else begin
+        let candidates =
+          List.map
+            (fun produced ->
+              if Array.length produced <> 1 then
+                eval_error "IN subquery must select exactly one column";
+              produced.(0))
+            (sq.sq_run ctx row)
+        in
+        let rec go saw_null = function
+          | [] -> if saw_null then Value.Null else Value.Bool negated
+          | c :: rest -> (
+            match apply_binop ext ~now:ctx.now Ast.Eq v c with
+            | Value.Bool true -> Value.Bool (not negated)
+            | Value.Null -> go true rest
+            | _ -> go saw_null rest)
+        in
+        go false candidates
+      end
+  | Ast.Scalar_subquery q ->
+    let sq = env.plan_subquery q in
+    fun ctx row -> (
+      match sq.sq_run ctx row with
+      | [] -> Value.Null
+      | [ [| v |] ] -> v
+      | [ _ ] -> eval_error "scalar subquery must select exactly one column"
+      | _ :: _ :: _ -> eval_error "scalar subquery returned more than one row")
+
+and truth_value v =
+  match v with
+  | Value.Bool _ | Value.Null -> v
+  | _ -> eval_error "expected boolean, got %s" (Value.type_name v)
+
+(* WHERE semantics: unknown is not true. *)
+let to_predicate (c : compiled) ctx row =
+  match c ctx row with
+  | Value.Bool b -> b
+  | Value.Null -> false
+  | v -> eval_error "predicate must be boolean, got %s" (Value.type_name v)

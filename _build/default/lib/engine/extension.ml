@@ -1,0 +1,287 @@
+(* The extensibility interface — our stand-in for the Informix DataBlade
+   API.
+
+   A blade installs, against one database: scalar routines (with
+   overloading by argument type), operator overloads (the same mechanism,
+   keyed by the operator symbol), casts (implicit or explicit), user-
+   defined aggregates, and planner hints (which routine calls an interval
+   index can answer). Datatypes themselves are registered globally in
+   [Tip_storage.Value]; everything here is per-database state, mirroring
+   how a DataBlade is installed into one Informix database. *)
+
+open Tip_storage
+
+(* Parameter types for overload matching. *)
+type ptype =
+  | P_int
+  | P_float
+  | P_bool
+  | P_string
+  | P_date
+  | P_ext of string
+  | P_any
+
+let ptype_name = function
+  | P_int -> "int"
+  | P_float -> "float"
+  | P_bool -> "boolean"
+  | P_string -> "char"
+  | P_date -> "date"
+  | P_ext n -> n
+  | P_any -> "any"
+
+(* The runtime type tag of a value, as a ptype for matching. *)
+let ptype_of_value = function
+  | Value.Null -> P_any
+  | Value.Int _ -> P_int
+  | Value.Float _ -> P_float
+  | Value.Bool _ -> P_bool
+  | Value.Str _ -> P_string
+  | Value.Date _ -> P_date
+  | Value.Ext (name, _) -> P_ext name
+
+let value_matches ptype v =
+  match ptype, v with
+  | P_any, _ -> true
+  | _, Value.Null -> true (* NULL inhabits every type; routines see it *)
+  | P_int, Value.Int _ -> true
+  | P_float, (Value.Float _ | Value.Int _) -> true
+  | P_bool, Value.Bool _ -> true
+  | P_string, Value.Str _ -> true
+  | P_date, Value.Date _ -> true
+  | P_ext n, Value.Ext (n', _) -> String.equal n n'
+  | (P_int | P_float | P_bool | P_string | P_date | P_ext _), _ -> false
+
+(* A routine implementation. [now] is the statement's transaction time. *)
+type routine = {
+  params : ptype list;
+  strict : bool; (* strict routines return NULL on any NULL argument *)
+  impl : now:Tip_core.Chronon.t -> Value.t array -> Value.t;
+}
+
+type cast = {
+  cast_to : string; (* target type name (canonical) *)
+  implicit : bool;
+  cast_cost : int;
+    (* resolution cost; longer widening chains cost more so that e.g.
+       chronon->instant is preferred over chronon->element *)
+  cast_impl : now:Tip_core.Chronon.t -> Value.t -> Value.t;
+}
+
+type aggregate = {
+  agg_init : unit -> Value.t;         (* accumulator seed *)
+  agg_step : now:Tip_core.Chronon.t -> Value.t -> Value.t -> Value.t;
+  agg_final : now:Tip_core.Chronon.t -> Value.t -> Value.t;
+}
+
+(* Transaction-time support, registered by a temporal blade: how to
+   create, close and probe the tuple timestamps of WITH HISTORY shadow
+   tables. The engine has no temporal types of its own, so this is the
+   interface through which a blade brings transaction time to SQL. *)
+type history_support = {
+  timestamp_type : string;
+    (* the column type of the shadow table's _tt column, e.g. "element" *)
+  open_timestamp : now:Tip_core.Chronon.t -> Value.t;
+    (* the timestamp of a freshly current row: {[now, NOW]} *)
+  close_timestamp : now:Tip_core.Chronon.t -> Value.t -> Value.t;
+    (* clip an open timestamp at [now] when the row stops being current *)
+  is_open : Value.t -> bool;
+    (* does the timestamp still track NOW? *)
+  timestamp_contains : now:Tip_core.Chronon.t -> Value.t -> Tip_core.Chronon.t -> bool;
+    (* AS OF probe: was the row current at the given instant? *)
+}
+
+type t = {
+  routines : (string, routine list) Hashtbl.t;
+  casts : (string, cast list) Hashtbl.t; (* keyed by source type name *)
+  aggregates : (string, aggregate) Hashtbl.t;
+  mutable interval_sargable : string list;
+    (* routine names [f] such that [f(column, constant)] is answerable
+       from an interval index on the column (with recheck) *)
+  mutable chronon_extractors : (Value.t -> Tip_core.Chronon.t option) list;
+    (* how the engine gets a chronon out of a blade value, e.g. for SET NOW *)
+  mutable history : history_support option;
+}
+
+exception Resolution_error of string
+
+let resolution_error fmt =
+  Format.kasprintf (fun s -> raise (Resolution_error s)) fmt
+
+let create () =
+  { routines = Hashtbl.create 64;
+    casts = Hashtbl.create 16;
+    aggregates = Hashtbl.create 16;
+    interval_sargable = [];
+    chronon_extractors = [];
+    history = None }
+
+let canonical = String.lowercase_ascii
+
+(* --- Registration ------------------------------------------------------- *)
+
+let register_routine t ~name ~params ?(strict = true) impl =
+  let key = canonical name in
+  let existing = Option.value (Hashtbl.find_opt t.routines key) ~default:[] in
+  List.iter
+    (fun r ->
+      if r.params = params then
+        invalid_arg
+          (Printf.sprintf "routine %s(%s) already registered" key
+             (String.concat ", " (List.map ptype_name params))))
+    existing;
+  Hashtbl.replace t.routines key ({ params; strict; impl } :: existing)
+
+let register_cast t ~from_type ~to_type ?(implicit = false) ?(cost = 1) cast_impl =
+  let key = canonical from_type in
+  let existing = Option.value (Hashtbl.find_opt t.casts key) ~default:[] in
+  let cast = { cast_to = canonical to_type; implicit; cast_cost = cost; cast_impl } in
+  Hashtbl.replace t.casts key (cast :: existing)
+
+let register_aggregate t ~name agg =
+  let key = canonical name in
+  if Hashtbl.mem t.aggregates key then
+    invalid_arg (Printf.sprintf "aggregate %s already registered" key);
+  Hashtbl.replace t.aggregates key agg
+
+let register_interval_sargable t ~name =
+  t.interval_sargable <- canonical name :: t.interval_sargable
+
+let register_chronon_extractor t f =
+  t.chronon_extractors <- f :: t.chronon_extractors
+
+let register_history_support t support = t.history <- Some support
+
+let history_support t = t.history
+
+(* --- Lookup -------------------------------------------------------------- *)
+
+let find_aggregate t name = Hashtbl.find_opt t.aggregates (canonical name)
+let is_aggregate t name = find_aggregate t name <> None
+
+let is_interval_sargable t name =
+  List.mem (canonical name) t.interval_sargable
+
+let find_cast t ~from_type ~to_type =
+  match Hashtbl.find_opt t.casts (canonical from_type) with
+  | None -> None
+  | Some casts ->
+    List.find_opt (fun c -> String.equal c.cast_to (canonical to_type)) casts
+
+let find_implicit_cast t ~from_type ~to_type =
+  match find_cast t ~from_type ~to_type with
+  | Some c when c.implicit -> Some c
+  | Some _ | None -> None
+
+(* Chronon extraction: Date natively, blade types via extractors. *)
+let to_chronon t v =
+  match v with
+  | Value.Date c -> Some c
+  | Value.Null | Value.Int _ | Value.Float _ | Value.Bool _ | Value.Str _
+  | Value.Ext _ ->
+    List.find_map (fun f -> f v) t.chronon_extractors
+
+(* --- Overload resolution --------------------------------------------------- *)
+
+(* Cost of passing [v] where [p] is expected: 0 exact, 1 via implicit
+   conversion (int widening to float, or a registered implicit cast),
+   with the chosen cast; None if impossible. The widening cost keeps
+   overloads like (span, int) and (span, float) unambiguous. *)
+let arg_cost t p v =
+  let exact =
+    match p, v with
+    | P_float, Value.Int _ -> false (* widening, not exact *)
+    | _, _ -> value_matches p v
+  in
+  if exact then Some (0, None)
+  else if p = P_float && (match v with Value.Int _ -> true | _ -> false) then
+    Some (1, None)
+  else begin
+    match p with
+    | P_ext target -> (
+      match find_implicit_cast t ~from_type:(Value.type_name v) ~to_type:target with
+      | Some cast -> Some (cast.cast_cost, Some cast)
+      | None -> None)
+    | P_date -> (
+      match
+        find_implicit_cast t ~from_type:(Value.type_name v) ~to_type:"date"
+      with
+      | Some cast -> Some (cast.cast_cost, Some cast)
+      | None -> None)
+    | P_int | P_float | P_bool | P_string | P_any -> None
+  end
+
+(* Resolves and applies the best overload of [name] for [args].
+   Raises [Resolution_error] when nothing (or too many things) match. *)
+let apply_routine t ~now ~name args =
+  let key = canonical name in
+  match Hashtbl.find_opt t.routines key with
+  | None -> resolution_error "unknown routine %s" name
+  | Some overloads ->
+    let arity_matched =
+      List.filter (fun r -> List.length r.params = Array.length args) overloads
+    in
+    if arity_matched = [] then
+      resolution_error "routine %s does not take %d arguments" name
+        (Array.length args);
+    let scored =
+      List.filter_map
+        (fun r ->
+          let rec score i params total casts =
+            match params with
+            | [] -> Some (total, List.rev casts)
+            | p :: rest -> (
+              match arg_cost t p args.(i) with
+              | Some (c, cast) -> score (i + 1) rest (total + c) (cast :: casts)
+              | None -> None)
+          in
+          match score 0 r.params 0 [] with
+          | Some (total, casts) -> Some (total, casts, r)
+          | None -> None)
+        arity_matched
+    in
+    (match List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) scored with
+    | [] ->
+      resolution_error "no overload of %s matches (%s)" name
+        (String.concat ", "
+           (List.map Value.type_name (Array.to_list args)))
+    (* A NULL argument matches every type, which can tie otherwise
+       distinct overloads; when all tied candidates are strict the
+       answer is NULL whichever would run. *)
+    | (c1, _, r1) :: (c2, _, _) :: _
+      when c1 = c2 && Array.exists Value.is_null args
+           && List.for_all
+                (fun (c, _, r) -> c > c1 || r.strict)
+                scored
+           && r1.strict ->
+      Value.Null
+    | (c1, _, _) :: (c2, _, _) :: _ when c1 = c2 ->
+      resolution_error "ambiguous call to %s" name
+    | (_, casts, r) :: _ ->
+      if r.strict && Array.exists Value.is_null args then Value.Null
+      else begin
+        let args =
+          Array.mapi
+            (fun i v ->
+              match List.nth casts i with
+              | Some cast -> cast.cast_impl ~now v
+              | None -> v)
+            args
+        in
+        r.impl ~now args
+      end)
+
+let has_routine t name = Hashtbl.mem t.routines (canonical name)
+
+(* Applies a cast (for [expr::Type]); any registered cast qualifies, and
+   identity casts succeed trivially. *)
+let apply_cast t ~now v ~to_type =
+  let from_type = Value.type_name v in
+  if Value.is_null v then Value.Null
+  else if String.equal (canonical from_type) (canonical to_type) then v
+  else begin
+    match find_cast t ~from_type ~to_type with
+    | Some cast -> cast.cast_impl ~now v
+    | None ->
+      resolution_error "no cast from %s to %s" from_type (canonical to_type)
+  end

@@ -1,0 +1,138 @@
+(** The extensibility interface — the stand-in for Informix's DataBlade
+    API.
+
+    A blade installs, against one database: scalar routines (overloaded
+    by argument type), operator overloads (the same mechanism, keyed by
+    the operator symbol), casts (implicit or explicit, with a resolution
+    cost), user-defined aggregates, and planner hints. Datatypes
+    themselves register globally in {!Tip_storage.Value}; everything here
+    is per-database state, mirroring how a DataBlade installs into one
+    Informix database. *)
+
+open Tip_storage
+
+(** Parameter types for overload matching. *)
+type ptype =
+  | P_int
+  | P_float  (** also accepts ints, at widening cost 1 *)
+  | P_bool
+  | P_string
+  | P_date
+  | P_ext of string  (** a registered extension type, by canonical name *)
+  | P_any
+
+val ptype_name : ptype -> string
+val ptype_of_value : Value.t -> ptype
+
+(** Does the value inhabit the parameter type with no conversion?
+    NULL inhabits everything. *)
+val value_matches : ptype -> Value.t -> bool
+
+type routine = {
+  params : ptype list;
+  strict : bool;
+      (** strict routines return NULL without running on any NULL input *)
+  impl : now:Tip_core.Chronon.t -> Value.t array -> Value.t;
+      (** [now] is the statement's transaction time *)
+}
+
+type cast = {
+  cast_to : string;
+  implicit : bool;
+      (** implicit casts participate in overload resolution; explicit
+          ones require [expr::Type] *)
+  cast_cost : int;
+      (** resolution cost; longer widening chains cost more so that e.g.
+          chronon→instant is preferred over chronon→element *)
+  cast_impl : now:Tip_core.Chronon.t -> Value.t -> Value.t;
+}
+
+type aggregate = {
+  agg_init : unit -> Value.t;  (** accumulator seed *)
+  agg_step : now:Tip_core.Chronon.t -> Value.t -> Value.t -> Value.t;
+      (** [step acc v]; NULL inputs are skipped by the executor *)
+  agg_final : now:Tip_core.Chronon.t -> Value.t -> Value.t;
+}
+
+(** Transaction-time support, registered by a temporal blade: how to
+    create, close and probe the tuple timestamps of WITH HISTORY shadow
+    tables. *)
+type history_support = {
+  timestamp_type : string;
+      (** column type of the shadow table's [_tt] column *)
+  open_timestamp : now:Tip_core.Chronon.t -> Value.t;
+      (** timestamp of a freshly current row, e.g. [{[now, NOW]}] *)
+  close_timestamp : now:Tip_core.Chronon.t -> Value.t -> Value.t;
+      (** clip an open timestamp when the row stops being current *)
+  is_open : Value.t -> bool;
+  timestamp_contains :
+    now:Tip_core.Chronon.t -> Value.t -> Tip_core.Chronon.t -> bool;
+      (** AS OF probe: was the row current at the instant? *)
+}
+
+type t
+
+exception Resolution_error of string
+
+val create : unit -> t
+
+(** {1 Registration} *)
+
+(** @raise Invalid_argument if this exact signature is already present. *)
+val register_routine :
+  t ->
+  name:string ->
+  params:ptype list ->
+  ?strict:bool ->
+  (now:Tip_core.Chronon.t -> Value.t array -> Value.t) ->
+  unit
+
+val register_cast :
+  t ->
+  from_type:string ->
+  to_type:string ->
+  ?implicit:bool ->
+  ?cost:int ->
+  (now:Tip_core.Chronon.t -> Value.t -> Value.t) ->
+  unit
+
+(** @raise Invalid_argument on duplicate aggregate name. *)
+val register_aggregate : t -> name:string -> aggregate -> unit
+
+(** Declares that [name(column, constant)] can be answered from an
+    interval index on the column, with an exact recheck. *)
+val register_interval_sargable : t -> name:string -> unit
+
+(** Teaches the engine to read a chronon out of a blade value (used by
+    SET NOW and DATE coercions). *)
+val register_chronon_extractor :
+  t -> (Value.t -> Tip_core.Chronon.t option) -> unit
+
+(** Enables [CREATE TABLE ... WITH HISTORY] and [FROM t AS OF ...]. *)
+val register_history_support : t -> history_support -> unit
+
+val history_support : t -> history_support option
+
+(** {1 Lookup and resolution} *)
+
+val find_aggregate : t -> string -> aggregate option
+val is_aggregate : t -> string -> bool
+val is_interval_sargable : t -> string -> bool
+val has_routine : t -> string -> bool
+val find_cast : t -> from_type:string -> to_type:string -> cast option
+val find_implicit_cast : t -> from_type:string -> to_type:string -> cast option
+val to_chronon : t -> Value.t -> Tip_core.Chronon.t option
+
+(** Resolves the cheapest overload of [name] for the argument values
+    (exact match 0, int→float widening 1, implicit casts at their
+    registered cost), applies any argument casts and runs it. Strict
+    routines short-circuit to NULL on NULL arguments.
+    @raise Resolution_error on no match or an ambiguous tie. *)
+val apply_routine :
+  t -> now:Tip_core.Chronon.t -> name:string -> Value.t array -> Value.t
+
+(** Applies a registered cast ([expr::Type]); identity casts succeed
+    trivially, NULL passes through.
+    @raise Resolution_error when no cast exists. *)
+val apply_cast :
+  t -> now:Tip_core.Chronon.t -> Value.t -> to_type:string -> Value.t

@@ -1,0 +1,137 @@
+(* Physical query plans.
+
+   A plan is a tree of Volcano-style operators whose expressions are
+   already compiled to closures; [Executor.run] turns it into a row
+   sequence. Each node carries a human-readable label so EXPLAIN can
+   print the tree without decompiling closures. *)
+
+open Tip_storage
+module Ast = Tip_sql.Ast
+
+type agg_impl =
+  | Agg_count_star
+  | Agg_count
+  | Agg_sum
+  | Agg_avg
+  | Agg_min
+  | Agg_max
+  | Agg_user of Extension.aggregate * string (* registered name *)
+
+type agg_spec = {
+  impl : agg_impl;
+  arg : Expr_eval.compiled option; (* None only for count-star *)
+  distinct : bool; (* aggregate over distinct argument values *)
+  agg_label : string;
+}
+
+type t =
+  | Seq_scan of { table : Table.t; label : string }
+  | Index_scan of {
+      table : Table.t;
+      btree : Btree.t;
+      lo : Btree.bound;
+      hi : Btree.bound;
+      label : string;
+    }
+  | Interval_scan of {
+      table : Table.t;
+      index : Interval_index.t;
+      lo : int;
+      hi : int;
+      label : string;
+    }
+  | Filter of { input : t; pred : Expr_eval.compiled; label : string }
+  | Nested_loop of { left : t; right : t }
+  | Hash_join of {
+      left : t;
+      right : t;
+      left_keys : Expr_eval.compiled list;
+      right_keys : Expr_eval.compiled list;
+      label : string;
+    }
+  | Left_outer_join of {
+      left : t;
+      right : t;
+      on : Expr_eval.compiled;
+      right_width : int;
+      label : string;
+    }
+  | Project of {
+      input : t;
+      exprs : Expr_eval.compiled array;
+      names : string array;
+    }
+  | Aggregate of {
+      input : t;
+      keys : Expr_eval.compiled list;
+      aggs : agg_spec list;
+      label : string;
+    }
+  | Sort of {
+      input : t;
+      by : (Expr_eval.compiled * Ast.order_direction) list;
+      label : string;
+    }
+  | Distinct of t
+  | Limit of { input : t; limit : int option; offset : int option }
+  | Append of t list (* concatenation of same-arity inputs (UNION ALL) *)
+  | One_row (* FROM-less SELECT produces a single empty row *)
+
+let agg_name = function
+  | Agg_count_star -> "count(*)"
+  | Agg_count -> "count"
+  | Agg_sum -> "sum"
+  | Agg_avg -> "avg"
+  | Agg_min -> "min"
+  | Agg_max -> "max"
+  | Agg_user (_, name) -> name
+
+let rec pp ?(indent = 0) ppf plan =
+  let pad ppf () = Fmt.string ppf (String.make (indent * 2) ' ') in
+  let child = indent + 1 in
+  match plan with
+  | Seq_scan { table; label } ->
+    Fmt.pf ppf "%aSeqScan %s%s@." pad () (Table.name table) label
+  | Index_scan { table; label; _ } ->
+    Fmt.pf ppf "%aIndexScan %s %s@." pad () (Table.name table) label
+  | Interval_scan { table; label; _ } ->
+    Fmt.pf ppf "%aIntervalScan %s %s@." pad () (Table.name table) label
+  | Filter { input; label; _ } ->
+    Fmt.pf ppf "%aFilter %s@." pad () label;
+    pp ~indent:child ppf input
+  | Nested_loop { left; right } ->
+    Fmt.pf ppf "%aNestedLoop@." pad ();
+    pp ~indent:child ppf left;
+    pp ~indent:child ppf right
+  | Hash_join { left; right; label; _ } ->
+    Fmt.pf ppf "%aHashJoin %s@." pad () label;
+    pp ~indent:child ppf left;
+    pp ~indent:child ppf right
+  | Left_outer_join { left; right; label; _ } ->
+    Fmt.pf ppf "%aLeftOuterJoin %s@." pad () label;
+    pp ~indent:child ppf left;
+    pp ~indent:child ppf right
+  | Project { input; names; _ } ->
+    Fmt.pf ppf "%aProject [%s]@." pad ()
+      (String.concat ", " (Array.to_list names));
+    pp ~indent:child ppf input
+  | Aggregate { input; label; _ } ->
+    Fmt.pf ppf "%aAggregate %s@." pad () label;
+    pp ~indent:child ppf input
+  | Sort { input; label; _ } ->
+    Fmt.pf ppf "%aSort %s@." pad () label;
+    pp ~indent:child ppf input
+  | Distinct input ->
+    Fmt.pf ppf "%aDistinct@." pad ();
+    pp ~indent:child ppf input
+  | Limit { input; limit; offset } ->
+    Fmt.pf ppf "%aLimit%s%s@." pad ()
+      (match limit with Some n -> Printf.sprintf " limit=%d" n | None -> "")
+      (match offset with Some n -> Printf.sprintf " offset=%d" n | None -> "");
+    pp ~indent:child ppf input
+  | Append inputs ->
+    Fmt.pf ppf "%aAppend@." pad ();
+    List.iter (pp ~indent:child ppf) inputs
+  | One_row -> Fmt.pf ppf "%aOneRow@." pad ()
+
+let to_string plan = Fmt.str "%a" (pp ~indent:0) plan

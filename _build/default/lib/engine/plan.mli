@@ -1,0 +1,83 @@
+(** Physical query plans: a tree of Volcano-style operators whose
+    expressions are already compiled to closures. {!Executor.run} turns a
+    plan into a row sequence; each node carries a label so EXPLAIN can
+    print the tree without decompiling closures. *)
+
+open Tip_storage
+module Ast = Tip_sql.Ast
+
+type agg_impl =
+  | Agg_count_star
+  | Agg_count
+  | Agg_sum
+  | Agg_avg
+  | Agg_min
+  | Agg_max
+  | Agg_user of Extension.aggregate * string  (** registered name *)
+
+type agg_spec = {
+  impl : agg_impl;
+  arg : Expr_eval.compiled option;  (** [None] only for count-star *)
+  distinct : bool;  (** aggregate over distinct argument values *)
+  agg_label : string;
+}
+
+type t =
+  | Seq_scan of { table : Table.t; label : string }
+  | Index_scan of {
+      table : Table.t;
+      btree : Btree.t;
+      lo : Btree.bound;
+      hi : Btree.bound;
+      label : string;
+    }  (** B+tree range scan; conjuncts recheck above *)
+  | Interval_scan of {
+      table : Table.t;
+      index : Interval_index.t;
+      lo : int;
+      hi : int;
+      label : string;
+    }  (** candidate rows whose extents intersect the probe window *)
+  | Filter of { input : t; pred : Expr_eval.compiled; label : string }
+  | Nested_loop of { left : t; right : t }  (** cross product *)
+  | Hash_join of {
+      left : t;
+      right : t;
+      left_keys : Expr_eval.compiled list;
+      right_keys : Expr_eval.compiled list;
+      label : string;
+    }  (** equi-join; builds on the right, probes from the left *)
+  | Left_outer_join of {
+      left : t;
+      right : t;
+      on : Expr_eval.compiled;
+      right_width : int;  (** columns to NULL-pad for unmatched rows *)
+      label : string;
+    }
+  | Project of {
+      input : t;
+      exprs : Expr_eval.compiled array;
+      names : string array;
+    }
+  | Aggregate of {
+      input : t;
+      keys : Expr_eval.compiled list;
+      aggs : agg_spec list;
+      label : string;
+    }  (** output rows are [keys @ aggregate results] *)
+  | Sort of {
+      input : t;
+      by : (Expr_eval.compiled * Ast.order_direction) list;
+      label : string;
+    }
+  | Distinct of t  (** order-preserving (first occurrence wins) *)
+  | Limit of { input : t; limit : int option; offset : int option }
+  | Append of t list  (** concatenation of same-arity inputs (UNION ALL) *)
+  | One_row  (** FROM-less SELECT produces a single empty row *)
+
+val agg_name : agg_impl -> string
+
+(** Indented tree rendering, as shown by EXPLAIN. *)
+val pp : ?indent:int -> Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,55 @@
+(** Translates bound SELECTs into physical plans.
+
+    The optimizer is deliberately simple but not a strawman: WHERE
+    conjuncts push down to the scans they cover; equality conjuncts
+    across two join inputs become hash joins; sargable conjuncts over
+    B+tree-indexed columns become index range scans; interval-sargable
+    routine calls (e.g. [overlaps(col, const)] once the blade registers
+    them) over interval-indexed columns become interval scans with an
+    exact recheck. Everything else is nested loops plus filters.
+    Aggregation follows SQL scoping: group keys and aggregate calls get
+    slots, and post-aggregation expressions may reference only those. *)
+
+open Tip_storage
+module Ast = Tip_sql.Ast
+
+exception Plan_error of string
+
+(** Plans one SELECT; returns the plan and its output column names.
+    @raise Plan_error on unknown/ambiguous names, aggregate misuse,
+    correlated subqueries, and similar static errors. *)
+val plan :
+  ext:Extension.t ->
+  ectx:Expr_eval.ctx ->
+  Catalog.t ->
+  Ast.select ->
+  Plan.t * string array
+
+(** Plans a UNION [ALL] tree; arms must agree on arity; names come from
+    the first arm. *)
+val plan_union :
+  ext:Extension.t ->
+  ectx:Expr_eval.ctx ->
+  Catalog.t ->
+  Ast.compound ->
+  Plan.t * string array
+
+(** A subquery runner for standalone expressions (INSERT value lists,
+    SET NOW): no outer scope, so correlation fails with an
+    unknown-column error. *)
+val subquery_runner :
+  ext:Extension.t ->
+  ectx:Expr_eval.ctx ->
+  Catalog.t ->
+  Ast.select ->
+  Expr_eval.subquery_exec
+
+(** A subquery runner for single-table DML predicates: the table's row
+    is the outer scope, so UPDATE/DELETE WHERE clauses may correlate. *)
+val subquery_runner_for_table :
+  ext:Extension.t ->
+  ectx:Expr_eval.ctx ->
+  Catalog.t ->
+  Schema.t ->
+  Ast.select ->
+  Expr_eval.subquery_exec

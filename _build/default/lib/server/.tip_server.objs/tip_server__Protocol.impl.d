@@ -1,0 +1,1 @@
+lib/server/protocol.ml: Array List Persist Printf String Tip_core Tip_storage Value

@@ -1,0 +1,1 @@
+lib/server/remote.ml: Protocol Tip_engine Unix

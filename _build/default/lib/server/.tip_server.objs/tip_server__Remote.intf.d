@@ -1,0 +1,1 @@
+lib/server/remote.mli: Tip_engine Tip_storage

@@ -1,0 +1,1 @@
+lib/server/server.ml: Fun List Logs Mutex Protocol Thread Tip_engine Tip_sql Tip_storage Unix

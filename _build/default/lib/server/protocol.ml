@@ -1,0 +1,145 @@
+(* The wire protocol between TIP clients and the server — our stand-in
+   for the ODBC/JDBC connection of the paper's Figure 1.
+
+   Line-oriented text over a stream socket. Every line is terminated by
+   '\n'; embedded tabs/newlines/backslashes in payloads are escaped with
+   the snapshot escaping (\t, \n, \\).
+
+   Client -> server, one request per exchange:
+     Q <sql>                      execute a statement
+     B <name>\t<type>\t<text>     bind a parameter for the next Q
+                                  (type = int|float|bool|string|date or a
+                                  registered extension type; text in
+                                  literal syntax)
+     X                            close the session
+
+   Server -> client, one response per Q:
+     R <ncols> <nrows>            result rows follow:
+       <name1>\t<name2>...        one header line
+       <cell>\t<cell>...          nrows data lines (NULL as \N)
+     A <n>                        statement affected n rows
+     M <text>                     informational message
+     E <text>                     error (session stays usable)
+
+   Cells travel in display syntax and are re-parsed by type name on the
+   client, exactly like the snapshot format — NOW stays symbolic on the
+   wire. *)
+
+open Tip_storage
+
+let escape = Persist.escape_cell
+let unescape = Persist.unescape_cell
+let null_marker = "\\N"
+
+let encode_cell v =
+  if Value.is_null v then null_marker else escape (Value.to_display_string v)
+
+(* Values travel with their type name so the client can rebuild typed
+   values (the JDBC custom type mapping, one line at a time). *)
+let encode_typed v =
+  if Value.is_null v then "null\t" ^ null_marker
+  else Value.type_name v ^ "\t" ^ encode_cell v
+
+let decode_typed ty text =
+  if String.equal text null_marker then Value.Null
+  else begin
+    let text = unescape text in
+    match ty with
+    | "int" -> Value.Int (int_of_string text)
+    | "float" -> Value.Float (float_of_string text)
+    | "boolean" -> Value.Bool (String.equal text "t")
+    | "char" | "string" -> Value.Str text
+    | "date" -> (
+      match Tip_core.Chronon.of_string text with
+      | Some c -> Value.Date c
+      | None -> failwith ("bad date on the wire: " ^ text))
+    | ext -> (
+      match Value.lookup_type ext with
+      | Some vt -> vt.Value.parse text
+      | None -> failwith ("unregistered wire type: " ^ ext))
+  end
+
+(* --- Requests --------------------------------------------------------------- *)
+
+type request =
+  | Execute of string
+  | Bind of string * Value.t
+  | Quit
+
+let encode_request = function
+  | Execute sql -> "Q " ^ escape sql
+  | Bind (name, v) -> Printf.sprintf "B %s\t%s" (escape name) (encode_typed v)
+  | Quit -> "X"
+
+let decode_request line =
+  if String.length line >= 2 && String.sub line 0 2 = "Q " then
+    Some (Execute (unescape (String.sub line 2 (String.length line - 2))))
+  else if String.length line >= 2 && String.sub line 0 2 = "B " then begin
+    match
+      String.split_on_char '\t' (String.sub line 2 (String.length line - 2))
+    with
+    | [ name; ty; text ] -> Some (Bind (unescape name, decode_typed ty text))
+    | _ -> None
+  end
+  else if String.equal line "X" then Some Quit
+  else None
+
+(* --- Responses --------------------------------------------------------------- *)
+
+type response =
+  | Rows of { names : string list; rows : Value.t array list }
+  | Affected of int
+  | Message of string
+  | Error of string
+
+let write_response oc = function
+  | Rows { names; rows } ->
+    Printf.fprintf oc "R %d %d\n" (List.length names) (List.length rows);
+    output_string oc (String.concat "\t" (List.map escape names));
+    output_char oc '\n';
+    List.iter
+      (fun row ->
+        let cells = Array.to_list (Array.map encode_typed row) in
+        output_string oc (String.concat "\x01" cells);
+        output_char oc '\n')
+      rows
+  | Affected n -> Printf.fprintf oc "A %d\n" n
+  | Message m -> Printf.fprintf oc "M %s\n" (escape m)
+  | Error e -> Printf.fprintf oc "E %s\n" (escape e)
+
+let read_response ic =
+  let line = input_line ic in
+  if String.length line >= 2 && String.sub line 0 2 = "R " then begin
+    match
+      String.split_on_char ' ' (String.sub line 2 (String.length line - 2))
+    with
+    | [ ncols; nrows ] ->
+      let ncols = int_of_string ncols and nrows = int_of_string nrows in
+      let names =
+        List.map unescape (String.split_on_char '\t' (input_line ic))
+      in
+      if List.length names <> ncols then failwith "protocol: header arity";
+      let rows =
+        List.init nrows (fun _ ->
+            let cells = String.split_on_char '\x01' (input_line ic) in
+            Array.of_list
+              (List.map
+                 (fun cell ->
+                   match String.index_opt cell '\t' with
+                   | Some i ->
+                     decode_typed
+                       (String.sub cell 0 i)
+                       (String.sub cell (i + 1) (String.length cell - i - 1))
+                   | None -> failwith "protocol: bad cell")
+                 cells))
+      in
+      Rows { names; rows }
+    | _ -> failwith "protocol: bad R header"
+  end
+  else if String.length line >= 2 && String.sub line 0 2 = "A " then
+    Affected (int_of_string (String.sub line 2 (String.length line - 2)))
+  else if String.length line >= 2 && String.sub line 0 2 = "M " then
+    Message (unescape (String.sub line 2 (String.length line - 2)))
+  else if String.length line >= 2 && String.sub line 0 2 = "E " then
+    Error (unescape (String.sub line 2 (String.length line - 2)))
+  else failwith ("protocol: unexpected line " ^ line)

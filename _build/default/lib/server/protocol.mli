@@ -1,0 +1,36 @@
+(** The wire protocol between TIP clients and the server — the stand-in
+    for the ODBC/JDBC connection of the paper's Figure 1.
+
+    Line-oriented text over a stream socket. Requests: [Q <sql>] executes
+    a statement, [B <name> <type> <text>] binds a parameter for the next
+    Q, [X] ends the session. Responses: a row block, an affected count,
+    a message, or an error. Values travel in literal syntax tagged with
+    their type name and are rebuilt on the client (register the blade
+    types first); NOW stays symbolic on the wire. *)
+
+open Tip_storage
+
+type request =
+  | Execute of string
+  | Bind of string * Value.t
+  | Quit
+
+val encode_request : request -> string
+val decode_request : string -> request option
+
+type response =
+  | Rows of { names : string list; rows : Value.t array list }
+  | Affected of int
+  | Message of string
+  | Error of string
+
+val write_response : out_channel -> response -> unit
+
+(** @raise Failure on malformed protocol data
+    @raise End_of_file when the peer hangs up. *)
+val read_response : in_channel -> response
+
+(**/**)
+
+val encode_typed : Value.t -> string
+val decode_typed : string -> string -> Value.t

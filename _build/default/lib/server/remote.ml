@@ -1,0 +1,57 @@
+(* The remote client: the same API shape as an embedded connection, over
+   the wire protocol. Typed values cross the network in literal syntax
+   and are rebuilt on this side (register the blade types first). *)
+
+exception Remote_error of string
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable closed : bool;
+}
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (match
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise (Remote_error (Unix.error_message e)));
+  { fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    closed = false }
+
+let check_open t = if t.closed then raise (Remote_error "connection is closed")
+
+let send t request =
+  output_string t.oc (Protocol.encode_request request);
+  output_char t.oc '\n';
+  flush t.oc
+
+(* Binds a [:name] parameter for the next [execute]. *)
+let bind t name value =
+  check_open t;
+  send t (Protocol.Bind (name, value))
+
+(* Executes one statement and returns the embedded-style result.
+   @raise Remote_error when the server reports an error. *)
+let execute t sql =
+  check_open t;
+  send t (Protocol.Execute sql);
+  match Protocol.read_response t.ic with
+  | Protocol.Rows { names; rows } -> Tip_engine.Database.Rows { names; rows }
+  | Protocol.Affected n -> Tip_engine.Database.Affected n
+  | Protocol.Message m -> Tip_engine.Database.Message m
+  | Protocol.Error e -> raise (Remote_error e)
+  | exception End_of_file -> raise (Remote_error "server closed the connection")
+
+let close t =
+  if not t.closed then begin
+    (try send t Protocol.Quit with Sys_error _ | Remote_error _ -> ());
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

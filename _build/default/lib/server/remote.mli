@@ -1,0 +1,20 @@
+(** The remote client: an embedded-connection-shaped API over the wire
+    protocol. Typed values are rebuilt on this side, so register the
+    blade types ({!Tip_blade.Values.register_types}) before connecting
+    when results contain temporal columns. *)
+
+exception Remote_error of string
+
+type t
+
+(** @raise Remote_error when the server is unreachable. *)
+val connect : ?host:string -> port:int -> unit -> t
+
+(** Binds a [:name] parameter for the next {!execute}. *)
+val bind : t -> string -> Tip_storage.Value.t -> unit
+
+(** Executes one statement.
+    @raise Remote_error on server-side errors or a lost connection. *)
+val execute : t -> string -> Tip_engine.Database.result
+
+val close : t -> unit

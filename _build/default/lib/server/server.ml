@@ -1,0 +1,108 @@
+(* The TIP database server: accepts client connections over TCP (or any
+   stream socket) and executes their statements against one shared
+   embedded database.
+
+   One thread per client; statement execution is serialized with a
+   mutex, so clients see the same single-writer semantics as embedded
+   connections (DESIGN.md documents the concurrency scope). Parameter
+   bindings (B lines) accumulate per session and apply to the next Q. *)
+
+module Db = Tip_engine.Database
+
+let log_src = Logs.Src.create "tip.server" ~doc:"TIP network server"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  db : Db.t;
+  db_lock : Mutex.t;
+  listener : Unix.file_descr;
+  mutable running : bool;
+}
+
+let result_to_response : Db.result -> Protocol.response = function
+  | Db.Rows { names; rows } -> Protocol.Rows { names; rows }
+  | Db.Affected n -> Protocol.Affected n
+  | Db.Message m -> Protocol.Message m
+
+(* Every failure becomes an E response; the session survives. *)
+let execute_guarded t ~params sql =
+  Mutex.lock t.db_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.db_lock)
+    (fun () ->
+      match Db.exec ~params t.db sql with
+      | result -> result_to_response result
+      | exception Db.Error msg -> Protocol.Error msg
+      | exception Tip_sql.Parser.Error msg -> Protocol.Error msg
+      | exception Tip_sql.Lexer.Error msg -> Protocol.Error msg
+      | exception Tip_engine.Planner.Plan_error msg -> Protocol.Error msg
+      | exception Tip_engine.Expr_eval.Eval_error msg -> Protocol.Error msg
+      | exception Tip_storage.Value.Type_error msg -> Protocol.Error msg
+      | exception Tip_storage.Table.Constraint_violation msg ->
+        Protocol.Error msg
+      | exception Tip_storage.Catalog.Catalog_error msg -> Protocol.Error msg
+      | exception Tip_storage.Schema.Schema_error msg -> Protocol.Error msg)
+
+let handle_session t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let params = ref [] in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line -> (
+      match Protocol.decode_request line with
+      | Some Protocol.Quit -> ()
+      | Some (Protocol.Bind (name, v)) ->
+        params := (name, v) :: List.remove_assoc name !params;
+        loop ()
+      | Some (Protocol.Execute sql) ->
+        let response = execute_guarded t ~params:!params sql in
+        params := [];
+        Protocol.write_response oc response;
+        flush oc;
+        loop ()
+      | None ->
+        Protocol.write_response oc (Protocol.Error "malformed request");
+        flush oc;
+        loop ())
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    loop
+
+(* Creates a listening socket; port 0 picks an ephemeral port. *)
+let listen ?(host = "127.0.0.1") ~port db =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen fd 16;
+  { db; db_lock = Mutex.create (); listener = fd; running = true }
+
+let port t =
+  match Unix.getsockname t.listener with
+  | Unix.ADDR_INET (_, port) -> port
+  | Unix.ADDR_UNIX _ -> invalid_arg "Server.port: unix socket"
+
+(* Accept loop: one thread per client. Runs until [stop]. *)
+let serve t =
+  Log.info (fun m -> m "listening on port %d" (port t));
+  let rec accept_loop () =
+    if t.running then begin
+      match Unix.accept t.listener with
+      | client_fd, _ ->
+        ignore (Thread.create (fun () -> handle_session t client_fd) ());
+        accept_loop ()
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+        () (* listener closed by [stop] *)
+    end
+  in
+  accept_loop ()
+
+(* Runs the accept loop on a background thread; returns immediately. *)
+let serve_in_background t = ignore (Thread.create (fun () -> serve t) ())
+
+let stop t =
+  t.running <- false;
+  try Unix.close t.listener with Unix.Unix_error _ -> ()

@@ -1,0 +1,22 @@
+(** The TIP database server: accepts client connections over TCP and
+    executes their statements against one shared embedded database.
+
+    One thread per client; statement execution is serialized with a
+    mutex, preserving the single-writer semantics of embedded
+    connections. Errors become [E] responses and the session survives. *)
+
+type t
+
+(** Creates the listening socket; [port 0] picks an ephemeral port. *)
+val listen : ?host:string -> port:int -> Tip_engine.Database.t -> t
+
+(** The actual bound port. *)
+val port : t -> int
+
+(** Blocking accept loop; returns after {!stop}. *)
+val serve : t -> unit
+
+(** Runs the accept loop on a background thread. *)
+val serve_in_background : t -> unit
+
+val stop : t -> unit

@@ -1,0 +1,1 @@
+lib/sql/pretty.ml: Ast Buffer Fmt List Option String

@@ -1,0 +1,191 @@
+(* Abstract syntax for the SQL dialect.
+
+   The dialect is standard SQL-92 DML/DDL plus the two Informix-isms the
+   paper's examples rely on: [expr::Type] explicit casts and [:name] host
+   variables, and one TIP convenience statement, [SET NOW], which the
+   browser uses for what-if analysis. Identifier case is preserved here;
+   name resolution downcases during planning. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+  | Concat
+
+type unop = Not | Neg
+
+type literal =
+  | L_int of int
+  | L_float of float
+  | L_string of string
+  | L_bool of bool
+  | L_null
+
+type expr =
+  | Lit of literal
+  | Column of string option * string (* optional table qualifier, column *)
+  | Param of string                  (* :name host variable *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list       (* function or aggregate call *)
+  | Call_distinct of string * expr   (* aggregate over distinct values *)
+  | Count_star
+  | Cast of expr * string            (* expr::Type or CAST(expr AS Type) *)
+  | Case of (expr * expr) list * expr option
+  | In_list of { negated : bool; scrutinee : expr; choices : expr list }
+  | Between of { negated : bool; scrutinee : expr; low : expr; high : expr }
+  | Like of { negated : bool; scrutinee : expr; pattern : expr }
+  | Is_null of { negated : bool; scrutinee : expr }
+  | Exists of select                  (* EXISTS (SELECT ...) *)
+  | In_select of { negated : bool; scrutinee : expr; query : select }
+  | Scalar_subquery of select         (* (SELECT ...) producing one value *)
+
+and order_direction = Asc | Desc
+
+and select_item =
+  | Sel_expr of expr * string option (* expression with optional alias *)
+  | Sel_star of string option       (* [*] or [t.*] *)
+
+and join_kind = Inner | Left_outer
+
+and table_ref =
+  | Table of {
+      name : string;
+      alias : string option;
+      as_of : expr option;
+          (* FROM t AS OF <instant>: read the WITH HISTORY shadow table
+             as it was at that time *)
+    }
+  | Join of { left : table_ref; kind : join_kind; right : table_ref; on : expr }
+  | Derived of { query : select; alias : string }
+
+and select = {
+  distinct : bool;
+  items : select_item list;
+  from : table_ref list; (* comma-separated; empty for SELECT <exprs> *)
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : (expr * order_direction) list;
+  limit : int option;
+  offset : int option;
+}
+
+type column_def = {
+  col_name : string;
+  col_type : string;        (* type name as written, resolved by the catalog *)
+  col_type_param : int option; (* e.g. CHAR(20) *)
+  col_not_null : bool;
+  col_primary_key : bool;
+}
+
+(* Set operations between SELECTs. Following Informix of the paper's era
+   we support UNION and UNION ALL; an ORDER BY/LIMIT written after the
+   last arm belongs to that arm (wrap in a derived table to sort the
+   whole union). *)
+type compound =
+  | Simple of select
+  | Union of { all : bool; left : compound; right : compound }
+
+type statement =
+  | Select of select
+  | Select_compound of compound
+  | Insert of {
+      table : string;
+      columns : string list option;
+      source : insert_source;
+    }
+  | Update of { table : string; assignments : (string * expr) list; where : expr option }
+  | Delete of { table : string; where : expr option }
+  | Create_table of {
+      table : string;
+      if_not_exists : bool;
+      columns : column_def list;
+      with_history : bool; (* maintain a transaction-time shadow table *)
+    }
+  | Create_table_as of { table : string; query : select }
+  | Drop_table of { table : string; if_exists : bool }
+  | Create_index of {
+      index : string;
+      table : string;
+      column : string;
+      unique : bool;
+      using : string option; (* e.g. USING INTERVAL; None = ordered B+tree *)
+    }
+  | Drop_index of { index : string }
+  | Explain of statement
+  | Begin_tx
+  | Commit_tx
+  | Rollback_tx
+  | Savepoint of string
+  | Rollback_to of string
+  | Release_savepoint of string
+  | Copy_to of { table : string; file : string }   (* COPY t TO 'f.csv' *)
+  | Copy_from of { table : string; file : string } (* COPY t FROM 'f.csv' *)
+  | Set_now of expr option (* SET NOW = <expr>; None restores the wall clock *)
+  | Show_tables
+  | Describe of { table : string }
+
+and insert_source =
+  | Values of expr list list
+  | Query of select
+
+(* Immediate subexpressions, for generic tree walks. *)
+let children = function
+  | Lit _ | Column _ | Param _ | Count_star -> []
+  | Binop (_, a, b) -> [ a; b ]
+  | Unop (_, e) -> [ e ]
+  | Call (_, args) -> args
+  | Call_distinct (_, e) -> [ e ]
+  | Cast (e, _) -> [ e ]
+  | Case (arms, else_) ->
+    List.concat_map (fun (c, v) -> [ c; v ]) arms @ Option.to_list else_
+  | In_list { scrutinee; choices; _ } -> scrutinee :: choices
+  | Between { scrutinee; low; high; _ } -> [ scrutinee; low; high ]
+  | Like { scrutinee; pattern; _ } -> [ scrutinee; pattern ]
+  | Is_null { scrutinee; _ } -> [ scrutinee ]
+  | Exists _ | Scalar_subquery _ -> []
+  | In_select { scrutinee; _ } -> [ scrutinee ]
+
+(* Rebuilds a node with [f] applied to each immediate subexpression;
+   subquery bodies are left untouched. *)
+let map_children f = function
+  | (Lit _ | Column _ | Param _ | Count_star) as e -> e
+  | Binop (op, a, b) -> Binop (op, f a, f b)
+  | Unop (op, e) -> Unop (op, f e)
+  | Call (name, args) -> Call (name, List.map f args)
+  | Call_distinct (name, e) -> Call_distinct (name, f e)
+  | Cast (e, ty) -> Cast (f e, ty)
+  | Case (arms, else_) ->
+    Case (List.map (fun (c, v) -> (f c, f v)) arms, Option.map f else_)
+  | In_list r ->
+    In_list { r with scrutinee = f r.scrutinee; choices = List.map f r.choices }
+  | Between r ->
+    Between { r with scrutinee = f r.scrutinee; low = f r.low; high = f r.high }
+  | Like r -> Like { r with scrutinee = f r.scrutinee; pattern = f r.pattern }
+  | Is_null r -> Is_null { r with scrutinee = f r.scrutinee }
+  | Exists _ as e -> e
+  | In_select r -> In_select { r with scrutinee = f r.scrutinee }
+  | Scalar_subquery _ as e -> e
+
+(* An empty SELECT skeleton, convenient for building queries in code. *)
+let empty_select =
+  { distinct = false;
+    items = [];
+    from = [];
+    where = None;
+    group_by = [];
+    having = None;
+    order_by = [];
+    limit = None;
+    offset = None }

@@ -1,0 +1,203 @@
+(* Hand-written SQL lexer.
+
+   Understands: integer and float literals; '...' string literals with
+   doubled-quote escaping; bare and "..."-quoted identifiers; :name host
+   variables; the Informix '::' explicit-cast symbol; line (--) and block
+   comments; and the usual operator/punctuation set. *)
+
+exception Error of string
+
+let error line column msg =
+  raise (Error (Printf.sprintf "lexical error at line %d, column %d: %s" line column msg))
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* position just after the last newline *)
+}
+
+let column st = st.pos - st.bol + 1
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.bol <- st.pos + 1
+  | Some _ | None -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '-' when peek2 st = Some '-' ->
+    while peek st <> None && peek st <> Some '\n' do advance st done;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+    let start_line = st.line and start_col = column st in
+    advance st;
+    advance st;
+    let rec close () =
+      match peek st with
+      | None -> error start_line start_col "unterminated block comment"
+      | Some '*' when peek2 st = Some '/' ->
+        advance st;
+        advance st
+      | Some _ ->
+        advance st;
+        close ()
+    in
+    close ();
+    skip_trivia st
+  | Some _ | None -> ()
+
+let lex_number st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float =
+    if peek st = Some '.' && (match peek2 st with Some c -> is_digit c | None -> false)
+    then begin
+      advance st;
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done;
+      true
+    end
+    else false
+  in
+  let is_float =
+    match peek st with
+    | Some ('e' | 'E') ->
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | Some _ | None -> ());
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done;
+      true
+    | Some _ | None -> is_float
+  in
+  let text = String.sub st.src start (st.pos - start) in
+  if is_float then Token.Float (float_of_string text)
+  else Token.Int (int_of_string text)
+
+let lex_string st =
+  let line = st.line and col = column st in
+  advance st; (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error line col "unterminated string literal"
+    | Some '\'' when peek2 st = Some '\'' ->
+      Buffer.add_char buf '\'';
+      advance st;
+      advance st;
+      go ()
+    | Some '\'' -> advance st
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Token.String (Buffer.contents buf)
+
+let lex_quoted_ident st =
+  let line = st.line and col = column st in
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error line col "unterminated quoted identifier"
+    | Some '"' when peek2 st = Some '"' ->
+      Buffer.add_char buf '"';
+      advance st;
+      advance st;
+      go ()
+    | Some '"' -> advance st
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Token.Quoted_ident (Buffer.contents buf)
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  Token.Ident (String.sub st.src start (st.pos - start))
+
+(* Two-character symbols first, then single-character ones. *)
+let lex_symbol st =
+  let line = st.line and col = column st in
+  let two =
+    if st.pos + 1 < String.length st.src then
+      Some (String.sub st.src st.pos 2)
+    else None
+  in
+  match two with
+  | Some (("::" | "<=" | ">=" | "<>" | "!=" | "||") as s) ->
+    advance st;
+    advance st;
+    Token.Symbol (if s = "!=" then "<>" else s)
+  | Some _ | None ->
+    (match peek st with
+    | Some (('(' | ')' | ',' | '.' | ';' | '+' | '-' | '*' | '/' | '%'
+            | '=' | '<' | '>') as c) ->
+      advance st;
+      Token.Symbol (String.make 1 c)
+    | Some c -> error line col (Printf.sprintf "unexpected character %C" c)
+    | None -> Token.Eof)
+
+let next_token st =
+  skip_trivia st;
+  let line = st.line and col = column st in
+  let token =
+    match peek st with
+    | None -> Token.Eof
+    | Some c when is_digit c -> lex_number st
+    | Some '\'' -> lex_string st
+    | Some '"' -> lex_quoted_ident st
+    | Some c when is_ident_start c -> lex_ident st
+    | Some ':' when peek2 st = Some ':' -> lex_symbol st
+    | Some ':' ->
+      advance st;
+      (match peek st with
+      | Some c when is_ident_start c ->
+        (match lex_ident st with
+        | Token.Ident name -> Token.Param name
+        | Token.Int _ | Token.Float _ | Token.String _ | Token.Quoted_ident _
+        | Token.Param _ | Token.Symbol _ | Token.Eof ->
+          assert false)
+      | Some _ | None -> error line col "expected parameter name after ':'")
+    | Some _ -> lex_symbol st
+  in
+  { Token.token; line; column = col }
+
+(* Lexes the whole input; the resulting array always ends with [Eof]. *)
+let tokenize src =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  let rec go acc =
+    let t = next_token st in
+    match t.Token.token with
+    | Token.Eof -> List.rev (t :: acc)
+    | Token.Int _ | Token.Float _ | Token.String _ | Token.Ident _
+    | Token.Quoted_ident _ | Token.Param _ | Token.Symbol _ ->
+      go (t :: acc)
+  in
+  Array.of_list (go [])

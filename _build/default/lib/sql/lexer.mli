@@ -1,0 +1,12 @@
+(** Hand-written SQL lexer.
+
+    Understands integer and float literals; ['...'] strings with
+    doubled-quote escaping; bare and ["..."]-quoted identifiers; [:name]
+    host variables; the Informix [::] cast symbol; [--] line and
+    [/* */] block comments; and the usual operator set. *)
+
+exception Error of string
+
+(** Lexes the whole input; the result always ends with {!Token.Eof}.
+    @raise Error with position information on malformed input. *)
+val tokenize : string -> Token.located array

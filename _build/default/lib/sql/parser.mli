@@ -1,0 +1,17 @@
+(** Recursive-descent parser for the SQL dialect described in {!Ast}.
+
+    SQL-92 DML/DDL plus the Informix-isms the paper relies on
+    ([expr::Type] casts, [:name] host variables), UNION [ALL],
+    non-correlated subqueries, and the TIP [SET NOW] statement. Keywords
+    are case-insensitive and reserved only where the grammar needs them,
+    so TIP routine names ([intersect], [start], [union], [contains])
+    remain usable as identifiers. *)
+
+exception Error of string
+
+(** Parses one statement (an optional trailing [';'] is allowed).
+    @raise Error with position information. *)
+val parse : string -> Ast.statement
+
+(** Parses a [';']-separated script. *)
+val parse_script : string -> Ast.statement list

@@ -1,0 +1,201 @@
+(* Renders the AST back to SQL text.
+
+   Output is canonical (fully parenthesized expressions, upper-case
+   keywords) so that print-then-parse is the identity up to redundant
+   parentheses — which the round-trip tests rely on. *)
+
+let binop_symbol = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Eq -> "="
+  | Ast.Neq -> "<>"
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.And -> "AND"
+  | Ast.Or -> "OR"
+  | Ast.Concat -> "||"
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp_literal ppf = function
+  | Ast.L_int n -> Fmt.int ppf n
+  | Ast.L_float f -> Fmt.pf ppf "%g" f
+  | Ast.L_string s -> Fmt.pf ppf "'%s'" (escape_string s)
+  | Ast.L_bool b -> Fmt.string ppf (if b then "TRUE" else "FALSE")
+  | Ast.L_null -> Fmt.string ppf "NULL"
+
+let rec pp_expr ppf = function
+  | Ast.Lit l -> pp_literal ppf l
+  | Ast.Column (None, c) -> Fmt.string ppf c
+  | Ast.Column (Some q, c) -> Fmt.pf ppf "%s.%s" q c
+  | Ast.Param p -> Fmt.pf ppf ":%s" p
+  | Ast.Binop (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+  | Ast.Unop (Ast.Not, e) -> Fmt.pf ppf "(NOT %a)" pp_expr e
+  | Ast.Unop (Ast.Neg, e) -> Fmt.pf ppf "(-%a)" pp_expr e
+  | Ast.Call (f, args) ->
+    Fmt.pf ppf "%s(%a)" f (Fmt.list ~sep:(Fmt.any ", ") pp_expr) args
+  | Ast.Call_distinct (f, e) -> Fmt.pf ppf "%s(DISTINCT %a)" f pp_expr e
+  | Ast.Count_star -> Fmt.string ppf "COUNT(*)"
+  | Ast.Cast (e, ty) -> Fmt.pf ppf "%a::%s" pp_cast_operand e ty
+  | Ast.Case (arms, else_) ->
+    Fmt.string ppf "CASE";
+    List.iter
+      (fun (c, v) -> Fmt.pf ppf " WHEN %a THEN %a" pp_expr c pp_expr v)
+      arms;
+    Option.iter (fun e -> Fmt.pf ppf " ELSE %a" pp_expr e) else_;
+    Fmt.string ppf " END"
+  | Ast.In_list { negated; scrutinee; choices } ->
+    Fmt.pf ppf "(%a %sIN (%a))" pp_expr scrutinee
+      (if negated then "NOT " else "")
+      (Fmt.list ~sep:(Fmt.any ", ") pp_expr)
+      choices
+  | Ast.Between { negated; scrutinee; low; high } ->
+    Fmt.pf ppf "(%a %sBETWEEN %a AND %a)" pp_expr scrutinee
+      (if negated then "NOT " else "")
+      pp_expr low pp_expr high
+  | Ast.Like { negated; scrutinee; pattern } ->
+    Fmt.pf ppf "(%a %sLIKE %a)" pp_expr scrutinee
+      (if negated then "NOT " else "")
+      pp_expr pattern
+  | Ast.Is_null { negated; scrutinee } ->
+    Fmt.pf ppf "(%a IS %sNULL)" pp_expr scrutinee (if negated then "NOT " else "")
+  | Ast.Exists q -> Fmt.pf ppf "(EXISTS (%a))" pp_select q
+  | Ast.In_select { negated; scrutinee; query } ->
+    Fmt.pf ppf "(%a %sIN (%a))" pp_expr scrutinee
+      (if negated then "NOT " else "")
+      pp_select query
+  | Ast.Scalar_subquery q -> Fmt.pf ppf "(%a)" pp_select q
+
+(* The cast operand must re-parse as a primary, so wrap anything else. *)
+and pp_cast_operand ppf e =
+  match e with
+  | Ast.Lit _ | Ast.Column _ | Ast.Param _ | Ast.Call _ | Ast.Call_distinct _
+  | Ast.Count_star | Ast.Cast _ | Ast.Scalar_subquery _ -> pp_expr ppf e
+  | Ast.Binop _ | Ast.Unop _ | Ast.Case _ | Ast.In_list _ | Ast.Between _
+  | Ast.Like _ | Ast.Is_null _ | Ast.Exists _ | Ast.In_select _ ->
+    Fmt.pf ppf "(%a)" pp_expr e
+
+and pp_select_item ppf = function
+  | Ast.Sel_star None -> Fmt.string ppf "*"
+  | Ast.Sel_star (Some t) -> Fmt.pf ppf "%s.*" t
+  | Ast.Sel_expr (e, None) -> pp_expr ppf e
+  | Ast.Sel_expr (e, Some alias) -> Fmt.pf ppf "%a AS %s" pp_expr e alias
+
+and pp_table_ref ppf = function
+  | Ast.Table { name; alias; as_of } ->
+    Fmt.string ppf name;
+    Option.iter (fun a -> Fmt.pf ppf " %s" a) alias;
+    Option.iter (fun e -> Fmt.pf ppf " AS OF %a" pp_expr e) as_of
+  | Ast.Join { left; kind; right; on } ->
+    let kw = match kind with Ast.Inner -> "JOIN" | Ast.Left_outer -> "LEFT JOIN" in
+    Fmt.pf ppf "%a %s %a ON %a" pp_table_ref left kw pp_table_ref right pp_expr on
+  | Ast.Derived { query; alias } ->
+    Fmt.pf ppf "(%a) %s" pp_select query alias
+
+and pp_select ppf (s : Ast.select) =
+  Fmt.string ppf "SELECT ";
+  if s.distinct then Fmt.string ppf "DISTINCT ";
+  Fmt.list ~sep:(Fmt.any ", ") pp_select_item ppf s.items;
+  (match s.from with
+  | [] -> ()
+  | from -> Fmt.pf ppf " FROM %a" (Fmt.list ~sep:(Fmt.any ", ") pp_table_ref) from);
+  Option.iter (fun e -> Fmt.pf ppf " WHERE %a" pp_expr e) s.where;
+  (match s.group_by with
+  | [] -> ()
+  | gs -> Fmt.pf ppf " GROUP BY %a" (Fmt.list ~sep:(Fmt.any ", ") pp_expr) gs);
+  Option.iter (fun e -> Fmt.pf ppf " HAVING %a" pp_expr e) s.having;
+  (match s.order_by with
+  | [] -> ()
+  | os ->
+    let pp_order ppf (e, dir) =
+      Fmt.pf ppf "%a%s" pp_expr e
+        (match dir with Ast.Asc -> "" | Ast.Desc -> " DESC")
+    in
+    Fmt.pf ppf " ORDER BY %a" (Fmt.list ~sep:(Fmt.any ", ") pp_order) os);
+  Option.iter (fun n -> Fmt.pf ppf " LIMIT %d" n) s.limit;
+  Option.iter (fun n -> Fmt.pf ppf " OFFSET %d" n) s.offset
+
+let pp_column_def ppf (c : Ast.column_def) =
+  Fmt.pf ppf "%s %s" c.col_name c.col_type;
+  Option.iter (fun n -> Fmt.pf ppf "(%d)" n) c.col_type_param;
+  if c.col_primary_key then Fmt.string ppf " PRIMARY KEY"
+  else if c.col_not_null then Fmt.string ppf " NOT NULL"
+
+let rec pp_compound ppf = function
+  | Ast.Simple s -> pp_select ppf s
+  | Ast.Union { all; left; right } ->
+    Fmt.pf ppf "%a UNION %s%a" pp_compound left
+      (if all then "ALL " else "")
+      pp_compound right
+
+and pp_statement ppf = function
+  | Ast.Select s -> pp_select ppf s
+  | Ast.Select_compound c -> pp_compound ppf c
+  | Ast.Insert { table; columns; source } ->
+    Fmt.pf ppf "INSERT INTO %s" table;
+    Option.iter
+      (fun cols -> Fmt.pf ppf " (%a)" (Fmt.list ~sep:(Fmt.any ", ") Fmt.string) cols)
+      columns;
+    (match source with
+    | Ast.Values rows ->
+      let pp_row ppf row =
+        Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any ", ") pp_expr) row
+      in
+      Fmt.pf ppf " VALUES %a" (Fmt.list ~sep:(Fmt.any ", ") pp_row) rows
+    | Ast.Query q -> Fmt.pf ppf " %a" pp_select q)
+  | Ast.Update { table; assignments; where } ->
+    let pp_assign ppf (c, e) = Fmt.pf ppf "%s = %a" c pp_expr e in
+    Fmt.pf ppf "UPDATE %s SET %a" table
+      (Fmt.list ~sep:(Fmt.any ", ") pp_assign)
+      assignments;
+    Option.iter (fun e -> Fmt.pf ppf " WHERE %a" pp_expr e) where
+  | Ast.Delete { table; where } ->
+    Fmt.pf ppf "DELETE FROM %s" table;
+    Option.iter (fun e -> Fmt.pf ppf " WHERE %a" pp_expr e) where
+  | Ast.Create_table { table; if_not_exists; columns; with_history } ->
+    Fmt.pf ppf "CREATE TABLE %s%s (%a)%s"
+      (if if_not_exists then "IF NOT EXISTS " else "")
+      table
+      (Fmt.list ~sep:(Fmt.any ", ") pp_column_def)
+      columns
+      (if with_history then " WITH HISTORY" else "")
+  | Ast.Create_table_as { table; query } ->
+    Fmt.pf ppf "CREATE TABLE %s AS %a" table pp_select query
+  | Ast.Drop_table { table; if_exists } ->
+    Fmt.pf ppf "DROP TABLE %s%s" (if if_exists then "IF EXISTS " else "") table
+  | Ast.Create_index { index; table; column; unique; using } ->
+    Fmt.pf ppf "CREATE %sINDEX %s ON %s (%s)%s"
+      (if unique then "UNIQUE " else "")
+      index table column
+      (match using with Some u -> " USING " ^ u | None -> "")
+  | Ast.Drop_index { index } -> Fmt.pf ppf "DROP INDEX %s" index
+  | Ast.Explain s -> Fmt.pf ppf "EXPLAIN %a" pp_statement s
+  | Ast.Begin_tx -> Fmt.string ppf "BEGIN"
+  | Ast.Commit_tx -> Fmt.string ppf "COMMIT"
+  | Ast.Rollback_tx -> Fmt.string ppf "ROLLBACK"
+  | Ast.Savepoint name -> Fmt.pf ppf "SAVEPOINT %s" name
+  | Ast.Rollback_to name -> Fmt.pf ppf "ROLLBACK TO SAVEPOINT %s" name
+  | Ast.Release_savepoint name -> Fmt.pf ppf "RELEASE SAVEPOINT %s" name
+  | Ast.Copy_to { table; file } ->
+    Fmt.pf ppf "COPY %s TO '%s'" table (escape_string file)
+  | Ast.Copy_from { table; file } ->
+    Fmt.pf ppf "COPY %s FROM '%s'" table (escape_string file)
+  | Ast.Set_now None -> Fmt.string ppf "SET NOW DEFAULT"
+  | Ast.Set_now (Some e) -> Fmt.pf ppf "SET NOW = %a" pp_expr e
+  | Ast.Show_tables -> Fmt.string ppf "SHOW TABLES"
+  | Ast.Describe { table } -> Fmt.pf ppf "DESCRIBE %s" table
+
+let expr_to_string e = Fmt.str "%a" pp_expr e
+let statement_to_string s = Fmt.str "%a" pp_statement s

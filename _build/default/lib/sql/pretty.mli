@@ -1,0 +1,19 @@
+(** Renders the AST back to SQL text.
+
+    Output is canonical (fully parenthesized expressions, upper-case
+    keywords) so print-then-parse is a fixpoint — which the round-trip
+    tests rely on, and which makes the printer safe for generating the
+    layered baseline's SQL. *)
+
+val binop_symbol : Ast.binop -> string
+val escape_string : string -> string
+val pp_literal : Format.formatter -> Ast.literal -> unit
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_select_item : Format.formatter -> Ast.select_item -> unit
+val pp_table_ref : Format.formatter -> Ast.table_ref -> unit
+val pp_select : Format.formatter -> Ast.select -> unit
+val pp_compound : Format.formatter -> Ast.compound -> unit
+val pp_column_def : Format.formatter -> Ast.column_def -> unit
+val pp_statement : Format.formatter -> Ast.statement -> unit
+val expr_to_string : Ast.expr -> string
+val statement_to_string : Ast.statement -> string

@@ -1,0 +1,1 @@
+lib/storage/catalog.ml: Format Hashtbl List Schema String Table

@@ -1,0 +1,1 @@
+lib/storage/heap.ml: List Printf Value Vec

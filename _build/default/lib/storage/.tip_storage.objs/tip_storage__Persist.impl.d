@@ -1,0 +1,1 @@
+lib/storage/persist.ml: Array Buffer Catalog Format Fun List Printf Schema String Table Tip_core Value

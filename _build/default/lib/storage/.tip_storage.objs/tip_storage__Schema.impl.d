@@ -1,0 +1,1 @@
+lib/storage/schema.ml: Array Fmt Format Hashtbl List Printf String Value

@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Btree Format Heap Interval_index List Schema String Value

@@ -1,0 +1,1 @@
+lib/storage/value.ml: Bool Float Fmt Format Hashtbl Int List Printf Stdlib String Tip_core

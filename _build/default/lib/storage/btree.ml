@@ -1,0 +1,251 @@
+(* B+tree secondary index: an ordered multimap from column values to row
+   ids, supporting exact lookups and range scans.
+
+   Nodes are immutable arrays and inserts copy the root-to-leaf path, so
+   a split never mutates shared state. Deletion removes the rid from its
+   entry (and the entry when its rid list empties) without rebalancing —
+   the tree can only shrink below the fill factor, never lose ordering;
+   this is the usual lazy-deletion compromise real systems also make. *)
+
+type rid = int
+
+(* Max entries per node; nodes split at 2*branching. *)
+let branching = 16
+
+type node =
+  | Leaf of (Value.t * rid list) array
+  | Internal of node array * Value.t array
+    (* children c0..cn and separators k0..k(n-1); child ci holds keys in
+       [k(i-1), ki) *)
+
+type t = { mutable root : node; mutable entries : int }
+
+let create () = { root = Leaf [||]; entries = 0 }
+
+let entry_count t = t.entries
+
+(* Index of the child to descend into for [key]. *)
+let child_slot seps key =
+  let n = Array.length seps in
+  let rec go i =
+    if i >= n then n else if Value.compare key seps.(i) < 0 then i else go (i + 1)
+  in
+  go 0
+
+(* Position of [key] in a leaf: [Found i] or [Insert_at i]. *)
+type probe = Found of int | Insert_at of int
+
+let probe_leaf entries key =
+  let n = Array.length entries in
+  let rec go lo hi =
+    (* invariant: keys before lo are < key, keys at/after hi are > key *)
+    if lo >= hi then Insert_at lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      let c = Value.compare key (fst entries.(mid)) in
+      if c = 0 then Found mid else if c < 0 then go lo mid else go (mid + 1) hi
+    end
+  in
+  go 0 n
+
+let array_insert a i x =
+  let n = Array.length a in
+  let b = Array.make (n + 1) x in
+  Array.blit a 0 b 0 i;
+  Array.blit a i b (i + 1) (n - i);
+  b
+
+let array_remove a i =
+  let n = Array.length a in
+  let b = Array.sub a 0 (n - 1) in
+  Array.blit a (i + 1) b i (n - 1 - i);
+  b
+
+let array_replace a i x =
+  let b = Array.copy a in
+  b.(i) <- x;
+  b
+
+type insert_result =
+  | One of node
+  | Split of node * Value.t * node (* left, first key of right, right *)
+
+let rec insert_node node key rid =
+  match node with
+  | Leaf entries -> (
+    match probe_leaf entries key with
+    | Found i ->
+      let k, rids = entries.(i) in
+      One (Leaf (array_replace entries i (k, rid :: rids)))
+    | Insert_at i ->
+      let entries = array_insert entries i (key, [ rid ]) in
+      if Array.length entries <= 2 * branching then One (Leaf entries)
+      else begin
+        let mid = Array.length entries / 2 in
+        let left = Array.sub entries 0 mid in
+        let right = Array.sub entries mid (Array.length entries - mid) in
+        Split (Leaf left, fst right.(0), Leaf right)
+      end)
+  | Internal (children, seps) -> (
+    let slot = child_slot seps key in
+    match insert_node children.(slot) key rid with
+    | One child -> One (Internal (array_replace children slot child, seps))
+    | Split (l, sep, r) ->
+      let children = array_replace children slot l in
+      let children = array_insert children (slot + 1) r in
+      let seps = array_insert seps slot sep in
+      if Array.length seps <= 2 * branching then One (Internal (children, seps))
+      else begin
+        let mid = Array.length seps / 2 in
+        let up = seps.(mid) in
+        let lseps = Array.sub seps 0 mid in
+        let rseps = Array.sub seps (mid + 1) (Array.length seps - mid - 1) in
+        let lchildren = Array.sub children 0 (mid + 1) in
+        let rchildren =
+          Array.sub children (mid + 1) (Array.length children - mid - 1)
+        in
+        Split (Internal (lchildren, lseps), up, Internal (rchildren, rseps))
+      end)
+
+let insert t key rid =
+  (match insert_node t.root key rid with
+  | One root -> t.root <- root
+  | Split (l, sep, r) -> t.root <- Internal ([| l; r |], [| sep |]));
+  t.entries <- t.entries + 1
+
+let rec remove_node node key rid =
+  match node with
+  | Leaf entries -> (
+    match probe_leaf entries key with
+    | Insert_at _ -> None
+    | Found i ->
+      let k, rids = entries.(i) in
+      if not (List.mem rid rids) then None
+      else begin
+        (* Drop exactly one occurrence: (key, rid) pairs behave as a
+           multiset, matching insert. *)
+        let rec drop_one = function
+          | [] -> []
+          | r :: rest -> if r = rid then rest else r :: drop_one rest
+        in
+        let rids = drop_one rids in
+        let entries =
+          if rids = [] then array_remove entries i
+          else array_replace entries i (k, rids)
+        in
+        Some (Leaf entries)
+      end)
+  | Internal (children, seps) -> (
+    let slot = child_slot seps key in
+    match remove_node children.(slot) key rid with
+    | None -> None
+    | Some child -> Some (Internal (array_replace children slot child, seps)))
+
+let remove t key rid =
+  match remove_node t.root key rid with
+  | None -> false
+  | Some root ->
+    t.root <- root;
+    t.entries <- t.entries - 1;
+    true
+
+let rec find_node node key =
+  match node with
+  | Leaf entries -> (
+    match probe_leaf entries key with
+    | Found i -> snd entries.(i)
+    | Insert_at _ -> [])
+  | Internal (children, seps) -> find_node children.(child_slot seps key) key
+
+let find t key = find_node t.root key
+
+type bound = Unbounded | Inclusive of Value.t | Exclusive of Value.t
+
+let below_hi hi key =
+  match hi with
+  | Unbounded -> true
+  | Inclusive v -> Value.compare key v <= 0
+  | Exclusive v -> Value.compare key v < 0
+
+let above_lo lo key =
+  match lo with
+  | Unbounded -> true
+  | Inclusive v -> Value.compare key v >= 0
+  | Exclusive v -> Value.compare key v > 0
+
+(* In-order traversal clipped to [lo, hi]; [f key rid] per entry. *)
+let iter_range t ~lo ~hi f =
+  let rec go node =
+    match node with
+    | Leaf entries ->
+      Array.iter
+        (fun (k, rids) ->
+          if above_lo lo k && below_hi hi k then
+            List.iter (fun rid -> f k rid) rids)
+        entries
+    | Internal (children, seps) ->
+      (* Children whose key range can intersect [lo, hi]: the descent is
+         clipped on both sides, so a range scan touches O(log n + answer)
+         nodes. *)
+      let n = Array.length seps in
+      let first =
+        match lo with
+        | Unbounded -> 0
+        | Inclusive v | Exclusive v -> child_slot seps v
+      in
+      let rec walk i =
+        if i <= n then begin
+          let lower_sep_ok =
+            i = 0 || (match hi with
+                     | Unbounded -> true
+                     | Inclusive v | Exclusive v ->
+                       Value.compare seps.(i - 1) v <= 0)
+          in
+          if lower_sep_ok then begin
+            go children.(i);
+            walk (i + 1)
+          end
+        end
+      in
+      walk first
+  in
+  go t.root
+
+let range t ~lo ~hi =
+  let acc = ref [] in
+  iter_range t ~lo ~hi (fun _ rid -> acc := rid :: !acc);
+  List.rev !acc
+
+let iter t f = iter_range t ~lo:Unbounded ~hi:Unbounded f
+
+(* Structural invariants, used by tests: key order within and across
+   nodes, and separator consistency. *)
+let rec check_node node lo hi =
+  match node with
+  | Leaf entries ->
+    Array.iteri
+      (fun i (k, rids) ->
+        assert (rids <> []);
+        assert (above_lo lo k);
+        assert (match hi with Unbounded -> true | _ -> not (above_lo hi k));
+        if i > 0 then assert (Value.compare (fst entries.(i - 1)) k < 0))
+      entries
+  | Internal (children, seps) ->
+    assert (Array.length children = Array.length seps + 1);
+    Array.iteri
+      (fun i child ->
+        let lo' = if i = 0 then lo else Inclusive seps.(i - 1) in
+        let hi' =
+          if i = Array.length seps then hi else Inclusive seps.(i)
+          (* separators are inclusive lower bounds of the next child, so
+             the child's upper bound is exclusive; encode by Exclusive *)
+        in
+        let hi' =
+          match hi' with
+          | Inclusive v when i < Array.length seps -> Exclusive v
+          | b -> b
+        in
+        check_node child lo' hi')
+      children
+
+let check_invariants t = check_node t.root Unbounded Unbounded

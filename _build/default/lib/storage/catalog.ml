@@ -1,0 +1,67 @@
+(* The system catalog: table names to table objects, plus a global index
+   namespace (SQL's DROP INDEX takes no table name, so index names must
+   be unique database-wide). *)
+
+exception Catalog_error of string
+
+let catalog_error fmt = Format.kasprintf (fun s -> raise (Catalog_error s)) fmt
+
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  index_owner : (string, string) Hashtbl.t; (* index name -> table name *)
+}
+
+let create () = { tables = Hashtbl.create 16; index_owner = Hashtbl.create 16 }
+
+let key name = String.lowercase_ascii name
+
+let find_table t name = Hashtbl.find_opt t.tables (key name)
+
+let table_exn t name =
+  match find_table t name with
+  | Some table -> table
+  | None -> catalog_error "no such table: %s" name
+
+let table_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.tables []
+  |> List.sort String.compare
+
+let create_table t schema =
+  let name = key schema.Schema.table_name in
+  if Hashtbl.mem t.tables name then catalog_error "table %s already exists" name;
+  let table = Table.create schema in
+  Hashtbl.replace t.tables name table;
+  (* The implicit primary-key index joins the global namespace too. *)
+  List.iter
+    (fun idx -> Hashtbl.replace t.index_owner (key idx.Table.idx_name) name)
+    (Table.indexes table);
+  table
+
+let drop_table t name =
+  match find_table t name with
+  | None -> false
+  | Some table ->
+    List.iter
+      (fun idx -> Hashtbl.remove t.index_owner (key idx.Table.idx_name))
+      (Table.indexes table);
+    Hashtbl.remove t.tables (key name);
+    true
+
+let create_index t ~idx_name ~table_name ~column ~unique ~kind =
+  let idx_key = key idx_name in
+  if Hashtbl.mem t.index_owner idx_key then
+    catalog_error "index %s already exists" idx_name;
+  let table = table_exn t table_name in
+  let idx = Table.create_index table ~idx_name:idx_key ~column ~unique ~kind in
+  Hashtbl.replace t.index_owner idx_key (key table_name);
+  idx
+
+let drop_index t idx_name =
+  let idx_key = key idx_name in
+  match Hashtbl.find_opt t.index_owner idx_key with
+  | None -> false
+  | Some owner ->
+    let table = table_exn t owner in
+    ignore (Table.drop_index table idx_key);
+    Hashtbl.remove t.index_owner idx_key;
+    true

@@ -1,0 +1,35 @@
+(** The system catalog: table names to table objects, plus a global
+    index namespace (SQL's [DROP INDEX] takes no table name, so index
+    names are unique database-wide). All names fold case. *)
+
+exception Catalog_error of string
+
+type t
+
+val create : unit -> t
+
+val find_table : t -> string -> Table.t option
+
+(** @raise Catalog_error when the table does not exist. *)
+val table_exn : t -> string -> Table.t
+
+(** All table names, sorted. *)
+val table_names : t -> string list
+
+(** @raise Catalog_error on duplicate table name. *)
+val create_table : t -> Schema.t -> Table.t
+
+(** Returns whether the table existed; its indexes leave the namespace. *)
+val drop_table : t -> string -> bool
+
+(** @raise Catalog_error on duplicate index name (database-wide). *)
+val create_index :
+  t ->
+  idx_name:string ->
+  table_name:string ->
+  column:string ->
+  unique:bool ->
+  kind:Table.index_kind ->
+  Table.index
+
+val drop_index : t -> string -> bool

@@ -1,0 +1,35 @@
+(** Interval index over period-valued columns: an augmented AVL interval
+    tree mapping [lo, hi] second-ranges to row ids, answering overlap
+    ("window") queries in O(log n + candidates) on well-spread data.
+
+    This is the reproduction stand-in for the period-index DataBlade of
+    Bliujute et al. (ICDE 1999). Multi-period timestamps insert one
+    entry per period; NOW-relative endpoints use [min_int]/[max_int] so
+    entries stay conservative as time advances, and the executor
+    rechecks the exact predicate on the candidates. *)
+
+type t
+
+val create : unit -> t
+
+(** Number of stored intervals. *)
+val size : t -> int
+
+val insert : t -> lo:int -> hi:int -> int -> unit
+
+(** Removes one occurrence of the (lo, hi, rid) triple; returns whether
+    it was present. *)
+val remove : t -> lo:int -> hi:int -> int -> bool
+
+(** Rids whose interval intersects the closed window [lo, hi]; a rid
+    appears once per matching stored interval. *)
+val query_overlaps : t -> lo:int -> hi:int -> int list
+
+(** Rids whose interval contains the point. *)
+val query_stab : t -> at:int -> int list
+
+(** In-order iteration over all stored intervals. *)
+val iter : t -> (lo:int -> hi:int -> int -> unit) -> unit
+
+(** Asserts AVL balance and max-end augmentation; for tests. *)
+val check_invariants : t -> unit

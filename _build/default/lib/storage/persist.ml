@@ -1,0 +1,240 @@
+(* Textual snapshot persistence for a whole catalog.
+
+   The format is a line-oriented header-and-rows layout; cell values are
+   serialized through each type's printer and re-parsed on load, which is
+   exact because every value type (including blade types) round-trips
+   through its literal syntax — in particular NOW-relative timestamps are
+   stored symbolically, as they must be.
+
+   Durability scope: snapshot save/load only. Write-ahead logging and
+   recovery are out of scope for the demo system (see DESIGN.md). *)
+
+exception Format_error of string
+
+let format_error fmt = Format.kasprintf (fun s -> raise (Format_error s)) fmt
+
+(* --- Cell escaping ----------------------------------------------------- *)
+
+let escape_cell s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape_cell s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then begin
+      (if s.[i] = '\\' && i + 1 < n then begin
+         (match s.[i + 1] with
+         | 't' -> Buffer.add_char buf '\t'
+         | 'n' -> Buffer.add_char buf '\n'
+         | '\\' -> Buffer.add_char buf '\\'
+         | c -> Buffer.add_char buf c);
+         go (i + 2)
+       end
+       else begin
+         Buffer.add_char buf s.[i];
+         go (i + 1)
+       end)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let null_marker = "\\N"
+
+let serialize_value v =
+  if Value.is_null v then null_marker
+  else begin
+    match v with
+    | Value.Bool b -> if b then "t" else "f"
+    | Value.Null | Value.Int _ | Value.Float _ | Value.Str _ | Value.Date _
+    | Value.Ext _ -> escape_cell (Value.to_display_string v)
+  end
+
+let parse_value ty cell =
+  if String.equal cell null_marker then Value.Null
+  else begin
+    let text = unescape_cell cell in
+    match ty with
+    | Schema.T_int -> Value.Int (int_of_string text)
+    | Schema.T_float -> Value.Float (float_of_string text)
+    | Schema.T_bool -> Value.Bool (String.equal text "t")
+    | Schema.T_char _ -> Value.Str text
+    | Schema.T_date -> (
+      match Tip_core.Chronon.of_string text with
+      | Some c -> Value.Date c
+      | None -> format_error "bad date cell %S" text)
+    | Schema.T_ext name -> (
+      match Value.lookup_type name with
+      | Some vt -> vt.Value.parse text
+      | None -> format_error "type %s not registered at load time" name)
+  end
+
+(* --- Saving ------------------------------------------------------------- *)
+
+let type_spec ty =
+  match ty with
+  | Schema.T_int -> ("INT", "-")
+  | Schema.T_float -> ("FLOAT", "-")
+  | Schema.T_bool -> ("BOOLEAN", "-")
+  | Schema.T_char None -> ("TEXT", "-")
+  | Schema.T_char (Some n) -> ("CHAR", string_of_int n)
+  | Schema.T_date -> ("DATE", "-")
+  | Schema.T_ext name -> ("EXT:" ^ name, "-")
+
+let save_table oc table =
+  let schema = Table.schema table in
+  Printf.fprintf oc "table %s\n" schema.Schema.table_name;
+  Array.iter
+    (fun c ->
+      let ty, param = type_spec c.Schema.ty in
+      Printf.fprintf oc "column %s %s %s %d %d\n" c.Schema.name ty param
+        (if c.Schema.not_null then 1 else 0)
+        (if c.Schema.primary_key then 1 else 0))
+    schema.Schema.columns;
+  List.iter
+    (fun idx ->
+      let kind =
+        match idx.Table.impl with
+        | Table.Ordered_impl _ -> "ordered"
+        | Table.Interval_impl _ -> "interval"
+      in
+      let col = (Schema.column schema idx.Table.idx_column).Schema.name in
+      Printf.fprintf oc "index %s %s %s %d\n" idx.Table.idx_name col kind
+        (if idx.Table.idx_unique then 1 else 0))
+    (Table.indexes table);
+  Printf.fprintf oc "rows %d\n" (Table.row_count table);
+  Table.iteri
+    (fun _rid row ->
+      let cells = Array.to_list (Array.map serialize_value row) in
+      Printf.fprintf oc "%s\n" (String.concat "\t" cells))
+    table;
+  Printf.fprintf oc "end\n"
+
+let save catalog path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "tipdb 1\n";
+      List.iter
+        (fun name -> save_table oc (Catalog.table_exn catalog name))
+        (Catalog.table_names catalog))
+
+(* --- Loading ------------------------------------------------------------- *)
+
+type reader = { ic : in_channel; mutable line_no : int }
+
+let read_line_opt r =
+  match input_line r.ic with
+  | line ->
+    r.line_no <- r.line_no + 1;
+    Some line
+  | exception End_of_file -> None
+
+let read_line_exn r what =
+  match read_line_opt r with
+  | Some line -> line
+  | None -> format_error "unexpected end of file (expected %s)" what
+
+let parse_type ty param =
+  if String.length ty > 4 && String.sub ty 0 4 = "EXT:" then
+    Schema.T_ext (String.sub ty 4 (String.length ty - 4))
+  else begin
+    match ty with
+    | "INT" -> Schema.T_int
+    | "FLOAT" -> Schema.T_float
+    | "BOOLEAN" -> Schema.T_bool
+    | "TEXT" -> Schema.T_char None
+    | "CHAR" -> Schema.T_char (Some (int_of_string param))
+    | "DATE" -> Schema.T_date
+    | _ -> format_error "unknown stored type %s" ty
+  end
+
+let split_words line = String.split_on_char ' ' line
+
+let load_table r catalog first_line =
+  let table_name =
+    match split_words first_line with
+    | [ "table"; name ] -> name
+    | _ -> format_error "expected table header, got %S" first_line
+  in
+  (* Columns, then optional index lines, then rows. *)
+  let columns = ref [] in
+  let index_specs = ref [] in
+  let rec header () =
+    let line = read_line_exn r "column/index/rows" in
+    match split_words line with
+    | [ "column"; name; ty; param; not_null; pk ] ->
+      let ty = parse_type ty param in
+      columns :=
+        Schema.make_column ~not_null:(not_null = "1") ~primary_key:(pk = "1")
+          name ty
+        :: !columns;
+      header ()
+    | [ "index"; idx_name; col; kind; unique ] ->
+      index_specs := (idx_name, col, kind, unique = "1") :: !index_specs;
+      header ()
+    | [ "rows"; n ] -> int_of_string n
+    | _ -> format_error "bad header line %S" line
+  in
+  let n_rows = header () in
+  let schema = Schema.make ~table_name (List.rev !columns) in
+  let table = Catalog.create_table catalog schema in
+  let types = Array.map (fun c -> c.Schema.ty) schema.Schema.columns in
+  for _ = 1 to n_rows do
+    let line = read_line_exn r "row" in
+    let cells = Array.of_list (String.split_on_char '\t' line) in
+    if Array.length cells <> Array.length types then
+      format_error "row arity mismatch at line %d" r.line_no;
+    let row = Array.mapi (fun i cell -> parse_value types.(i) cell) cells in
+    ignore (Table.insert table row)
+  done;
+  (match read_line_exn r "end" with
+  | "end" -> ()
+  | line -> format_error "expected end, got %S" line);
+  (* Recreate secondary indexes (the pkey index already exists). *)
+  List.iter
+    (fun (idx_name, col, kind, unique) ->
+      if Table.find_index table idx_name = None then begin
+        let kind =
+          match kind with
+          | "ordered" -> Table.Ordered
+          | "interval" -> Table.Interval
+          | k -> format_error "unknown index kind %s" k
+        in
+        ignore (Catalog.create_index catalog ~idx_name ~table_name ~column:col
+                  ~unique ~kind)
+      end)
+    (List.rev !index_specs)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let r = { ic; line_no = 0 } in
+      (match read_line_opt r with
+      | Some "tipdb 1" -> ()
+      | Some line -> format_error "bad magic %S" line
+      | None -> format_error "empty file");
+      let catalog = Catalog.create () in
+      let rec tables () =
+        match read_line_opt r with
+        | None -> ()
+        | Some "" -> tables ()
+        | Some line ->
+          load_table r catalog line;
+          tables ()
+      in
+      tables ();
+      catalog)

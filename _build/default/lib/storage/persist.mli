@@ -1,0 +1,27 @@
+(** Textual snapshot persistence for a whole catalog.
+
+    Cell values are serialized through each type's printer and re-parsed
+    on load, which is exact because every value type round-trips through
+    its literal syntax; in particular NOW-relative timestamps are stored
+    symbolically. Extension types must be registered before {!load}.
+
+    Durability scope: snapshot save/load only — write-ahead logging and
+    recovery are out of scope for the demo system (DESIGN.md). *)
+
+exception Format_error of string
+
+(** Writes every table (schema, indexes, rows) to the file. *)
+val save : Catalog.t -> string -> unit
+
+(** Rebuilds a catalog from a snapshot: rows re-inserted, secondary
+    indexes recreated and backfilled.
+    @raise Format_error on malformed input
+    @raise Sys_error on I/O failure. *)
+val load : string -> Catalog.t
+
+(**/**)
+
+val serialize_value : Value.t -> string
+val parse_value : Schema.col_type -> string -> Value.t
+val escape_cell : string -> string
+val unescape_cell : string -> string

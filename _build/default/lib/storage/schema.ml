@@ -1,0 +1,122 @@
+(* Table schemas: column names, types and constraints.
+
+   Base types are built in; any other type name in DDL is resolved
+   against the datatype registry, so installing a DataBlade is what makes
+   [CREATE TABLE ... (valid Element)] legal. *)
+
+type col_type =
+  | T_int
+  | T_float
+  | T_bool
+  | T_char of int option (* CHAR(n) / VARCHAR(n); width only checked on insert *)
+  | T_date
+  | T_ext of string (* canonical registered type name *)
+
+type column = {
+  name : string; (* stored lowercased; SQL identifiers are case-insensitive *)
+  ty : col_type;
+  not_null : bool;
+  primary_key : bool;
+}
+
+type t = { table_name : string; columns : column array }
+
+exception Schema_error of string
+
+let schema_error fmt = Format.kasprintf (fun s -> raise (Schema_error s)) fmt
+
+let type_of_name ?param name =
+  match String.uppercase_ascii name with
+  | "INT" | "INTEGER" | "BIGINT" | "SMALLINT" -> T_int
+  | "FLOAT" | "REAL" | "DOUBLE" | "DECIMAL" | "NUMERIC" -> T_float
+  | "BOOLEAN" | "BOOL" -> T_bool
+  | "CHAR" | "VARCHAR" | "CHARACTER" -> T_char param
+  | "TEXT" | "STRING" -> T_char None
+  | "DATE" -> T_date
+  | _ ->
+    (match Value.lookup_type name with
+    | Some _ -> T_ext (Value.canonical_type_name name)
+    | None -> schema_error "unknown type %s (is the DataBlade installed?)" name)
+
+let type_name = function
+  | T_int -> "INT"
+  | T_float -> "FLOAT"
+  | T_bool -> "BOOLEAN"
+  | T_char None -> "TEXT"
+  | T_char (Some n) -> Printf.sprintf "CHAR(%d)" n
+  | T_date -> "DATE"
+  | T_ext name -> String.capitalize_ascii name
+
+let make_column ?(not_null = false) ?(primary_key = false) name ty =
+  { name = String.lowercase_ascii name; ty; not_null = not_null || primary_key;
+    primary_key }
+
+let make ~table_name columns =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem seen c.name then
+        schema_error "duplicate column %s in table %s" c.name table_name;
+      Hashtbl.replace seen c.name ())
+    columns;
+  if columns = [] then schema_error "table %s has no columns" table_name;
+  { table_name = String.lowercase_ascii table_name;
+    columns = Array.of_list columns }
+
+let arity t = Array.length t.columns
+let columns t = Array.to_list t.columns
+let column t i = t.columns.(i)
+
+let column_index t name =
+  let name = String.lowercase_ascii name in
+  let rec find i =
+    if i >= Array.length t.columns then None
+    else if String.equal t.columns.(i).name name then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let column_index_exn t name =
+  match column_index t name with
+  | Some i -> i
+  | None -> schema_error "no column %s in table %s" name t.table_name
+
+let primary_key_index t =
+  let rec find i =
+    if i >= Array.length t.columns then None
+    else if t.columns.(i).primary_key then Some i
+    else find (i + 1)
+  in
+  find 0
+
+(* Does [v] inhabit column type [ty]? Ints are accepted in float columns. *)
+let value_conforms ty (v : Value.t) =
+  match ty, v with
+  | _, Value.Null -> true (* nullability is checked separately *)
+  | T_int, Value.Int _ -> true
+  | T_float, (Value.Float _ | Value.Int _) -> true
+  | T_bool, Value.Bool _ -> true
+  | T_char _, Value.Str _ -> true
+  | T_date, Value.Date _ -> true
+  | T_ext name, Value.Ext (name', _) -> String.equal name name'
+  | (T_int | T_float | T_bool | T_char _ | T_date | T_ext _), _ -> false
+
+(* Normalizes a value into the column's type: widens ints in float
+   columns, truncates over-width CHAR(n). Returns [None] on mismatch. *)
+let coerce ty (v : Value.t) =
+  match ty, v with
+  | _, Value.Null -> Some Value.Null
+  | T_float, Value.Int n -> Some (Value.Float (float_of_int n))
+  | T_char (Some n), Value.Str s when String.length s > n ->
+    Some (Value.Str (String.sub s 0 n))
+  | _, _ -> if value_conforms ty v then Some v else None
+
+let pp_column ppf c =
+  Fmt.pf ppf "%s %s%s" c.name (type_name c.ty)
+    (if c.primary_key then " PRIMARY KEY" else if c.not_null then " NOT NULL"
+     else "")
+
+let pp ppf t =
+  Fmt.pf ppf "%s(%a)" t.table_name
+    (Fmt.array ~sep:(Fmt.any ", ") pp_column)
+    t.columns

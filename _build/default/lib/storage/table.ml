@@ -1,0 +1,182 @@
+(* A table: schema + heap + indexes, with constraint checking.
+
+   Every mutation goes through here so that indexes and constraints can
+   never drift from the heap. Primary keys are enforced through a unique
+   B+tree maintained automatically when the schema declares one. *)
+
+exception Constraint_violation of string
+
+let violation fmt = Format.kasprintf (fun s -> raise (Constraint_violation s)) fmt
+
+type index_kind = Ordered | Interval
+
+type index = {
+  idx_name : string;
+  idx_column : int; (* column position *)
+  idx_unique : bool;
+  impl : index_impl;
+}
+
+and index_impl =
+  | Ordered_impl of Btree.t
+  | Interval_impl of Interval_index.t
+
+type t = {
+  schema : Schema.t;
+  heap : Heap.t;
+  mutable indexes : index list;
+}
+
+let create schema =
+  let t = { schema; heap = Heap.create (); indexes = [] } in
+  (match Schema.primary_key_index schema with
+  | Some i ->
+    t.indexes <-
+      [ { idx_name = schema.Schema.table_name ^ "_pkey";
+          idx_column = i;
+          idx_unique = true;
+          impl = Ordered_impl (Btree.create ()) } ]
+  | None -> ());
+  t
+
+let schema t = t.schema
+let name t = t.schema.Schema.table_name
+let row_count t = Heap.live_count t.heap
+let indexes t = t.indexes
+
+(* --- Row validation --------------------------------------------------- *)
+
+let validate_row t row =
+  let n = Schema.arity t.schema in
+  if Array.length row <> n then
+    violation "table %s expects %d values, got %d" (name t) n (Array.length row);
+  Array.mapi
+    (fun i v ->
+      let col = Schema.column t.schema i in
+      if col.Schema.not_null && Value.is_null v then
+        violation "column %s of %s is NOT NULL" col.Schema.name (name t);
+      match Schema.coerce col.Schema.ty v with
+      | Some v -> v
+      | None ->
+        violation "column %s of %s expects %s, got %s (%s)" col.Schema.name
+          (name t)
+          (Schema.type_name col.Schema.ty)
+          (Value.type_name v)
+          (Value.to_display_string v))
+    row
+
+(* --- Index maintenance ------------------------------------------------ *)
+
+let index_insert idx row rid =
+  let v = row.(idx.idx_column) in
+  if not (Value.is_null v) then begin
+    match idx.impl with
+    | Ordered_impl bt ->
+      if idx.idx_unique && Btree.find bt v <> [] then
+        violation "duplicate key %s for unique index %s"
+          (Value.to_display_string v) idx.idx_name;
+      Btree.insert bt v rid
+    | Interval_impl it ->
+      List.iter
+        (fun (lo, hi) -> Interval_index.insert it ~lo ~hi rid)
+        (Value.extents v)
+  end
+
+let index_remove idx row rid =
+  let v = row.(idx.idx_column) in
+  if not (Value.is_null v) then begin
+    match idx.impl with
+    | Ordered_impl bt -> ignore (Btree.remove bt v rid)
+    | Interval_impl it ->
+      List.iter
+        (fun (lo, hi) -> ignore (Interval_index.remove it ~lo ~hi rid))
+        (Value.extents v)
+  end
+
+(* --- Mutations --------------------------------------------------------- *)
+
+let insert t row =
+  let row = validate_row t row in
+  (* Check unique indexes before touching anything, so a violation leaves
+     the table unchanged. *)
+  List.iter
+    (fun idx ->
+      match idx.impl with
+      | Ordered_impl bt ->
+        let v = row.(idx.idx_column) in
+        if idx.idx_unique && (not (Value.is_null v)) && Btree.find bt v <> []
+        then
+          violation "duplicate key %s for unique index %s"
+            (Value.to_display_string v) idx.idx_name
+      | Interval_impl _ -> ())
+    t.indexes;
+  let rid = Heap.insert t.heap row in
+  List.iter (fun idx -> index_insert idx row rid) t.indexes;
+  rid
+
+let delete t rid =
+  match Heap.get t.heap rid with
+  | None -> false
+  | Some row ->
+    List.iter (fun idx -> index_remove idx row rid) t.indexes;
+    ignore (Heap.delete t.heap rid);
+    true
+
+let update t rid row =
+  match Heap.get t.heap rid with
+  | None -> false
+  | Some old_row ->
+    let row = validate_row t row in
+    List.iter (fun idx -> index_remove idx old_row rid) t.indexes;
+    (match List.iter (fun idx -> index_insert idx row rid) t.indexes with
+    | () -> ignore (Heap.update t.heap rid row)
+    | exception e ->
+      (* Restore the old index entries before re-raising. *)
+      List.iter (fun idx -> index_remove idx row rid) t.indexes;
+      List.iter (fun idx -> index_insert idx old_row rid) t.indexes;
+      raise e);
+    true
+
+let get t rid = Heap.get t.heap rid
+let rids t = Heap.rids t.heap
+let get_exn t rid = Heap.get_exn t.heap rid
+let iteri f t = Heap.iteri f t.heap
+let fold f init t = Heap.fold f init t.heap
+
+(* --- Secondary indexes -------------------------------------------------- *)
+
+let find_index t idx_name =
+  List.find_opt (fun i -> String.equal i.idx_name idx_name) t.indexes
+
+let index_on_column t ~kind column =
+  List.find_opt
+    (fun i ->
+      i.idx_column = column
+      &&
+      match i.impl, kind with
+      | Ordered_impl _, Ordered -> true
+      | Interval_impl _, Interval -> true
+      | Ordered_impl _, Interval | Interval_impl _, Ordered -> false)
+    t.indexes
+
+let create_index t ~idx_name ~column ~unique ~kind =
+  if find_index t idx_name <> None then
+    violation "index %s already exists" idx_name;
+  let col_pos = Schema.column_index_exn t.schema column in
+  let impl =
+    match kind with
+    | Ordered -> Ordered_impl (Btree.create ())
+    | Interval -> Interval_impl (Interval_index.create ())
+  in
+  let idx = { idx_name; idx_column = col_pos; idx_unique = unique; impl } in
+  (* Backfill from existing rows; unique violations abort cleanly. *)
+  (match Heap.iteri (fun rid row -> index_insert idx row rid) t.heap with
+  | () -> ()
+  | exception e -> raise e);
+  t.indexes <- t.indexes @ [ idx ];
+  idx
+
+let drop_index t idx_name =
+  let before = List.length t.indexes in
+  t.indexes <- List.filter (fun i -> not (String.equal i.idx_name idx_name)) t.indexes;
+  List.length t.indexes < before

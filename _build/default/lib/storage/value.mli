@@ -1,0 +1,95 @@
+(** Runtime values, including user-defined (DataBlade) types.
+
+    The base universe mirrors a plain relational engine: integers,
+    floats, booleans, strings and SQL's DATE. User-defined types enter
+    through {!Ext}[(type_name, payload)] where the payload lives in the
+    OCaml extensible variant {!ext}: an extension declares constructors
+    and registers a {!vtable} for its type name, and the engine
+    dispatches by name without knowing the representation — the moral
+    equivalent of Informix's opaque-type registration. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of string
+  | Date of Tip_core.Chronon.t  (** midnight chronon; SQL's plain DATE *)
+  | Ext of string * ext
+      (** [(canonical type name, payload)]; the name must be registered *)
+
+and ext = ..
+
+exception Type_error of string
+
+(** {1 Datatype registry} *)
+
+type vtable = {
+  parse : string -> t;
+      (** build a value from a SQL string literal; raises {!Type_error}
+          on malformed input *)
+  print : t -> string;  (** display / literal form; must round-trip *)
+  compare : (t -> t -> int) option;
+      (** a NOW-independent total order, when the type has one (types
+          whose order moves with NOW must leave this [None] and register
+          comparison operators with the engine instead) *)
+  extents : (t -> (int * int) list) option;
+      (** conservative [lo, hi] second bounds on the chronons the value
+          covers, one entry per period for set-valued timestamps, with
+          [min_int]/[max_int] for NOW-relative endpoints; enables
+          interval indexing *)
+}
+
+(** Registers a datatype under a (case-insensitive) name.
+    @raise Invalid_argument if the name is taken. *)
+val register_type : name:string -> vtable -> unit
+
+val lookup_type : string -> vtable option
+val registered_types : unit -> string list
+val canonical_type_name : string -> string
+
+(** {1 Observers} *)
+
+(** The value's type name: ["int"], ["char"], ["date"], ... or the
+    registered extension name. *)
+val type_name : t -> string
+
+val is_null : t -> bool
+val to_display_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Ordering, equality, hashing}
+
+    [compare] is a total order across kinds (NULL first, then booleans,
+    numbers, strings, dates, extension values) so ORDER BY always works;
+    only same-kind incomparabilities (two different extension types, or
+    an extension type without an order) raise {!Type_error}. [equal] and
+    [hash] are consistent with each other, including [Int]/[Float]
+    equality and printed-form fallback for orderless extension types. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** {1 Interval-index support} *)
+
+(** Conservative chronon extents, one per covered period; [[]] when the
+    value has no temporal extent. *)
+val extents : t -> (int * int) list
+
+(** The single bounding extent (for index probes); [None] when empty. *)
+val extent : t -> (int * int) option
+
+(** {1 Checked coercions}
+
+    All raise {!Type_error} on mismatch. *)
+
+val to_int : t -> int
+val to_float : t -> float
+val to_bool : t -> bool
+val to_string_value : t -> string
+val to_date : t -> Tip_core.Chronon.t
+
+(**/**)
+
+val type_error : ('a, Format.formatter, unit, 'b) format4 -> 'a

@@ -1,0 +1,51 @@
+(* Growable array, used as the backing store for heap files. *)
+
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  dummy : 'a; (* fills unused slots so they don't retain live values *)
+}
+
+let create ~dummy = { data = Array.make 8 dummy; len = 0; dummy }
+
+let length t = t.len
+
+let ensure_capacity t n =
+  if n > Array.length t.data then begin
+    let cap = Stdlib.max n (2 * Array.length t.data) in
+    let data = Array.make cap t.dummy in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let push t x =
+  ensure_capacity t (t.len + 1);
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get";
+  t.data.(i)
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set";
+  t.data.(i) <- x
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let clear t =
+  Array.fill t.data 0 t.len t.dummy;
+  t.len <- 0
+
+let to_list t = List.init t.len (fun i -> t.data.(i))

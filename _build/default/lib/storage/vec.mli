@@ -1,0 +1,23 @@
+(** Growable arrays, the backing store for heap files.
+
+    [dummy] fills unused capacity so freed slots do not retain live
+    values. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+val length : 'a t -> int
+
+(** Appends and returns the element's index. *)
+val push : 'a t -> 'a -> int
+
+(** @raise Invalid_argument out of bounds. *)
+val get : 'a t -> int -> 'a
+
+(** @raise Invalid_argument out of bounds. *)
+val set : 'a t -> int -> 'a -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val clear : 'a t -> unit
+val to_list : 'a t -> 'a list

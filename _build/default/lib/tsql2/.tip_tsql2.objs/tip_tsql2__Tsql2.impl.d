@@ -1,0 +1,1 @@
+lib/tsql2/tsql2.ml: Format List Option String Tip_engine Tip_sql

@@ -1,0 +1,1 @@
+lib/tsql2/tsql2.mli: Tip_engine Tip_storage

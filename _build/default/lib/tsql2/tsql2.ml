@@ -1,0 +1,175 @@
+(* A TSQL2-flavored sequenced-query layer on top of TIP.
+
+   The paper's closing sentence proposes investigating "how closely TIP
+   can approach a full-featured temporal query language like TSQL2 in
+   expressive power". This module is that investigation, executable: it
+   implements TSQL2's core querying idioms as a *translation* into plain
+   TIP SQL — which is exactly the position the paper stakes out (no new
+   language, just routines), turned into a compatibility layer.
+
+   Supported surface (on tables whose tuple timestamp is an Element
+   column, [valid] by default):
+
+   - {e sequenced} SELECT (TSQL2's default): tuples from different
+     correlations join only while simultaneously valid, and the result
+     carries the intersection of their timestamps. Translation: add
+     pairwise [overlaps] conjuncts and a nested [intersect(...)]
+     timestamp column.
+   - [SELECT SNAPSHOT ...]: TSQL2's non-temporal query — translation
+     drops the timestamp machinery and evaluates under NOW like any SQL
+     query.
+   - [VALID(c)] in any expression: the timestamp of correlation [c];
+     translates to the correlation's element column.
+   - TSQL2 period predicates over VALID(): [overlaps], [contains],
+     Allen's operators — these are already TIP routines, so they pass
+     through untouched.
+
+   Deliberately out of scope (documented limitations of the approach,
+   which is itself a result): sequenced aggregation/GROUP BY (TSQL2
+   gives it per-instant semantics that need a temporal-grouping operator
+   TIP lacks), valid-time projection clauses ([VALID e] in the select
+   head), and temporal ordering. Attempting them raises
+   [Unsupported]. *)
+
+module Ast = Tip_sql.Ast
+module Parser = Tip_sql.Parser
+module Pretty = Tip_sql.Pretty
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+type mode = Sequenced | Snapshot
+
+(* The correlations (alias or table name) of the FROM clause, in order.
+   Joins inside the FROM clause keep their own ON conditions; each base
+   table still participates in the sequenced semantics. *)
+let rec correlations_of_ref r =
+  match r with
+  | Ast.Table { name; alias; _ } ->
+    [ String.lowercase_ascii (Option.value alias ~default:name) ]
+  | Ast.Join { left; right; _ } ->
+    correlations_of_ref left @ correlations_of_ref right
+  | Ast.Derived { alias; _ } ->
+    (* A derived table has no implicit timestamp; TSQL2 would call this a
+       snapshot nested query. We let it join non-temporally. *)
+    ignore alias;
+    []
+
+let correlations select = List.concat_map correlations_of_ref select.Ast.from
+
+(* Rewrites VALID(c) into c.<valid_column> everywhere. *)
+let rec rewrite_valid ~valid_column e =
+  match e with
+  | Ast.Call (name, [ Ast.Column (None, corr) ])
+    when String.lowercase_ascii name = "valid" ->
+    Ast.Column (Some corr, valid_column)
+  | Ast.Call (name, _) when String.lowercase_ascii name = "valid" ->
+    unsupported "VALID() takes exactly one correlation name"
+  | e -> Ast.map_children (rewrite_valid ~valid_column) e
+
+let conjoin a b = Ast.Binop (Ast.And, a, b)
+
+(* intersect(c1.valid, intersect(c2.valid, ...)) over all correlations. *)
+let intersection_of ~valid_column corrs =
+  match List.rev corrs with
+  | [] -> unsupported "sequenced query needs at least one table"
+  | last :: rest ->
+    List.fold_left
+      (fun acc corr ->
+        Ast.Call ("intersect", [ Ast.Column (Some corr, valid_column); acc ]))
+      (Ast.Column (Some last, valid_column))
+      rest
+
+(* overlaps(ci.valid, cj.valid) for every pair. *)
+let pairwise_overlaps ~valid_column corrs =
+  let rec pairs = function
+    | [] | [ _ ] -> []
+    | c :: rest -> List.map (fun c' -> (c, c')) rest @ pairs rest
+  in
+  List.map
+    (fun (a, b) ->
+      Ast.Call
+        ( "overlaps",
+          [ Ast.Column (Some a, valid_column); Ast.Column (Some b, valid_column) ] ))
+    (pairs corrs)
+
+(* Translates one parsed TSQL2-flavored SELECT into a TIP SELECT. *)
+let translate_select ~mode ~valid_column (s : Ast.select) : Ast.select =
+  let rw = rewrite_valid ~valid_column in
+  let items =
+    List.map
+      (function
+        | Ast.Sel_expr (e, alias) -> Ast.Sel_expr (rw e, alias)
+        | Ast.Sel_star q -> Ast.Sel_star q)
+      s.Ast.items
+  in
+  let where = Option.map rw s.Ast.where in
+  let having = Option.map rw s.Ast.having in
+  let order_by = List.map (fun (e, d) -> (rw e, d)) s.Ast.order_by in
+  let group_by = List.map rw s.Ast.group_by in
+  match mode with
+  | Snapshot ->
+    { s with items; where; having; order_by; group_by }
+  | Sequenced ->
+    if s.Ast.group_by <> [] then
+      unsupported
+        "sequenced GROUP BY needs per-instant aggregation; use SNAPSHOT \
+         with group_union or group_profile instead";
+    let corrs = correlations s in
+    if corrs = [] then
+      unsupported "sequenced query needs at least one timestamped table";
+    let overlap_conjuncts = pairwise_overlaps ~valid_column corrs in
+    let where =
+      List.fold_left
+        (fun acc c -> Some (match acc with None -> c | Some w -> conjoin w c))
+        where overlap_conjuncts
+    in
+    let timestamp =
+      Ast.Sel_expr (intersection_of ~valid_column corrs, Some "valid")
+    in
+    { s with items = items @ [ timestamp ]; where; having; order_by; group_by }
+
+(* Entry points: text to text, and text to result. *)
+
+(* Detects [SELECT SNAPSHOT ...] (the standard parser does not know the
+   keyword) and splices SNAPSHOT out of the source text. *)
+let parse_mode sql =
+  let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r' in
+  let n = String.length sql in
+  let rec skip_ws i = if i < n && is_space sql.[i] then skip_ws (i + 1) else i in
+  let word_at i =
+    let rec stop j =
+      if j < n && (sql.[j] = '_' || (sql.[j] >= 'a' && sql.[j] <= 'z')
+                  || (sql.[j] >= 'A' && sql.[j] <= 'Z'))
+      then stop (j + 1)
+      else j
+    in
+    let j = stop i in
+    (String.uppercase_ascii (String.sub sql i (j - i)), j)
+  in
+  let i = skip_ws 0 in
+  let w1, j = word_at i in
+  if w1 <> "SELECT" then (Sequenced, sql)
+  else begin
+    let k = skip_ws j in
+    let w2, m = word_at k in
+    if w2 = "SNAPSHOT" then
+      (Snapshot, String.sub sql 0 j ^ String.sub sql m (n - m))
+    else (Sequenced, sql)
+  end
+
+let translate ?(valid_column = "valid") sql =
+  let mode, sql = parse_mode sql in
+  match Parser.parse sql with
+  | Ast.Select s ->
+    Pretty.statement_to_string
+      (Ast.Select (translate_select ~mode ~valid_column s))
+  | Ast.Select_compound _ ->
+    unsupported "set operations are not part of the TSQL2 layer"
+  | _ -> unsupported "the TSQL2 layer translates SELECT statements only"
+  | exception Parser.Error msg -> raise (Unsupported msg)
+
+(* Translates and runs against a TIP-enabled database. *)
+let exec ?(params = []) ?valid_column db sql =
+  Tip_engine.Database.exec ~params db (translate ?valid_column sql)

@@ -1,0 +1,36 @@
+(** A TSQL2-flavored sequenced-query layer on top of TIP — the paper's
+    future-work question ("how closely can TIP approach TSQL2?") made
+    executable as a translation into plain TIP SQL.
+
+    Queries run against tables whose tuple timestamp is an Element
+    column ([valid] by default):
+    - by default a SELECT is {e sequenced}: correlations join only while
+      simultaneously valid (pairwise [overlaps] conjuncts) and the
+      result carries the intersection of their timestamps as a final
+      [valid] column;
+    - [SELECT SNAPSHOT ...] is TSQL2's non-temporal query: plain SQL
+      evaluated under NOW;
+    - [VALID(c)] anywhere in an expression denotes correlation [c]'s
+      timestamp;
+    - TSQL2's period predicates (Allen's operators, [overlaps],
+      [contains]) are already TIP routines and pass through.
+
+    Out of scope, by design (the measure of the distance to full TSQL2):
+    sequenced GROUP BY (needs per-instant aggregation), valid-clause
+    projection, temporal ordering — these raise {!Unsupported}. *)
+
+exception Unsupported of string
+
+type mode = Sequenced | Snapshot
+
+(** Translates a TSQL2-flavored SELECT into executable TIP SQL.
+    @raise Unsupported for constructs outside the layer. *)
+val translate : ?valid_column:string -> string -> string
+
+(** [translate] then execute. *)
+val exec :
+  ?params:(string * Tip_storage.Value.t) list ->
+  ?valid_column:string ->
+  Tip_engine.Database.t ->
+  string ->
+  Tip_engine.Database.result

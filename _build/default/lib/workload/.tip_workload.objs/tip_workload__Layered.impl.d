@@ -1,0 +1,1 @@
+lib/workload/layered.ml: Array Hashtbl List Option Tip_blade Tip_core Tip_engine Tip_storage Value

@@ -1,0 +1,1 @@
+lib/workload/layered.mli: Tip_core Tip_engine

@@ -1,0 +1,1 @@
+lib/workload/medical.ml: Array Catalog Chronon Element List Period Printf Random Span Table Tip_blade Tip_core Tip_engine Tip_storage Tx_clock Value

@@ -1,0 +1,1 @@
+lib/workload/medical.mli: Chronon Element Span Tip_core Tip_engine

@@ -1,0 +1,1 @@
+lib/workload/warehouse.ml: Array Catalog Chronon Element Hashtbl List Option Period Printf Random Span Table Tip_blade Tip_core Tip_engine Tip_storage Value

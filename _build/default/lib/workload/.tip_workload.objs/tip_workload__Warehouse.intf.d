@@ -1,0 +1,1 @@
+lib/workload/warehouse.mli: Chronon Period Tip_core Tip_engine

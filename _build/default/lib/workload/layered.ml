@@ -1,0 +1,165 @@
+(* The layered (TimeDB/Tiger-style) baseline of experiment E6.
+
+   A layered temporal system keeps data in 1NF with plain DATE bounds and
+   implements temporal operations as an *external module*: it issues
+   standard SQL to the backend and post-processes rows in the middleware.
+   This module is that external middleware, written against our own
+   engine — so the native-vs-layered comparison isolates exactly the
+   architectural choice the paper's Section 5 discusses, on identical
+   infrastructure.
+
+   Two canonical workloads are implemented both ways:
+   - per-patient coalesced total prescription length (the paper's
+     group_union query);
+   - the Diabeta/Aspirin temporal self-join ("who took both
+     simultaneously, and exactly when"). *)
+
+open Tip_storage
+module Db = Tip_engine.Database
+
+(* --- Coalesced length per patient ------------------------------------------------ *)
+
+(* Native: the paper's query, one SQL statement, coalescing in-engine. *)
+let native_coalesce_sql =
+  "SELECT patient, length(group_union(valid))::INT AS seconds FROM \
+   Prescription GROUP BY patient ORDER BY patient"
+
+let native_coalesce db =
+  List.map
+    (fun row ->
+      (Value.to_display_string row.(0), Value.to_int row.(1) / 86_400))
+    (Db.rows_exn (Db.exec db native_coalesce_sql))
+
+(* Layered: the generated standard SQL retrieves every (patient, period)
+   row sorted; the middleware then merges overlapping periods and sums —
+   work the backend cannot do for it. *)
+let layered_coalesce_sql =
+  "SELECT patient, vstart, vend FROM Prescription1nf ORDER BY patient, \
+   vstart, vend"
+
+let layered_coalesce db =
+  let rows = Db.rows_exn (Db.exec db layered_coalesce_sql) in
+  let day_diff a b =
+    Tip_core.Span.to_seconds (Tip_core.Chronon.diff a b) / 86_400
+  in
+  (* Middleware merge over the sorted stream: [current] is the open run
+     of the current patient plus the days already closed for them. *)
+  let rec go acc current rows =
+    match rows, current with
+    | [], None -> List.rev acc
+    | [], Some (patient, (cs, ce), total) ->
+      List.rev ((patient, total + day_diff ce cs) :: acc)
+    | row :: rest, _ -> (
+      let patient = Value.to_display_string row.(0) in
+      let s = Value.to_date row.(1) and e = Value.to_date row.(2) in
+      match current with
+      | None -> go acc (Some (patient, (s, e), 0)) rest
+      | Some (p, (cs, ce), total) ->
+        if p <> patient then
+          go
+            ((p, total + day_diff ce cs) :: acc)
+            (Some (patient, (s, e), 0))
+            rest
+        else if Tip_core.Chronon.compare s ce <= 0 then
+          go acc (Some (p, (cs, Tip_core.Chronon.max ce e), total)) rest
+        else go acc (Some (p, (s, e), total + day_diff ce cs)) rest)
+  in
+  go [] None rows
+
+(* The fully-declarative alternative: coalescing in one SQL-92 statement
+   with doubly-nested NOT EXISTS (Böhlen/Snodgrass). This is what a
+   layered system would *generate* if it refused middleware work — it is
+   correct (tested against the native answer) and spectacularly slow,
+   which is precisely the paper's Section 5 point about generated
+   queries being "very complex and potentially difficult to optimize".
+   Periods merge when they overlap or touch at a shared endpoint,
+   matching the second-granularity semantics of the native Element
+   (periods one full day apart stay separate). *)
+let layered_coalesce_sql92 =
+  "SELECT DISTINCT f.patient, f.vstart, l.vend \
+   FROM Prescription1nf f, Prescription1nf l \
+   WHERE f.patient = l.patient AND f.vstart <= l.vend \
+   AND NOT EXISTS (\
+     SELECT 1 FROM Prescription1nf m \
+     WHERE m.patient = f.patient AND m.vstart > f.vstart \
+       AND m.vstart <= l.vend \
+       AND NOT EXISTS (\
+         SELECT 1 FROM Prescription1nf c \
+         WHERE c.patient = m.patient AND c.vstart < m.vstart \
+           AND m.vstart <= c.vend)) \
+   AND NOT EXISTS (\
+     SELECT 1 FROM Prescription1nf x \
+     WHERE x.patient = f.patient \
+       AND ((x.vstart < f.vstart AND f.vstart <= x.vend) \
+         OR (x.vstart <= l.vend AND l.vend < x.vend)))"
+
+let pure_sql_coalesce db =
+  let rows = Db.rows_exn (Db.exec db layered_coalesce_sql92) in
+  let day_diff a b =
+    Tip_core.Span.to_seconds (Tip_core.Chronon.diff a b) / 86_400
+  in
+  let totals = Hashtbl.create 16 in
+  List.iter
+    (fun row ->
+      let patient = Value.to_display_string row.(0) in
+      let s = Value.to_date row.(1) and e = Value.to_date row.(2) in
+      Hashtbl.replace totals patient
+        (Option.value (Hashtbl.find_opt totals patient) ~default:0
+        + day_diff e s))
+    rows;
+  Hashtbl.fold (fun p d acc -> (p, d) :: acc) totals []
+  |> List.sort compare
+
+(* --- Temporal self-join ------------------------------------------------------------- *)
+
+let native_self_join_sql =
+  "SELECT p1.patient, intersect(p1.valid, p2.valid) FROM Prescription p1, \
+   Prescription p2 WHERE p1.drug = 'Diabeta' AND p2.drug = 'Aspirin' AND \
+   p1.patient = p2.patient AND overlaps(p1.valid, p2.valid)"
+
+let native_self_join db =
+  List.map
+    (fun row ->
+      (Value.to_display_string row.(0),
+       Tip_blade.Values.as_element row.(1)))
+    (Db.rows_exn (Db.exec db native_self_join_sql))
+
+(* Layered: the join explodes into one row per overlapping period pair;
+   the middleware must then merge the pair-level fragments back into one
+   timestamp per patient. *)
+let layered_self_join_sql =
+  "SELECT p1.patient, CASE WHEN p1.vstart > p2.vstart THEN p1.vstart ELSE \
+   p2.vstart END AS s, CASE WHEN p1.vend < p2.vend THEN p1.vend ELSE \
+   p2.vend END AS e FROM Prescription1nf p1, Prescription1nf p2 WHERE \
+   p1.drug = 'Diabeta' AND p2.drug = 'Aspirin' AND p1.patient = p2.patient \
+   AND p1.vstart <= p2.vend AND p2.vstart <= p1.vend ORDER BY p1.patient, s, e"
+
+let layered_self_join db =
+  let rows = Db.rows_exn (Db.exec db layered_self_join_sql) in
+  (* Merge sorted fragments per patient in the middleware. *)
+  let rec go acc = function
+    | [] -> List.rev acc
+    | row :: rest -> (
+      let patient = Value.to_display_string row.(0) in
+      let s = Value.to_date row.(1) and e = Value.to_date row.(2) in
+      match acc with
+      | (p, periods) :: acc_rest when p = patient ->
+        go ((p, (s, e) :: periods) :: acc_rest) rest
+      | _ -> go ((patient, [ (s, e) ]) :: acc) rest)
+  in
+  let grouped = go [] rows in
+  let now = Tip_core.Tx_clock.now () in
+  List.map
+    (fun (patient, periods) ->
+      let element =
+        Tip_core.Element.of_periods
+          (List.rev_map (fun (s, e) -> Tip_core.Period.of_chronons s e) periods)
+      in
+      (patient, Tip_core.Element.normalize ~now element))
+    grouped
+  |> List.rev
+
+(* Number of rows the layered join materializes before middleware
+   merging — the blow-up factor reported in E6. *)
+let layered_self_join_rows db =
+  List.length (Db.rows_exn (Db.exec db layered_self_join_sql))

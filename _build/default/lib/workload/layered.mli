@@ -1,0 +1,52 @@
+(** The layered (TimeDB/Tiger-style) baseline of experiment E6.
+
+    A layered temporal system keeps data in 1NF with DATE bounds and
+    implements temporal operations as an external middleware issuing
+    standard SQL. This module is that middleware, running against our
+    own engine, so native-vs-layered isolates exactly the architectural
+    choice the paper's Section 5 argues about.
+
+    Results agree with the native queries by construction (tested); the
+    differences are cost and plumbing. *)
+
+module Db = Tip_engine.Database
+
+(** {1 Per-patient coalesced prescription length} *)
+
+(** The paper's one-statement group_union query. *)
+val native_coalesce_sql : string
+
+(** [(patient, total days)] via the native query. *)
+val native_coalesce : Db.t -> (string * int) list
+
+(** The generated standard SQL (a sorted 1NF scan). *)
+val layered_coalesce_sql : string
+
+(** The middleware: sorted scan + merge + sum, per patient. *)
+val layered_coalesce : Db.t -> (string * int) list
+
+(** The fully-declarative alternative a layered system would generate if
+    it refused middleware work: coalescing in one SQL-92 statement with
+    doubly-nested correlated NOT EXISTS (Böhlen/Snodgrass). Correct and
+    spectacularly slow — the paper's Section 5 criticism, executable. *)
+val layered_coalesce_sql92 : string
+
+(** [(patient, total days)] via the pure-SQL query. *)
+val pure_sql_coalesce : Db.t -> (string * int) list
+
+(** {1 The Diabeta/Aspirin temporal self-join} *)
+
+val native_self_join_sql : string
+
+(** One row per overlapping prescription pair: [(patient, overlap)]. *)
+val native_self_join : Db.t -> (string * Tip_core.Element.t) list
+
+val layered_self_join_sql : string
+
+(** The middleware: period-pair join rows merged back into one timestamp
+    per patient. Uses the current transaction time for normalization. *)
+val layered_self_join : Db.t -> (string * Tip_core.Element.t) list
+
+(** Rows the layered join materializes before middleware merging — the
+    blow-up factor reported in E6. *)
+val layered_self_join_rows : Db.t -> int

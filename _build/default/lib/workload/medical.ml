@@ -1,0 +1,150 @@
+(* The synthetic medical database of the paper's Section 4, as a
+   deterministic, seedable generator at configurable scale.
+
+   The same logical data can be loaded two ways:
+   - [load_native]: the TIP representation — one row per prescription,
+     with a Chronon birth date, a Span frequency and an Element of valid
+     periods (Section 2's CREATE TABLE, verbatim);
+   - [load_layered]: the 1NF encoding a layered system (TimeDB-style)
+     must use on a plain relational backend — one row per (prescription,
+     period), with DATE vstart/vend columns.
+
+   Benchmarks E5/E6 run the same queries over both. Generated periods are
+   day-granularity and fully ground so the two encodings agree exactly;
+   NOW-relative data (which the layered encoding cannot faithfully
+   represent) is exercised separately in E7. *)
+
+open Tip_core
+open Tip_storage
+module Db = Tip_engine.Database
+
+type prescription = {
+  doctor : string;
+  patient : string;
+  patientdob : Chronon.t;
+  drug : string;
+  dosage : int;
+  frequency : Span.t;
+  valid : Element.t;
+}
+
+let doctors =
+  [| "Dr.Pepper"; "Dr.No"; "Dr.Who"; "Dr.Strange"; "Dr.Jekyll"; "Dr.Watson";
+     "Dr.Quinn"; "Dr.House" |]
+
+let drugs =
+  [| "Diabeta"; "Aspirin"; "Tylenol"; "Prozac"; "Zantac"; "Valium";
+     "Ibuprofen"; "Amoxil"; "Lipitor"; "Ventolin" |]
+
+let day0 = Chronon.of_ymd 1995 1 1
+let day_range = 6 * 365 (* 1995-01-01 .. late 2000 *)
+
+let random_day st = Chronon.add day0 (Span.of_days (Random.State.int st day_range))
+
+(* 1..4 periods of 1..120 days each, possibly overlapping; stored as
+   written — normalization is the engine's job. *)
+let random_element st =
+  let n = 1 + Random.State.int st 4 in
+  let periods =
+    List.init n (fun _ ->
+        let start_ = random_day st in
+        let len = 1 + Random.State.int st 120 in
+        Period.of_chronons start_ (Chronon.add start_ (Span.of_days len)))
+  in
+  Element.of_periods periods
+
+let generate ?(seed = 42) ~patients ~prescriptions () =
+  let st = Random.State.make [| seed |] in
+  let patient_names =
+    Array.init patients (fun i -> Printf.sprintf "Patient%04d" i)
+  in
+  let patient_dobs =
+    Array.init patients (fun _ ->
+        Chronon.add (Chronon.of_ymd 1930 1 1)
+          (Span.of_days (Random.State.int st (65 * 365))))
+  in
+  List.init prescriptions (fun _ ->
+      let p = Random.State.int st patients in
+      { doctor = doctors.(Random.State.int st (Array.length doctors));
+        patient = patient_names.(p);
+        patientdob = patient_dobs.(p);
+        drug = drugs.(Random.State.int st (Array.length drugs));
+        dosage = 1 + Random.State.int st 3;
+        frequency = Span.of_hours (4 * (1 + Random.State.int st 6));
+        valid = random_element st })
+
+(* --- Native (TIP) representation ----------------------------------------------- *)
+
+let native_schema =
+  "CREATE TABLE Prescription (doctor CHAR(20), patient CHAR(20), \
+   patientdob Chronon, drug CHAR(20), dosage INT, frequency Span, \
+   valid Element)"
+
+let load_native db prescriptions =
+  ignore (Db.exec db "DROP TABLE IF EXISTS Prescription");
+  ignore (Db.exec db native_schema);
+  let table = Catalog.table_exn (Db.catalog db) "prescription" in
+  List.iter
+    (fun p ->
+      ignore
+        (Table.insert table
+           [| Value.Str p.doctor; Value.Str p.patient;
+              Tip_blade.Values.chronon p.patientdob; Value.Str p.drug;
+              Value.Int p.dosage; Tip_blade.Values.span p.frequency;
+              Tip_blade.Values.element p.valid |]))
+    prescriptions
+
+(* --- Layered (1NF) representation ------------------------------------------------ *)
+
+let layered_schema =
+  "CREATE TABLE Prescription1nf (doctor CHAR(20), patient CHAR(20), \
+   patientdob DATE, drug CHAR(20), dosage INT, freq_seconds INT, \
+   vstart DATE, vend DATE)"
+
+(* One row per (prescription, period); timestamps decompose into plain
+   DATE bounds, which is all a temporal-layer-on-stock-SQL system has. *)
+let load_layered db prescriptions =
+  ignore (Db.exec db "DROP TABLE IF EXISTS Prescription1nf");
+  ignore (Db.exec db layered_schema);
+  let table = Catalog.table_exn (Db.catalog db) "prescription1nf" in
+  let now = Tx_clock.now () in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun period ->
+          match Period.ground ~now period with
+          | None -> ()
+          | Some (s, e) ->
+            ignore
+              (Table.insert table
+                 [| Value.Str p.doctor; Value.Str p.patient;
+                    Value.Date (Chronon.start_of_day p.patientdob);
+                    Value.Str p.drug; Value.Int p.dosage;
+                    Value.Int (Span.to_seconds p.frequency);
+                    Value.Date (Chronon.start_of_day s);
+                    Value.Date (Chronon.start_of_day e) |]))
+        (Element.periods p.valid))
+    prescriptions
+
+(* --- The five canonical demo rows used throughout the paper ---------------------- *)
+
+let demo_rows_sql =
+  [ "INSERT INTO Prescription VALUES ('Dr.Pepper', 'Mr.Showbiz', \
+     '1962-03-03', 'Diabeta', 1, '0 08:00:00', '{[1999-10-01, NOW]}')";
+    "INSERT INTO Prescription VALUES ('Dr.No', 'Mr.Showbiz', '1962-03-03', \
+     'Aspirin', 2, '0 12:00:00', '{[1999-09-20, 1999-10-05]}')";
+    "INSERT INTO Prescription VALUES ('Dr.No', 'Ms.Stone', '1999-09-20', \
+     'Tylenol', 1, '1', '{[1999-09-25, 1999-10-02]}')";
+    "INSERT INTO Prescription VALUES ('Dr.Pepper', 'Ms.Stone', '1999-09-20', \
+     'Aspirin', 1, '2', '{[1999-11-01, 1999-11-15]}')";
+    "INSERT INTO Prescription VALUES ('Dr.Who', 'Mr.Bean', '1955-01-01', \
+     'Prozac', 1, '1', '{[1999-01-01, 1999-04-30], [1999-07-01, 1999-10-31]}')" ]
+
+(* A TIP database holding the paper's demo scenario, frozen in October
+   1999 like the original demonstration. *)
+let demo_database () =
+  let db = Tip_blade.Blade.create_database () in
+  ignore (Db.exec db "SET NOW = '1999-10-15'");
+  ignore (Db.exec db native_schema);
+  List.iter (fun sql -> ignore (Db.exec db sql)) demo_rows_sql;
+  db

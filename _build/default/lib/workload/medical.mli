@@ -1,0 +1,46 @@
+(** The synthetic medical database of the paper's Section 4, as a
+    deterministic, seedable generator at configurable scale.
+
+    The same logical data loads two ways: {!load_native} uses the TIP
+    representation (Section 2's CREATE TABLE verbatim, with an Element
+    timestamp per prescription); {!load_layered} uses the 1NF encoding a
+    layered (TimeDB-style) system needs on a plain relational backend —
+    one row per (prescription, period) with DATE bounds. Benchmarks
+    E5/E6 run the same queries over both. Generated periods are
+    day-granularity and ground so the encodings agree exactly. *)
+
+open Tip_core
+module Db = Tip_engine.Database
+
+type prescription = {
+  doctor : string;
+  patient : string;
+  patientdob : Chronon.t;
+  drug : string;
+  dosage : int;
+  frequency : Span.t;
+  valid : Element.t;
+}
+
+(** Same seed, same data. *)
+val generate :
+  ?seed:int -> patients:int -> prescriptions:int -> unit -> prescription list
+
+(** The paper's CREATE TABLE Prescription statement. *)
+val native_schema : string
+
+(** (Re)creates and fills the TIP-typed Prescription table. *)
+val load_native : Db.t -> prescription list -> unit
+
+val layered_schema : string
+
+(** (Re)creates and fills the 1NF Prescription1nf table; periods ground
+    under the current transaction time. *)
+val load_layered : Db.t -> prescription list -> unit
+
+(** The five canonical rows used throughout the paper's examples. *)
+val demo_rows_sql : string list
+
+(** A blade-enabled database holding the demo scenario, frozen at
+    1999-10-15 like the original demonstration. *)
+val demo_database : unit -> Db.t

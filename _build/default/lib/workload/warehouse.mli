@@ -1,0 +1,44 @@
+(** Temporal view maintenance over a non-temporal source — the
+    warehousing application (Yang & Widom) that motivated TIP.
+
+    The source is a current-state relation [assignment(emp, dept)]; the
+    warehouse view [assignment_history(emp, dept, valid Element)]
+    records when each fact held. Each source change propagates with one
+    TIP statement: an assignment opens a [t, NOW] period with the
+    NOW-preserving [add_period]; a revocation clips with [difference]
+    evaluated at the event time (grounding the open period exactly
+    there). {!recompute} is the middleware oracle folding the full log;
+    the incremental view equals it (tested), and E9 benchmarks the cost
+    gap. *)
+
+open Tip_core
+module Db = Tip_engine.Database
+
+type op = Assign | Revoke
+
+type event = { at : Chronon.t; emp : string; dept : string; op : op }
+
+(** (Re)creates the assignment_history table. *)
+val setup : Db.t -> unit
+
+val history_schema : string
+
+(** Applies one source event to the view, using only SQL. *)
+val apply_incremental : Db.t -> event -> unit
+
+val apply_all : Db.t -> event list -> unit
+
+(** Folds the event log directly with the core library; facts with empty
+    histories under [now] are dropped. Sorted output. *)
+val recompute :
+  event list -> now:Chronon.t -> ((string * string) * Period.ground list) list
+
+(** Reads the maintained view back, grounded under [now]. Sorted. *)
+val view_of_db :
+  Db.t -> now:Chronon.t -> ((string * string) * Period.ground list) list
+
+(** A plausible event log: employees drift between departments over
+    years, with strictly increasing times. *)
+val random_events :
+  ?seed:int -> employees:int -> departments:int -> events:int -> unit ->
+  event list

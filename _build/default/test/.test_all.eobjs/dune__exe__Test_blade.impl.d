@@ -1,0 +1,1 @@
+test/test_blade.ml: Alcotest Array Chronon Filename List Str Sys Table Tip_blade Tip_core Tip_engine Tip_storage Value

@@ -1,0 +1,1 @@
+test/test_builtins_union.ml: Alcotest Array Lazy List Str Tip_blade Tip_core Tip_engine Tip_storage Value

@@ -1,0 +1,1 @@
+test/test_chronon.ml: Alcotest Chronon Int Printf QCheck QCheck_alcotest Span Tip_core

@@ -1,0 +1,1 @@
+test/test_client_browser.ml: Alcotest Array Chronon Element List Span Str String Tip_browser Tip_client Tip_core Tip_engine Tip_storage Tip_workload Value

@@ -1,0 +1,1 @@
+test/test_copy_savepoints.ml: Alcotest Filename Printf Str String Sys Tip_engine Tip_storage Tip_workload Value

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Chronon Element Filename Gen Instant List Period Persist QCheck QCheck_alcotest Span Sys Table Tip_blade Tip_core Tip_engine Tip_storage Tip_workload Value

@@ -1,0 +1,1 @@
+test/test_element.ml: Alcotest Chronon Element Element_naive Gen List Period QCheck QCheck_alcotest Span Tip_core

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array List Printf Str Table Tip_engine Tip_storage Value

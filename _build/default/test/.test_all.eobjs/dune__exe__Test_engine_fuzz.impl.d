@@ -1,0 +1,1 @@
+test/test_engine_fuzz.ml: Array Catalog Char Int Lazy List Printexc QCheck QCheck_alcotest String Table Tip_engine Tip_sql Tip_storage Value

@@ -1,0 +1,1 @@
+test/test_expr_unit.ml: Alcotest Lazy List Printf Tip_blade Tip_core Tip_engine Tip_sql Tip_storage Value

@@ -1,0 +1,1 @@
+test/test_granularity.ml: Alcotest Chronon Element Granularity List QCheck QCheck_alcotest Tip_core Tip_engine Tip_storage Tip_workload Value

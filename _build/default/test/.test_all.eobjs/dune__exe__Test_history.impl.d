@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Array Catalog Filename List Persist Printf Sys Tip_blade Tip_engine Tip_storage Value

@@ -1,0 +1,1 @@
+test/test_instant.ml: Alcotest Chronon Instant QCheck QCheck_alcotest Span Tip_core

@@ -1,0 +1,1 @@
+test/test_misc_coverage.ml: Alcotest Array Chronon Element Granularity List Profile Str Tip_blade Tip_browser Tip_core Tip_engine Tip_storage Tip_tsql2 Value

@@ -1,0 +1,1 @@
+test/test_period_allen.ml: Alcotest Allen Chronon Gen Instant List Period Printf QCheck QCheck_alcotest Span Tip_core

@@ -1,0 +1,1 @@
+test/test_planner_shapes.ml: Alcotest Array List Str Tip_engine Tip_storage

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Array Chronon Element Gen List Profile QCheck QCheck_alcotest Span String Tip_core Tip_engine Tip_storage Tip_workload Value

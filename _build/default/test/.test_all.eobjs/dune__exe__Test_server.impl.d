@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest Lazy List Printf Str Thread Tip_blade Tip_core Tip_engine Tip_server Tip_storage Tip_workload Value

@@ -1,0 +1,1 @@
+test/test_span.ml: Alcotest QCheck QCheck_alcotest Span Tip_core

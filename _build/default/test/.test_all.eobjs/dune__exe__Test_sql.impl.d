@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Ast Lexer List Parser Pretty Tip_sql Token

@@ -1,0 +1,1 @@
+test/test_sql_fuzz.ml: Ast Parser Pretty QCheck QCheck_alcotest Tip_sql

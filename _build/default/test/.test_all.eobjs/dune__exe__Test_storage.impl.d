@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Btree Catalog Filename Gen Heap Int Interval_index Lazy List Map Option Persist Printf QCheck QCheck_alcotest Schema String Sys Table Tip_core Tip_storage Value

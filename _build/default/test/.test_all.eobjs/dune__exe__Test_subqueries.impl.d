@@ -1,0 +1,1 @@
+test/test_subqueries.ml: Alcotest Array List Printf Tip_engine Tip_storage Unix Value

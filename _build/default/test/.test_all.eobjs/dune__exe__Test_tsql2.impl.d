@@ -1,0 +1,1 @@
+test/test_tsql2.ml: Alcotest Array List Str String Tip_engine Tip_storage Tip_tsql2 Tip_workload Value

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Chronon Element List Tip_blade Tip_core Tip_engine Tip_storage Tip_workload Tx_clock

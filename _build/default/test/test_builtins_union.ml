@@ -1,0 +1,184 @@
+(* Built-in scalar functions and UNION set operations. *)
+
+open Tip_storage
+module Db = Tip_engine.Database
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let db = lazy (Db.create ())
+
+let one sql =
+  match Db.rows_exn (Db.exec (Lazy.force db) sql) with
+  | [ [| v |] ] -> v
+  | _ -> Alcotest.failf "expected one value: %s" sql
+
+let check msg expected sql = Alcotest.check value msg expected (one sql)
+
+let check_strings () =
+  check "upper" (Value.Str "ABC") "SELECT upper('abc')";
+  check "lower" (Value.Str "abc") "SELECT lower('ABC')";
+  check "length" (Value.Int 5) "SELECT length('hello')";
+  check "trim" (Value.Str "x") "SELECT trim('  x  ')";
+  check "reverse" (Value.Str "cba") "SELECT reverse('abc')";
+  check "substr 2-arg" (Value.Str "llo") "SELECT substr('hello', 3)";
+  check "substr 3-arg" (Value.Str "ell") "SELECT substr('hello', 2, 3)";
+  check "substr clamps" (Value.Str "") "SELECT substr('hello', 99, 3)";
+  check "replace" (Value.Str "b.b.c") "SELECT replace('a.a.c', 'a', 'b')";
+  check "strpos hit" (Value.Int 3) "SELECT strpos('hello', 'll')";
+  check "strpos miss" (Value.Int 0) "SELECT strpos('hello', 'z')";
+  check "concat operator" (Value.Str "ab") "SELECT 'a' || 'b'";
+  check "strict on null" Value.Null "SELECT upper(NULL)"
+
+let check_numbers () =
+  check "abs int" (Value.Int 3) "SELECT abs(-3)";
+  check "abs float" (Value.Float 1.5) "SELECT abs(-1.5)";
+  check "round" (Value.Int 2) "SELECT round(1.5)";
+  check "floor" (Value.Int 1) "SELECT floor(1.9)";
+  check "ceil" (Value.Int 2) "SELECT ceil(1.1)";
+  check "sqrt" (Value.Float 3.) "SELECT sqrt(9.0)";
+  check "power" (Value.Float 8.) "SELECT power(2.0, 3.0)";
+  check "sign" (Value.Int (-1)) "SELECT sign(-4.2)";
+  check "int widens into float slot" (Value.Float 2.) "SELECT sqrt(4)"
+
+let check_null_handling () =
+  check "coalesce picks first non-null" (Value.Int 2)
+    "SELECT coalesce(NULL, 2)";
+  check "coalesce 3-arg" (Value.Str "x") "SELECT coalesce(NULL, NULL, 'x')";
+  check "coalesce all null" Value.Null "SELECT coalesce(NULL, NULL)";
+  check "nullif equal" Value.Null "SELECT nullif(3, 3)";
+  check "nullif different" (Value.Int 3) "SELECT nullif(3, 4)";
+  check "greatest" (Value.Int 7) "SELECT greatest(3, 7)";
+  check "least strings" (Value.Str "a") "SELECT least('b', 'a')"
+
+let check_date_builtins () =
+  check "date_year" (Value.Int 1999) "SELECT date_year('1999-05-01'::DATE)";
+  check "date_add_days"
+    (Value.Date (Tip_core.Chronon.of_ymd 2000 1 1))
+    "SELECT date_add_days('1999-12-31'::DATE, 1)";
+  (* current_date follows the statement's NOW binding. *)
+  ignore (Db.exec (Lazy.force db) "SET NOW = '1999-10-15 12:30:00'");
+  check "current_date uses NOW" (Value.Date (Tip_core.Chronon.of_ymd 1999 10 15))
+    "SELECT current_date()";
+  ignore (Db.exec (Lazy.force db) "SET NOW DEFAULT")
+
+let union_db () =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE a (x INT)");
+  ignore (Db.exec db "CREATE TABLE b (x INT)");
+  ignore (Db.exec db "INSERT INTO a VALUES (1), (2), (3)");
+  ignore (Db.exec db "INSERT INTO b VALUES (3), (4)");
+  db
+
+let ints rows = List.map (fun r -> Value.to_int r.(0)) rows
+
+let check_union () =
+  let db = union_db () in
+  Alcotest.(check (list int)) "UNION deduplicates" [ 1; 2; 3; 4 ]
+    (ints (Db.rows_exn (Db.exec db "SELECT x FROM a UNION SELECT x FROM b")));
+  Alcotest.(check (list int)) "UNION ALL keeps duplicates" [ 1; 2; 3; 3; 4 ]
+    (ints (Db.rows_exn (Db.exec db "SELECT x FROM a UNION ALL SELECT x FROM b")));
+  Alcotest.(check (list int)) "chained unions" [ 1; 2; 3; 4 ]
+    (ints
+       (Db.rows_exn
+          (Db.exec db
+             "SELECT x FROM a UNION SELECT x FROM b UNION SELECT x FROM a")));
+  Alcotest.(check (list int)) "union of expressions" [ 10; 20 ]
+    (ints (Db.rows_exn (Db.exec db "SELECT 10 UNION SELECT 20")));
+  (* names come from the first arm *)
+  Alcotest.(check (list string)) "names from first arm" [ "x" ]
+    (Db.names_exn (Db.exec db "SELECT x FROM a UNION SELECT x FROM b"));
+  (* arity mismatch *)
+  (match Db.exec db "SELECT x FROM a UNION SELECT x, x FROM b" with
+  | exception Tip_engine.Planner.Plan_error _ -> ()
+  | _ -> Alcotest.fail "arity mismatch must fail");
+  (* EXPLAIN shows the Append *)
+  (match Db.exec db "EXPLAIN SELECT x FROM a UNION ALL SELECT x FROM b" with
+  | Db.Message plan ->
+    Alcotest.(check bool) "plan has Append" true
+      (try
+         ignore (Str.search_forward (Str.regexp_string "Append") plan 0);
+         true
+       with Not_found -> false)
+  | _ -> Alcotest.fail "expected plan")
+
+(* `union` must still be callable as the TIP element routine. *)
+let check_union_routine_still_works () =
+  let db = Tip_blade.Blade.create_database () in
+  match
+    Db.rows_exn
+      (Db.exec db
+         "SELECT union('{[1999-01-01, 1999-01-31]}'::Element, \
+          '{[1999-02-01, 1999-02-28]}'::Element)::CHAR")
+  with
+  | [ [| Value.Str _ |] ] -> ()
+  | _ -> Alcotest.fail "union() routine broken"
+
+let suite =
+  [ Alcotest.test_case "string builtins" `Quick check_strings;
+    Alcotest.test_case "numeric builtins" `Quick check_numbers;
+    Alcotest.test_case "null-handling builtins" `Quick check_null_handling;
+    Alcotest.test_case "date builtins" `Quick check_date_builtins;
+    Alcotest.test_case "UNION / UNION ALL" `Quick check_union;
+    Alcotest.test_case "union() routine unaffected" `Quick
+      check_union_routine_still_works ]
+
+(* COUNT(DISTINCT ...) and friends. *)
+let check_distinct_aggregates () =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE t (g CHAR(5), v INT)");
+  ignore
+    (Db.exec db
+       "INSERT INTO t VALUES ('a', 1), ('a', 1), ('a', 2), ('b', 2), \
+        ('b', NULL), ('b', 2)");
+  let one sql =
+    match Db.rows_exn (Db.exec db sql) with
+    | [ [| v |] ] -> v
+    | _ -> Alcotest.failf "expected one value: %s" sql
+  in
+  Alcotest.check value "count distinct" (Value.Int 2)
+    (one "SELECT COUNT(DISTINCT v) FROM t");
+  Alcotest.check value "sum distinct" (Value.Int 3)
+    (one "SELECT SUM(DISTINCT v) FROM t");
+  Alcotest.check value "plain count still counts rows" (Value.Int 5)
+    (one "SELECT COUNT(v) FROM t");
+  (match
+     Db.rows_exn
+       (Db.exec db
+          "SELECT g, COUNT(DISTINCT v) FROM t GROUP BY g ORDER BY g")
+   with
+  | [ a; b ] ->
+    Alcotest.check value "group a" (Value.Int 2) a.(1);
+    Alcotest.check value "group b" (Value.Int 1) b.(1)
+  | _ -> Alcotest.fail "two groups");
+  (* outside aggregation it must fail loudly *)
+  (match Db.exec db "SELECT v FROM t WHERE COUNT(DISTINCT v) > 1" with
+  | exception (Tip_engine.Planner.Plan_error _ | Tip_engine.Expr_eval.Eval_error _) -> ()
+  | _ -> Alcotest.fail "DISTINCT aggregate in WHERE must fail")
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "DISTINCT aggregates" `Quick check_distinct_aggregates ]
+
+let check_group_by_ordinal () =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE g (a INT, b INT)");
+  ignore (Db.exec db "INSERT INTO g VALUES (1, 10), (1, 20), (2, 30)");
+  (match
+     Db.rows_exn
+       (Db.exec db "SELECT a * 10 AS bucket, SUM(b) FROM g GROUP BY 1 ORDER BY 1")
+   with
+  | [ r1; r2 ] ->
+    Alcotest.check value "first group" (Value.Int 30) r1.(1);
+    Alcotest.check value "second group" (Value.Int 30) r2.(1)
+  | _ -> Alcotest.fail "two groups");
+  (* alias form too *)
+  (match
+     Db.rows_exn
+       (Db.exec db
+          "SELECT a + 0 AS k, COUNT(*) FROM g GROUP BY k ORDER BY k")
+   with
+  | [ _; _ ] -> ()
+  | _ -> Alcotest.fail "alias group by")
+
+let suite =
+  suite @ [ Alcotest.test_case "GROUP BY ordinal/alias" `Quick check_group_by_ordinal ]

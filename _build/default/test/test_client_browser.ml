@@ -1,0 +1,228 @@
+(* Client library and TIP Browser tests. *)
+
+open Tip_core
+open Tip_storage
+module Conn = Tip_client.Connection
+module Rs = Tip_client.Result_set
+module Stmt = Tip_client.Statement
+
+let contains hay needle =
+  try
+    ignore (Str.search_forward (Str.regexp_string needle) hay 0);
+    true
+  with Not_found -> false
+
+let demo_connection () =
+  let db = Tip_workload.Medical.demo_database () in
+  Conn.connect_to db
+
+let check_connection_basics () =
+  let conn = Conn.connect () in
+  ignore (Conn.execute conn "CREATE TABLE t (a INT PRIMARY KEY, b Chronon)");
+  Alcotest.(check int) "insert count" 1
+    (Conn.execute_update conn "INSERT INTO t VALUES (1, '1999-09-01')");
+  let rs = Conn.query conn "SELECT a, b FROM t" in
+  Alcotest.(check bool) "next" true (Rs.next rs);
+  Alcotest.(check int) "typed int" 1 (Rs.get_int rs 0);
+  Alcotest.(check bool) "typed chronon" true
+    (Chronon.equal (Chronon.of_ymd 1999 9 1) (Rs.get_chronon rs 1));
+  Alcotest.(check bool) "no more rows" false (Rs.next rs);
+  Conn.close conn;
+  (match Conn.execute conn "SELECT 1" with
+  | exception Conn.Client_error _ -> ()
+  | _ -> Alcotest.fail "closed connection must refuse work")
+
+let check_result_set_accessors () =
+  let conn = demo_connection () in
+  let rs =
+    Conn.query conn
+      "SELECT patient, patientdob, frequency, valid, dosage FROM \
+       Prescription WHERE drug = 'Diabeta'"
+  in
+  Alcotest.(check int) "columns" 5 (Rs.column_count rs);
+  Alcotest.(check (list string)) "names"
+    [ "patient"; "patientdob"; "frequency"; "valid"; "dosage" ]
+    (Rs.column_names rs);
+  Alcotest.(check bool) "row" true (Rs.next rs);
+  Alcotest.(check string) "by name" "Mr.Showbiz"
+    (Value.to_display_string (Rs.get rs "patient"));
+  Alcotest.(check bool) "span accessor" true
+    (Span.equal (Span.of_hours 8) (Rs.get_span rs 2));
+  let e = Rs.get_element rs 3 in
+  Alcotest.(check int) "element accessor" 1 (Element.raw_count e);
+  Alcotest.(check bool) "wrong type raises" true
+    (match Rs.get_period rs 3 with
+    | _ -> false
+    | exception Rs.Result_error _ -> true)
+
+let check_prepared_statements () =
+  let conn = demo_connection () in
+  let stmt =
+    Stmt.prepare conn
+      "SELECT patient FROM Prescription WHERE drug = 'Tylenol' AND \
+       start(valid) - patientdob < '7 00:00:00'::Span * :w"
+  in
+  Stmt.bind_int stmt "w" 1;
+  let rs = Stmt.query stmt in
+  Alcotest.(check int) "one match at w=1" 1 (Rs.row_count rs);
+  Stmt.bind_int stmt "w" 0;
+  Alcotest.(check int) "none at w=0" 0 (Rs.row_count (Stmt.query stmt));
+  (* rebinding with temporal values *)
+  let stmt2 =
+    Stmt.prepare conn
+      "SELECT COUNT(*) FROM Prescription WHERE contains(valid, :at)"
+  in
+  Stmt.bind_chronon stmt2 "at" (Chronon.of_ymd 1999 10 3);
+  let rs2 = Stmt.query stmt2 in
+  ignore (Rs.next rs2);
+  Alcotest.(check int)
+    "three prescriptions active on 1999-10-03 (Diabeta, Aspirin, Prozac)" 3
+    (Rs.get_int rs2 0)
+
+let check_per_connection_now () =
+  let db = Tip_workload.Medical.demo_database () in
+  let c1 = Conn.connect_to db and c2 = Conn.connect_to db in
+  Conn.set_now c1 (Chronon.of_ymd 1999 12 1);
+  (* c1 sees a longer Diabeta prescription than c2 (frozen at 10-15). *)
+  let len conn =
+    let rs =
+      Conn.query conn
+        "SELECT length(valid)::INT FROM Prescription WHERE drug = 'Diabeta'"
+    in
+    ignore (Rs.next rs);
+    Rs.get_int rs 0
+  in
+  let l1 = len c1 and l2 = len c2 in
+  Alcotest.(check bool) "what-if NOW is per connection" true (l1 > l2);
+  (* the shared database override is restored after c1's statement *)
+  Alcotest.(check bool) "db override untouched" true
+    (Tip_engine.Database.now_override db = Some (Chronon.of_ymd 1999 10 15));
+  Conn.clear_now c1;
+  Alcotest.(check int) "after clear both agree" (len c2) (len c1)
+
+let check_browser_rendering () =
+  let conn = demo_connection () in
+  let b =
+    Tip_browser.Browser.open_table conn ~table:"Prescription"
+      ~time_column:"valid"
+  in
+  let screen = Tip_browser.Browser.render b in
+  Alcotest.(check bool) "has timeline column" true (contains screen "timeline");
+  Alcotest.(check bool) "shows NOW" true (contains screen "NOW = 1999-10-15");
+  Alcotest.(check bool) "valid tuples marked" true (contains screen "* ");
+  Alcotest.(check bool) "segments drawn" true (contains screen "#");
+  (* All five demo rows are valid in the auto-fitted window. *)
+  Alcotest.(check int) "valid count" 5 (Tip_browser.Browser.valid_count b)
+
+let check_browser_window_controls () =
+  let conn = demo_connection () in
+  let b =
+    Tip_browser.Browser.open_table conn ~table:"Prescription"
+      ~time_column:"valid"
+  in
+  (* Narrow window over late September 1999: Diabeta ([10-01, NOW]) and
+     the November Aspirin prescription drop out. *)
+  Tip_browser.Browser.set_window b
+    (Tip_browser.Timeline.make_window ~from_:(Chronon.of_ymd 1999 9 21)
+       ~until:(Chronon.of_ymd 1999 9 30));
+  Alcotest.(check int) "valid in narrow window" 3
+    (Tip_browser.Browser.valid_count b);
+  (* Slide right by a full window: moves toward October. *)
+  Tip_browser.Browser.slide b 8;
+  let w = Tip_browser.Browser.window b in
+  Alcotest.(check bool) "window moved right" true
+    (Chronon.compare w.Tip_browser.Timeline.from_ (Chronon.of_ymd 1999 9 29) >= 0);
+  (* Sweep produces one frame per step. *)
+  Alcotest.(check int) "sweep frames" 4
+    (List.length (Tip_browser.Browser.sweep b ~frames:4))
+
+let check_browser_what_if () =
+  let conn = demo_connection () in
+  let b =
+    Tip_browser.Browser.open_query conn
+      ~sql:"SELECT drug, valid FROM Prescription WHERE overlaps(valid, \
+            '{[NOW, NOW]}'::Element)"
+      ~time_column:"valid"
+  in
+  (* Under the demo NOW (1999-10-15) only Diabeta and Prozac are current. *)
+  Alcotest.(check int) "current prescriptions mid-October" 2
+    (Array.length
+       (let rs = Conn.query conn "SELECT drug FROM Prescription WHERE \
+                                  overlaps(valid, '{[NOW, NOW]}'::Element)" in
+        Array.of_list (Rs.to_list rs)));
+  (* What-if: evaluate as of 1999-09-26 — Aspirin and Tylenol instead. *)
+  Tip_browser.Browser.set_now b (Chronon.of_ymd 1999 9 26);
+  let screen = Tip_browser.Browser.render b in
+  Alcotest.(check bool) "what-if marker shown" true (contains screen "(what-if)");
+  Alcotest.(check bool) "Tylenol now current" true (contains screen "Tylenol");
+  Alcotest.(check bool) "Diabeta not yet prescribed" false
+    (contains screen "Diabeta");
+  Tip_browser.Browser.reset_now b;
+  let screen = Tip_browser.Browser.render b in
+  Alcotest.(check bool) "back to present" true (contains screen "Diabeta")
+
+let check_timeline_strip () =
+  let window =
+    Tip_browser.Timeline.make_window ~from_:(Chronon.of_ymd 1999 1 1)
+      ~until:(Chronon.of_ymd 1999 12 31)
+  in
+  let ground =
+    [ (Chronon.of_ymd 1999 1 1, Chronon.of_ymd 1999 3 31);
+      (Chronon.of_ymd 1999 10 1, Chronon.of_ymd 1999 12 31) ]
+  in
+  let s = Tip_browser.Timeline.strip ~width:12 ~window ground in
+  Alcotest.(check int) "strip width" 12 (String.length s);
+  Alcotest.(check bool) "covered at start" true (s.[0] = '#');
+  Alcotest.(check bool) "gap in middle" true (s.[5] = '.');
+  Alcotest.(check bool) "covered at end" true (s.[11] = '#');
+  Alcotest.(check bool) "empty ground invisible" false
+    (Tip_browser.Timeline.visible ~window []);
+  let d = Tip_browser.Timeline.density ~width:12 ~window [ ground; ground ] in
+  Alcotest.(check bool) "density counts overlaps" true (d.[0] = '2')
+
+let suite =
+  [ Alcotest.test_case "connection basics" `Quick check_connection_basics;
+    Alcotest.test_case "result set accessors" `Quick check_result_set_accessors;
+    Alcotest.test_case "prepared statements" `Quick check_prepared_statements;
+    Alcotest.test_case "per-connection NOW (what-if)" `Quick
+      check_per_connection_now;
+    Alcotest.test_case "browser rendering (Figure 2)" `Quick
+      check_browser_rendering;
+    Alcotest.test_case "browser window and slider" `Quick
+      check_browser_window_controls;
+    Alcotest.test_case "browser what-if NOW" `Quick check_browser_what_if;
+    Alcotest.test_case "timeline strips" `Quick check_timeline_strip ]
+
+let check_now_marker_and_zoom () =
+  let conn = demo_connection () in
+  let b =
+    Tip_browser.Browser.open_table conn ~table:"Prescription"
+      ~time_column:"valid"
+  in
+  (* NOW (1999-10-15) is inside the fitted window: some row shows the
+     marker, covered ('!') or not ('|'). *)
+  let screen = Tip_browser.Browser.render b in
+  Alcotest.(check bool) "NOW marker drawn" true
+    (String.exists (fun c -> c = '!' || c = '|') screen);
+  (* zooming in halves the window *)
+  let before = Tip_browser.Timeline.window_width (Tip_browser.Browser.window b) in
+  Tip_browser.Browser.zoom b 0.5;
+  let after = Tip_browser.Timeline.window_width (Tip_browser.Browser.window b) in
+  Alcotest.(check bool) "zoom halves the window" true
+    (Span.to_seconds after < Span.to_seconds before * 6 / 10
+     && Span.to_seconds after > Span.to_seconds before * 4 / 10)
+
+let check_execute_script () =
+  let conn = Conn.connect () in
+  (match
+     Conn.execute_script conn
+       "CREATE TABLE s (a INT); INSERT INTO s VALUES (1), (2); \
+        SELECT COUNT(*) FROM s;"
+   with
+  | Tip_engine.Database.Rows { rows = [ [| Value.Int 2 |] ]; _ } -> ()
+  | r -> Alcotest.failf "unexpected: %s" (Tip_engine.Database.render_result r))
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "NOW marker and zoom" `Quick check_now_marker_and_zoom;
+      Alcotest.test_case "execute_script" `Quick check_execute_script ]

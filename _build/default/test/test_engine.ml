@@ -1,0 +1,319 @@
+(* Engine tests over base types only — no blade installed. *)
+
+open Tip_storage
+module Db = Tip_engine.Database
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let exec = Db.exec
+let rows db sql = Db.rows_exn (exec db sql)
+let names db sql = Db.names_exn (exec db sql)
+
+let int n = Value.Int n
+let str s = Value.Str s
+
+let fresh_db () =
+  let db = Db.create () in
+  ignore
+    (exec db
+       "CREATE TABLE emp (id INT PRIMARY KEY, name CHAR(20) NOT NULL, \
+        dept CHAR(10), salary INT, hired DATE)");
+  List.iter
+    (fun sql -> ignore (exec db sql))
+    [ "INSERT INTO emp VALUES (1, 'ann', 'eng', 100, '1999-01-10')";
+      "INSERT INTO emp VALUES (2, 'bob', 'eng', 80, '1999-03-01')";
+      "INSERT INTO emp VALUES (3, 'cid', 'ops', 80, '1998-07-15')";
+      "INSERT INTO emp VALUES (4, 'dee', 'ops', NULL, NULL)";
+      "INSERT INTO emp VALUES (5, 'eve', NULL, 120, '2000-02-29')" ];
+  db
+
+let check_row_list msg expected actual =
+  Alcotest.(check (list (list (Alcotest.testable Value.pp Value.equal))))
+    msg expected
+    (List.map Array.to_list actual)
+
+let check_basic_select () =
+  let db = fresh_db () in
+  check_row_list "projection + where"
+    [ [ str "ann" ] ]
+    (rows db "SELECT name FROM emp WHERE salary > 90 AND dept = 'eng'");
+  Alcotest.(check (list string)) "names" [ "name"; "salary" ]
+    (names db "SELECT name, salary FROM emp LIMIT 1");
+  check_row_list "order by desc, nulls first on asc"
+    [ [ str "eve" ]; [ str "ann" ]; [ str "bob" ]; [ str "cid" ]; [ str "dee" ] ]
+    (rows db "SELECT name FROM emp ORDER BY salary DESC, name");
+  check_row_list "limit/offset after order"
+    [ [ str "bob" ]; [ str "cid" ] ]
+    (rows db "SELECT name FROM emp ORDER BY id LIMIT 2 OFFSET 1");
+  check_row_list "expressions and aliases"
+    [ [ int 110 ] ]
+    (rows db "SELECT salary + 10 AS bumped FROM emp WHERE name = 'ann'");
+  Alcotest.(check (list string)) "alias name" [ "bumped" ]
+    (names db "SELECT salary + 10 AS bumped FROM emp WHERE name = 'ann'")
+
+let check_null_semantics () =
+  let db = fresh_db () in
+  check_row_list "null comparison is unknown, filtered out" []
+    (rows db "SELECT name FROM emp WHERE salary > NULL");
+  check_row_list "is null"
+    [ [ str "dee" ] ]
+    (rows db "SELECT name FROM emp WHERE salary IS NULL");
+  check_row_list "three-valued OR lets true through"
+    [ [ str "ann" ] ]
+    (rows db "SELECT name FROM emp WHERE salary > 90 OR salary > NULL ORDER BY 1 LIMIT 1");
+  check_row_list "null in IN list"
+    [ [ str "ann" ] ]
+    (rows db "SELECT name FROM emp WHERE salary IN (100, NULL)")
+
+let check_predicates () =
+  let db = fresh_db () in
+  check_row_list "between"
+    [ [ str "bob" ]; [ str "cid" ] ]
+    (rows db "SELECT name FROM emp WHERE salary BETWEEN 70 AND 90 ORDER BY name");
+  check_row_list "like"
+    [ [ str "ann" ] ]
+    (rows db "SELECT name FROM emp WHERE name LIKE 'a%'");
+  check_row_list "like underscore"
+    [ [ str "bob" ] ]
+    (rows db "SELECT name FROM emp WHERE name LIKE '_ob'");
+  check_row_list "not like"
+    [ [ str "bob" ]; [ str "cid" ]; [ str "dee" ]; [ str "eve" ] ]
+    (rows db "SELECT name FROM emp WHERE name NOT LIKE 'a%' ORDER BY name");
+  check_row_list "case"
+    [ [ str "high" ] ]
+    (rows db
+       "SELECT CASE WHEN salary > 90 THEN 'high' ELSE 'low' END FROM emp WHERE id = 1")
+
+let check_dates () =
+  let db = fresh_db () in
+  check_row_list "date comparison from string literal is a range scan or filter"
+    [ [ str "cid" ] ]
+    (rows db "SELECT name FROM emp WHERE hired < '1999-01-01'");
+  check_row_list "date arithmetic in days"
+    [ [ int 50 ] ]
+    (rows db
+       "SELECT hired - '1999-01-10'::DATE FROM emp WHERE name = 'bob'")
+
+let check_aggregation () =
+  let db = fresh_db () in
+  check_row_list "count star" [ [ int 5 ] ] (rows db "SELECT COUNT(*) FROM emp");
+  check_row_list "count skips nulls" [ [ int 4 ] ]
+    (rows db "SELECT COUNT(salary) FROM emp");
+  check_row_list "sum/min/max"
+    [ [ int 380; int 80; int 120 ] ]
+    (rows db "SELECT SUM(salary), MIN(salary), MAX(salary) FROM emp");
+  check_row_list "group by with having"
+    [ [ str "eng"; int 180 ]; [ str "ops"; int 80 ] ]
+    (rows db
+       "SELECT dept, SUM(salary) FROM emp GROUP BY dept HAVING COUNT(*) > 1 \
+        AND dept IS NOT NULL ORDER BY dept");
+  check_row_list "having on aggregate value"
+    [ [ Value.Null; int 120 ]; [ str "eng"; int 180 ] ]
+    (rows db
+       "SELECT dept, SUM(salary) FROM emp GROUP BY dept HAVING SUM(salary) > 100 \
+        ORDER BY dept");
+  check_row_list "avg"
+    [ [ Value.Float 90. ] ]
+    (rows db "SELECT AVG(salary) FROM emp WHERE dept = 'eng'");
+  check_row_list "grand aggregate over empty input"
+    [ [ int 0; Value.Null ] ]
+    (rows db "SELECT COUNT(*), SUM(salary) FROM emp WHERE salary > 1000");
+  check_row_list "group key expression (nulls sort first)"
+    [ [ Value.Null; int 1 ]; [ int 8; int 2 ]; [ int 10; int 1 ]; [ int 12; int 1 ] ]
+    (rows db "SELECT salary / 10, COUNT(*) FROM emp GROUP BY salary / 10 ORDER BY 1");
+  (match exec db "SELECT name, COUNT(*) FROM emp" with
+  | exception Tip_engine.Planner.Plan_error _ -> ()
+  | _ -> Alcotest.fail "bare column with aggregate must fail")
+
+let check_joins () =
+  let db = fresh_db () in
+  ignore
+    (exec db "CREATE TABLE dept (code CHAR(10) PRIMARY KEY, boss CHAR(20))");
+  ignore (exec db "INSERT INTO dept VALUES ('eng', 'grace'), ('ops', 'ada')");
+  check_row_list "comma join with equi predicate becomes hash join"
+    [ [ str "ann"; str "grace" ]; [ str "bob"; str "grace" ];
+      [ str "cid"; str "ada" ]; [ str "dee"; str "ada" ] ]
+    (rows db
+       "SELECT e.name, d.boss FROM emp e, dept d WHERE e.dept = d.code ORDER BY e.name");
+  (* Confirm via EXPLAIN. *)
+  (match exec db "EXPLAIN SELECT e.name FROM emp e, dept d WHERE e.dept = d.code" with
+  | Db.Message plan ->
+    Alcotest.(check bool) "hash join chosen" true
+      (let re = Str.regexp_string "HashJoin" in
+       (try ignore (Str.search_forward re plan 0); true with Not_found -> false))
+  | _ -> Alcotest.fail "expected plan text");
+  check_row_list "explicit JOIN ON"
+    [ [ str "ann"; str "grace" ] ]
+    (rows db
+       "SELECT e.name, d.boss FROM emp e JOIN dept d ON e.dept = d.code \
+        WHERE e.salary = 100");
+  check_row_list "left join keeps unmatched, pads with null"
+    [ [ str "eve"; Value.Null ] ]
+    (rows db
+       "SELECT e.name, d.boss FROM emp e LEFT JOIN dept d ON e.dept = d.code \
+        WHERE d.boss IS NULL ORDER BY e.name");
+  check_row_list "self join"
+    [ [ str "bob"; str "cid" ] ]
+    (rows db
+       "SELECT a.name, b.name FROM emp a, emp b WHERE a.salary = b.salary \
+        AND a.name < b.name");
+  check_row_list "derived table"
+    [ [ str "eng" ] ]
+    (rows db
+       "SELECT t.dept FROM (SELECT dept, SUM(salary) AS total FROM emp \
+        GROUP BY dept) t WHERE t.total > 150")
+
+let check_distinct () =
+  let db = fresh_db () in
+  check_row_list "distinct"
+    [ [ Value.Null ]; [ str "eng" ]; [ str "ops" ] ]
+    (rows db "SELECT DISTINCT dept FROM emp ORDER BY dept");
+  check_row_list "distinct preserves order-by"
+    [ [ str "ops" ]; [ str "eng" ]; [ Value.Null ] ]
+    (rows db "SELECT DISTINCT dept FROM emp ORDER BY dept DESC")
+
+let check_dml () =
+  let db = fresh_db () in
+  Alcotest.(check int) "update count" 2
+    (Db.affected_exn (exec db "UPDATE emp SET salary = salary + 5 WHERE dept = 'eng'"));
+  check_row_list "updated"
+    [ [ int 105 ]; [ int 85 ] ]
+    (rows db "SELECT salary FROM emp WHERE dept = 'eng' ORDER BY id");
+  Alcotest.(check int) "delete count" 1
+    (Db.affected_exn (exec db "DELETE FROM emp WHERE name = 'dee'"));
+  check_row_list "deleted" [ [ int 4 ] ] (rows db "SELECT COUNT(*) FROM emp");
+  (* insert-select *)
+  ignore (exec db "CREATE TABLE rich (id INT, name CHAR(20))");
+  Alcotest.(check int) "insert-select" 2
+    (Db.affected_exn
+       (exec db "INSERT INTO rich SELECT id, name FROM emp WHERE salary > 90"));
+  check_row_list "insert-select content"
+    [ [ str "ann" ]; [ str "eve" ] ]
+    (rows db "SELECT name FROM rich ORDER BY name");
+  (* column-list insert with reordering *)
+  ignore (exec db "INSERT INTO rich (name, id) VALUES ('zed', 99)");
+  check_row_list "reordered insert"
+    [ [ int 99; str "zed" ] ]
+    (rows db "SELECT id, name FROM rich WHERE id = 99")
+
+let check_params () =
+  let db = fresh_db () in
+  let r =
+    Db.exec ~params:[ ("min_salary", int 90) ] db
+      "SELECT name FROM emp WHERE salary > :min_salary ORDER BY name"
+  in
+  check_row_list "host variables" [ [ str "ann" ]; [ str "eve" ] ] (Db.rows_exn r);
+  (match exec db "SELECT name FROM emp WHERE salary > :missing" with
+  | exception Tip_engine.Expr_eval.Eval_error _ -> ()
+  | _ -> Alcotest.fail "unbound parameter must fail")
+
+let check_transactions () =
+  let db = fresh_db () in
+  ignore (exec db "BEGIN");
+  ignore (exec db "INSERT INTO emp VALUES (6, 'fox', 'eng', 70, NULL)");
+  ignore (exec db "UPDATE emp SET salary = 0 WHERE name = 'ann'");
+  ignore (exec db "DELETE FROM emp WHERE name = 'bob'");
+  check_row_list "visible inside tx" [ [ int 5 ] ]
+    (rows db "SELECT COUNT(*) FROM emp");
+  ignore (exec db "ROLLBACK");
+  check_row_list "rollback restores count" [ [ int 5 ] ]
+    (rows db "SELECT COUNT(*) FROM emp");
+  check_row_list "rollback restores update"
+    [ [ int 100 ] ]
+    (rows db "SELECT salary FROM emp WHERE name = 'ann'");
+  check_row_list "rollback restores delete"
+    [ [ int 80 ] ]
+    (rows db "SELECT salary FROM emp WHERE name = 'bob'");
+  ignore (exec db "BEGIN");
+  ignore (exec db "DELETE FROM emp WHERE dept = 'eng'");
+  ignore (exec db "COMMIT");
+  check_row_list "commit sticks" [ [ int 3 ] ] (rows db "SELECT COUNT(*) FROM emp");
+  (match exec db "COMMIT" with
+  | exception Db.Error _ -> ()
+  | _ -> Alcotest.fail "commit without begin must fail")
+
+let check_index_usage () =
+  let db = Db.create () in
+  ignore (exec db "CREATE TABLE t (k INT PRIMARY KEY, v INT)");
+  for i = 1 to 200 do
+    ignore (exec db (Printf.sprintf "INSERT INTO t VALUES (%d, %d)" i (i * 2)))
+  done;
+  ignore (exec db "CREATE INDEX t_v ON t (v)");
+  let explain sql =
+    match exec db ("EXPLAIN " ^ sql) with
+    | Db.Message plan -> plan
+    | _ -> Alcotest.fail "expected plan"
+  in
+  let contains hay needle =
+    try
+      ignore (Str.search_forward (Str.regexp_string needle) hay 0);
+      true
+    with Not_found -> false
+  in
+  Alcotest.(check bool) "pk equality uses index" true
+    (contains (explain "SELECT * FROM t WHERE k = 5") "IndexScan");
+  Alcotest.(check bool) "secondary range uses index" true
+    (contains (explain "SELECT * FROM t WHERE v < 20") "IndexScan");
+  Alcotest.(check bool) "non-indexed predicate scans" true
+    (contains (explain "SELECT * FROM t WHERE v + 1 = 3") "SeqScan");
+  (* Same answers by both paths. *)
+  check_row_list "index scan result"
+    [ [ int 5; int 10 ] ]
+    (rows db "SELECT * FROM t WHERE k = 5");
+  check_row_list "range result count"
+    [ [ int 9 ] ]
+    (rows db "SELECT COUNT(*) FROM t WHERE v < 20")
+
+let check_errors () =
+  let db = fresh_db () in
+  let expect_plan_error sql =
+    match exec db sql with
+    | exception (Tip_engine.Planner.Plan_error _ | Db.Error _) -> ()
+    | _ -> Alcotest.failf "expected error: %s" sql
+  in
+  expect_plan_error "SELECT nosuch FROM emp";
+  expect_plan_error "SELECT * FROM nosuch";
+  expect_plan_error "SELECT e.nosuch FROM emp e";
+  expect_plan_error "SELECT name FROM emp WHERE COUNT(*) > 1";
+  expect_plan_error "SELECT id FROM emp, dept";
+  (* ambiguity *)
+  ignore (exec db "CREATE TABLE other (id INT)");
+  expect_plan_error "SELECT id FROM emp, other";
+  (match exec db "INSERT INTO emp VALUES (1, 'dup', NULL, NULL, NULL)" with
+  | exception Table.Constraint_violation _ -> ()
+  | _ -> Alcotest.fail "duplicate pk must fail")
+
+let check_misc_statements () =
+  let db = fresh_db () in
+  (match exec db "SHOW TABLES" with
+  | Db.Rows { rows = [ [| Value.Str "emp" |] ]; _ } -> ()
+  | _ -> Alcotest.fail "show tables");
+  (match exec db "DESCRIBE emp" with
+  | Db.Rows { rows; _ } -> Alcotest.(check int) "describe rows" 5 (List.length rows)
+  | _ -> Alcotest.fail "describe");
+  (match exec db "SELECT 1 + 2, 'x'" with
+  | Db.Rows { rows = [ [| Value.Int 3; Value.Str "x" |] ]; _ } -> ()
+  | _ -> Alcotest.fail "from-less select");
+  let rendered = Db.render_result (exec db "SELECT id, name FROM emp ORDER BY id LIMIT 2") in
+  Alcotest.(check bool) "render contains header" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string "id | name") rendered 0);
+       true
+     with Not_found -> false)
+
+let suite =
+  [ Alcotest.test_case "basic select" `Quick check_basic_select;
+    Alcotest.test_case "null semantics" `Quick check_null_semantics;
+    Alcotest.test_case "predicates" `Quick check_predicates;
+    Alcotest.test_case "dates" `Quick check_dates;
+    Alcotest.test_case "aggregation" `Quick check_aggregation;
+    Alcotest.test_case "joins" `Quick check_joins;
+    Alcotest.test_case "distinct" `Quick check_distinct;
+    Alcotest.test_case "dml" `Quick check_dml;
+    Alcotest.test_case "host parameters" `Quick check_params;
+    Alcotest.test_case "transactions" `Quick check_transactions;
+    Alcotest.test_case "index usage" `Quick check_index_usage;
+    Alcotest.test_case "errors" `Quick check_errors;
+    Alcotest.test_case "misc statements" `Quick check_misc_statements ]
+
+let _ = value

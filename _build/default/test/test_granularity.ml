@@ -1,0 +1,151 @@
+(* Granularities: truncation, granules, counting, scaling. *)
+
+open Tip_core
+open Tip_storage
+module Db = Tip_engine.Database
+module G = Granularity
+
+let chronon = Alcotest.testable Chronon.pp Chronon.equal
+let value = Alcotest.testable Value.pp Value.equal
+
+let c y m d hh mm ss =
+  Chronon.of_civil ~year:y ~month:m ~day:d ~hour:hh ~minute:mm ~second:ss
+
+let check_truncate () =
+  let t = c 1999 10 15 13 45 27 in
+  Alcotest.check chronon "minute" (c 1999 10 15 13 45 0) (G.truncate G.Minute t);
+  Alcotest.check chronon "hour" (c 1999 10 15 13 0 0) (G.truncate G.Hour t);
+  Alcotest.check chronon "day" (Chronon.of_ymd 1999 10 15) (G.truncate G.Day t);
+  (* 1999-10-15 was a Friday; the ISO week starts Monday 10-11. *)
+  Alcotest.check chronon "week" (Chronon.of_ymd 1999 10 11) (G.truncate G.Week t);
+  Alcotest.check chronon "month" (Chronon.of_ymd 1999 10 1) (G.truncate G.Month t);
+  Alcotest.check chronon "year" (Chronon.of_ymd 1999 1 1) (G.truncate G.Year t);
+  (* pre-epoch truncation must still floor, not round toward zero *)
+  let before = c 1969 12 31 23 59 59 in
+  Alcotest.check chronon "pre-epoch hour" (c 1969 12 31 23 0 0)
+    (G.truncate G.Hour before)
+
+let check_day_of_week () =
+  Alcotest.(check int) "1970-01-01 was a Thursday" 3
+    (G.day_of_week Chronon.epoch);
+  Alcotest.(check int) "1999-10-11 was a Monday" 0
+    (G.day_of_week (Chronon.of_ymd 1999 10 11));
+  Alcotest.(check int) "2000-01-02 was a Sunday" 6
+    (G.day_of_week (Chronon.of_ymd 2000 1 2))
+
+let check_between () =
+  let a = Chronon.of_ymd 1999 1 31 and b = Chronon.of_ymd 2000 3 1 in
+  Alcotest.(check int) "months" 14 (G.between G.Month a b);
+  Alcotest.(check int) "years" 1 (G.between G.Year a b);
+  Alcotest.(check int) "days across leap feb" 29
+    (G.between G.Day (Chronon.of_ymd 2000 2 1) (Chronon.of_ymd 2000 3 1));
+  Alcotest.(check int) "negative direction" (-14) (G.between G.Month b a);
+  Alcotest.(check int) "same granule" 0
+    (G.between G.Month (Chronon.of_ymd 1999 5 1) (Chronon.of_ymd 1999 5 31))
+
+let check_add_months () =
+  Alcotest.check chronon "day clamps into february"
+    (Chronon.of_ymd 1999 2 28)
+    (G.add_months (Chronon.of_ymd 1999 1 31) 1);
+  Alcotest.check chronon "leap february keeps the 29th"
+    (Chronon.of_ymd 2000 2 29)
+    (G.add_months (Chronon.of_ymd 2000 1 31) 1);
+  Alcotest.check chronon "backwards across a year boundary"
+    (Chronon.of_ymd 1998 11 30)
+    (G.add_months (Chronon.of_ymd 1999 1 30) (-2));
+  Alcotest.check chronon "time of day preserved"
+    (c 1999 3 15 8 30 0)
+    (G.add_months (c 1999 1 15 8 30 0) 2)
+
+let check_scale () =
+  let now = Chronon.of_ymd 1999 12 31 in
+  let e =
+    Element.of_string_exn
+      "{[1999-01-15 12:00:00, 1999-02-10], [1999-02-20, 1999-03-05]}"
+  in
+  let scaled = Element.ground ~now (G.scale ~now G.Month e) in
+  (* Jan..Mar, with Feb touched by both periods, coalesces to one run. *)
+  Alcotest.(check int) "coalesces to one run" 1 (List.length scaled);
+  (match scaled with
+  | [ (s, e') ] ->
+    Alcotest.check chronon "starts at month start" (Chronon.of_ymd 1999 1 1) s;
+    Alcotest.check chronon "ends at month end"
+      (Chronon.pred (Chronon.of_ymd 1999 4 1))
+      e'
+  | _ -> Alcotest.fail "one period")
+
+let granularity_arb =
+  QCheck.make
+    ~print:G.to_string
+    (QCheck.Gen.oneofl G.all)
+
+let chronon_arb =
+  QCheck.make
+    ~print:(fun c -> Chronon.to_string c)
+    QCheck.Gen.(map Chronon.of_unix_seconds (int_range (-2_000_000_000) 4_000_000_000))
+
+let prop_truncate_floor =
+  QCheck.Test.make ~name:"truncate g c <= c < next g c, idempotent" ~count:2000
+    QCheck.(pair granularity_arb chronon_arb)
+    (fun (g, c) ->
+      let t = G.truncate g c in
+      Chronon.compare t c <= 0
+      && Chronon.compare c (G.next g c) < 0
+      && Chronon.equal (G.truncate g t) t)
+
+let prop_granule_partition =
+  QCheck.Test.make ~name:"granules partition the line" ~count:2000
+    QCheck.(pair granularity_arb chronon_arb)
+    (fun (g, c) ->
+      let s, e = G.granule g c in
+      (* c inside its granule; next granule starts right after e *)
+      Chronon.compare s c <= 0 && Chronon.compare c e <= 0
+      && Chronon.equal (G.truncate g (Chronon.succ e)) (Chronon.succ e))
+
+(* --- Through SQL --------------------------------------------------------- *)
+
+let check_granularity_sql () =
+  let db = Tip_workload.Medical.demo_database () in
+  let one sql =
+    match Db.rows_exn (Db.exec db sql) with
+    | [ [| v |] ] -> v
+    | _ -> Alcotest.fail sql
+  in
+  Alcotest.check value "trunc to month"
+    (Value.Str "1999-10-01")
+    (one "SELECT trunc('1999-10-15 13:45:27'::Chronon, 'month')::CHAR");
+  Alcotest.check value "granule period"
+    (Value.Str "[1999-10-01, 1999-10-31 23:59:59]")
+    (one "SELECT granule('1999-10-15'::Chronon, 'month')::CHAR");
+  (* Ms.Stone was born 1999-09-20: one month boundary and 25 days to
+     the demo NOW. *)
+  Alcotest.check value "granules_between months"
+    (Value.Int 1)
+    (one
+       "SELECT granules_between(patientdob, '1999-10-15'::Chronon, 'month') \
+        FROM Prescription WHERE drug = 'Tylenol'");
+  Alcotest.check value "granules_between days"
+    (Value.Int 25)
+    (one
+       "SELECT granules_between(patientdob, '1999-10-15'::Chronon, 'day') \
+        FROM Prescription WHERE drug = 'Tylenol'");
+  Alcotest.check value "scale to days"
+    (Value.Str "{[1999-09-25, 1999-10-02 23:59:59]}")
+    (one
+       "SELECT scale(valid, 'day')::CHAR FROM Prescription WHERE drug = 'Tylenol'");
+  Alcotest.check value "add_months clamps"
+    (Value.Str "1999-02-28")
+    (one "SELECT add_months('1999-01-31'::Chronon, 1)::CHAR");
+  (match Db.exec db "SELECT trunc('1999-01-01'::Chronon, 'fortnight')" with
+  | exception Value.Type_error _ -> ()
+  | _ -> Alcotest.fail "unknown granularity must fail")
+
+let suite =
+  [ Alcotest.test_case "truncation" `Quick check_truncate;
+    Alcotest.test_case "day of week" `Quick check_day_of_week;
+    Alcotest.test_case "between" `Quick check_between;
+    Alcotest.test_case "add_months clamping" `Quick check_add_months;
+    Alcotest.test_case "scale to whole granules" `Quick check_scale;
+    QCheck_alcotest.to_alcotest prop_truncate_floor;
+    QCheck_alcotest.to_alcotest prop_granule_partition;
+    Alcotest.test_case "granularities through SQL" `Quick check_granularity_sql ]

@@ -1,0 +1,106 @@
+(* Remaining coverage: custom valid columns in the TSQL2 layer, weighted
+   profiles, NOW-relative scaling, rendering corners. *)
+
+open Tip_core
+open Tip_storage
+module Db = Tip_engine.Database
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let check_tsql2_custom_valid_column () =
+  let db = Tip_blade.Blade.create_database () in
+  ignore (Db.exec db "SET NOW = '1999-10-15'");
+  ignore (Db.exec db "CREATE TABLE shifts (who CHAR(10), onduty Element)");
+  ignore
+    (Db.exec db
+       "INSERT INTO shifts VALUES ('ada', '{[1999-10-01, 1999-10-10]}'), \
+        ('grace', '{[1999-10-05, 1999-10-20]}')");
+  let r =
+    Tip_tsql2.Tsql2.exec ~valid_column:"onduty" db
+      "SELECT s1.who, s2.who FROM shifts s1, shifts s2 WHERE s1.who < s2.who"
+  in
+  (match Db.rows_exn r with
+  | [ row ] ->
+    Alcotest.(check string) "sequenced overlap with custom column"
+      "{[1999-10-05, 1999-10-10]}"
+      (Value.to_display_string row.(Array.length row - 1))
+  | _ -> Alcotest.fail "one overlapping pair expected")
+
+let check_weighted_profile () =
+  let g y m d = Chronon.of_ymd y m d in
+  (* weights beyond 1: two wards' bed counts *)
+  let p =
+    Profile.of_weighted_ground
+      [ ([ (g 1999 1 1, g 1999 1 31) ], 10);
+        ([ (g 1999 1 15, g 1999 2 15) ], 5) ]
+  in
+  Alcotest.(check int) "before overlap" 10 (Profile.value_at p (g 1999 1 10));
+  Alcotest.(check int) "during overlap" 15 (Profile.value_at p (g 1999 1 20));
+  Alcotest.(check int) "after" 5 (Profile.value_at p (g 1999 2 10));
+  Alcotest.(check bool) "invariants with weights" true
+    (Profile.check_invariants p);
+  (* negative weights cancel: net zero stretches are omitted *)
+  let q =
+    Profile.of_weighted_ground
+      [ ([ (g 1999 1 1, g 1999 1 31) ], 3);
+        ([ (g 1999 1 1, g 1999 1 31) ], -3) ]
+  in
+  Alcotest.(check bool) "cancellation yields empty" true (Profile.is_empty q)
+
+let check_scale_now_relative () =
+  let now = Chronon.of_ymd 1999 10 15 in
+  (* scaling grounds under now first: the open period ends at now, then
+     expands to the whole current month *)
+  let e = Element.of_string_exn "{[1999-10-01, NOW]}" in
+  let scaled = Granularity.scale ~now Granularity.Month e in
+  (match Element.ground ~now scaled with
+  | [ (s, e') ] ->
+    Alcotest.(check string) "starts at month start" "1999-10-01"
+      (Chronon.to_string s);
+    Alcotest.(check string) "ends at month end" "1999-10-31 23:59:59"
+      (Chronon.to_string e')
+  | _ -> Alcotest.fail "one period")
+
+let check_render_corners () =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE t (a INT)");
+  (* empty result renders a header and a zero count *)
+  let rendered = Db.render_result (Db.exec db "SELECT a FROM t") in
+  Alcotest.(check bool) "zero-row render" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string "(0 rows)") rendered 0);
+       true
+     with Not_found -> false);
+  Alcotest.(check string) "affected render"
+    "(1 row affected)"
+    (Db.render_result (Db.exec db "INSERT INTO t VALUES (1)"));
+  (* timeline axis always embeds the boundary dates *)
+  let w =
+    Tip_browser.Timeline.make_window ~from_:(Chronon.of_ymd 1999 1 1)
+      ~until:(Chronon.of_ymd 1999 12 31)
+  in
+  let axis = Tip_browser.Timeline.axis ~width:60 ~window:w in
+  Alcotest.(check bool) "axis has boundaries" true
+    (let has n = try ignore (Str.search_forward (Str.regexp_string n) axis 0); true with Not_found -> false in
+     has "1999-01-01" && has "1999-12-31")
+
+let check_show_tables_hides_nothing () =
+  (* WITH HISTORY shadows are ordinary catalog entries, visible and
+     queryable — by design (they are the audit log). *)
+  let db = Tip_blade.Blade.create_database () in
+  ignore (Db.exec db "CREATE TABLE t (a INT) WITH HISTORY");
+  match Db.rows_exn (Db.exec db "SHOW TABLES") with
+  | rows ->
+    let names = List.map (fun r -> Value.to_display_string r.(0)) rows in
+    Alcotest.(check (list string)) "both tables listed" [ "t"; "t_history" ]
+      names
+
+let suite =
+  [ Alcotest.test_case "TSQL2 with a custom valid column" `Quick
+      check_tsql2_custom_valid_column;
+    Alcotest.test_case "weighted profiles" `Quick check_weighted_profile;
+    Alcotest.test_case "scaling NOW-relative elements" `Quick
+      check_scale_now_relative;
+    Alcotest.test_case "render corners" `Quick check_render_corners;
+    Alcotest.test_case "history shadows are visible" `Quick
+      check_show_tables_hides_nothing ]

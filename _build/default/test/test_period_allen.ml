@@ -1,0 +1,146 @@
+open Tip_core
+
+let now = Chronon.of_ymd 1999 10 1
+let chronon = Alcotest.testable Chronon.pp Chronon.equal
+let day y m d = Chronon.of_ymd y m d
+let p a b = Period.of_chronons a b
+
+let check_since_and_past () =
+  let since_99 = Period.since (day 1999 1 1) in
+  Alcotest.(check string) "since 1999 notation" "[1999-01-01, NOW]"
+    (Period.to_string since_99);
+  let past_week = Period.past (Span.of_weeks 1) in
+  Alcotest.(check string) "past week notation" "[NOW-7, NOW]"
+    (Period.to_string past_week);
+  (match Period.ground ~now past_week with
+  | None -> Alcotest.fail "past week must not be empty"
+  | Some (s, e) ->
+    Alcotest.check chronon "start" (day 1999 9 24) s;
+    Alcotest.check chronon "end" now e)
+
+let check_empty_period () =
+  (* [NOW, 1999-01-01] becomes empty once NOW has advanced past 1999. *)
+  let inverted =
+    Period.of_instants Instant.now (Instant.of_chronon (day 1999 1 1))
+  in
+  Alcotest.(check bool) "empty under late now" true
+    (Period.is_empty ~now inverted);
+  Alcotest.(check bool) "non-empty under early now" false
+    (Period.is_empty ~now:(day 1998 6 1) inverted);
+  Alcotest.(check bool) "empty overlaps nothing" false
+    (Period.overlaps ~now inverted (p (day 1998 1 1) (day 2000 1 1)))
+
+let check_chronon_to_period_cast () =
+  (* "1970-01-01 becomes [1970-01-01, 1970-01-01]" *)
+  let single = Period.of_chronon Chronon.epoch in
+  Alcotest.(check string) "single-chronon period"
+    "[1970-01-01, 1970-01-01]" (Period.to_string single);
+  Alcotest.(check bool) "contains exactly its chronon" true
+    (Period.contains_chronon ~now single Chronon.epoch);
+  Alcotest.(check bool) "not the next" false
+    (Period.contains_chronon ~now single (Chronon.succ Chronon.epoch))
+
+let check_intersect () =
+  let a = p (day 1999 1 1) (day 1999 6 30) in
+  let b = p (day 1999 4 1) (day 1999 12 31) in
+  (match Period.intersect ~now a b with
+  | None -> Alcotest.fail "expected overlap"
+  | Some i ->
+    Alcotest.(check string) "intersection" "[1999-04-01, 1999-06-30]"
+      (Period.to_string i));
+  Alcotest.(check (option reject)) "disjoint" None
+    (Period.intersect ~now (p (day 1999 1 1) (day 1999 1 31))
+       (p (day 1999 3 1) (day 1999 3 31)))
+
+let check_parse () =
+  let parsed = Period.of_string_exn "[1999-01-01, NOW]" in
+  Alcotest.(check bool) "structural equality" true
+    (Period.equal parsed (Period.since (day 1999 1 1)));
+  Alcotest.(check (option reject)) "rejects unclosed" None
+    (Period.of_string "[1999-01-01, NOW")
+
+let allen = Alcotest.testable Allen.pp ( = )
+
+let check_allen_cases () =
+  let classify a b = Allen.classify_ground a b in
+  let g a b = (a, b) in
+  let c1 = day 1999 1 1 and c2 = day 1999 2 1 and c3 = day 1999 3 1
+  and c4 = day 1999 4 1 in
+  Alcotest.check allen "before" Allen.Before (classify (g c1 c2) (g c3 c4));
+  Alcotest.check allen "meets (adjacent chronons)" Allen.Meets
+    (classify (g c1 c2) (g (Chronon.succ c2) c3));
+  Alcotest.check allen "overlaps" Allen.Overlaps (classify (g c1 c3) (g c2 c4));
+  Alcotest.check allen "starts" Allen.Starts (classify (g c1 c2) (g c1 c3));
+  Alcotest.check allen "during" Allen.During (classify (g c2 c3) (g c1 c4));
+  Alcotest.check allen "finishes" Allen.Finishes (classify (g c2 c4) (g c1 c4));
+  Alcotest.check allen "equals" Allen.Equals (classify (g c1 c2) (g c1 c2));
+  Alcotest.check allen "contains" Allen.Contains (classify (g c1 c4) (g c2 c3));
+  Alcotest.check allen "after" Allen.After (classify (g c3 c4) (g c1 c2))
+
+let check_allen_names () =
+  List.iter
+    (fun r ->
+      Alcotest.(check (option allen)) "name roundtrip" (Some r)
+        (Allen.relation_of_name (Allen.relation_name r)))
+    Allen.all_relations;
+  Alcotest.(check (option reject)) "unknown name" None
+    (Allen.relation_of_name "sideways")
+
+let ground_arb =
+  let open QCheck in
+  let gen =
+    let open Gen in
+    let* s = int_range 0 2000 in
+    let* len = int_range 0 500 in
+    return (Chronon.of_unix_seconds s, Chronon.of_unix_seconds (s + len))
+  in
+  make
+    ~print:(fun (s, e) ->
+      Printf.sprintf "[%s, %s]" (Chronon.to_string s) (Chronon.to_string e))
+    gen
+
+let prop_allen_exhaustive_disjoint =
+  QCheck.Test.make ~name:"exactly one Allen relation holds" ~count:2000
+    QCheck.(pair ground_arb ground_arb)
+    (fun (a, b) ->
+      let r = Allen.classify_ground a b in
+      let pa = Period.of_ground a and pb = Period.of_ground b in
+      let holding =
+        List.filter (fun r' -> Allen.holds ~now r' pa pb) Allen.all_relations
+      in
+      holding = [ r ])
+
+let prop_allen_inverse =
+  QCheck.Test.make ~name:"classify (a,b) inverse of (b,a)" ~count:2000
+    QCheck.(pair ground_arb ground_arb)
+    (fun (a, b) ->
+      Allen.classify_ground a b = Allen.inverse (Allen.classify_ground b a))
+
+let prop_overlap_symmetric =
+  QCheck.Test.make ~name:"overlaps symmetric & matches Allen" ~count:2000
+    QCheck.(pair ground_arb ground_arb)
+    (fun (a, b) ->
+      let pa = Period.of_ground a and pb = Period.of_ground b in
+      let o = Period.overlaps ~now pa pb in
+      let expected =
+        match Allen.classify_ground a b with
+        | Allen.Before | Allen.Meets | Allen.Met_by | Allen.After -> false
+        | Allen.Overlaps | Allen.Finished_by | Allen.Contains | Allen.Starts
+        | Allen.Equals | Allen.Started_by | Allen.During | Allen.Finishes
+        | Allen.Overlapped_by -> true
+      in
+      o = Period.overlaps ~now pb pa && o = expected)
+
+let suite =
+  [ Alcotest.test_case "since / past NOW-relative periods" `Quick
+      check_since_and_past;
+    Alcotest.test_case "empty (inverted) periods" `Quick check_empty_period;
+    Alcotest.test_case "chronon-to-period cast semantics" `Quick
+      check_chronon_to_period_cast;
+    Alcotest.test_case "intersection" `Quick check_intersect;
+    Alcotest.test_case "parsing" `Quick check_parse;
+    Alcotest.test_case "Allen base cases" `Quick check_allen_cases;
+    Alcotest.test_case "Allen relation names" `Quick check_allen_names;
+    QCheck_alcotest.to_alcotest prop_allen_exhaustive_disjoint;
+    QCheck_alcotest.to_alcotest prop_allen_inverse;
+    QCheck_alcotest.to_alcotest prop_overlap_symmetric ]

@@ -1,0 +1,135 @@
+(* Planner decisions, pinned through EXPLAIN plan shapes. *)
+
+module Db = Tip_engine.Database
+
+let contains hay needle =
+  try
+    ignore (Str.search_forward (Str.regexp_string needle) hay 0);
+    true
+  with Not_found -> false
+
+let check_shape db sql ~wants ~rejects =
+  let plan =
+    match Db.exec db ("EXPLAIN " ^ sql) with
+    | Db.Message m -> m
+    | _ -> Alcotest.fail "expected plan text"
+  in
+  List.iter
+    (fun needle ->
+      if not (contains plan needle) then
+        Alcotest.failf "plan for %s should contain %s:\n%s" sql needle plan)
+    wants;
+  List.iter
+    (fun needle ->
+      if contains plan needle then
+        Alcotest.failf "plan for %s should not contain %s:\n%s" sql needle plan)
+    rejects
+
+let fresh_db () =
+  let db = Db.create () in
+  List.iter
+    (fun sql -> ignore (Db.exec db sql))
+    [ "CREATE TABLE a (id INT PRIMARY KEY, g CHAR(5), v INT)";
+      "CREATE TABLE b (id INT PRIMARY KEY, a_id INT, w INT)";
+      "CREATE INDEX a_v ON a (v)";
+      "INSERT INTO a VALUES (1, 'x', 10), (2, 'y', 20)";
+      "INSERT INTO b VALUES (1, 1, 5), (2, 2, 6)" ];
+  db
+
+let check_scan_choices () =
+  let db = fresh_db () in
+  check_shape db "SELECT * FROM a WHERE id = 1"
+    ~wants:[ "IndexScan a" ] ~rejects:[ "SeqScan a" ];
+  check_shape db "SELECT * FROM a WHERE v BETWEEN 5 AND 15"
+    ~wants:[ "IndexScan a on (v BETWEEN 5 AND 15)" ] ~rejects:[ "SeqScan" ];
+  (* and it answers correctly (recheck keeps exactness) *)
+  (match Db.exec db "SELECT id FROM a WHERE v BETWEEN 5 AND 15" with
+  | Db.Rows { rows = [ [| Tip_storage.Value.Int 1 |] ]; _ } -> ()
+  | _ -> Alcotest.fail "between via index answers");
+  check_shape db "SELECT * FROM a WHERE v >= 15"
+    ~wants:[ "IndexScan a on (v >= 15)" ] ~rejects:[];
+  check_shape db "SELECT * FROM a WHERE 15 <= v"
+    ~wants:[ "IndexScan a" ] ~rejects:[ "SeqScan a" ];
+  (* non-sargable forms stay sequential *)
+  check_shape db "SELECT * FROM a WHERE v + 1 = 16"
+    ~wants:[ "SeqScan a" ] ~rejects:[ "IndexScan" ];
+  check_shape db "SELECT * FROM a WHERE g = 'x'"
+    ~wants:[ "SeqScan a" ] ~rejects:[ "IndexScan" ]
+
+let check_join_choices () =
+  let db = fresh_db () in
+  check_shape db "SELECT * FROM a, b WHERE a.id = b.a_id"
+    ~wants:[ "HashJoin" ] ~rejects:[ "NestedLoop" ];
+  check_shape db "SELECT * FROM a, b WHERE a.id < b.a_id"
+    ~wants:[ "NestedLoop"; "Filter" ] ~rejects:[ "HashJoin" ];
+  check_shape db "SELECT * FROM a JOIN b ON a.id = b.a_id"
+    ~wants:[ "HashJoin" ] ~rejects:[];
+  check_shape db "SELECT * FROM a LEFT JOIN b ON a.id = b.a_id"
+    ~wants:[ "LeftOuterJoin" ] ~rejects:[ "HashJoin" ];
+  (* single-table conjunct pushes below the join *)
+  check_shape db "SELECT * FROM a, b WHERE a.id = b.a_id AND a.v > 15"
+    ~wants:[ "IndexScan a on (a.v > 15)" ] ~rejects:[];
+  (* WHERE on the right of a LEFT JOIN stays above the join *)
+  check_shape db
+    "SELECT * FROM a LEFT JOIN b ON a.id = b.a_id WHERE b.w IS NULL"
+    ~wants:[ "Filter (b.w IS NULL)" ] ~rejects:[]
+
+let check_pipeline_shapes () =
+  let db = fresh_db () in
+  check_shape db
+    "SELECT g, COUNT(*) FROM a GROUP BY g HAVING COUNT(*) > 0 ORDER BY g LIMIT 1"
+    ~wants:[ "Limit limit=1"; "Project"; "Sort"; "Filter"; "Aggregate" ]
+    ~rejects:[];
+  check_shape db "SELECT DISTINCT g FROM a"
+    ~wants:[ "Distinct" ] ~rejects:[];
+  check_shape db "SELECT 1"
+    ~wants:[ "OneRow" ] ~rejects:[ "SeqScan" ];
+  (* constant conjuncts fold into the first scan's filter *)
+  check_shape db "SELECT * FROM a WHERE 1 = 1 AND v > 0"
+    ~wants:[ "Filter" ] ~rejects:[]
+
+let check_order_by_index () =
+  let db = Db.create () in
+  List.iter
+    (fun sql -> ignore (Db.exec db sql))
+    [ "CREATE TABLE o (k INT PRIMARY KEY, v INT, n INT NOT NULL)";
+      "CREATE INDEX o_n ON o (n)";
+      "INSERT INTO o VALUES (2, 20, 7), (1, 10, 9), (3, 30, 8)" ];
+  (* ORDER BY an indexed NOT NULL column: index replaces the sort *)
+  check_shape db "SELECT k FROM o ORDER BY n"
+    ~wants:[ "IndexScan o (satisfies ORDER BY)" ] ~rejects:[ "Sort" ];
+  (* and the answers really come out ordered *)
+  (match Db.exec db "SELECT k FROM o ORDER BY n" with
+  | Db.Rows { rows; _ } ->
+    Alcotest.(check (list int)) "ordered by n" [ 2; 3; 1 ]
+      (List.map (fun r -> Tip_storage.Value.to_int r.(0)) rows)
+  | _ -> Alcotest.fail "rows");
+  (* DESC, nullable columns, filters and multi-key orders still sort *)
+  check_shape db "SELECT k FROM o ORDER BY n DESC"
+    ~wants:[ "Sort" ] ~rejects:[];
+  check_shape db "SELECT k FROM o ORDER BY v"
+    ~wants:[ "Sort" ] ~rejects:[] (* v is nullable: sort keeps nulls-first *);
+  check_shape db "SELECT k FROM o WHERE v > 0 ORDER BY n"
+    ~wants:[ "Sort" ] ~rejects:[ "satisfies ORDER BY" ];
+  check_shape db "SELECT k FROM o ORDER BY n, k"
+    ~wants:[ "Sort" ] ~rejects:[]
+
+let check_subquery_shapes () =
+  let db = fresh_db () in
+  (* subquery conjuncts are pinned above the join, never pushed into a
+     scan that could not supply their outer columns *)
+  check_shape db
+    "SELECT * FROM a, b WHERE a.id = b.a_id AND EXISTS (SELECT 1 FROM b b2 \
+     WHERE b2.w = a.v)"
+    ~wants:[ "HashJoin"; "Filter (EXISTS" ] ~rejects:[];
+  (* derived tables plan their own pipeline inline *)
+  check_shape db
+    "SELECT * FROM (SELECT g, COUNT(*) AS n FROM a GROUP BY g) t WHERE t.n > 0"
+    ~wants:[ "Aggregate"; "Filter (t.n > 0)" ] ~rejects:[]
+
+let suite =
+  [ Alcotest.test_case "scan choices" `Quick check_scan_choices;
+    Alcotest.test_case "join choices" `Quick check_join_choices;
+    Alcotest.test_case "pipeline shapes" `Quick check_pipeline_shapes;
+    Alcotest.test_case "ORDER BY from an index" `Quick check_order_by_index;
+    Alcotest.test_case "subquery placement" `Quick check_subquery_shapes ]

@@ -1,0 +1,141 @@
+(* Temporal profiles: the per-instant aggregation extension. *)
+
+open Tip_core
+open Tip_storage
+module Db = Tip_engine.Database
+
+let value = Alcotest.testable Value.pp Value.equal
+let day y m d = Chronon.of_ymd y m d
+let now = day 1999 10 15
+
+let el s = Element.of_string_exn s
+
+let check_sweep () =
+  (* Two overlapping stays: counts 1,2,1 across the overlap. *)
+  let p =
+    Profile.of_elements ~now
+      [ el "{[1999-01-01, 1999-03-31]}"; el "{[1999-02-01, 1999-05-31]}" ]
+  in
+  Alcotest.(check bool) "invariants" true (Profile.check_invariants p);
+  Alcotest.(check int) "before overlap" 1 (Profile.value_at p (day 1999 1 15));
+  Alcotest.(check int) "inside overlap" 2 (Profile.value_at p (day 1999 3 1));
+  Alcotest.(check int) "after overlap" 1 (Profile.value_at p (day 1999 4 15));
+  Alcotest.(check int) "outside" 0 (Profile.value_at p (day 1999 7 1));
+  Alcotest.(check int) "max" 2 (Profile.max_value p);
+  Alcotest.(check string) "argmax is the overlap"
+    "{[1999-02-01, 1999-03-31]}"
+    (Element.to_string (Profile.argmax p));
+  (* at_least 1 recovers the coalesced union *)
+  Alcotest.(check bool) "at_least 1 = union" true
+    (Element.equal_at ~now (Profile.at_least p 1)
+       (Element.union ~now
+          (el "{[1999-01-01, 1999-03-31]}")
+          (el "{[1999-02-01, 1999-05-31]}")))
+
+let check_text_roundtrip () =
+  let p =
+    Profile.of_elements ~now
+      [ el "{[1999-01-01, 1999-01-31]}"; el "{[1999-01-10, 1999-02-28]}" ]
+  in
+  let s = Profile.to_string p in
+  Alcotest.(check bool) "roundtrip" true
+    (Profile.equal p (Profile.of_string_exn s));
+  Alcotest.(check string) "empty" "{}" (Profile.to_string Profile.empty)
+
+(* Integral equals the sum of the inputs' chronon counts (each instant
+   of each input contributes exactly 1 somewhere). *)
+let ground_set_arb =
+  let open QCheck in
+  let gen =
+    let open Gen in
+    let period =
+      let* s = int_range 0 10_000 in
+      let* len = int_range 0 500 in
+      return (Chronon.of_unix_seconds s, Chronon.of_unix_seconds (s + len))
+    in
+    list_size (int_range 0 8) (map Element.of_ground_list (list_size (int_range 0 5) period))
+  in
+  make
+    ~print:(fun es -> String.concat "; " (List.map Element.to_string es))
+    gen
+
+let prop_integral_conserved =
+  QCheck.Test.make ~name:"profile integral = sum of input lengths" ~count:500
+    ground_set_arb (fun elements ->
+      let p = Profile.of_elements ~now elements in
+      let total_chronons =
+        List.fold_left
+          (fun acc e ->
+            List.fold_left
+              (fun acc (s, e') ->
+                acc + Span.to_seconds (Chronon.diff e' s) + 1)
+              acc (Element.ground ~now e))
+          0 elements
+      in
+      Profile.check_invariants p && Profile.integral p = total_chronons)
+
+let prop_value_at_matches_count =
+  QCheck.Test.make ~name:"value_at = number of covering elements" ~count:300
+    QCheck.(pair ground_set_arb (int_range 0 11_000))
+    (fun (elements, at) ->
+      let p = Profile.of_elements ~now elements in
+      let c = Chronon.of_unix_seconds at in
+      Profile.value_at p c
+      = List.length
+          (List.filter (fun e -> Element.contains_chronon ~now e c) elements))
+
+(* --- Through SQL ------------------------------------------------------------ *)
+
+let check_group_profile_sql () =
+  let db = Tip_workload.Medical.demo_database () in
+  let one sql =
+    match Db.rows_exn (Db.exec db sql) with
+    | [ [| v |] ] -> v
+    | _ -> Alcotest.fail sql
+  in
+  (* How many prescriptions were simultaneously active, at peak? *)
+  (* Oct 1-2: Diabeta + Showbiz's Aspirin + Tylenol + Prozac's second
+     period are all active at once. *)
+  Alcotest.check value "peak simultaneous prescriptions"
+    (Value.Int 4)
+    (one "SELECT max_value(group_profile(valid)) FROM Prescription");
+  Alcotest.check value "when the peak happened"
+    (Value.Str "{[1999-10-01, 1999-10-02]}")
+    (one "SELECT argmax(group_profile(valid))::CHAR FROM Prescription");
+  (* When was the load at least 2? *)
+  Alcotest.check value "load >= 2 includes early October"
+    (Value.Bool true)
+    (one
+       "SELECT contains(at_least(group_profile(valid), 2), \
+        '1999-10-02'::Chronon) FROM Prescription");
+  (* Per-patient profiles via GROUP BY. *)
+  (match
+     Db.rows_exn
+       (Db.exec db
+          "SELECT patient, max_value(group_profile(valid)) FROM Prescription \
+           GROUP BY patient ORDER BY patient")
+   with
+  | [ bean; showbiz; stone ] ->
+    Alcotest.check value "Mr.Bean never overlaps himself" (Value.Int 1) bean.(1);
+    Alcotest.check value "Mr.Showbiz peaks at 2" (Value.Int 2) showbiz.(1);
+    Alcotest.check value "Ms.Stone peaks at 1" (Value.Int 1) stone.(1)
+  | _ -> Alcotest.fail "three patients");
+  (* profile literals parse as a first-class type *)
+  Alcotest.check value "profile literal"
+    (Value.Int 2)
+    (one
+       "SELECT value_at('{[1999-01-01, 1999-01-31]:2}'::Profile, \
+        '1999-01-15'::Chronon)");
+  (* profile_of on a single element is its indicator function *)
+  Alcotest.check value "profile_of indicator"
+    (Value.Int 1)
+    (one
+       "SELECT max_value(profile_of('{[1999-01-01, 1999-12-31]}'::Element))")
+
+let suite =
+  [ Alcotest.test_case "endpoint sweep" `Quick check_sweep;
+    Alcotest.test_case "text roundtrip" `Quick check_text_roundtrip;
+    QCheck_alcotest.to_alcotest prop_integral_conserved;
+    QCheck_alcotest.to_alcotest prop_value_at_matches_count;
+    Alcotest.test_case "group_profile through SQL" `Quick
+      check_group_profile_sql ]

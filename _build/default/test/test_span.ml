@@ -1,0 +1,69 @@
+open Tip_core
+
+let span = Alcotest.testable Span.pp Span.equal
+
+let check_notation () =
+  Alcotest.(check string) "seven and a half days" "7 12:00:00"
+    (Span.to_string (Span.of_dhms ~days:7 ~hours:12 ~minutes:0 ~seconds:0));
+  Alcotest.(check string) "seven days back" "-7"
+    (Span.to_string (Span.of_days (-7)));
+  Alcotest.(check string) "eight hours" "0 08:00:00"
+    (Span.to_string (Span.of_hours 8));
+  Alcotest.(check string) "zero" "0" (Span.to_string Span.zero);
+  Alcotest.(check string) "negative with time part" "-1 06:00:00"
+    (Span.to_string (Span.of_seconds (-(30 * 3600))))
+
+let check_parse () =
+  Alcotest.check span "paper dosage frequency" (Span.of_hours 8)
+    (Span.of_string_exn "0 08:00:00");
+  Alcotest.check span "negative" (Span.of_days (-7)) (Span.of_string_exn "-7");
+  Alcotest.check span "explicit plus" (Span.of_days 7) (Span.of_string_exn "+7");
+  Alcotest.check span "half day" (Span.of_dhms ~days:7 ~hours:12 ~minutes:0 ~seconds:0)
+    (Span.of_string_exn "7 12:00:00");
+  Alcotest.(check (option reject)) "rejects hour 24" None
+    (Span.of_string "0 24:00:00");
+  Alcotest.(check (option reject)) "rejects garbage" None (Span.of_string "abc")
+
+let check_arith () =
+  Alcotest.check span "add" (Span.of_days 3)
+    (Span.add (Span.of_days 1) (Span.of_days 2));
+  Alcotest.check span "sub across zero" (Span.of_days (-1))
+    (Span.sub (Span.of_days 1) (Span.of_days 2));
+  Alcotest.check span "scale_int" (Span.of_weeks 2)
+    (Span.scale_int (Span.of_weeks 1) 2);
+  Alcotest.check span "scale_float rounds" (Span.of_seconds 1)
+    (Span.scale_float (Span.of_seconds 2) 0.4);
+  Alcotest.(check (float 1e-9)) "ratio" 0.5
+    (Span.ratio (Span.of_days 1) (Span.of_days 2));
+  Alcotest.check span "neg . neg = id" (Span.of_days 5)
+    (Span.neg (Span.neg (Span.of_days 5)))
+
+let check_invalid_dhms () =
+  Alcotest.check_raises "hours out of range"
+    (Invalid_argument "Span.of_dhms: hours") (fun () ->
+      ignore (Span.of_dhms ~days:0 ~hours:24 ~minutes:0 ~seconds:0))
+
+let span_arb =
+  QCheck.map ~rev:Span.to_seconds Span.of_seconds
+    QCheck.(int_range (-100_000_000) 100_000_000)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:2000 span_arb
+    (fun s -> Span.equal s (Span.of_string_exn (Span.to_string s)))
+
+let prop_add_commutes =
+  QCheck.Test.make ~name:"add commutes" ~count:500 (QCheck.pair span_arb span_arb)
+    (fun (a, b) -> Span.equal (Span.add a b) (Span.add b a))
+
+let prop_days_sign =
+  QCheck.Test.make ~name:"days is magnitude" ~count:500 span_arb (fun s ->
+      Span.days s = Span.days (Span.neg s))
+
+let suite =
+  [ Alcotest.test_case "paper notation" `Quick check_notation;
+    Alcotest.test_case "parsing" `Quick check_parse;
+    Alcotest.test_case "arithmetic" `Quick check_arith;
+    Alcotest.test_case "of_dhms validation" `Quick check_invalid_dhms;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_add_commutes;
+    QCheck_alcotest.to_alcotest prop_days_sign ]

@@ -1,0 +1,151 @@
+(* Parser/printer round-trip fuzzing: for random expression ASTs,
+   [parse (print ast) = ast]. This pins the printer's parenthesization
+   and the parser's precedence against each other, far beyond the
+   hand-written cases in test_sql.ml. *)
+
+open Tip_sql
+
+let idents = [| "a"; "b"; "c"; "col_x"; "valid"; "t0" |]
+let quals = [| "t"; "p1"; "p2" |]
+let funcs = [| "f"; "g"; "start"; "intersect"; "union"; "length" |]
+let types = [| "INT"; "CHAR"; "Chronon"; "Span"; "Element" |]
+
+let expr_gen =
+  let open QCheck.Gen in
+  let ident = oneofa idents in
+  let literal =
+    oneof
+      [ map (fun n -> Ast.L_int n) (int_range 0 9999);
+        (* fractional floats so %g cannot print them as integers *)
+        map (fun n -> Ast.L_float (float_of_int n +. 0.25)) (int_range 0 999);
+        map (fun s -> Ast.L_string s)
+          (string_size ~gen:(oneofl [ 'a'; 'z'; '\''; ' '; '%'; '_' ])
+             (int_range 0 6));
+        return (Ast.L_bool true);
+        return (Ast.L_bool false);
+        return Ast.L_null ]
+  in
+  let leaf =
+    oneof
+      [ map (fun l -> Ast.Lit l) literal;
+        map (fun c -> Ast.Column (None, c)) ident;
+        (let* q = oneofa quals in
+         let* c = ident in
+         return (Ast.Column (Some q, c)));
+        map (fun p -> Ast.Param p) ident ]
+  in
+  let binop =
+    oneofl
+      [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Mod; Ast.Eq; Ast.Neq; Ast.Lt;
+        Ast.Le; Ast.Gt; Ast.Ge; Ast.And; Ast.Or; Ast.Concat ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else begin
+        let sub = self (depth - 1) in
+        frequency
+          [ (3, leaf);
+            (3,
+             let* op = binop in
+             let* a = sub in
+             let* b = sub in
+             return (Ast.Binop (op, a, b)));
+            (1, map (fun e -> Ast.Unop (Ast.Not, e)) sub);
+            (1, map (fun e -> Ast.Unop (Ast.Neg, e)) sub);
+            (2,
+             let* name = oneofa funcs in
+             let* args = list_size (int_range 0 3) sub in
+             return (Ast.Call (name, args)));
+            (1,
+             let* e = sub in
+             let* ty = oneofa types in
+             return (Ast.Cast (e, ty)));
+            (1,
+             let* arms = list_size (int_range 1 3) (pair sub sub) in
+             let* else_ = option sub in
+             return (Ast.Case (arms, else_)));
+            (1,
+             let* scrutinee = sub in
+             let* choices = list_size (int_range 1 3) sub in
+             let* negated = bool in
+             return (Ast.In_list { negated; scrutinee; choices }));
+            (1,
+             let* scrutinee = sub in
+             let* low = sub in
+             let* high = sub in
+             let* negated = bool in
+             return (Ast.Between { negated; scrutinee; low; high }));
+            (1,
+             let* scrutinee = sub in
+             let* pattern = sub in
+             let* negated = bool in
+             return (Ast.Like { negated; scrutinee; pattern }));
+            (1,
+             let* scrutinee = sub in
+             let* negated = bool in
+             return (Ast.Is_null { negated; scrutinee })) ]
+      end)
+    4
+
+let expr_arb = QCheck.make ~print:Pretty.expr_to_string expr_gen
+
+let reparse e =
+  let sql = "SELECT " ^ Pretty.expr_to_string e in
+  match Parser.parse sql with
+  | Ast.Select { items = [ Ast.Sel_expr (e', _) ]; _ } -> Some e'
+  | _ -> None
+  | exception Parser.Error _ -> None
+
+let prop_expr_roundtrip =
+  QCheck.Test.make ~name:"parse (print e) = e" ~count:2000 expr_arb (fun e ->
+      match reparse e with
+      | Some e' -> e' = e
+      | None -> QCheck.Test.fail_reportf "did not reparse: %s" (Pretty.expr_to_string e))
+
+(* Statements: full select skeletons over a fixed FROM shape. *)
+let select_gen =
+  let open QCheck.Gen in
+  let* n_items = int_range 1 3 in
+  let* items =
+    list_repeat n_items
+      (let* e = expr_gen in
+       let* alias = option (oneofa idents) in
+       return (Ast.Sel_expr (e, alias)))
+  in
+  let* where = option expr_gen in
+  let* distinct = bool in
+  let* order_by =
+    list_size (int_range 0 2)
+      (pair expr_gen (oneofl [ Ast.Asc; Ast.Desc ]))
+  in
+  let* limit = option (int_range 0 100) in
+  return
+    { Ast.empty_select with
+      distinct;
+      items;
+      from =
+        [ Ast.Table { name = "t"; alias = Some "x"; as_of = None };
+          Ast.Table { name = "u"; alias = Some "y"; as_of = None } ];
+      where;
+      order_by;
+      limit }
+
+let select_arb =
+  QCheck.make
+    ~print:(fun s -> Pretty.statement_to_string (Ast.Select s))
+    select_gen
+
+let prop_select_roundtrip =
+  QCheck.Test.make ~name:"parse (print select) = select" ~count:500 select_arb
+    (fun s ->
+      let sql = Pretty.statement_to_string (Ast.Select s) in
+      match Parser.parse sql with
+      | Ast.Select s' -> s' = s
+      | _ -> false
+      | exception Parser.Error _ ->
+        QCheck.Test.fail_reportf "did not reparse: %s" sql)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_expr_roundtrip;
+    QCheck_alcotest.to_alcotest prop_select_roundtrip ]

@@ -1,0 +1,108 @@
+(* The TSQL2 compatibility layer (the paper's future-work experiment). *)
+
+open Tip_storage
+module Db = Tip_engine.Database
+module T = Tip_tsql2.Tsql2
+
+let db () = Tip_workload.Medical.demo_database ()
+
+let strings result col =
+  List.map (fun row -> Value.to_display_string row.(col)) (Db.rows_exn result)
+
+let check_translation_shapes () =
+  (* Sequenced single-table query: timestamp column appended, as is. *)
+  let t = T.translate "SELECT patient FROM Prescription p" in
+  Alcotest.(check string) "single table"
+    "SELECT patient, p.valid AS valid FROM Prescription p" t;
+  (* Sequenced join: pairwise overlaps + nested intersection. *)
+  let t2 =
+    T.translate "SELECT p1.patient FROM Prescription p1, Prescription p2"
+  in
+  Alcotest.(check bool) "join adds overlaps" true
+    (String.length t2 > 0
+    && (try
+          ignore (Str.search_forward (Str.regexp_string "overlaps(p1.valid, p2.valid)") t2 0);
+          true
+        with Not_found -> false));
+  Alcotest.(check bool) "join intersects timestamps" true
+    (try
+       ignore
+         (Str.search_forward
+            (Str.regexp_string "intersect(p1.valid, p2.valid) AS valid") t2 0);
+       true
+     with Not_found -> false);
+  (* VALID(c) rewrites to the element column. *)
+  let t3 =
+    T.translate
+      "SELECT SNAPSHOT patient FROM Prescription p WHERE \
+       contains(VALID(p), '1999-10-03'::Chronon)"
+  in
+  Alcotest.(check bool) "VALID() rewritten" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string "contains(p.valid,") t3 0);
+       true
+     with Not_found -> false);
+  Alcotest.(check bool) "snapshot adds no timestamp" true
+    (not
+       (try
+          ignore (Str.search_forward (Str.regexp_string "AS valid") t3 0);
+          true
+        with Not_found -> false))
+
+let check_sequenced_join_semantics () =
+  let db = db () in
+  (* TSQL2's sequenced self-join: who took Diabeta and Aspirin at the
+     same time — no explicit overlaps/intersect needed, the semantics
+     supply them. *)
+  let r =
+    T.exec db
+      "SELECT p1.patient FROM Prescription p1, Prescription p2 WHERE \
+       p1.drug = 'Diabeta' AND p2.drug = 'Aspirin' AND p1.patient = p2.patient"
+  in
+  Alcotest.(check (list string)) "sequenced join result" [ "Mr.Showbiz" ]
+    (strings r 0);
+  (* The implicit timestamp is the overlap the paper's Query 2 computes
+     explicitly. *)
+  (match Db.rows_exn r with
+  | [ row ] ->
+    Alcotest.(check string) "implicit timestamp"
+      "{[1999-10-01, 1999-10-05]}"
+      (Value.to_display_string row.(Array.length row - 1))
+  | _ -> Alcotest.fail "one row expected")
+
+let check_snapshot_mode () =
+  let db = db () in
+  let r =
+    T.exec db
+      "SELECT SNAPSHOT patient, drug FROM Prescription p WHERE \
+       contains(VALID(p), now()) ORDER BY drug"
+  in
+  Alcotest.(check (list string)) "snapshot of current meds"
+    [ "Diabeta"; "Prozac" ] (strings r 1)
+
+let check_unsupported () =
+  let expect_unsupported sql =
+    match T.translate sql with
+    | exception T.Unsupported _ -> ()
+    | t -> Alcotest.failf "expected Unsupported, got %s" t
+  in
+  expect_unsupported "SELECT patient, COUNT(*) FROM Prescription p GROUP BY patient";
+  expect_unsupported "UPDATE Prescription SET dosage = 2";
+  expect_unsupported "SELECT VALID(p, q) FROM Prescription p";
+  (* but snapshot aggregation is fine *)
+  let db = db () in
+  let r =
+    T.exec db
+      "SELECT SNAPSHOT patient, length(group_union(valid))::INT / 86400 \
+       FROM Prescription GROUP BY patient ORDER BY patient"
+  in
+  Alcotest.(check int) "snapshot coalescing works" 3
+    (List.length (Db.rows_exn r))
+
+let suite =
+  [ Alcotest.test_case "translation shapes" `Quick check_translation_shapes;
+    Alcotest.test_case "sequenced join semantics" `Quick
+      check_sequenced_join_semantics;
+    Alcotest.test_case "snapshot mode" `Quick check_snapshot_mode;
+    Alcotest.test_case "unsupported constructs are loud" `Quick
+      check_unsupported ]

@@ -1,0 +1,138 @@
+(* Workload generator and layered-baseline tests: the two encodings must
+   answer the E5/E6 queries identically. *)
+
+open Tip_core
+module Db = Tip_engine.Database
+module Medical = Tip_workload.Medical
+module Layered = Tip_workload.Layered
+
+let loaded_db ?(seed = 7) ~patients ~prescriptions () =
+  let db = Tip_blade.Blade.create_database () in
+  ignore (Db.exec db "SET NOW = '2001-06-01'");
+  let data = Medical.generate ~seed ~patients ~prescriptions () in
+  (* Both representations are loaded under the same frozen NOW. *)
+  Tx_clock.with_override (Chronon.of_ymd 2001 6 1) (fun () ->
+      Medical.load_native db data;
+      Medical.load_layered db data);
+  (db, data)
+
+let check_generator_determinism () =
+  let a = Medical.generate ~seed:3 ~patients:10 ~prescriptions:50 () in
+  let b = Medical.generate ~seed:3 ~patients:10 ~prescriptions:50 () in
+  let c = Medical.generate ~seed:4 ~patients:10 ~prescriptions:50 () in
+  Alcotest.(check int) "size" 50 (List.length a);
+  Alcotest.(check bool) "same seed, same data" true (a = b);
+  Alcotest.(check bool) "different seed, different data" true (a <> c)
+
+let check_load_counts () =
+  let db, data = loaded_db ~patients:20 ~prescriptions:100 () in
+  let count sql =
+    match Db.rows_exn (Db.exec db sql) with
+    | [ [| Tip_storage.Value.Int n |] ] -> n
+    | _ -> Alcotest.fail "count"
+  in
+  Alcotest.(check int) "native rows = prescriptions" 100
+    (count "SELECT COUNT(*) FROM Prescription");
+  let expected_1nf =
+    List.fold_left
+      (fun n p -> n + Element.raw_count p.Medical.valid)
+      0 data
+  in
+  Alcotest.(check int) "layered rows = total periods" expected_1nf
+    (count "SELECT COUNT(*) FROM Prescription1nf")
+
+let check_coalesce_agreement () =
+  let db, _ = loaded_db ~patients:15 ~prescriptions:120 () in
+  let native = List.sort compare (Layered.native_coalesce db) in
+  let layered = List.sort compare (Layered.layered_coalesce db) in
+  Alcotest.(check (list (pair string int))) "native = layered coalesce"
+    layered native
+
+let check_pure_sql_coalesce () =
+  (* Small data: the doubly-nested NOT EXISTS query is O(n^4)-ish. *)
+  let db, _ = loaded_db ~patients:5 ~prescriptions:30 () in
+  let native = List.sort compare (Layered.native_coalesce db) in
+  let pure =
+    Tx_clock.with_override (Chronon.of_ymd 2001 6 1) (fun () ->
+        Layered.pure_sql_coalesce db)
+  in
+  Alcotest.(check (list (pair string int)))
+    "SQL-92 coalescing = native" native pure
+
+let check_self_join_agreement () =
+  let db, _ = loaded_db ~patients:12 ~prescriptions:150 () in
+  let now = Chronon.of_ymd 2001 6 1 in
+  (* The native query returns one row per overlapping prescription pair;
+     group per patient (unioning the intersections) to compare with the
+     layered middleware's per-patient output. *)
+  let native =
+    List.fold_left
+      (fun acc (p, e) ->
+        let merged =
+          match List.assoc_opt p acc with
+          | Some prev -> Element.union ~now prev e
+          | None -> Element.normalize ~now e
+        in
+        (p, merged) :: List.remove_assoc p acc)
+      []
+      (Layered.native_self_join db)
+    |> List.map (fun (p, e) -> (p, Element.ground ~now e))
+    |> List.sort compare
+  in
+  let layered =
+    Tx_clock.with_override now (fun () -> Layered.layered_self_join db)
+    |> List.map (fun (p, e) -> (p, Element.ground ~now e))
+    |> List.sort compare
+  in
+  Alcotest.(check int) "same number of patient overlaps"
+    (List.length layered) (List.length native);
+  Alcotest.(check bool) "identical timestamps" true (native = layered);
+  (* The layered join must materialize at least as many rows as the
+     native join returns — usually strictly more (the blow-up of E6). *)
+  let exploded = Layered.layered_self_join_rows db in
+  Alcotest.(check bool) "layered explodes period pairs" true
+    (exploded >= List.length native)
+
+let check_warehouse_maintenance () =
+  let db = Tip_blade.Blade.create_database () in
+  Tip_workload.Warehouse.setup db;
+  let events =
+    Tip_workload.Warehouse.random_events ~seed:5 ~employees:12 ~departments:4
+      ~events:150 ()
+  in
+  Tip_workload.Warehouse.apply_all db events;
+  let now = Chronon.of_ymd 2005 1 1 in
+  let incremental = Tip_workload.Warehouse.view_of_db db ~now in
+  let recomputed = Tip_workload.Warehouse.recompute events ~now in
+  Alcotest.(check bool) "incremental view = recomputation" true
+    (incremental = recomputed);
+  Alcotest.(check bool) "view is non-trivial" true (List.length incremental > 5);
+  (* Open periods really stay open: grounding later grows some lengths. *)
+  let total at =
+    List.fold_left
+      (fun acc (_, ground) ->
+        acc + Tip_core.Span.to_seconds (Element.ground_length ground))
+      0
+      (Tip_workload.Warehouse.view_of_db db ~now:at)
+  in
+  Alcotest.(check bool) "open periods grow with NOW" true
+    (total (Chronon.of_ymd 2010 1 1) > total now)
+
+let check_demo_database () =
+  let db = Medical.demo_database () in
+  let r = Db.rows_exn (Db.exec db "SELECT COUNT(*) FROM Prescription") in
+  Alcotest.(check bool) "five demo rows" true
+    (r = [ [| Tip_storage.Value.Int 5 |] ])
+
+let suite =
+  [ Alcotest.test_case "generator determinism" `Quick check_generator_determinism;
+    Alcotest.test_case "loader row counts" `Quick check_load_counts;
+    Alcotest.test_case "coalesce: native = layered" `Quick
+      check_coalesce_agreement;
+    Alcotest.test_case "coalesce: pure SQL-92 = native" `Quick
+      check_pure_sql_coalesce;
+    Alcotest.test_case "self-join: native = layered" `Quick
+      check_self_join_agreement;
+    Alcotest.test_case "warehouse view maintenance" `Quick
+      check_warehouse_maintenance;
+    Alcotest.test_case "demo database" `Quick check_demo_database ]
