@@ -35,6 +35,42 @@ let scale =
 let ols =
   Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
 
+(* --json FILE: every measurement also lands in FILE as one
+   {suite, test, ns} record, for regression tracking against the
+   checked-in BENCH_seed.json baseline. *)
+let json_path : string option ref = ref None
+let current_suite = ref ""
+let records : (string * string * float) list ref = ref []
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc "[\n";
+  let n = List.length !records in
+  List.iteri
+    (fun i (suite, test, ns) ->
+      Printf.fprintf oc "  {\"suite\": \"%s\", \"test\": \"%s\", \"ns\": %s}%s\n"
+        (json_escape suite) (json_escape test)
+        (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
+        (if i = n - 1 then "" else ","))
+    !records;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "\nwrote %d records to %s\n" n path
+
 (* Runs a list of named thunks, returning (name, ns per run). *)
 let measure_tests named_thunks =
   let tests =
@@ -49,19 +85,24 @@ let measure_tests named_thunks =
   in
   let raw = Benchmark.all cfg [ instance ] test in
   let analyzed = Analyze.all ols instance raw in
-  List.map
-    (fun (name, _) ->
-      let full_name = "bench/" ^ name in
-      let est =
-        match Hashtbl.find_opt analyzed full_name with
-        | Some o -> (
-          match Analyze.OLS.estimates o with
-          | Some (e :: _) -> e
-          | Some [] | None -> nan)
-        | None -> nan
-      in
-      (name, est))
-    named_thunks
+  let results =
+    List.map
+      (fun (name, _) ->
+        let full_name = "bench/" ^ name in
+        let est =
+          match Hashtbl.find_opt analyzed full_name with
+          | Some o -> (
+            match Analyze.OLS.estimates o with
+            | Some (e :: _) -> e
+            | Some [] | None -> nan)
+          | None -> nan
+        in
+        (name, est))
+      named_thunks
+  in
+  records :=
+    !records @ List.map (fun (name, ns) -> (!current_suite, name, ns)) results;
+  results
 
 let ns_to_string ns =
   if Float.is_nan ns then "n/a"
@@ -559,6 +600,55 @@ let bench_rpc () =
   Tip_server.Server.stop server;
   print_table [ "query"; "embedded"; "remote"; "x" ] rows
 
+(* --- E16: morsel-driven parallel execution ----------------------------------------------------- *)
+
+let bench_parallel () =
+  banner "E16 parallel"
+    "Morsel-driven parallel execution: scan/filter/aggregate pipelines split\n\
+     into rid-range morsels on the domain pool (lib/engine/exec_pool.ml).\n\
+     Expect: on a multicore host the 4-domain runs approach 4x on the\n\
+     scan-heavy queries (target >= 2x); on a single-core host the extra\n\
+     domains only add scheduling overhead, so the ratio hovers around 1x\n\
+     or below. Both settings return identical rows.";
+  let module Pool = Tip_engine.Exec_pool in
+  let n = 50_000 * scale in
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE m (k INT, g INT, v INT)");
+  let table = Tip_storage.Catalog.table_exn (Db.catalog db) "m" in
+  for i = 0 to n - 1 do
+    ignore
+      (Tip_storage.Table.insert table
+         [| Tip_storage.Value.Int i; Tip_storage.Value.Int (i mod 16);
+            Tip_storage.Value.Int (i * 31 mod 1009) |])
+  done;
+  let queries =
+    [ ("filter scan", "SELECT k, v FROM m WHERE v < 100");
+      ("grouped aggregate",
+       "SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v) FROM m GROUP BY g");
+      ("grand aggregate", "SELECT COUNT(*), SUM(v) FROM m WHERE v < 900");
+      ("top-k", "SELECT v, k FROM m ORDER BY v DESC LIMIT 20") ]
+  in
+  let rows =
+    List.map
+      (fun (label, sql) ->
+        let at_size k () =
+          Pool.set_size k;
+          ignore (Db.exec db sql)
+        in
+        let measured =
+          measure_tests
+            [ ("seq " ^ label, at_size 1); ("par4 " ^ label, at_size 4) ]
+        in
+        Pool.set_size (Pool.default_size ());
+        let get i = snd (List.nth measured i) in
+        [ label; ns_to_string (get 0); ns_to_string (get 1);
+          Printf.sprintf "%.2fx" (get 0 /. get 1) ])
+      queries
+  in
+  Printf.printf "(domains recommended here: %d)\n\n"
+    (Domain.recommended_domain_count ());
+  print_table [ "query"; "1 domain"; "4 domains"; "speedup" ] rows
+
 (* --- Driver --------------------------------------------------------------------------------- *)
 
 let suites =
@@ -571,13 +661,21 @@ let suites =
     ("btree", bench_btree);
     ("joins", bench_joins);
     ("profile", bench_profile);
-    ("rpc", bench_rpc) ]
+    ("rpc", bench_rpc);
+    ("parallel", bench_parallel) ]
 
 let () =
+  let rec parse_args = function
+    | [] -> []
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse_args rest
+    | arg :: rest -> arg :: parse_args rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst suites
+    match parse_args (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst suites
+    | names -> names
   in
   Printf.printf
     "TIP benchmark harness (scale=%d; see DESIGN.md §4 and EXPERIMENTS.md)\n"
@@ -585,8 +683,11 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name suites with
-      | Some f -> f ()
+      | Some f ->
+        current_suite := name;
+        f ()
       | None ->
         Printf.printf "unknown suite %s (available: %s)\n" name
           (String.concat ", " (List.map fst suites)))
-    requested
+    requested;
+  Option.iter write_json !json_path

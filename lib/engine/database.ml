@@ -133,7 +133,7 @@ let eval_standalone t ectx expr =
 
 let run_select t ectx select =
   let plan, names = Planner.plan ~ext:t.ext ~ectx t.catalog select in
-  let rows = Executor.collect ectx plan in
+  let rows = Executor.collect_parallel ectx plan in
   Rows { names = Array.to_list names; rows }
 
 (* Single-table DML helper: compiled predicate + matching rids. *)
@@ -262,13 +262,15 @@ let rec exec_statement t ~params stmt =
         let plan, names =
           Planner.plan_union ~ext:t.ext ~ectx t.catalog compound
         in
-        Rows { names = Array.to_list names; rows = Executor.collect ectx plan }
+        Rows
+          { names = Array.to_list names;
+            rows = Executor.collect_parallel ectx plan }
       | Ast.Explain (Ast.Select select) ->
         let plan, _ = Planner.plan ~ext:t.ext ~ectx t.catalog select in
-        Message (Plan.to_string plan)
+        Message (Planner.explain plan)
       | Ast.Explain (Ast.Select_compound compound) ->
         let plan, _ = Planner.plan_union ~ext:t.ext ~ectx t.catalog compound in
-        Message (Plan.to_string plan)
+        Message (Planner.explain plan)
       | Ast.Explain _ -> db_error "EXPLAIN supports only SELECT"
       | Ast.Insert { table; columns; source } -> (
         let table =
@@ -402,7 +404,7 @@ let rec exec_statement t ~params stmt =
         (* Column types are inferred from the first non-NULL value in
            each output column; all-NULL columns default to TEXT. *)
         let plan, names = Planner.plan ~ext:t.ext ~ectx t.catalog query in
-        let rows = Executor.collect ectx plan in
+        let rows = Executor.collect_parallel ectx plan in
         let type_of_column i =
           let rec probe = function
             | [] -> Schema.T_char None

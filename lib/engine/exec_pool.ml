@@ -1,0 +1,113 @@
+(* A lazily-initialized, reusable fixed-size domain pool.
+
+   Workers block on a condition variable waiting for tasks; a batch
+   ([run]) enqueues one closure per thunk, wakes the workers, and the
+   calling domain drains the same queue so a pool of size [n] executes
+   on exactly [n] domains (n-1 workers + the caller). Workers are
+   spawned on demand up to [size () - 1] and never torn down — they hold
+   no state between batches, and process exit reaps them. *)
+
+let max_size = 64
+
+let clamp n = if n < 1 then 1 else if n > max_size then max_size else n
+
+let resolve_size ~env ~recommended =
+  match env with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> clamp n
+    | Some _ | None -> clamp recommended)
+  | None -> clamp recommended
+
+let default_size () =
+  resolve_size
+    ~env:(Sys.getenv_opt "TIP_PARALLEL")
+    ~recommended:(Domain.recommended_domain_count ())
+
+let override : int option ref = ref None
+
+let size () = match !override with Some n -> n | None -> default_size ()
+let set_size n = override := Some (clamp n)
+let sequential () = size () <= 1
+
+(* --- The worker pool ------------------------------------------------- *)
+
+let lock = Mutex.create ()
+let have_work = Condition.create ()
+let queue : (unit -> unit) Queue.t = Queue.create ()
+let workers = ref 0 (* worker domains spawned so far *)
+
+(* Tasks are pre-wrapped and never raise. *)
+let rec worker_loop () =
+  Mutex.lock lock;
+  while Queue.is_empty queue do
+    Condition.wait have_work lock
+  done;
+  let task = Queue.pop queue in
+  Mutex.unlock lock;
+  task ();
+  worker_loop ()
+
+let ensure_workers wanted =
+  let missing =
+    Mutex.lock lock;
+    let m = wanted - !workers in
+    if m > 0 then workers := wanted;
+    Mutex.unlock lock;
+    m
+  in
+  for _ = 1 to missing do
+    ignore (Domain.spawn worker_loop : unit Domain.t)
+  done
+
+(* --- Batches ---------------------------------------------------------- *)
+
+let run_sequential thunks = List.map (fun t -> t ()) thunks
+
+let run thunks =
+  let n = size () in
+  match thunks with
+  | [] -> []
+  | [ t ] -> [ t () ]
+  | _ when n <= 1 -> run_sequential thunks
+  | _ ->
+    ensure_workers (n - 1);
+    let tasks = Array.of_list thunks in
+    let len = Array.length tasks in
+    let results = Array.make len None in
+    let pending = ref len in
+    let batch_done = Condition.create () in
+    let job i () =
+      let r = try Ok (tasks.(i) ()) with e -> Error e in
+      Mutex.lock lock;
+      results.(i) <- Some r;
+      decr pending;
+      if !pending = 0 then Condition.broadcast batch_done;
+      Mutex.unlock lock
+    in
+    Mutex.lock lock;
+    for i = 0 to len - 1 do
+      Queue.add (job i) queue
+    done;
+    Condition.broadcast have_work;
+    (* The caller drains the queue alongside the workers, then waits for
+       in-flight tasks to land. *)
+    let rec drain () =
+      if not (Queue.is_empty queue) then begin
+        let task = Queue.pop queue in
+        Mutex.unlock lock;
+        task ();
+        Mutex.lock lock;
+        drain ()
+      end
+    in
+    drain ();
+    while !pending > 0 do
+      Condition.wait batch_done lock
+    done;
+    Mutex.unlock lock;
+    (* Re-raise the first failure in input order (Array.iter is
+       left-to-right; List.init's evaluation order is not). *)
+    Array.iter (function Some (Error e) -> raise e | _ -> ()) results;
+    List.init len (fun i ->
+        match results.(i) with Some (Ok v) -> v | _ -> assert false)

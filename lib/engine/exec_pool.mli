@@ -1,0 +1,46 @@
+(** A lazily-initialized, reusable fixed-size pool of OCaml 5 domains
+    for intra-query parallelism.
+
+    The pool size defaults to {!Domain.recommended_domain_count} and can
+    be overridden with the [TIP_PARALLEL] environment variable;
+    [TIP_PARALLEL=1] forces the sequential path. Worker domains are
+    spawned on first parallel use and then reused for the life of the
+    process (they hold no query state between batches).
+
+    Only one statement executes at a time (the engine is
+    single-connection), so batches never overlap; tasks must not submit
+    nested batches. *)
+
+(** Upper bound on the pool size ([TIP_PARALLEL] values above it are
+    clamped). *)
+val max_size : int
+
+(** The pure sizing rule: [env] is the raw [TIP_PARALLEL] value ([None]
+    when unset), [recommended] the hardware parallelism. Malformed or
+    non-positive overrides fall back to [recommended]; the result is
+    clamped to [1, max_size]. *)
+val resolve_size : env:string option -> recommended:int -> int
+
+(** The size the environment asks for ({!resolve_size} over the real
+    [TIP_PARALLEL] and {!Domain.recommended_domain_count}). *)
+val default_size : unit -> int
+
+(** The pool size currently in force: the last {!set_size}, or
+    {!default_size}. *)
+val size : unit -> int
+
+(** Overrides the pool size (clamped to [1, max_size]) for subsequent
+    batches — the bench harness and tests use this to compare sequential
+    and parallel execution in one process. Workers already spawned stay
+    alive; shrinking just leaves them idle. *)
+val set_size : int -> unit
+
+(** [size () <= 1]: callers should not attempt parallel execution. *)
+val sequential : unit -> bool
+
+(** Runs the thunks to completion, in parallel across the pool when
+    [size () > 1] (the calling domain participates), and returns their
+    results in input order. If any thunk raises, the first exception (in
+    input order) is re-raised after all tasks finish. Must not be called
+    from within a task. *)
+val run : (unit -> 'a) list -> 'a list

@@ -2,7 +2,17 @@
 
    Joins materialize their build side only; scans, filters, projections
    and limits stream. Aggregation and sorting are blocking, as they must
-   be. *)
+   be.
+
+   A second, morsel-driven entry point ([collect_parallel]) executes
+   planner-approved subtrees on the {!Exec_pool} domain pool: leaf scans
+   split into rid-range morsels with the downstream filter/project
+   pipeline (and hash-join probes) fused into each morsel task, and
+   aggregation runs as per-domain partials merged by group key. Morsel
+   outputs concatenate in rid order and group order is normalized to
+   first appearance, so the parallel path returns exactly what the
+   sequential one would; any plan shape it does not cover falls back to
+   the sequential operators below. *)
 
 open Tip_storage
 module Ast = Tip_sql.Ast
@@ -13,13 +23,37 @@ exception Exec_error of string
 module Row_key = struct
   type t = Value.t list
 
+  (* One traversal, no length precomputation. *)
   let equal a b =
-    List.length a = List.length b && List.for_all2 Value.equal a b
+    let rec go a b =
+      match a, b with
+      | [], [] -> true
+      | x :: a, y :: b -> Value.equal x y && go a b
+      | [], _ :: _ | _ :: _, [] -> false
+    in
+    go a b
 
-  let hash vs = Hashtbl.hash (List.map Value.hash vs)
+  let hash vs = List.fold_left (fun h v -> (h * 31) + Value.hash v) 17 vs
 end
 
 module Key_table = Hashtbl.Make (Row_key)
+
+(* Hash table keyed by a whole row, without going through a list (used
+   by DISTINCT, where every input row becomes a key). Equality matches
+   [Row_key]: element-wise [Value.equal]. *)
+module Row_array_key = struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec go i = i >= Array.length a || (Value.equal a.(i) b.(i) && go (i + 1)) in
+    go 0
+
+  let hash row = Array.fold_left (fun h v -> (h * 31) + Value.hash v) 17 row
+end
+
+module Row_table = Hashtbl.Make (Row_array_key)
 
 (* --- Aggregate runners -------------------------------------------------- *)
 
@@ -118,9 +152,89 @@ let seq_of_list l = List.to_seq l
 let concat_rows left right =
   Array.append left right
 
+(* ORDER BY comparison over pre-evaluated key lists. *)
+let compare_sort_keys by ka kb =
+  let rec go ks1 ks2 dirs =
+    match ks1, ks2, dirs with
+    | [], [], [] -> 0
+    | k1 :: t1, k2 :: t2, (_, dir) :: td ->
+      let c = Value.compare k1 k2 in
+      let c = match dir with Ast.Asc -> c | Ast.Desc -> -c in
+      if c <> 0 then c else go t1 t2 td
+    | _, _, _ -> 0
+  in
+  go ka kb by
+
+(* Bounded top-k for ORDER BY ... LIMIT: keeps the k first rows of the
+   stable sort without materializing the input, using a size-k max-heap
+   ordered by (sort keys, arrival index) — arrival index makes the order
+   total, so the result is exactly the stable sort's prefix. *)
+let top_k ctx by k input : Value.t array list =
+  if k <= 0 then []
+  else begin
+    let cmp_elt (ka, ia, _) (kb, ib, _) =
+      let c = compare_sort_keys by ka kb in
+      if c <> 0 then c else Int.compare ia ib
+    in
+    let heap = Array.make k None in
+    let size = ref 0 in
+    let elt i = match heap.(i) with Some e -> e | None -> assert false in
+    let swap i j =
+      let tmp = heap.(i) in
+      heap.(i) <- heap.(j);
+      heap.(j) <- tmp
+    in
+    let rec sift_up i =
+      if i > 0 then begin
+        let p = (i - 1) / 2 in
+        if cmp_elt (elt p) (elt i) < 0 then begin
+          swap p i;
+          sift_up p
+        end
+      end
+    in
+    let rec sift_down i =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let largest = ref i in
+      if l < !size && cmp_elt (elt l) (elt !largest) > 0 then largest := l;
+      if r < !size && cmp_elt (elt r) (elt !largest) > 0 then largest := r;
+      if !largest <> i then begin
+        swap i !largest;
+        sift_down !largest
+      end
+    in
+    let arrival = ref 0 in
+    Seq.iter
+      (fun row ->
+        let key = List.map (fun (c, _) -> c ctx row) by in
+        let e = (key, !arrival, row) in
+        incr arrival;
+        if !size < k then begin
+          heap.(!size) <- Some e;
+          incr size;
+          sift_up (!size - 1)
+        end
+        else if cmp_elt e (elt 0) < 0 then begin
+          heap.(0) <- Some e;
+          sift_down 0
+        end)
+      input;
+    let kept = Array.init !size elt in
+    Array.sort cmp_elt kept;
+    Array.to_list (Array.map (fun (_, _, row) -> row) kept)
+  end
+
 (* --- Execution -------------------------------------------------------------- *)
 
-let rec run ctx (plan : Plan.t) : Value.t array Seq.t =
+(* The operator bodies are parameterized by the function used to run
+   child plans, so the same code serves the purely sequential executor
+   ([run] recurses with itself) and the hybrid one ([run_hybrid]
+   recurses with a function that diverts parallel-safe subtrees to the
+   domain pool). *)
+
+type recurse = Expr_eval.ctx -> Plan.t -> Value.t array Seq.t
+
+let rec run_with (recurse : recurse) ctx (plan : Plan.t) : Value.t array Seq.t =
   match plan with
   | Plan.One_row -> Seq.return [||]
   | Plan.Seq_scan { table; _ } ->
@@ -147,12 +261,13 @@ let rec run ctx (plan : Plan.t) : Value.t array Seq.t =
       Seq.filter_map (fun rid -> Table.get table rid) (seq_of_list rids)
     end
   | Plan.Filter { input; pred; _ } ->
-    Seq.filter (fun row -> Expr_eval.to_predicate pred ctx row) (run ctx input)
+    Seq.filter (fun row -> Expr_eval.to_predicate pred ctx row)
+      (recurse ctx input)
   | Plan.Nested_loop { left; right } ->
-    let right_rows = List.of_seq (run ctx right) in
+    let right_rows = List.of_seq (recurse ctx right) in
     Seq.concat_map
       (fun lrow -> Seq.map (fun rrow -> concat_rows lrow rrow) (seq_of_list right_rows))
-      (run ctx left)
+      (recurse ctx left)
   | Plan.Hash_join { left; right; left_keys; right_keys; _ } ->
     (* Build on the right, probe from the left; NULL keys never join. *)
     let build = Key_table.create 64 in
@@ -163,7 +278,7 @@ let rec run ctx (plan : Plan.t) : Value.t array Seq.t =
           let existing = Option.value (Key_table.find_opt build key) ~default:[] in
           Key_table.replace build key (rrow :: existing)
         end)
-      (run ctx right);
+      (recurse ctx right);
     Seq.concat_map
       (fun lrow ->
         let key = List.map (fun c -> c ctx lrow) left_keys in
@@ -176,9 +291,9 @@ let rec run ctx (plan : Plan.t) : Value.t array Seq.t =
             Seq.map (fun rrow -> concat_rows lrow rrow)
               (seq_of_list (List.rev matches))
         end)
-      (run ctx left)
+      (recurse ctx left)
   | Plan.Left_outer_join { left; right; on; right_width; _ } ->
-    let right_rows = List.of_seq (run ctx right) in
+    let right_rows = List.of_seq (recurse ctx right) in
     let nulls = Array.make right_width Value.Null in
     Seq.concat_map
       (fun lrow ->
@@ -190,51 +305,56 @@ let rec run ctx (plan : Plan.t) : Value.t array Seq.t =
         match matches with
         | [] -> Seq.return (concat_rows lrow nulls)
         | _ -> Seq.map (fun rrow -> concat_rows lrow rrow) (seq_of_list matches))
-      (run ctx left)
+      (recurse ctx left)
   | Plan.Project { input; exprs; _ } ->
-    Seq.map (fun row -> Array.map (fun c -> c ctx row) exprs) (run ctx input)
-  | Plan.Aggregate { input; keys; aggs; _ } -> run_aggregate ctx input keys aggs
+    Seq.map (fun row -> Array.map (fun c -> c ctx row) exprs)
+      (recurse ctx input)
+  | Plan.Aggregate { input; keys; aggs; _ } ->
+    run_aggregate recurse ctx input keys aggs
   | Plan.Sort { input; by; _ } ->
-    let rows = Array.of_seq (run ctx input) in
+    let rows = Array.of_seq (recurse ctx input) in
     (* decorate-sort-undecorate: evaluate the keys once per row *)
     let decorated =
       Array.map (fun row -> (List.map (fun (c, _) -> c ctx row) by, row)) rows
     in
-    let cmp (ka, _) (kb, _) =
-      let rec go ks1 ks2 dirs =
-        match ks1, ks2, dirs with
-        | [], [], [] -> 0
-        | k1 :: t1, k2 :: t2, (_, dir) :: td ->
-          let c = Value.compare k1 k2 in
-          let c = match dir with Ast.Asc -> c | Ast.Desc -> -c in
-          if c <> 0 then c else go t1 t2 td
-        | _, _, _ -> 0
-      in
-      go ka kb by
-    in
-    Array.stable_sort cmp decorated;
+    Array.stable_sort
+      (fun (ka, _) (kb, _) -> compare_sort_keys by ka kb)
+      decorated;
     Seq.map snd (Array.to_seq decorated)
   | Plan.Distinct input ->
-    let seen = Key_table.create 64 in
+    let seen = Row_table.create 64 in
     Seq.filter
       (fun row ->
-        let key = Array.to_list row in
-        if Key_table.mem seen key then false
+        if Row_table.mem seen row then false
         else begin
-          Key_table.replace seen key ();
+          Row_table.replace seen row ();
           true
         end)
-      (run ctx input)
+      (recurse ctx input)
   | Plan.Append inputs ->
     List.fold_left
-      (fun acc input -> Seq.append acc (run ctx input))
+      (fun acc input -> Seq.append acc (recurse ctx input))
       Seq.empty inputs
   | Plan.Limit { input; limit; offset } ->
-    let s = run ctx input in
+    let s =
+      match limit with
+      | Some n -> (
+        let k = Stdlib.max 0 (n + Option.value offset ~default:0) in
+        match run_topk recurse ctx input k with
+        | Some s -> s
+        | None ->
+          if Plan.parallel_pipeline input then
+            (* Streaming input under a limit: stay lazy and sequential so
+               the scan stops after [k] rows instead of materializing on
+               the pool. *)
+            run ctx input
+          else recurse ctx input)
+      | None -> recurse ctx input
+    in
     let s = match offset with Some n -> Seq.drop n s | None -> s in
     (match limit with Some n -> Seq.take n s | None -> s)
 
-and run_aggregate ctx input keys aggs =
+and run_aggregate recurse ctx input keys aggs =
   let groups : (Value.t list * runner list) Key_table.t = Key_table.create 64 in
   let order = ref [] in
   Seq.iter
@@ -250,7 +370,7 @@ and run_aggregate ctx input keys aggs =
           runners
       in
       List.iter (fun r -> r.step row) runners)
-    (run ctx input);
+    (recurse ctx input);
   let emit (key, runners) =
     Array.of_list (key @ List.map (fun r -> r.final ()) runners)
   in
@@ -264,4 +384,297 @@ and run_aggregate ctx input keys aggs =
       (fun key -> emit (Key_table.find groups key))
       (seq_of_list (List.rev !order))
 
+(* LIMIT directly above a Sort — possibly through row-wise Projects —
+   needs only the first [k] sorted rows, so a bounded heap replaces the
+   full materialize-and-sort. *)
+and run_topk recurse ctx plan k : Value.t array Seq.t option =
+  match plan with
+  | Plan.Project { input; exprs; _ } ->
+    Option.map
+      (Seq.map (fun row -> Array.map (fun c -> c ctx row) exprs))
+      (run_topk recurse ctx input k)
+  | Plan.Sort { input; by; _ } ->
+    Some (seq_of_list (top_k ctx by k (recurse ctx input)))
+  | _ -> None
+
+and run ctx plan = run_with run ctx plan
+
 let collect ctx plan = List.of_seq (run ctx plan)
+
+(* --- Parallel execution ------------------------------------------------------ *)
+
+(* Tables smaller than this run sequentially: morsel bookkeeping costs
+   more than it saves. Settable so tests can force tiny tables through
+   the parallel machinery. *)
+let min_parallel_rows = ref 1024
+let set_min_parallel_rows n = min_parallel_rows := Stdlib.max 1 n
+
+(* Target rows per morsel; actual morsel count is balanced against the
+   pool size so every domain gets work without oversplitting. *)
+let morsel_rows = 2048
+
+let morsel_ranges len =
+  let n = Exec_pool.size () in
+  let by_target = (len + morsel_rows - 1) / morsel_rows in
+  let ntasks = Stdlib.min (Stdlib.max n (Stdlib.min (4 * n) by_target)) len in
+  let chunk = (len + ntasks - 1) / ntasks in
+  let rec go lo acc =
+    if lo >= len then List.rev acc
+    else go (lo + chunk) ((lo, Stdlib.min chunk (len - lo)) :: acc)
+  in
+  go 0 []
+
+(* A compiled morsel pipeline: a leaf rid snapshot plus a fused row
+   transform. [transform emit] instantiates the per-row push function
+   for one morsel task; the transform itself holds only read-only state
+   (compiled expressions, materialized hash-join build tables), so every
+   task can share it. *)
+type par_source = { par_table : Table.t; par_rids : int array }
+
+let rec par_pipeline ctx (plan : Plan.t) :
+    (par_source * ((Value.t array -> unit) -> Value.t array -> unit)) option =
+  match plan with
+  | Plan.Seq_scan { table; _ } ->
+    let rids = Table.rids_array table in
+    if Array.length rids < !min_parallel_rows then None
+    else Some ({ par_table = table; par_rids = rids }, fun emit -> emit)
+  | Plan.Interval_scan { table; index; lo; hi; _ } ->
+    (* Same candidate set, dedup and adaptive full-scan degradation as
+       the sequential operator, so morsel concatenation reproduces its
+       output exactly. *)
+    let rids = Interval_index.query_overlaps index ~lo ~hi in
+    let rids =
+      if List.length rids > Table.row_count table / 2 then
+        Table.rids_array table
+      else Array.of_list (List.sort_uniq Int.compare rids)
+    in
+    if Array.length rids < !min_parallel_rows then None
+    else Some ({ par_table = table; par_rids = rids }, fun emit -> emit)
+  | Plan.Filter { input; pred; _ } ->
+    Option.map
+      (fun (src, transform) ->
+        ( src,
+          fun emit ->
+            transform (fun row ->
+                if Expr_eval.to_predicate pred ctx row then emit row) ))
+      (par_pipeline ctx input)
+  | Plan.Project { input; exprs; _ } ->
+    Option.map
+      (fun (src, transform) ->
+        ( src,
+          fun emit ->
+            transform (fun row ->
+                emit (Array.map (fun c -> c ctx row) exprs)) ))
+      (par_pipeline ctx input)
+  | Plan.Hash_join { left; right; left_keys; right_keys; _ } -> (
+    match par_pipeline ctx left with
+    | None -> None
+    | Some (src, transform) ->
+      (* Sequential build, then the probe fuses into the morsel tasks;
+         the finished table is only read concurrently. *)
+      let build = Key_table.create 64 in
+      Seq.iter
+        (fun rrow ->
+          let key = List.map (fun c -> c ctx rrow) right_keys in
+          if not (List.exists Value.is_null key) then begin
+            let existing =
+              Option.value (Key_table.find_opt build key) ~default:[]
+            in
+            Key_table.replace build key (rrow :: existing)
+          end)
+        (run ctx right);
+      Some
+        ( src,
+          fun emit ->
+            transform (fun lrow ->
+                let key = List.map (fun c -> c ctx lrow) left_keys in
+                if not (List.exists Value.is_null key) then begin
+                  match Key_table.find_opt build key with
+                  | None -> ()
+                  | Some matches ->
+                    List.iter
+                      (fun rrow -> emit (concat_rows lrow rrow))
+                      (List.rev matches)
+                end) ))
+  | _ -> None
+
+(* Runs one morsel through the fused pipeline, collecting emitted rows. *)
+let run_morsel src transform (lo, len) consume =
+  let push = transform consume in
+  for i = lo to lo + len - 1 do
+    match Table.get src.par_table src.par_rids.(i) with
+    | Some row -> push row
+    | None -> ()
+  done
+
+let par_collect src transform : Value.t array list =
+  let thunks =
+    List.map
+      (fun range () ->
+        let acc = ref [] in
+        run_morsel src transform range (fun row -> acc := row :: !acc);
+        List.rev !acc)
+      (morsel_ranges (Array.length src.par_rids))
+  in
+  List.concat (Exec_pool.run thunks)
+
+(* --- Partitioned parallel aggregation ------------------------------------ *)
+
+(* Explicit partial-aggregate states (the closure-based [runner]s cannot
+   merge). COUNT/SUM/MIN/MAX fold associatively; AVG carries a
+   (sum, count) pair. Per-morsel partials are merged in morsel order, so
+   integer results are bit-identical to the sequential fold; float
+   SUM/AVG reassociate additions across morsel boundaries (documented in
+   DESIGN.md). *)
+type pacc =
+  | P_count of int
+  | P_sum of Value.t (* Null until the first non-null input *)
+  | P_avg of Value.t * int
+  | P_extreme of Value.t (* min or max; the spec disambiguates *)
+
+let pacc_init (spec : Plan.agg_spec) =
+  match spec.impl with
+  | Plan.Agg_count_star | Plan.Agg_count -> P_count 0
+  | Plan.Agg_sum -> P_sum Value.Null
+  | Plan.Agg_avg -> P_avg (Value.Null, 0)
+  | Plan.Agg_min | Plan.Agg_max -> P_extreme Value.Null
+  | Plan.Agg_user _ -> assert false (* gated by Plan.mergeable_agg *)
+
+let pacc_step ctx (spec : Plan.agg_spec) acc row =
+  let arg () = match spec.arg with Some c -> c ctx row | None -> Value.Null in
+  match acc with
+  | P_count n -> (
+    match spec.impl with
+    | Plan.Agg_count_star -> P_count (n + 1)
+    | _ -> if Value.is_null (arg ()) then acc else P_count (n + 1))
+  | P_sum s ->
+    let v = arg () in
+    if Value.is_null v then acc
+    else P_sum (if Value.is_null s then v else numeric_add s v)
+  | P_avg (s, n) ->
+    let v = arg () in
+    if Value.is_null v then acc
+    else P_avg ((if Value.is_null s then v else numeric_add s v), n + 1)
+  | P_extreme cur ->
+    let v = arg () in
+    if Value.is_null v then acc
+    else if Value.is_null cur then P_extreme v
+    else begin
+      let c = Value.compare v cur in
+      let better =
+        match spec.impl with Plan.Agg_min -> c < 0 | _ -> c > 0
+      in
+      if better then P_extreme v else acc
+    end
+
+(* [a] accumulated earlier input than [b]; ties keep [a], matching the
+   sequential runner's strict-improvement rule. *)
+let pacc_merge (spec : Plan.agg_spec) a b =
+  match a, b with
+  | P_count x, P_count y -> P_count (x + y)
+  | P_sum x, P_sum y ->
+    if Value.is_null y then a
+    else if Value.is_null x then b
+    else P_sum (numeric_add x y)
+  | P_avg (_, nx), P_avg (_, 0) -> ignore nx; a
+  | P_avg (x, nx), P_avg (y, ny) ->
+    if nx = 0 then b else P_avg (numeric_add x y, nx + ny)
+  | P_extreme x, P_extreme y ->
+    if Value.is_null y then a
+    else if Value.is_null x then b
+    else begin
+      let c = Value.compare y x in
+      let better =
+        match spec.impl with Plan.Agg_min -> c < 0 | _ -> c > 0
+      in
+      if better then b else a
+    end
+  | (P_count _ | P_sum _ | P_avg _ | P_extreme _), _ -> assert false
+
+let pacc_final = function
+  | P_count n -> Value.Int n
+  | P_sum s -> s
+  | P_avg (_, 0) -> Value.Null
+  | P_avg (s, n) -> Value.Float (Value.to_float s /. float_of_int n)
+  | P_extreme v -> v
+
+let par_aggregate ctx src transform keys aggs : Value.t array list =
+  let specs = Array.of_list aggs in
+  let thunks =
+    List.map
+      (fun range () ->
+        let groups : pacc array Key_table.t = Key_table.create 64 in
+        let order = ref [] in
+        run_morsel src transform range (fun row ->
+            let key = List.map (fun c -> c ctx row) keys in
+            let accs =
+              match Key_table.find_opt groups key with
+              | Some accs -> accs
+              | None ->
+                let accs = Array.map pacc_init specs in
+                Key_table.replace groups key accs;
+                order := key :: !order;
+                accs
+            in
+            Array.iteri
+              (fun i acc -> accs.(i) <- pacc_step ctx specs.(i) acc row)
+              accs);
+        (List.rev !order, groups))
+      (morsel_ranges (Array.length src.par_rids))
+  in
+  let partials = Exec_pool.run thunks in
+  (* Merge in morsel order: concatenating the partial orders and keeping
+     first occurrences reproduces the sequential first-appearance group
+     order, because morsels partition the input in order. *)
+  let groups : pacc array Key_table.t = Key_table.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (part_order, part) ->
+      List.iter
+        (fun key ->
+          let accs = Key_table.find part key in
+          match Key_table.find_opt groups key with
+          | None ->
+            Key_table.replace groups key accs;
+            order := key :: !order
+          | Some cur ->
+            Array.iteri
+              (fun i b -> cur.(i) <- pacc_merge specs.(i) cur.(i) b)
+              accs)
+        part_order)
+    partials;
+  let emit key accs =
+    Array.of_list (key @ Array.to_list (Array.map pacc_final accs))
+  in
+  if keys = [] && Key_table.length groups = 0 then
+    (* Grand aggregate over an empty input still yields one row. *)
+    [ emit [] (Array.map pacc_init specs) ]
+  else
+    List.map (fun key -> emit key (Key_table.find groups key)) (List.rev !order)
+
+(* --- Hybrid driver ----------------------------------------------------------- *)
+
+(* Runs [plan] on the pool when the planner marked this exact subtree
+   parallel-safe and the leaf clears the size threshold. *)
+let try_parallel ctx plan : Value.t array list option =
+  if Exec_pool.sequential () || not (Plan.parallel_safe plan) then None
+  else begin
+    match plan with
+    | Plan.Aggregate { input; keys; aggs; _ } ->
+      Option.map
+        (fun (src, transform) -> par_aggregate ctx src transform keys aggs)
+        (par_pipeline ctx input)
+    | _ ->
+      Option.map
+        (fun (src, transform) -> par_collect src transform)
+        (par_pipeline ctx plan)
+  end
+
+let rec run_hybrid ctx plan =
+  match try_parallel ctx plan with
+  | Some rows -> seq_of_list rows
+  | None -> run_with run_hybrid ctx plan
+
+let collect_parallel ctx plan =
+  if Exec_pool.sequential () then collect ctx plan
+  else List.of_seq (run_hybrid ctx plan)

@@ -3,17 +3,35 @@
     Scans, filters, projections and limits stream; joins materialize
     only their build side; aggregation and sorting are blocking. The
     sequence must be consumed within the statement whose context created
-    it (scans snapshot their rid list, but rows are shared). *)
+    it (scans snapshot their rid list, but rows are shared).
+
+    {!collect_parallel} is the morsel-driven entry point: subtrees the
+    planner marks parallel-safe ({!Plan.parallel_safe}) execute on the
+    {!Exec_pool} domain pool and return exactly the rows the sequential
+    path would, in the same order; everything else falls back to the
+    sequential operators. *)
 
 open Tip_storage
 
 exception Exec_error of string
 
-(** Lazy row stream for a plan. *)
+(** Lazy row stream for a plan (purely sequential). *)
 val run : Expr_eval.ctx -> Plan.t -> Value.t array Seq.t
 
 (** [run] materialized to a list. *)
 val collect : Expr_eval.ctx -> Plan.t -> Value.t array list
+
+(** Like {!collect}, but parallel-safe subtrees run as rid-range morsels
+    on the domain pool. Bit-for-bit equivalent to {!collect} (float
+    SUM/AVG may reassociate; see DESIGN.md). Falls back entirely to
+    {!collect} when the pool is sequential ([TIP_PARALLEL=1] or one
+    domain). *)
+val collect_parallel : Expr_eval.ctx -> Plan.t -> Value.t array list
+
+(** Leaf row-count threshold below which {!collect_parallel} stays
+    sequential (default 1024; clamped to at least 1). Tests lower it to
+    force tiny tables through the parallel machinery. *)
+val set_min_parallel_rows : int -> unit
 
 (**/**)
 

@@ -77,6 +77,58 @@ type t =
   | Append of t list (* concatenation of same-arity inputs (UNION ALL) *)
   | One_row (* FROM-less SELECT produces a single empty row *)
 
+(* --- Parallelism-safety annotation ------------------------------------ *)
+
+(* An aggregate whose partial states combine associatively across
+   morsels: the built-ins (COUNT/SUM/MIN/MAX, and AVG as a (sum, count)
+   pair) without DISTINCT. User aggregates run opaque step functions
+   with no merge, and DISTINCT needs global dedup, so both force the
+   sequential aggregation path. *)
+let mergeable_agg spec =
+  (not spec.distinct)
+  &&
+  match spec.impl with
+  | Agg_count_star | Agg_count | Agg_sum | Agg_avg | Agg_min | Agg_max -> true
+  | Agg_user _ -> false
+
+(* A morsel-parallel pipeline: a rid-splittable leaf scan with only
+   per-row operators (and hash-join probes) above it. Index scans stay
+   sequential — their rid order is key order, which the planner may be
+   using to satisfy ORDER BY. *)
+let rec parallel_pipeline = function
+  | Seq_scan _ | Interval_scan _ -> true
+  | Filter { input; _ } | Project { input; _ } -> parallel_pipeline input
+  | Hash_join { left; _ } -> parallel_pipeline left
+  | Index_scan _ | Nested_loop _ | Left_outer_join _ | Aggregate _ | Sort _
+  | Distinct _ | Limit _ | Append _ | One_row ->
+    false
+
+let parallel_safe = function
+  | Aggregate { input; aggs; _ } ->
+    parallel_pipeline input && List.for_all mergeable_agg aggs
+  | plan -> parallel_pipeline plan
+
+(* Does any subtree qualify? (The executor applies [parallel_safe] at
+   every node, so e.g. the aggregate under a Project still runs
+   parallel.) *)
+let rec parallel_candidate plan =
+  parallel_safe plan
+  ||
+  match plan with
+  | Filter { input; _ }
+  | Project { input; _ }
+  | Aggregate { input; _ }
+  | Sort { input; _ }
+  | Distinct input
+  | Limit { input; _ } ->
+    parallel_candidate input
+  | Nested_loop { left; right }
+  | Hash_join { left; right; _ }
+  | Left_outer_join { left; right; _ } ->
+    parallel_candidate left || parallel_candidate right
+  | Append inputs -> List.exists parallel_candidate inputs
+  | Seq_scan _ | Index_scan _ | Interval_scan _ | One_row -> false
+
 let agg_name = function
   | Agg_count_star -> "count(*)"
   | Agg_count -> "count"

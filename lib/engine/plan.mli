@@ -77,6 +77,29 @@ type t =
 
 val agg_name : agg_impl -> string
 
+(** {1 Parallelism-safety annotation}
+
+    The planner marks plans with these; the parallel executor trusts
+    them to decide routing (and falls back to the sequential path for
+    anything unsafe). *)
+
+(** Can this aggregate's partial states merge associatively across
+    morsels? True for the non-DISTINCT built-ins; false for DISTINCT and
+    user-registered aggregates. *)
+val mergeable_agg : agg_spec -> bool
+
+(** Is this exact subtree a morsel-parallel pipeline: a [Seq_scan] or
+    [Interval_scan] leaf under only [Filter]/[Project] operators and
+    [Hash_join] probe sides? *)
+val parallel_pipeline : t -> bool
+
+(** Can this exact subtree run on the parallel path: a parallel pipeline,
+    or an [Aggregate] of one whose aggregates are all mergeable? *)
+val parallel_safe : t -> bool
+
+(** Does any subtree satisfy {!parallel_safe}? (Shown by EXPLAIN.) *)
+val parallel_candidate : t -> bool
+
 (** Indented tree rendering, as shown by EXPLAIN. *)
 val pp : ?indent:int -> Format.formatter -> t -> unit
 

@@ -988,3 +988,13 @@ let subquery_runner_for_table ~ext ~ectx catalog schema =
       width = Array.length col_names }
   in
   subquery_hook ~outer:(layout, 0) pctx
+
+(* EXPLAIN output: the plan tree plus the parallelism annotation the
+   hybrid executor acts on. *)
+let explain plan =
+  let note =
+    if Plan.parallel_safe plan then "Parallel: safe"
+    else if Plan.parallel_candidate plan then "Parallel: partial"
+    else "Parallel: none"
+  in
+  Plan.to_string plan ^ "\n" ^ note

@@ -53,3 +53,8 @@ val subquery_runner_for_table :
   Schema.t ->
   Ast.select ->
   Expr_eval.subquery_exec
+
+(** [Plan.to_string] plus a trailing parallelism annotation
+    ("Parallel: safe" — whole plan runs on the pool, "Parallel: partial"
+    — some subtree does, "Parallel: none"). *)
+val explain : Plan.t -> string

@@ -61,3 +61,15 @@ let rids t =
   let acc = ref [] in
   iteri (fun rid _ -> acc := rid :: !acc) t;
   List.rev !acc
+
+(* Live row ids as a fresh array, ascending: the parallel executor
+   slices it into rid-range morsels. *)
+let rids_array t =
+  let out = Array.make t.live 0 in
+  let i = ref 0 in
+  iteri
+    (fun rid _ ->
+      out.(!i) <- rid;
+      incr i)
+    t;
+  out

@@ -33,3 +33,7 @@ val fold : ('a -> row -> 'a) -> 'a -> t -> 'a
 
 (** Live row ids, ascending. *)
 val rids : t -> int list
+
+(** Live row ids, ascending, as a fresh array — the snapshot the
+    parallel executor slices into rid-range morsels. *)
+val rids_array : t -> int array

@@ -139,6 +139,7 @@ let update t rid row =
 
 let get t rid = Heap.get t.heap rid
 let rids t = Heap.rids t.heap
+let rids_array t = Heap.rids_array t.heap
 let get_exn t rid = Heap.get_exn t.heap rid
 let iteri f t = Heap.iteri f t.heap
 let fold f init t = Heap.fold f init t.heap

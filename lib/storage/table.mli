@@ -47,6 +47,9 @@ val update : t -> int -> Value.t array -> bool
 val get : t -> int -> Value.t array option
 val get_exn : t -> int -> Value.t array
 val rids : t -> int list
+
+(** Live row ids, ascending, as a fresh array (see {!Heap.rids_array}). *)
+val rids_array : t -> int array
 val iteri : (int -> Value.t array -> unit) -> t -> unit
 val fold : ('a -> Value.t array -> 'a) -> 'a -> t -> 'a
 

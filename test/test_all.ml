@@ -22,6 +22,7 @@ let () =
       ("planner-shapes", Test_planner_shapes.suite);
       ("expr-unit", Test_expr_unit.suite);
       ("engine-fuzz", Test_engine_fuzz.suite);
+      ("parallel", Test_parallel.suite);
       ("server", Test_server.suite);
       ("copy+savepoints", Test_copy_savepoints.suite);
       ("misc-coverage", Test_misc_coverage.suite) ]

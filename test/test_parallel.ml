@@ -1,0 +1,219 @@
+(* The morsel-driven parallel executor: pool sizing and batch semantics,
+   partial-aggregate merging, the top-k LIMIT fast path, and a
+   differential fuzz asserting the parallel path returns exactly the
+   sequential rows, in the same order. *)
+
+open Tip_storage
+module Db = Tip_engine.Database
+module Exec_pool = Tip_engine.Exec_pool
+module Executor = Tip_engine.Executor
+module Ast = Tip_sql.Ast
+
+let check = Alcotest.check
+
+(* Runs [f] with the pool forced to [size] domains and the parallel
+   engage threshold lowered to [min_rows], restoring defaults after. *)
+let with_pool ~size ~min_rows f =
+  let old = Exec_pool.size () in
+  Exec_pool.set_size size;
+  Executor.set_min_parallel_rows min_rows;
+  Fun.protect
+    ~finally:(fun () ->
+      Exec_pool.set_size old;
+      Executor.set_min_parallel_rows 1024)
+    f
+
+let show_rows rows =
+  List.map
+    (fun row ->
+      String.concat "|" (Array.to_list (Array.map Value.to_display_string row)))
+    rows
+
+(* --- Pool unit tests -------------------------------------------------------- *)
+
+let test_resolve_size () =
+  let r = Exec_pool.resolve_size in
+  check Alcotest.int "no env -> recommended" 4 (r ~env:None ~recommended:4);
+  check Alcotest.int "env wins" 6 (r ~env:(Some "6") ~recommended:4);
+  check Alcotest.int "TIP_PARALLEL=1 -> sequential" 1
+    (r ~env:(Some "1") ~recommended:4);
+  check Alcotest.int "env 0 ignored" 4 (r ~env:(Some "0") ~recommended:4);
+  check Alcotest.int "env negative ignored" 4 (r ~env:(Some "-3") ~recommended:4);
+  check Alcotest.int "env garbage ignored" 4 (r ~env:(Some "abc") ~recommended:4);
+  check Alcotest.int "env clamped to max" Exec_pool.max_size
+    (r ~env:(Some "1000") ~recommended:4);
+  check Alcotest.int "recommended clamped to max" Exec_pool.max_size
+    (r ~env:None ~recommended:500);
+  check Alcotest.int "recommended floor of 1" 1 (r ~env:None ~recommended:0)
+
+let test_set_size () =
+  let old = Exec_pool.size () in
+  Fun.protect
+    ~finally:(fun () -> Exec_pool.set_size old)
+    (fun () ->
+      Exec_pool.set_size 3;
+      check Alcotest.int "override" 3 (Exec_pool.size ());
+      check Alcotest.bool "3 domains is parallel" false (Exec_pool.sequential ());
+      Exec_pool.set_size 0;
+      check Alcotest.int "clamped to 1" 1 (Exec_pool.size ());
+      check Alcotest.bool "1 domain is sequential" true (Exec_pool.sequential ());
+      Exec_pool.set_size 10_000;
+      check Alcotest.int "clamped to max" Exec_pool.max_size (Exec_pool.size ()))
+
+let test_pool_run () =
+  with_pool ~size:4 ~min_rows:1024 (fun () ->
+      check
+        Alcotest.(list int)
+        "results in input order"
+        (List.init 40 (fun i -> i * i))
+        (Exec_pool.run (List.init 40 (fun i () -> i * i)));
+      check Alcotest.(list int) "empty batch" [] (Exec_pool.run []);
+      check Alcotest.(list int) "singleton runs inline" [ 7 ]
+        (Exec_pool.run [ (fun () -> 7) ]);
+      match
+        Exec_pool.run
+          [ (fun () -> 1); (fun () -> failwith "boom"); (fun () -> raise Exit) ]
+      with
+      | _ -> Alcotest.fail "expected the batch to raise"
+      | exception Failure msg ->
+        check Alcotest.string "first failure in input order" "boom" msg)
+
+(* --- SQL fixtures ------------------------------------------------------------- *)
+
+(* Large enough that the default executor would also engage the pool;
+   [v] carries NULLs so the aggregate merge sees them. *)
+let big_db =
+  lazy
+    (let db = Db.create () in
+     ignore (Db.exec db "CREATE TABLE nums (k INT, g INT, v INT)");
+     let table = Catalog.table_exn (Db.catalog db) "nums" in
+     for i = 0 to 2999 do
+       let v = if i mod 11 = 0 then Value.Null else Value.Int (i mod 97) in
+       ignore (Table.insert table [| Value.Int i; Value.Int (i mod 7); v |])
+     done;
+     ignore (Db.exec db "CREATE TABLE lookup (g INT, label CHAR(8))");
+     let lk = Catalog.table_exn (Db.catalog db) "lookup" in
+     for g = 0 to 4 do
+       ignore
+         (Table.insert lk [| Value.Int g; Value.Str (Printf.sprintf "g%d" g) |])
+     done;
+     db)
+
+let run_sql db sql = show_rows (Db.rows_exn (Db.exec db sql))
+
+(* Sequential (pool of 1) and parallel (pool of 4) runs of [sql] must
+   produce identical rows in identical order. *)
+let check_par_equals_seq name sql =
+  let db = Lazy.force big_db in
+  let seq = with_pool ~size:1 ~min_rows:1 (fun () -> run_sql db sql) in
+  let par = with_pool ~size:4 ~min_rows:1 (fun () -> run_sql db sql) in
+  check Alcotest.(list string) name seq par
+
+let test_parallel_scan_filter () =
+  check_par_equals_seq "plain scan" "SELECT k, g, v FROM nums";
+  check_par_equals_seq "filtered scan" "SELECT k, v FROM nums WHERE v > 50";
+  check_par_equals_seq "filter keeps nothing" "SELECT k FROM nums WHERE k < 0";
+  check_par_equals_seq "projected arithmetic"
+    "SELECT k * 2 + g FROM nums WHERE g <> 3"
+
+let test_parallel_aggregate () =
+  check_par_equals_seq "grouped aggregates"
+    "SELECT g, COUNT(*), COUNT(v), SUM(v), MIN(v), MAX(v) FROM nums GROUP BY g";
+  check_par_equals_seq "grouped avg" "SELECT g, AVG(v) FROM nums GROUP BY g";
+  check_par_equals_seq "grand aggregate"
+    "SELECT COUNT(*), COUNT(v), SUM(v), MIN(v), MAX(v) FROM nums";
+  check_par_equals_seq "grand aggregate over empty input"
+    "SELECT COUNT(*), SUM(v), AVG(v), MIN(v), MAX(v) FROM nums WHERE k < 0";
+  check_par_equals_seq "grouped aggregate over filter"
+    "SELECT g, COUNT(*) FROM nums WHERE v > 10 GROUP BY g";
+  (* DISTINCT aggregates are not mergeable; exercises the fallback. *)
+  check_par_equals_seq "distinct aggregate falls back"
+    "SELECT COUNT(DISTINCT g) FROM nums";
+  (* Absolute spot-checks so both paths being wrong together would show. *)
+  let db = Lazy.force big_db in
+  let par sql = with_pool ~size:4 ~min_rows:1 (fun () -> run_sql db sql) in
+  check Alcotest.(list string) "count(*)" [ "3000" ]
+    (par "SELECT COUNT(*) FROM nums");
+  check Alcotest.(list string) "count skips nulls" [ "2727" ]
+    (par "SELECT COUNT(v) FROM nums");
+  check
+    Alcotest.(list string)
+    "group order is first appearance"
+    [ "0|429"; "1|429"; "2|429"; "3|429"; "4|428"; "5|428"; "6|428" ]
+    (par "SELECT g, COUNT(*) FROM nums GROUP BY g")
+
+let test_parallel_join () =
+  check_par_equals_seq "hash join probe"
+    "SELECT nums.k, lookup.label FROM nums, lookup \
+     WHERE nums.g = lookup.g AND nums.k < 500";
+  check_par_equals_seq "hash join then aggregate"
+    "SELECT lookup.label, COUNT(*) FROM nums, lookup \
+     WHERE nums.g = lookup.g GROUP BY lookup.label"
+
+(* --- Top-k -------------------------------------------------------------------- *)
+
+let take n l = List.filteri (fun i _ -> i < n) l
+let drop n l = List.filteri (fun i _ -> i >= n) l
+
+let test_topk_matches_full_sort () =
+  let db = Lazy.force big_db in
+  (* [v] has heavy duplication, so ties exercise the stable order. *)
+  let full = run_sql db "SELECT v, k FROM nums ORDER BY v DESC" in
+  let probe ~limit ~offset =
+    let sql =
+      Printf.sprintf "SELECT v, k FROM nums ORDER BY v DESC LIMIT %d OFFSET %d"
+        limit offset
+    in
+    check
+      Alcotest.(list string)
+      (Printf.sprintf "limit %d offset %d = sorted prefix" limit offset)
+      (take limit (drop offset full))
+      (run_sql db sql)
+  in
+  probe ~limit:25 ~offset:0;
+  probe ~limit:25 ~offset:5;
+  probe ~limit:1 ~offset:0;
+  probe ~limit:5000 ~offset:0;
+  probe ~limit:10 ~offset:2995;
+  check Alcotest.(list string) "limit 0" []
+    (run_sql db "SELECT v, k FROM nums ORDER BY v DESC LIMIT 0")
+
+(* --- Differential fuzz ---------------------------------------------------------- *)
+
+(* Random single-table queries from the engine-fuzz generator, run with
+   the pool forced past its threshold: the parallel rows must be
+   byte-identical (including order) to the sequential ones. *)
+let prop_parallel_matches_sequential =
+  QCheck.Test.make ~name:"parallel = sequential" ~count:500
+    Test_engine_fuzz.query_arb (fun q ->
+      let db = Lazy.force Test_engine_fuzz.db in
+      (* Type errors (e.g. [s * 4]) must surface identically in both
+         modes, so compare outcomes, not just rows. *)
+      let run () =
+        match
+          show_rows (Db.rows_exn (Db.exec_statement db ~params:[] (Ast.Select q)))
+        with
+        | rows -> Ok rows
+        | exception e -> Error (Printexc.to_string e)
+      in
+      let seq = with_pool ~size:1 ~min_rows:1 run in
+      let par = with_pool ~size:4 ~min_rows:1 run in
+      if seq = par then true
+      else begin
+        let show = function
+          | Ok rows -> String.concat "," rows
+          | Error e -> "raised " ^ e
+        in
+        QCheck.Test.fail_reportf "seq %s\npar %s" (show seq) (show par)
+      end)
+
+let suite =
+  [ Alcotest.test_case "pool sizing from env" `Quick test_resolve_size;
+    Alcotest.test_case "pool size override" `Quick test_set_size;
+    Alcotest.test_case "pool batch semantics" `Quick test_pool_run;
+    Alcotest.test_case "parallel scan + filter" `Quick test_parallel_scan_filter;
+    Alcotest.test_case "parallel aggregate merge" `Quick test_parallel_aggregate;
+    Alcotest.test_case "parallel hash join" `Quick test_parallel_join;
+    Alcotest.test_case "top-k = full sort prefix" `Quick
+      test_topk_matches_full_sort;
+    QCheck_alcotest.to_alcotest prop_parallel_matches_sequential ]
