@@ -649,6 +649,79 @@ let bench_parallel () =
     (Domain.recommended_domain_count ());
   print_table [ "query"; "1 domain"; "4 domains"; "speedup" ] rows
 
+(* --- E17: write-ahead log overhead and recovery ------------------------------------------------ *)
+
+let bench_wal () =
+  banner "E17 wal"
+    "Durability tax (DESIGN.md §8): single-row INSERT throughput embedded vs\n\
+     write-ahead logged under each sync policy, plus recovery replay speed\n\
+     for a log of a few thousand records. Expect: sync=never to track the\n\
+     embedded path within a small constant (serialize + one write), every=N\n\
+     to sit between, and sync=always to be dominated by fsync latency.";
+  let scratch =
+    if Sys.file_exists "/dev/shm" && Sys.is_directory "/dev/shm" then "/dev/shm"
+    else Filename.get_temp_dir_name ()
+  in
+  let dirs = ref [] in
+  let fresh_dir tag =
+    let dir =
+      Filename.concat scratch (Printf.sprintf "tipwalbench_%d_%s" (Unix.getpid ()) tag)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dirs := dir :: !dirs;
+    dir
+  in
+  let key = ref 0 in
+  let insert_thunk db () =
+    incr key;
+    ignore (Db.exec db (Printf.sprintf "INSERT INTO w VALUES (%d, 'payload')" !key))
+  in
+  let durable tag sync =
+    let db, _ =
+      Db.open_durable ~sync ~checkpoint_every:0 ~dir:(fresh_dir tag) ()
+    in
+    ignore (Db.exec db "CREATE TABLE w (a INT PRIMARY KEY, b CHAR(12))");
+    db
+  in
+  let plain = Db.create () in
+  ignore (Db.exec plain "CREATE TABLE w (a INT PRIMARY KEY, b CHAR(12))");
+  let db_never = durable "never" Tip_storage.Wal.Never in
+  let db_every = durable "every" (Tip_storage.Wal.Every_n 32) in
+  let db_always = durable "always" Tip_storage.Wal.Always in
+  (* a log to replay: a few thousand committed inserts, no checkpoint *)
+  let replay_dir = fresh_dir "replay" in
+  let seed, _ =
+    Db.open_durable ~sync:Tip_storage.Wal.Never ~checkpoint_every:0
+      ~dir:replay_dir ()
+  in
+  ignore (Db.exec seed "CREATE TABLE w (a INT PRIMARY KEY, b CHAR(12))");
+  let n_replay = 2_000 * scale in
+  for i = 1 to n_replay do
+    ignore (Db.exec seed (Printf.sprintf "INSERT INTO w VALUES (%d, 'r')" i))
+  done;
+  Db.close_durable seed;
+  let results =
+    measure_tests
+      [ ("insert embedded", insert_thunk plain);
+        ("insert wal sync=never", insert_thunk db_never);
+        ("insert wal sync=every=32", insert_thunk db_every);
+        ("insert wal sync=always", insert_thunk db_always);
+        (Printf.sprintf "recover %d-record log" n_replay,
+         fun () -> ignore (Tip_storage.Recovery.recover ~dir:replay_dir)) ]
+  in
+  List.iter (fun db -> Db.close_durable db) [ db_never; db_every; db_always ];
+  print_table [ "test"; "ns/op" ]
+    (List.map (fun (name, ns) -> [ name; ns_to_string ns ]) results);
+  List.iter
+    (fun dir ->
+      if Sys.file_exists dir && Sys.is_directory dir then begin
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      end)
+    !dirs
+
 (* --- Driver --------------------------------------------------------------------------------- *)
 
 let suites =
@@ -662,7 +735,8 @@ let suites =
     ("joins", bench_joins);
     ("profile", bench_profile);
     ("rpc", bench_rpc);
-    ("parallel", bench_parallel) ]
+    ("parallel", bench_parallel);
+    ("wal", bench_wal) ]
 
 let () =
   let rec parse_args = function

@@ -3,37 +3,69 @@
    Usage:
      tip_serve --port 5499 --demo
      tip_serve --port 5499 --load db.snapshot --save db.snapshot
+     tip_serve --port 5499 --durability ./dbdir --sync always
+
+   With --durability DIR every committed statement is logged to DIR/wal
+   before its result is returned, and startup recovers from DIR (snapshot
+   plus committed log tail); --load/--save are ignored in that mode.
 
    Clients: tip_shell --connect 127.0.0.1:5499, or Tip_server.Remote. *)
 
 module Db = Tip_engine.Database
 
-let main port demo load save now =
+let parse_sync s =
+  match Tip_storage.Wal.sync_policy_of_string s with
+  | Some p -> p
+  | None ->
+    Printf.eprintf "tip_server: bad --sync %S (want always|never|every=N)\n" s;
+    exit 2
+
+let main port demo load save durability sync idle_timeout now =
   let db =
-    match demo, load with
-    | true, _ -> Tip_workload.Medical.demo_database ()
-    | false, Some file ->
+    match durability with
+    | Some dir ->
       Tip_blade.Values.register_types ();
-      let catalog = Tip_storage.Persist.load file in
-      let db = Db.create ~catalog () in
+      let db, info = Db.open_durable ~sync:(parse_sync sync) ~dir () in
       Tip_blade.Blade.install db;
+      if info.Tip_storage.Recovery.replayed_records > 0 then
+        Printf.printf "tip_server: replayed %d log record(s) from %s\n%!"
+          info.Tip_storage.Recovery.replayed_records dir;
+      (match info.Tip_storage.Recovery.stopped with
+      | Some reason ->
+        Printf.printf "tip_server: log tail dropped during recovery: %s\n%!"
+          reason
+      | None -> ());
       db
-    | false, None -> Tip_blade.Blade.create_database ()
+    | None -> (
+      match demo, load with
+      | true, _ -> Tip_workload.Medical.demo_database ()
+      | false, Some file ->
+        Tip_blade.Values.register_types ();
+        let catalog = Tip_storage.Persist.load file in
+        let db = Db.create ~catalog () in
+        Tip_blade.Blade.install db;
+        db
+      | false, None -> Tip_blade.Blade.create_database ())
   in
   Option.iter
     (fun d -> ignore (Db.exec db (Printf.sprintf "SET NOW = '%s'" d)))
     now;
-  let server = Tip_server.Server.listen ~port db in
+  let server = Tip_server.Server.listen ?idle_timeout ~port db in
   Printf.printf "tip_server: listening on port %d%s\n%!"
     (Tip_server.Server.port server)
     (if demo then " (medical demo loaded)" else "");
   let shutdown _ =
     print_endline "tip_server: shutting down";
-    Option.iter
-      (fun file ->
-        Tip_storage.Persist.save (Db.catalog db) file;
-        Printf.printf "tip_server: saved to %s\n%!" file)
-      save;
+    if Option.is_some durability then begin
+      ignore (Db.checkpoint db);
+      Db.close_durable db
+    end
+    else
+      Option.iter
+        (fun file ->
+          Tip_storage.Persist.save (Db.catalog db) file;
+          Printf.printf "tip_server: saved to %s\n%!" file)
+        save;
     exit 0
   in
   Sys.set_signal Sys.sigint (Sys.Signal_handle shutdown);
@@ -55,10 +87,26 @@ let () =
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
            ~doc:"Save a snapshot on shutdown (SIGINT/SIGTERM).")
   in
+  let durability =
+    Arg.(value & opt (some string) None & info [ "durability" ] ~docv:"DIR"
+           ~doc:"Durable storage directory: recover on startup, write-ahead \
+                 log every committed statement, checkpoint on shutdown.")
+  in
+  let sync =
+    Arg.(value & opt string "always" & info [ "sync" ] ~docv:"MODE"
+           ~doc:"WAL sync policy: always, never, or every=N.")
+  in
+  let idle_timeout =
+    Arg.(value & opt (some float) None & info [ "idle-timeout" ] ~docv:"SECONDS"
+           ~doc:"Drop client sessions idle longer than this.")
+  in
   let now =
     Arg.(value & opt (some string) None & info [ "now" ] ~docv:"DATE"
            ~doc:"Freeze NOW at the given chronon.")
   in
-  let term = Term.(const main $ port $ demo $ load $ save $ now) in
+  let term =
+    Term.(const main $ port $ demo $ load $ save $ durability $ sync
+          $ idle_timeout $ now)
+  in
   let info = Cmd.info "tip_serve" ~doc:"TIP database server" in
   exit (Cmd.eval (Cmd.v info term))

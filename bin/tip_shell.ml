@@ -6,6 +6,7 @@
      tip_shell --load FILE          load a snapshot saved with \save
      tip_shell -c "SQL; SQL"        run statements and exit
      tip_shell --now 1999-10-15     freeze NOW (what-if)
+     tip_shell --durability DIR     crash-safe storage (WAL + recovery)
 
    Remote mode: tip_shell --connect HOST:PORT talks to a tip_server
    instead of an embedded database (shell commands are local-only).
@@ -165,7 +166,7 @@ let run_remote target command =
       Printf.printf "cannot connect to %s: %s\n" target msg)
   | _ -> print_endline "tip_shell: --connect expects HOST:PORT"
 
-let main demo load now command save verbose connect =
+let main demo load now command save verbose connect durability sync =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -174,21 +175,40 @@ let main demo load now command save verbose connect =
   | Some target -> run_remote target command
   | None ->
   let db =
-    match demo, load with
-    | true, _ -> Tip_workload.Medical.demo_database ()
-    | false, Some file ->
+    match durability, demo, load with
+    | Some dir, _, _ ->
       (* TIP types must exist before the snapshot's literals are parsed. *)
+      Tip_blade.Values.register_types ();
+      let sync =
+        match Tip_storage.Wal.sync_policy_of_string sync with
+        | Some p -> p
+        | None ->
+          Printf.eprintf "tip_shell: bad --sync %S (want always|never|every=N)\n" sync;
+          exit 2
+      in
+      let db, info = Db.open_durable ~sync ~dir () in
+      Tip_blade.Blade.install db;
+      if info.Tip_storage.Recovery.replayed_records > 0 then
+        Printf.printf "replayed %d log record(s) from %s\n"
+          info.Tip_storage.Recovery.replayed_records dir;
+      db
+    | None, true, _ -> Tip_workload.Medical.demo_database ()
+    | None, false, Some file ->
       Tip_blade.Values.register_types ();
       let catalog = Tip_storage.Persist.load file in
       let db = Db.create ~catalog () in
       Tip_blade.Blade.install db;
       db
-    | false, None -> Tip_blade.Blade.create_database ()
+    | None, false, None -> Tip_blade.Blade.create_database ()
   in
   Option.iter (fun d -> run_sql db (Printf.sprintf "SET NOW = '%s'" d)) now;
   (match command with
   | Some sql -> run_sql db sql
   | None -> repl db);
+  if Option.is_some durability then begin
+    ignore (Db.checkpoint db);
+    Db.close_durable db
+  end;
   Option.iter
     (fun file ->
       Tip_storage.Persist.save (Db.catalog db) file;
@@ -224,8 +244,18 @@ let () =
     Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT"
            ~doc:"Connect to a tip_server instead of running embedded.")
   in
+  let durability =
+    Arg.(value & opt (some string) None & info [ "durability" ] ~docv:"DIR"
+           ~doc:"Durable storage directory: recover on startup, write-ahead \
+                 log every committed statement, checkpoint on exit.")
+  in
+  let sync =
+    Arg.(value & opt string "always" & info [ "sync" ] ~docv:"MODE"
+           ~doc:"WAL sync policy: always, never, or every=N.")
+  in
   let term =
-    Term.(const main $ demo $ load $ now $ command $ save $ verbose $ connect)
+    Term.(const main $ demo $ load $ now $ command $ save $ verbose $ connect
+          $ durability $ sync)
   in
   let info =
     Cmd.info "tip_shell" ~doc:"SQL shell for the TIP temporal database"

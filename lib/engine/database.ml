@@ -34,11 +34,28 @@ type undo =
 
 type tx = { mutable undo : undo list }
 
+(* Redo records awaiting the statement/transaction boundary. DML drops
+   on ROLLBACK; DDL (and CTAS backfill) survives it, mirroring the
+   in-memory rule that DDL auto-commits and is not undoable. *)
+type pending_entry =
+  | P_dml of Wal.record
+  | P_ddl of Wal.record
+  | P_mark of string (* savepoint marker, mirrors U_savepoint *)
+
+type durability = {
+  dir : string;
+  wal : Wal.writer;
+  mutable gen : int; (* generation shared by snapshot and log *)
+  checkpoint_every : int; (* auto-checkpoint threshold in records; 0 = off *)
+}
+
 type t = {
   catalog : Catalog.t;
   ext : Extension.t;
   mutable now_override : Tip_core.Chronon.t option;
   mutable tx : tx option;
+  mutable durability : durability option;
+  mutable pending : pending_entry list; (* newest first *)
 }
 
 type result =
@@ -54,15 +71,83 @@ let create ?catalog () =
   { catalog = (match catalog with Some c -> c | None -> Catalog.create ());
     ext;
     now_override = None;
-    tx = None }
+    tx = None;
+    durability = None;
+    pending = [] }
 
 let catalog t = t.catalog
 let extension t = t.ext
 let now_override t = t.now_override
 let in_transaction t = t.tx <> None
+let durability_dir t = Option.map (fun d -> d.dir) t.durability
 
 let log_undo t u =
   match t.tx with Some tx -> tx.undo <- u :: tx.undo | None -> ()
+
+(* --- Write-ahead journaling -------------------------------------------- *)
+
+let journaling t = t.durability <> None
+let journal_dml t r = if journaling t then t.pending <- P_dml r :: t.pending
+let journal_ddl t r = if journaling t then t.pending <- P_ddl r :: t.pending
+
+let row_cells row = Array.map Persist.serialize_value row
+
+let journal_insert ?(ddl = false) t table row =
+  let r = Wal.Insert { table = Table.name table; cells = row_cells row } in
+  if ddl then journal_ddl t r else journal_dml t r
+
+let journal_delete t table row =
+  journal_dml t (Wal.Delete { table = Table.name table; cells = row_cells row })
+
+let journal_update t table ~old_row ~new_row =
+  journal_dml t
+    (Wal.Update
+       { table = Table.name table;
+         old_cells = row_cells old_row;
+         new_cells = row_cells new_row })
+
+(* Appends the statement's records (plus a commit marker) to the log.
+   Only called at a commit boundary: outside a transaction. *)
+let flush_pending t =
+  match t.durability with
+  | None -> ()
+  | Some d ->
+    if t.tx = None && t.pending <> [] then begin
+      let records =
+        List.filter_map
+          (function P_dml r | P_ddl r -> Some r | P_mark _ -> None)
+          (List.rev t.pending)
+      in
+      t.pending <- [];
+      if records <> [] then Wal.commit d.wal records
+    end
+
+(* Atomic checkpoint: render the catalog to snapshot.tmp, fsync, rename
+   over the old snapshot, then truncate the log — both stamped with the
+   next generation so a crash between the two steps leaves a stale log
+   that recovery skips instead of double-applying. *)
+let checkpoint t =
+  match t.durability with
+  | None -> 0
+  | Some d ->
+    flush_pending t;
+    let truncated = Wal.record_count d.wal in
+    let gen = d.gen + 1 in
+    Persist.save ~wal_gen:gen t.catalog (Recovery.snapshot_path ~dir:d.dir);
+    Wal.truncate d.wal ~gen;
+    d.gen <- gen;
+    truncated
+
+let maybe_auto_checkpoint t =
+  match t.durability with
+  | Some d
+    when d.checkpoint_every > 0
+         && t.tx = None
+         && Wal.record_count d.wal >= d.checkpoint_every ->
+    Log.info (fun m ->
+        m "auto checkpoint (%d log records)" (Wal.record_count d.wal));
+    ignore (checkpoint t)
+  | Some _ | None -> ()
 
 let undo_entry = function
   | U_insert (table, rid) -> ignore (Table.delete table rid)
@@ -188,7 +273,8 @@ let history_open t ~now table row =
   | Some (h, _), Some support ->
     let hrow = Array.append row [| support.Extension.open_timestamp ~now |] in
     let hrid = Table.insert h hrow in
-    log_undo t (U_insert (h, hrid))
+    log_undo t (U_insert (h, hrid));
+    journal_insert t h (Table.get_exn h hrid)
   | _, _ -> ()
 
 (* Closes the open history row matching [row] (all columns equal). *)
@@ -210,8 +296,10 @@ let history_close t ~now table row =
           if same then begin
             let hrow' = Array.copy hrow in
             hrow'.(tt) <- support.Extension.close_timestamp ~now hrow.(tt);
-            if Table.update h hrid hrow' then
+            if Table.update h hrid hrow' then begin
               log_undo t (U_update (h, hrid, hrow));
+              journal_update t h ~old_row:hrow ~new_row:(Table.get_exn h hrid)
+            end;
             closed := true
           end
         end)
@@ -227,6 +315,7 @@ let insert_row t ~now table values =
   in
   let rid = Table.insert table row in
   log_undo t (U_insert (table, rid));
+  journal_insert t table (Table.get_exn table rid);
   history_open t ~now table row;
   rid
 
@@ -248,7 +337,7 @@ let reorder_columns schema columns values =
       cols values;
     row
 
-let rec exec_statement t ~params stmt =
+let exec_statement_raw t ~params stmt =
   let now = statement_now t in
   Log.debug (fun m ->
       m "executing (NOW = %s): %s"
@@ -337,6 +426,8 @@ let rec exec_statement t ~params stmt =
               compiled_assignments;
             if Table.update table rid row then begin
               log_undo t (U_update (table, rid, old_row));
+              journal_update t table ~old_row
+                ~new_row:(Table.get_exn table rid);
               history_close t ~now table old_row;
               (match Table.get table rid with
               | Some stored -> history_open t ~now table stored
@@ -355,6 +446,7 @@ let rec exec_statement t ~params stmt =
           (fun (rid, old_row) ->
             if Table.delete table rid then begin
               log_undo t (U_delete (table, old_row));
+              journal_delete t table old_row;
               history_close t ~now table old_row
             end)
           matches;
@@ -371,30 +463,39 @@ let rec exec_statement t ~params stmt =
                   ~primary_key:c.col_primary_key c.col_name ty)
               columns
           in
+          (* Resolve history support before creating anything, so a
+             failure leaves no half-created table behind. *)
+          let history_cols =
+            if not with_history then None
+            else begin
+              match Extension.history_support t.ext with
+              | None ->
+                db_error
+                  "WITH HISTORY requires a temporal blade with history support"
+              | Some support ->
+                (* history rows repeat values over time, so the shadow
+                   drops uniqueness but keeps NOT NULL *)
+                Some
+                  (List.map
+                     (fun (c : Schema.column) ->
+                       Schema.make_column ~not_null:c.Schema.not_null
+                         c.Schema.name c.Schema.ty)
+                     cols
+                  @ [ Schema.make_column "_tt"
+                        (Schema.type_of_name support.Extension.timestamp_type)
+                    ])
+            end
+          in
           ignore (Catalog.create_table t.catalog (Schema.make ~table_name:table cols));
-          if with_history then begin
-            match Extension.history_support t.ext with
-            | None ->
-              (* undo the main table so the failure is clean *)
-              ignore (Catalog.drop_table t.catalog table);
-              db_error
-                "WITH HISTORY requires a temporal blade with history support"
-            | Some support ->
-              (* history rows repeat values over time, so the shadow drops
-                 uniqueness but keeps NOT NULL *)
-              let hcols =
-                List.map
-                  (fun (c : Schema.column) ->
-                    Schema.make_column ~not_null:c.Schema.not_null c.Schema.name
-                      c.Schema.ty)
-                  cols
-                @ [ Schema.make_column "_tt"
-                      (Schema.type_of_name support.Extension.timestamp_type) ]
-              in
+          journal_ddl t (Wal.Create_table { table; columns = cols });
+          Option.iter
+            (fun hcols ->
+              let table = table ^ "_history" in
               ignore
                 (Catalog.create_table t.catalog
-                   (Schema.make ~table_name:(table ^ "_history") hcols))
-          end;
+                   (Schema.make ~table_name:table hcols));
+              journal_ddl t (Wal.Create_table { table; columns = hcols }))
+            history_cols;
           Message
             (Printf.sprintf "table %s created%s"
                (String.lowercase_ascii table)
@@ -429,14 +530,23 @@ let rec exec_statement t ~params stmt =
         let created =
           Catalog.create_table t.catalog (Schema.make ~table_name:table cols)
         in
-        List.iter (fun row -> ignore (Table.insert created row)) rows;
+        journal_ddl t (Wal.Create_table { table; columns = cols });
+        (* CTAS backfill is DDL-class in the log: like the table itself
+           it is not undone by ROLLBACK. *)
+        List.iter
+          (fun row ->
+            let rid = Table.insert created row in
+            journal_insert ~ddl:true t created (Table.get_exn created rid))
+          rows;
         Message
           (Printf.sprintf "table %s created (%d rows)"
              (String.lowercase_ascii table)
              (List.length rows))
       | Ast.Drop_table { table; if_exists } ->
-        if Catalog.drop_table t.catalog table then
+        if Catalog.drop_table t.catalog table then begin
+          journal_ddl t (Wal.Drop_table table);
           Message (Printf.sprintf "table %s dropped" table)
+        end
         else if if_exists then Message "no such table, skipped"
         else db_error "no such table: %s" table
       | Ast.Create_index { index; table; column; unique; using } ->
@@ -449,10 +559,19 @@ let rec exec_statement t ~params stmt =
         ignore
           (Catalog.create_index t.catalog ~idx_name:index ~table_name:table
              ~column ~unique ~kind);
+        journal_ddl t
+          (Wal.Create_index
+             { idx_name = index;
+               table;
+               column;
+               interval = kind = Table.Interval;
+               unique });
         Message (Printf.sprintf "index %s created" index)
       | Ast.Drop_index { index } ->
-        if Catalog.drop_index t.catalog index then
+        if Catalog.drop_index t.catalog index then begin
+          journal_ddl t (Wal.Drop_index index);
           Message (Printf.sprintf "index %s dropped" index)
+        end
         else db_error "no such index: %s" index
       | Ast.Begin_tx ->
         if t.tx <> None then db_error "already in a transaction";
@@ -467,6 +586,12 @@ let rec exec_statement t ~params stmt =
         | None -> db_error "no transaction in progress"
         | Some tx ->
           List.iter undo_entry tx.undo;
+          (* DML journal entries die with the rollback; DDL survives it,
+             exactly like the in-memory state. *)
+          t.pending <-
+            List.filter
+              (function P_ddl _ -> true | P_dml _ | P_mark _ -> false)
+              t.pending;
           t.tx <- None;
           Message "ROLLBACK")
       | Ast.Savepoint name -> (
@@ -474,6 +599,8 @@ let rec exec_statement t ~params stmt =
         | None -> db_error "SAVEPOINT requires a transaction"
         | Some tx ->
           tx.undo <- U_savepoint (String.lowercase_ascii name) :: tx.undo;
+          if journaling t then
+            t.pending <- P_mark (String.lowercase_ascii name) :: t.pending;
           Message (Printf.sprintf "SAVEPOINT %s" name))
       | Ast.Rollback_to name -> (
         match t.tx with
@@ -490,6 +617,15 @@ let rec exec_statement t ~params stmt =
               unwind rest
           in
           tx.undo <- unwind tx.undo;
+          (* Mirror on the journal: drop DML (and newer savepoint marks)
+             back to the marker, keeping it and any DDL encountered. *)
+          let rec trim = function
+            | [] -> []
+            | P_mark n :: _ as rest when n = name -> rest
+            | (P_ddl _ as e) :: rest -> e :: trim rest
+            | (P_dml _ | P_mark _) :: rest -> trim rest
+          in
+          t.pending <- trim t.pending;
           Message (Printf.sprintf "ROLLBACK TO %s" name))
       | Ast.Release_savepoint name -> (
         match t.tx with
@@ -507,6 +643,16 @@ let rec exec_statement t ~params stmt =
                 | _ -> true)
               tx.undo;
           if not !found then db_error "no such savepoint: %s" name;
+          let released = ref false in
+          t.pending <-
+            List.filter
+              (fun e ->
+                match e with
+                | P_mark n when n = name && not !released ->
+                  released := true;
+                  false
+                | _ -> true)
+              t.pending;
           Message (Printf.sprintf "RELEASE %s" name))
       | Ast.Copy_to { table; file } ->
         let table =
@@ -573,9 +719,36 @@ let rec exec_statement t ~params stmt =
                      Value.Str (Schema.type_name c.ty);
                      Value.Bool c.not_null;
                      Value.Bool c.primary_key |])
-                (Schema.columns schema) })
+                (Schema.columns schema) }
+      | Ast.Checkpoint ->
+        if t.tx <> None then
+          db_error "CHECKPOINT is not allowed inside a transaction";
+        (match t.durability with
+        | None -> Message "CHECKPOINT skipped (no durable storage attached)"
+        | Some _ ->
+          let n = checkpoint t in
+          Message
+            (Printf.sprintf "CHECKPOINT complete (%d log records truncated)" n)))
 
-and exec ?(params = []) t sql =
+(* The durable commit boundary: whenever a statement leaves the
+   database outside a transaction, its journal entries are appended to
+   the WAL (and fsynced per the sync policy) before the result — or the
+   exception — reaches the caller. A partially-executed failing
+   statement is flushed too, so the log always mirrors memory. An
+   injected [Failpoint.Crash] is the exception: it stands for the
+   process dying mid-I/O, so nothing may run after it. *)
+let exec_statement t ~params stmt =
+  match exec_statement_raw t ~params stmt with
+  | result ->
+    flush_pending t;
+    maybe_auto_checkpoint t;
+    result
+  | exception (Failpoint.Crash _ as e) -> raise e
+  | exception e ->
+    flush_pending t;
+    raise e
+
+let exec ?(params = []) t sql =
   match Parser.parse sql with
   | stmt -> exec_statement t ~params stmt
   | exception Parser.Error msg -> db_error "%s" msg
@@ -589,6 +762,40 @@ let exec_script ?(params = []) t sql =
       (fun _ stmt -> exec_statement t ~params stmt)
       (Message "") stmts
   | exception Parser.Error msg -> db_error "%s" msg
+
+(* --- Durable open / close ---------------------------------------------------- *)
+
+(* Opens (or creates) a durable database: recover snapshot + WAL tail,
+   then immediately re-checkpoint so the recovered state becomes the new
+   snapshot and the old (possibly torn) log is superseded by a fresh one
+   of the next generation. Extension types must be registered before the
+   call; install the blade on the returned database afterwards. *)
+let open_durable ?(sync = Wal.Always) ?(checkpoint_every = 10_000) ~dir () =
+  let catalog, info = Recovery.recover ~dir in
+  if info.Recovery.replayed_records > 0 || info.Recovery.stopped <> None then
+    Log.info (fun m ->
+        m "recovered %s: %d record(s) in %d batch(es) replayed%s" dir
+          info.Recovery.replayed_records info.Recovery.replayed_batches
+          (match info.Recovery.stopped with
+          | Some reason -> Printf.sprintf " (log tail dropped: %s)" reason
+          | None -> ""));
+  let t = create ~catalog () in
+  let gen = info.Recovery.generation + 1 in
+  Persist.save ~wal_gen:gen catalog (Recovery.snapshot_path ~dir);
+  let wal = Wal.create ~sync ~gen (Recovery.wal_path ~dir) in
+  t.durability <- Some { dir; wal; gen; checkpoint_every };
+  (t, info)
+
+(* Detaches and closes the WAL without checkpointing — on-disk state is
+   untouched, so this is safe even after a simulated crash. A graceful
+   shutdown should [checkpoint] first. *)
+let close_durable t =
+  match t.durability with
+  | None -> ()
+  | Some d ->
+    t.durability <- None;
+    t.pending <- [];
+    Wal.close d.wal
 
 (* --- Result helpers ----------------------------------------------------------- *)
 

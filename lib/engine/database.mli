@@ -52,6 +52,44 @@ val exec_statement :
 (** Runs a [';']-separated script; returns the last result. *)
 val exec_script : ?params:(string * Value.t) list -> t -> string -> result
 
+(** {1 Durability}
+
+    A durable database pairs the in-memory engine with an on-disk
+    directory holding a snapshot and a write-ahead log. Every committed
+    DML/DDL statement is appended to the log (as a batch closed by a
+    commit marker) before its result is returned; [CHECKPOINT] — or the
+    automatic record-count trigger — atomically rewrites the snapshot
+    and truncates the log. *)
+
+(** Opens (creating if needed) the durable database in [dir]: loads the
+    newest valid snapshot, replays the committed WAL tail (stopping
+    cleanly at the first torn or corrupt record), then checkpoints so
+    the recovered state becomes the new snapshot. Register extension
+    types before calling; install the blade on the returned database
+    afterwards. [sync] controls when the log is fsynced (default
+    {!Wal.Always}: a statement's effects survive any later crash once
+    its result has been returned). [checkpoint_every] bounds the log
+    at that many records (default 10_000; [0] disables auto-checkpoint). *)
+val open_durable :
+  ?sync:Wal.sync_policy ->
+  ?checkpoint_every:int ->
+  dir:string ->
+  unit ->
+  t * Recovery.info
+
+(** Directory backing this database, if opened with {!open_durable}. *)
+val durability_dir : t -> string option
+
+(** Forces a checkpoint: flushes pending records, writes the snapshot
+    atomically, truncates the WAL. Returns the number of log records
+    truncated. No-op (returning [0]) without durable storage.
+    @raise Error inside an open transaction. *)
+val checkpoint : t -> int
+
+(** Detaches and closes the WAL without checkpointing; safe after a
+    simulated crash. Graceful shutdown should [checkpoint] first. *)
+val close_durable : t -> unit
+
 (** {1 Result helpers}
 
     All raise {!Error} when the result has the wrong shape. *)

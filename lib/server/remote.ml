@@ -11,15 +11,44 @@ type t = {
   mutable closed : bool;
 }
 
-let connect ?(host = "127.0.0.1") ~port () =
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (match
-     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
-   with
-  | () -> ()
-  | exception Unix.Unix_error (e, _, _) ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    raise (Remote_error (Unix.error_message e)));
+(* Transient connect failures — the server not up yet, or the network
+   hiccuping — are worth retrying; anything else (bad address, no
+   route policy, ...) fails immediately. *)
+let transient = function
+  | Unix.ECONNREFUSED | Unix.ETIMEDOUT | Unix.ENETUNREACH | Unix.ECONNRESET ->
+    true
+  | _ -> false
+
+(* Connects with bounded retries: [attempts] tries in total, starting
+   [retry_delay] seconds apart and doubling each time, plus up to 50%
+   random jitter so a herd of clients does not reconnect in lockstep. *)
+let connect ?(host = "127.0.0.1") ?(attempts = 5) ?(retry_delay = 0.05) ~port ()
+    =
+  (* the server dropping the connection must surface as an exception on
+     our write, not kill the client process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let attempts = max 1 attempts in
+  let rec try_connect attempt delay =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+    with
+    | () -> fd
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if transient e && attempt < attempts then begin
+        Unix.sleepf (delay +. Random.float (delay /. 2.));
+        try_connect (attempt + 1) (delay *. 2.)
+      end
+      else
+        raise
+          (Remote_error
+             (Printf.sprintf "%s (after %d attempt%s)" (Unix.error_message e)
+                attempt
+                (if attempt = 1 then "" else "s")))
+  in
+  let fd = try_connect 1 (Float.max 0.001 retry_delay) in
   { fd;
     ic = Unix.in_channel_of_descr fd;
     oc = Unix.out_channel_of_descr fd;

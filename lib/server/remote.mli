@@ -7,8 +7,14 @@ exception Remote_error of string
 
 type t
 
-(** @raise Remote_error when the server is unreachable. *)
-val connect : ?host:string -> port:int -> unit -> t
+(** Connects with bounded retries on transient failures (connection
+    refused, timed out, network unreachable, reset): [attempts] tries
+    in total (default 5), the first retry after [retry_delay] seconds
+    (default 0.05), doubling each time with random jitter. This rides
+    out a server that is still starting up.
+    @raise Remote_error when the server stays unreachable. *)
+val connect :
+  ?host:string -> ?attempts:int -> ?retry_delay:float -> port:int -> unit -> t
 
 (** Binds a [:name] parameter for the next {!execute}. *)
 val bind : t -> string -> Tip_storage.Value.t -> unit

@@ -17,6 +17,7 @@ type t = {
   db : Db.t;
   db_lock : Mutex.t;
   listener : Unix.file_descr;
+  idle_timeout : float option;
   mutable running : bool;
 }
 
@@ -25,13 +26,20 @@ let result_to_response : Db.result -> Protocol.response = function
   | Db.Affected n -> Protocol.Affected n
   | Db.Message m -> Protocol.Message m
 
-(* Every failure becomes an E response; the session survives. *)
+(* Every failure becomes an E response; the session survives. Expected
+   engine errors travel as their bare message; anything else (a bug, a
+   poison statement) is caught by the final catch-all so one client
+   cannot take the server down. Simulated crashes ([Failpoint.Crash])
+   are deliberately NOT caught — they stand for process death. *)
 let execute_guarded t ~params sql =
   Mutex.lock t.db_lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.db_lock)
     (fun () ->
-      match Db.exec ~params t.db sql with
+      match
+        Tip_storage.Failpoint.hit ~site:"server.exec" ();
+        Db.exec ~params t.db sql
+      with
       | result -> result_to_response result
       | exception Db.Error msg -> Protocol.Error msg
       | exception Tip_sql.Parser.Error msg -> Protocol.Error msg
@@ -42,43 +50,80 @@ let execute_guarded t ~params sql =
       | exception Tip_storage.Table.Constraint_violation msg ->
         Protocol.Error msg
       | exception Tip_storage.Catalog.Catalog_error msg -> Protocol.Error msg
-      | exception Tip_storage.Schema.Schema_error msg -> Protocol.Error msg)
+      | exception Tip_storage.Schema.Schema_error msg -> Protocol.Error msg
+      | exception (Tip_storage.Failpoint.Crash _ as e) -> raise e
+      | exception e ->
+        Log.err (fun m ->
+            m "internal error executing %S: %s" sql (Printexc.to_string e));
+        Protocol.Error ("internal error: " ^ Printexc.to_string e))
 
 let handle_session t fd =
+  (* SO_RCVTIMEO makes a silent client's read fail after the idle
+     timeout; the session is then dropped and its thread reclaimed. *)
+  (match t.idle_timeout with
+  | Some secs -> (
+    try Unix.setsockopt_float fd Unix.SO_RCVTIMEO secs
+    with Unix.Unix_error _ | Invalid_argument _ -> ())
+  | None -> ());
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let params = ref [] in
+  let reply response =
+    try
+      Protocol.write_response oc response;
+      flush oc;
+      true
+    with Sys_error _ | Unix.Unix_error _ -> false (* peer went away *)
+  in
   let rec loop () =
     match input_line ic with
     | exception End_of_file -> ()
+    | exception Sys_error _ ->
+      (* read timed out (SO_RCVTIMEO) or the socket died *)
+      Log.debug (fun m -> m "dropping idle or broken session")
+    | exception Unix.Unix_error
+        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT | Unix.ECONNRESET), _, _)
+      ->
+      Log.debug (fun m -> m "dropping idle or broken session")
     | line -> (
-      match Protocol.decode_request line with
-      | Some Protocol.Quit -> ()
-      | Some (Protocol.Bind (name, v)) ->
+      (* A malformed B line can make [decode_request] itself raise (bad
+         wire int, unregistered type, ...): answer E and keep going. *)
+      match (try Ok (Protocol.decode_request line) with e -> Error e) with
+      | Ok (Some Protocol.Quit) -> ()
+      | Ok (Some (Protocol.Bind (name, v))) ->
         params := (name, v) :: List.remove_assoc name !params;
         loop ()
-      | Some (Protocol.Execute sql) ->
+      | Ok (Some (Protocol.Execute sql)) ->
         let response = execute_guarded t ~params:!params sql in
         params := [];
-        Protocol.write_response oc response;
-        flush oc;
-        loop ()
-      | None ->
-        Protocol.write_response oc (Protocol.Error "malformed request");
-        flush oc;
-        loop ())
+        if reply response then loop ()
+      | Ok None ->
+        if reply (Protocol.Error "malformed request") then loop ()
+      | Error e ->
+        if reply (Protocol.Error ("malformed request: " ^ Printexc.to_string e))
+        then loop ())
   in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    loop
+    (fun () ->
+      try loop ()
+      with e ->
+        (* last-ditch guard: a session bug must never unwind into the
+           accept loop's thread machinery with an unhandled exception *)
+        Log.err (fun m -> m "session aborted: %s" (Printexc.to_string e)))
 
-(* Creates a listening socket; port 0 picks an ephemeral port. *)
-let listen ?(host = "127.0.0.1") ~port db =
+(* Creates a listening socket; port 0 picks an ephemeral port.
+   [idle_timeout] (seconds) drops sessions that stay silent that long. *)
+let listen ?(host = "127.0.0.1") ?idle_timeout ~port db =
+  (* a client vanishing mid-response must surface as EPIPE on the write,
+     not kill the whole server *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
   Unix.listen fd 16;
-  { db; db_lock = Mutex.create (); listener = fd; running = true }
+  { db; db_lock = Mutex.create (); listener = fd; idle_timeout; running = true }
 
 let port t =
   match Unix.getsockname t.listener with

@@ -7,8 +7,11 @@
 
 type t
 
-(** Creates the listening socket; [port 0] picks an ephemeral port. *)
-val listen : ?host:string -> port:int -> Tip_engine.Database.t -> t
+(** Creates the listening socket; [port 0] picks an ephemeral port.
+    [idle_timeout] (seconds) drops sessions that stay silent that long,
+    so abandoned clients cannot pin threads forever. *)
+val listen :
+  ?host:string -> ?idle_timeout:float -> port:int -> Tip_engine.Database.t -> t
 
 (** The actual bound port. *)
 val port : t -> int

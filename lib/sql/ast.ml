@@ -135,6 +135,7 @@ type statement =
   | Set_now of expr option (* SET NOW = <expr>; None restores the wall clock *)
   | Show_tables
   | Describe of { table : string }
+  | Checkpoint (* snapshot + truncate the WAL (no-op without durability) *)
 
 and insert_source =
   | Values of expr list list

@@ -741,6 +741,7 @@ let rec parse_statement st =
     Ast.Show_tables
   end
   else if eat_kw st "DESCRIBE" then Ast.Describe { table = ident st }
+  else if eat_kw st "CHECKPOINT" then Ast.Checkpoint
   else error st "expected a statement"
 
 (* --- Entry points ------------------------------------------------------ *)

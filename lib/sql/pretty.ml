@@ -196,6 +196,7 @@ and pp_statement ppf = function
   | Ast.Set_now (Some e) -> Fmt.pf ppf "SET NOW = %a" pp_expr e
   | Ast.Show_tables -> Fmt.string ppf "SHOW TABLES"
   | Ast.Describe { table } -> Fmt.pf ppf "DESCRIBE %s" table
+  | Ast.Checkpoint -> Fmt.string ppf "CHECKPOINT"
 
 let expr_to_string e = Fmt.str "%a" pp_expr e
 let statement_to_string s = Fmt.str "%a" pp_statement s

@@ -6,8 +6,13 @@
    through its literal syntax — in particular NOW-relative timestamps are
    stored symbolically, as they must be.
 
-   Durability scope: snapshot save/load only. Write-ahead logging and
-   recovery are out of scope for the demo system (see DESIGN.md). *)
+   Saving is atomic: the snapshot is rendered in memory, written to
+   [<path>.tmp], fsynced and renamed into place, so an interrupted save
+   never clobbers the previous snapshot. All snapshot I/O goes through
+   [Failpoint] so crash tests can interrupt any step. A snapshot may
+   carry a WAL generation number ([walgen] line) that [Recovery] uses to
+   reject a stale write-ahead log left behind by a crash between the
+   checkpoint rename and the log truncation. *)
 
 exception Format_error of string
 
@@ -60,13 +65,25 @@ let serialize_value v =
     | Value.Ext _ -> escape_cell (Value.to_display_string v)
   end
 
+(* Corrupt cells must surface as [Format_error], never a bare [Failure],
+   so recovery can classify them. *)
+let int_cell text =
+  match int_of_string text with
+  | n -> n
+  | exception Failure _ -> format_error "bad INT cell %S" text
+
+let float_cell text =
+  match float_of_string text with
+  | f -> f
+  | exception Failure _ -> format_error "bad FLOAT cell %S" text
+
 let parse_value ty cell =
   if String.equal cell null_marker then Value.Null
   else begin
     let text = unescape_cell cell in
     match ty with
-    | Schema.T_int -> Value.Int (int_of_string text)
-    | Schema.T_float -> Value.Float (float_of_string text)
+    | Schema.T_int -> Value.Int (int_cell text)
+    | Schema.T_float -> Value.Float (float_cell text)
     | Schema.T_bool -> Value.Bool (String.equal text "t")
     | Schema.T_char _ -> Value.Str text
     | Schema.T_date -> (
@@ -75,7 +92,11 @@ let parse_value ty cell =
       | None -> format_error "bad date cell %S" text)
     | Schema.T_ext name -> (
       match Value.lookup_type name with
-      | Some vt -> vt.Value.parse text
+      | Some vt -> (
+        match vt.Value.parse text with
+        | v -> v
+        | exception Value.Type_error msg ->
+          format_error "bad %s cell %S: %s" name text msg)
       | None -> format_error "type %s not registered at load time" name)
   end
 
@@ -91,15 +112,22 @@ let type_spec ty =
   | Schema.T_date -> ("DATE", "-")
   | Schema.T_ext name -> ("EXT:" ^ name, "-")
 
-let save_table oc table =
+(* One schema column as a snapshot/WAL header line (shared with [Wal]'s
+   CREATE TABLE records). *)
+let column_line (c : Schema.column) =
+  let ty, param = type_spec c.Schema.ty in
+  Printf.sprintf "column %s %s %s %d %d" c.Schema.name ty param
+    (if c.Schema.not_null then 1 else 0)
+    (if c.Schema.primary_key then 1 else 0)
+
+let serialize_row row =
+  String.concat "\t" (Array.to_list (Array.map serialize_value row))
+
+let save_table buf table =
   let schema = Table.schema table in
-  Printf.fprintf oc "table %s\n" schema.Schema.table_name;
+  Printf.bprintf buf "table %s\n" schema.Schema.table_name;
   Array.iter
-    (fun c ->
-      let ty, param = type_spec c.Schema.ty in
-      Printf.fprintf oc "column %s %s %s %d %d\n" c.Schema.name ty param
-        (if c.Schema.not_null then 1 else 0)
-        (if c.Schema.primary_key then 1 else 0))
+    (fun c -> Printf.bprintf buf "%s\n" (column_line c))
     schema.Schema.columns;
   List.iter
     (fun idx ->
@@ -109,26 +137,36 @@ let save_table oc table =
         | Table.Interval_impl _ -> "interval"
       in
       let col = (Schema.column schema idx.Table.idx_column).Schema.name in
-      Printf.fprintf oc "index %s %s %s %d\n" idx.Table.idx_name col kind
+      Printf.bprintf buf "index %s %s %s %d\n" idx.Table.idx_name col kind
         (if idx.Table.idx_unique then 1 else 0))
     (Table.indexes table);
-  Printf.fprintf oc "rows %d\n" (Table.row_count table);
+  Printf.bprintf buf "rows %d\n" (Table.row_count table);
   Table.iteri
-    (fun _rid row ->
-      let cells = Array.to_list (Array.map serialize_value row) in
-      Printf.fprintf oc "%s\n" (String.concat "\t" cells))
+    (fun _rid row -> Printf.bprintf buf "%s\n" (serialize_row row))
     table;
-  Printf.fprintf oc "end\n"
+  Buffer.add_string buf "end\n"
 
-let save catalog path =
-  let oc = open_out path in
+let snapshot_string ?wal_gen catalog =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "tipdb 1\n";
+  Option.iter (fun g -> Printf.bprintf buf "walgen %d\n" g) wal_gen;
+  List.iter
+    (fun name -> save_table buf (Catalog.table_exn catalog name))
+    (Catalog.table_names catalog);
+  Buffer.contents buf
+
+(* Write-to-temp, fsync, rename: a crash at any point leaves either the
+   old snapshot or the new one, never a truncated mix. *)
+let save ?wal_gen catalog path =
+  let content = snapshot_string ?wal_gen catalog in
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   Fun.protect
-    ~finally:(fun () -> close_out oc)
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-      Printf.fprintf oc "tipdb 1\n";
-      List.iter
-        (fun name -> save_table oc (Catalog.table_exn catalog name))
-        (Catalog.table_names catalog))
+      Failpoint.write ~site:"snapshot.write" fd (Bytes.of_string content);
+      Failpoint.fsync ~site:"snapshot.fsync" fd);
+  Failpoint.rename ~site:"snapshot.rename" tmp path
 
 (* --- Loading ------------------------------------------------------------- *)
 
@@ -155,12 +193,26 @@ let parse_type ty param =
     | "FLOAT" -> Schema.T_float
     | "BOOLEAN" -> Schema.T_bool
     | "TEXT" -> Schema.T_char None
-    | "CHAR" -> Schema.T_char (Some (int_of_string param))
+    | "CHAR" -> Schema.T_char (Some (int_cell param))
     | "DATE" -> Schema.T_date
     | _ -> format_error "unknown stored type %s" ty
   end
 
+let parse_column_line line =
+  match String.split_on_char ' ' line with
+  | [ "column"; name; ty; param; not_null; pk ] ->
+    let ty = parse_type ty param in
+    Schema.make_column ~not_null:(not_null = "1") ~primary_key:(pk = "1") name
+      ty
+  | _ -> format_error "bad column line %S" line
+
 let split_words line = String.split_on_char ' ' line
+
+let parse_row types cells =
+  if Array.length cells <> Array.length types then
+    format_error "row arity mismatch: expected %d cells, got %d"
+      (Array.length types) (Array.length cells);
+  Array.mapi (fun i cell -> parse_value types.(i) cell) cells
 
 let load_table r catalog first_line =
   let table_name =
@@ -171,21 +223,26 @@ let load_table r catalog first_line =
   (* Columns, then optional index lines, then rows. *)
   let columns = ref [] in
   let index_specs = ref [] in
+  let with_line f =
+    match f () with
+    | v -> v
+    | exception Format_error msg -> format_error "line %d: %s" r.line_no msg
+  in
   let rec header () =
     let line = read_line_exn r "column/index/rows" in
     match split_words line with
-    | [ "column"; name; ty; param; not_null; pk ] ->
-      let ty = parse_type ty param in
-      columns :=
-        Schema.make_column ~not_null:(not_null = "1") ~primary_key:(pk = "1")
-          name ty
-        :: !columns;
+    | "column" :: _ ->
+      columns := with_line (fun () -> parse_column_line line) :: !columns;
       header ()
     | [ "index"; idx_name; col; kind; unique ] ->
       index_specs := (idx_name, col, kind, unique = "1") :: !index_specs;
       header ()
-    | [ "rows"; n ] -> int_of_string n
-    | _ -> format_error "bad header line %S" line
+    | [ "rows"; n ] ->
+      with_line (fun () ->
+          match int_of_string n with
+          | n -> n
+          | exception Failure _ -> format_error "bad row count %S" n)
+    | _ -> format_error "bad header line at line %d: %S" r.line_no line
   in
   let n_rows = header () in
   let schema = Schema.make ~table_name (List.rev !columns) in
@@ -194,14 +251,12 @@ let load_table r catalog first_line =
   for _ = 1 to n_rows do
     let line = read_line_exn r "row" in
     let cells = Array.of_list (String.split_on_char '\t' line) in
-    if Array.length cells <> Array.length types then
-      format_error "row arity mismatch at line %d" r.line_no;
-    let row = Array.mapi (fun i cell -> parse_value types.(i) cell) cells in
+    let row = with_line (fun () -> parse_row types cells) in
     ignore (Table.insert table row)
   done;
   (match read_line_exn r "end" with
   | "end" -> ()
-  | line -> format_error "expected end, got %S" line);
+  | line -> format_error "expected end at line %d, got %S" r.line_no line);
   (* Recreate secondary indexes (the pkey index already exists). *)
   List.iter
     (fun (idx_name, col, kind, unique) ->
@@ -217,7 +272,7 @@ let load_table r catalog first_line =
       end)
     (List.rev !index_specs)
 
-let load path =
+let load_full path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -228,13 +283,21 @@ let load path =
       | Some line -> format_error "bad magic %S" line
       | None -> format_error "empty file");
       let catalog = Catalog.create () in
+      let wal_gen = ref None in
       let rec tables () =
         match read_line_opt r with
         | None -> ()
         | Some "" -> tables ()
-        | Some line ->
-          load_table r catalog line;
-          tables ()
+        | Some line -> (
+          match split_words line with
+          | [ "walgen"; g ] ->
+            wal_gen := Some (int_cell g);
+            tables ()
+          | _ ->
+            load_table r catalog line;
+            tables ())
       in
       tables ();
-      catalog)
+      (catalog, !wal_gen))
+
+let load path = fst (load_full path)

@@ -5,23 +5,38 @@
     its literal syntax; in particular NOW-relative timestamps are stored
     symbolically. Extension types must be registered before {!load}.
 
-    Durability scope: snapshot save/load only — write-ahead logging and
-    recovery are out of scope for the demo system (DESIGN.md). *)
+    {!save} is atomic: the snapshot is written to [<path>.tmp], fsynced
+    and renamed into place, so an interrupted save never clobbers the
+    previous snapshot. Write-ahead logging and recovery live in {!Wal}
+    and {!Recovery} (DESIGN.md §8). *)
 
 exception Format_error of string
 
-(** Writes every table (schema, indexes, rows) to the file. *)
-val save : Catalog.t -> string -> unit
+(** Writes every table (schema, indexes, rows) to the file, atomically
+    (tmp + fsync + rename). [wal_gen] stamps the snapshot with the WAL
+    generation it pairs with (see {!Recovery}). *)
+val save : ?wal_gen:int -> Catalog.t -> string -> unit
+
+(** The snapshot text {!save} would write, for diffing and tests. *)
+val snapshot_string : ?wal_gen:int -> Catalog.t -> string
 
 (** Rebuilds a catalog from a snapshot: rows re-inserted, secondary
     indexes recreated and backfilled.
-    @raise Format_error on malformed input
+    @raise Format_error on malformed input (bad cells and counts are
+    classified with their line number, never a bare [Failure])
     @raise Sys_error on I/O failure. *)
 val load : string -> Catalog.t
+
+(** Like {!load}, also returning the snapshot's WAL generation. *)
+val load_full : string -> Catalog.t * int option
 
 (**/**)
 
 val serialize_value : Value.t -> string
 val parse_value : Schema.col_type -> string -> Value.t
+val parse_row : Schema.col_type array -> string array -> Value.t array
+val serialize_row : Value.t array -> string
 val escape_cell : string -> string
 val unescape_cell : string -> string
+val column_line : Schema.column -> string
+val parse_column_line : string -> Schema.column

@@ -1,0 +1,30 @@
+(** Crash recovery: latest valid snapshot + WAL tail replay
+    (DESIGN.md §8).
+
+    A durable database directory holds [snapshot] (the last checkpoint)
+    and [wal] (redo records appended since). {!recover} discards an
+    interrupted [snapshot.tmp], loads the snapshot, and replays the
+    log's committed batches when the generations agree — a stale log
+    left by a crash mid-checkpoint is skipped rather than applied
+    twice. Replay stops cleanly at the first torn or corrupt frame,
+    keeping every committed batch before it, so the recovered state is a
+    committed-statement prefix of the pre-crash history. *)
+
+val snapshot_path : dir:string -> string
+val wal_path : dir:string -> string
+
+type info = {
+  snapshot_loaded : bool;
+  generation : int;  (** snapshot's WAL generation (0 when fresh) *)
+  replayed_records : int;  (** redo records applied from the log *)
+  replayed_batches : int;
+  stale_wal : bool;  (** generation mismatch: log skipped *)
+  stopped : string option;
+      (** why replay stopped before the log's end, if it did *)
+}
+
+(** Rebuilds the catalog from [dir], creating the directory when
+    missing (a fresh, empty database). Register extension types first.
+    @raise Persist.Format_error on a corrupt snapshot — a damaged log
+    never raises, it only bounds how far replay gets. *)
+val recover : dir:string -> Catalog.t * info

@@ -1,0 +1,112 @@
+(** The append-only write-ahead log (DESIGN.md §8).
+
+    Records are framed as [tipwal <len> <crc32>\n<payload>\n] so a torn
+    tail — short header, short payload or CRC mismatch — is always
+    distinguishable from a valid record, and replay stops cleanly at the
+    last intact frame instead of failing. Cell payloads reuse the
+    snapshot round-trip format ({!Persist}), so NOW-relative timestamps
+    stay symbolic in the log.
+
+    Each committed statement's records are appended together with a
+    trailing {!constructor-Commit} marker in one write; replay applies a
+    batch only after reading its marker, so recovery always lands on a
+    statement boundary. A leading {!constructor-Generation} frame pairs
+    the log with the snapshot of the same generation and lets recovery
+    reject a stale log left by a crash mid-checkpoint. *)
+
+(** IEEE 802.3 CRC32 of the whole string. *)
+val crc32 : string -> int32
+
+(** Redo records. Cell arrays hold values already serialized through
+    {!Persist.serialize_value}; [Delete]/[Update] identify their target
+    row by full-row equality (the engine has no stable physical row ids
+    across snapshot reload). *)
+type record =
+  | Generation of int
+  | Insert of { table : string; cells : string array }
+  | Delete of { table : string; cells : string array }
+  | Update of {
+      table : string;
+      old_cells : string array;
+      new_cells : string array;
+    }
+  | Create_table of { table : string; columns : Schema.column list }
+  | Drop_table of string
+  | Create_index of {
+      idx_name : string;
+      table : string;
+      column : string;
+      interval : bool;
+      unique : bool;
+    }
+  | Drop_index of string
+  | Commit
+
+(** A damaged frame or a record that does not fit the catalog. {!scan}
+    never lets it escape; {!apply} raises it. *)
+exception Corrupt of string
+
+(** {1 Appending} *)
+
+(** When [commit] makes records crash-proof: [Always] fsyncs every
+    commit before returning, [Every_n n] fsyncs every n-th commit,
+    [Never] leaves syncing to the OS. *)
+type sync_policy = Always | Every_n of int | Never
+
+(** Parses "always", "never" or "every=N" (N > 0). *)
+val sync_policy_of_string : string -> sync_policy option
+
+val sync_policy_to_string : sync_policy -> string
+
+type writer
+
+(** Creates (or truncates) the log at [path], stamped with generation
+    [gen] and fsynced. *)
+val create : ?sync:sync_policy -> gen:int -> string -> writer
+
+(** Appends the records plus a commit marker in one write, then syncs
+    per the policy. Under [Always], once this returns the batch survives
+    any crash. *)
+val commit : writer -> record list -> unit
+
+(** Records appended since the writer was created or last truncated
+    (commit markers included) — the checkpoint trigger. *)
+val record_count : writer -> int
+
+(** Empties the log and stamps the new generation (the second half of a
+    checkpoint; the snapshot carrying [gen] must already be renamed into
+    place). *)
+val truncate : writer -> gen:int -> unit
+
+(** Forces an fsync regardless of policy. *)
+val sync : writer -> unit
+
+(** Closes the fd. Never flushes (appends are unbuffered), so closing
+    after a simulated crash does not alter the on-disk state. *)
+val close : writer -> unit
+
+(** {1 Reading and replay} *)
+
+type scan = {
+  generation : int option;  (** the leading generation frame, if any *)
+  batches : record list list;  (** committed batches, oldest first *)
+  stopped : string option;
+      (** why reading stopped before a clean end of file *)
+}
+
+(** Reads the whole log, stopping cleanly at the first torn or corrupt
+    frame; an uncommitted trailing batch is discarded. Never raises on
+    damaged input; a missing file reads as empty. *)
+val scan : string -> scan
+
+(** Applies one record to the catalog (replay path — bypasses the
+    engine, so history shadow tables are not re-maintained; their
+    mutations appear as their own records).
+    @raise Corrupt when the record does not fit the catalog. *)
+val apply : Catalog.t -> record -> unit
+
+(**/**)
+
+val encode : record -> string
+val decode : string -> record
+val frame : record -> string

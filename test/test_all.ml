@@ -25,4 +25,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("server", Test_server.suite);
       ("copy+savepoints", Test_copy_savepoints.suite);
-      ("misc-coverage", Test_misc_coverage.suite) ]
+      ("misc-coverage", Test_misc_coverage.suite);
+      ("durability", Test_durability.suite) ]
