@@ -722,6 +722,98 @@ let bench_wal () =
       end)
     !dirs
 
+(* --- E18: observability overhead --------------------------------------------------------------- *)
+
+let bench_observability () =
+  banner "E18 observability"
+    "Metrics tax (DESIGN.md §9): the registry counts rows, morsels, WAL\n\
+     activity and statement latency on every query. Counters are bulk\n\
+     per-operator adds on sharded atomics, so the expected overhead of the\n\
+     instrumented path over TIP_METRICS=off is under 3% on the E16 query mix\n\
+     and the E17 insert path.";
+  let module Metrics = Tip_obs.Metrics in
+  let n = 50_000 * scale in
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE m (k INT, g INT, v INT)");
+  let table = Tip_storage.Catalog.table_exn (Db.catalog db) "m" in
+  for i = 0 to n - 1 do
+    ignore
+      (Tip_storage.Table.insert table
+         [| Tip_storage.Value.Int i; Tip_storage.Value.Int (i mod 16);
+            Tip_storage.Value.Int (i * 31 mod 1009) |])
+  done;
+  let plain = Db.create () in
+  ignore (Db.exec plain "CREATE TABLE w (a INT PRIMARY KEY, b CHAR(12))");
+  let key = ref 0 in
+  let insert () =
+    incr key;
+    ignore (Db.exec plain (Printf.sprintf "INSERT INTO w VALUES (%d, 'payload')" !key))
+  in
+  let workloads =
+    [ ("filter scan", fun () -> ignore (Db.exec db "SELECT k, v FROM m WHERE v < 100"));
+      ("grouped aggregate",
+       fun () ->
+         ignore
+           (Db.exec db "SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v) FROM m GROUP BY g"));
+      ("hash join",
+       fun () ->
+         ignore
+           (Db.exec db
+              "SELECT COUNT(*) FROM m a, m b WHERE a.k = b.k AND a.v < 20"));
+      ("insert", insert) ]
+  in
+  let was_enabled = Metrics.enabled () in
+  (* Paired comparison, not bechamel: alternate on/off within each round
+     and keep the per-round minimum, so drift on a busy (single-core CI)
+     host cancels instead of landing on one side of the split. *)
+  let paired_ns thunk =
+    let time_batch flag iters =
+      Metrics.set_enabled flag;
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do thunk () done;
+      (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+    in
+    let iters =
+      (* size batches to ~40ms so one round is cheap but not timer-bound *)
+      let t0 = Unix.gettimeofday () in
+      thunk ();
+      let once = Unix.gettimeofday () -. t0 in
+      max 1 (int_of_float (0.04 /. Float.max 1e-6 once))
+    in
+    let rounds = 9 in
+    let best_on = ref infinity and best_off = ref infinity in
+    for round = 1 to rounds do
+      let first_on = round mod 2 = 1 in
+      let a = time_batch first_on iters in
+      let b = time_batch (not first_on) iters in
+      let on, off = if first_on then (a, b) else (b, a) in
+      if on < !best_on then best_on := on;
+      if off < !best_off then best_off := off
+    done;
+    (!best_on, !best_off)
+  in
+  let worst = ref 0. in
+  let rows =
+    List.map
+      (fun (label, thunk) ->
+        let on, off = paired_ns thunk in
+        Metrics.set_enabled was_enabled;
+        let overhead = 100. *. (on /. off -. 1.) in
+        if overhead > !worst then worst := overhead;
+        records :=
+          !records
+          @ [ (!current_suite, "metrics on " ^ label, on);
+              (!current_suite, "metrics off " ^ label, off);
+              (!current_suite, "overhead_pct " ^ label, overhead) ];
+        [ label; ns_to_string off; ns_to_string on;
+          Printf.sprintf "%+.2f%%" overhead ])
+      workloads
+  in
+  Metrics.set_enabled was_enabled;
+  print_table [ "workload"; "metrics off"; "metrics on"; "overhead" ] rows;
+  Printf.printf "\nworst-case overhead: %+.2f%% — budget 3%%: %s\n" !worst
+    (if !worst < 3. then "PASS" else "FAIL (rerun; single-run noise can exceed it)")
+
 (* --- Driver --------------------------------------------------------------------------------- *)
 
 let suites =
@@ -736,7 +828,8 @@ let suites =
     ("profile", bench_profile);
     ("rpc", bench_rpc);
     ("parallel", bench_parallel);
-    ("wal", bench_wal) ]
+    ("wal", bench_wal);
+    ("observability", bench_observability) ]
 
 let () =
   let rec parse_args = function

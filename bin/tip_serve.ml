@@ -12,6 +12,7 @@
    Clients: tip_shell --connect 127.0.0.1:5499, or Tip_server.Remote. *)
 
 module Db = Tip_engine.Database
+module Sink = Tip_obs.Log_sink
 
 let parse_sync s =
   match Tip_storage.Wal.sync_policy_of_string s with
@@ -20,7 +21,10 @@ let parse_sync s =
     Printf.eprintf "tip_server: bad --sync %S (want always|never|every=N)\n" s;
     exit 2
 
-let main port demo load save durability sync idle_timeout now =
+let main port demo load save durability sync idle_timeout now slow_ms =
+  (* every server log line — Logs sources and our own announcements —
+     goes through the one mutex-guarded timestamped sink *)
+  Logs.set_reporter (Sink.reporter ());
   let db =
     match durability with
     | Some dir ->
@@ -28,12 +32,11 @@ let main port demo load save durability sync idle_timeout now =
       let db, info = Db.open_durable ~sync:(parse_sync sync) ~dir () in
       Tip_blade.Blade.install db;
       if info.Tip_storage.Recovery.replayed_records > 0 then
-        Printf.printf "tip_server: replayed %d log record(s) from %s\n%!"
+        Sink.line "tip_server: replayed %d log record(s) from %s"
           info.Tip_storage.Recovery.replayed_records dir;
       (match info.Tip_storage.Recovery.stopped with
       | Some reason ->
-        Printf.printf "tip_server: log tail dropped during recovery: %s\n%!"
-          reason
+        Sink.line "tip_server: log tail dropped during recovery: %s" reason
       | None -> ());
       db
     | None -> (
@@ -50,12 +53,12 @@ let main port demo load save durability sync idle_timeout now =
   Option.iter
     (fun d -> ignore (Db.exec db (Printf.sprintf "SET NOW = '%s'" d)))
     now;
-  let server = Tip_server.Server.listen ?idle_timeout ~port db in
-  Printf.printf "tip_server: listening on port %d%s\n%!"
+  let server = Tip_server.Server.listen ?idle_timeout ?slow_ms ~port db in
+  Sink.line "tip_server: listening on port %d%s"
     (Tip_server.Server.port server)
     (if demo then " (medical demo loaded)" else "");
   let shutdown _ =
-    print_endline "tip_server: shutting down";
+    Sink.line "tip_server: shutting down";
     if Option.is_some durability then begin
       ignore (Db.checkpoint db);
       Db.close_durable db
@@ -64,7 +67,7 @@ let main port demo load save durability sync idle_timeout now =
       Option.iter
         (fun file ->
           Tip_storage.Persist.save (Db.catalog db) file;
-          Printf.printf "tip_server: saved to %s\n%!" file)
+          Sink.line "tip_server: saved to %s" file)
         save;
     exit 0
   in
@@ -104,9 +107,14 @@ let () =
     Arg.(value & opt (some string) None & info [ "now" ] ~docv:"DATE"
            ~doc:"Freeze NOW at the given chronon.")
   in
+  let slow_ms =
+    Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS"
+           ~doc:"Log statements taking at least this many milliseconds \
+                 (text, latency, row count).")
+  in
   let term =
     Term.(const main $ port $ demo $ load $ save $ durability $ sync
-          $ idle_timeout $ now)
+          $ idle_timeout $ now $ slow_ms)
   in
   let info = Cmd.info "tip_serve" ~doc:"TIP database server" in
   exit (Cmd.eval (Cmd.v info term))

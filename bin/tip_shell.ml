@@ -140,7 +140,7 @@ let remote_repl remote =
   in
   loop ()
 
-let run_remote target command =
+let run_remote target command stats =
   match String.split_on_char ':' target with
   | [ host; port ] -> (
     Tip_blade.Values.register_types ();
@@ -160,19 +160,26 @@ let run_remote target command =
             stmts
         | exception Tip_sql.Parser.Error msg -> Printf.printf "error: %s\n" msg
         | exception Tip_sql.Lexer.Error msg -> Printf.printf "error: %s\n" msg)
-      | None -> remote_repl remote);
+      | None -> if not stats then remote_repl remote);
+      (* --stats in remote mode reads the server's registry (M request) *)
+      if stats then begin
+        match Tip_server.Remote.metrics remote with
+        | dump -> print_string dump
+        | exception Tip_server.Remote.Remote_error msg ->
+          Printf.printf "error: %s\n" msg
+      end;
       Tip_server.Remote.close remote
     | exception Tip_server.Remote.Remote_error msg ->
       Printf.printf "cannot connect to %s: %s\n" target msg)
   | _ -> print_endline "tip_shell: --connect expects HOST:PORT"
 
-let main demo load now command save verbose connect durability sync =
+let main demo load now command save verbose connect durability sync stats =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
   end;
   match connect with
-  | Some target -> run_remote target command
+  | Some target -> run_remote target command stats
   | None ->
   let db =
     match durability, demo, load with
@@ -213,7 +220,8 @@ let main demo load now command save verbose connect durability sync =
     (fun file ->
       Tip_storage.Persist.save (Db.catalog db) file;
       Printf.printf "saved to %s\n" file)
-    save
+    save;
+  if stats then print_string (Tip_obs.Metrics.dump_text ())
 
 let () =
   let open Cmdliner in
@@ -253,9 +261,14 @@ let () =
     Arg.(value & opt string "always" & info [ "sync" ] ~docv:"MODE"
            ~doc:"WAL sync policy: always, never, or every=N.")
   in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print the metrics registry on exit (in remote mode, the \
+                 server's registry over the wire).")
+  in
   let term =
     Term.(const main $ demo $ load $ now $ command $ save $ verbose $ connect
-          $ durability $ sync)
+          $ durability $ sync $ stats)
   in
   let info =
     Cmd.info "tip_shell" ~doc:"SQL shell for the TIP temporal database"

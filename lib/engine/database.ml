@@ -15,10 +15,23 @@
 open Tip_storage
 module Ast = Tip_sql.Ast
 module Parser = Tip_sql.Parser
+module Metrics = Tip_obs.Metrics
+module Trace = Tip_obs.Trace
 
 exception Error of string
 
 let db_error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let m_statements =
+  Metrics.counter "engine_statements_total"
+    ~help:"Statements executed by the embedded engine"
+
+let m_checkpoints =
+  Metrics.counter "checkpoints_total" ~help:"Durable checkpoints taken"
+
+let h_statement_ns =
+  Metrics.histogram "engine_statement_ns"
+    ~help:"Per-statement latency (parse excluded), nanoseconds"
 
 (* Statement tracing; enable with Logs.Src.set_level (or tip_shell
    --verbose). *)
@@ -136,6 +149,7 @@ let checkpoint t =
     Persist.save ~wal_gen:gen t.catalog (Recovery.snapshot_path ~dir:d.dir);
     Wal.truncate d.wal ~gen;
     d.gen <- gen;
+    Metrics.incr m_checkpoints;
     truncated
 
 let maybe_auto_checkpoint t =
@@ -220,6 +234,44 @@ let run_select t ectx select =
   let plan, names = Planner.plan ~ext:t.ext ~ectx t.catalog select in
   let rows = Executor.collect_parallel ectx plan in
   Rows { names = Array.to_list names; rows }
+
+(* EXPLAIN ANALYZE: plan under a "plan" span, wrap every operator with
+   an [Instrument] node, execute for real under an "execute" span, and
+   render the tree annotated with actual rows / time / parallel
+   markers. The whole run shares one NOW — it was bound (exactly once)
+   when [exec_statement_raw] opened the root span, and [Tx_clock] is
+   overridden with it, so an operator evaluating NOW late in a long run
+   sees the same instant as the first (DESIGN.md §9). *)
+let run_explain_analyze t ectx ~now target =
+  let trace =
+    match Trace.ambient () with
+    | Some tr -> tr
+    | None -> Trace.start "statement"
+  in
+  let plan =
+    Trace.with_span trace "plan" (fun () ->
+        match target with
+        | Ast.Select select ->
+          fst (Planner.plan ~ext:t.ext ~ectx t.catalog select)
+        | Ast.Select_compound compound ->
+          fst (Planner.plan_union ~ext:t.ext ~ectx t.catalog compound)
+        | _ -> db_error "EXPLAIN ANALYZE supports only SELECT")
+  in
+  let plan = Plan.instrument plan in
+  let rows =
+    Trace.with_span trace "execute" (fun () ->
+        Executor.collect_parallel ectx plan)
+  in
+  let span_ns name =
+    match Trace.find_child (Trace.root trace) name with
+    | Some sp -> sp.Trace.sp_elapsed_ns
+    | None -> 0
+  in
+  Message
+    (Planner.explain_analyze
+       ~now:(Tip_core.Chronon.to_string now)
+       ~rows:(List.length rows) ~plan_ns:(span_ns "plan")
+       ~exec_ns:(span_ns "execute") plan)
 
 (* Single-table DML helper: compiled predicate + matching rids. *)
 let dml_matches t ectx table where =
@@ -338,12 +390,21 @@ let reorder_columns schema columns values =
     row
 
 let exec_statement_raw t ~params stmt =
+  (* The statement's NOW is read from the clock exactly once, here, and
+     frozen for the whole statement: the root span opens with it, and
+     [Tx_clock.with_override] makes every later read — blade routines,
+     plan operators, EXPLAIN ANALYZE instrumentation — return the same
+     instant (the audit in DESIGN.md §9 lists the call sites). *)
   let now = statement_now t in
+  let trace = Trace.start "statement" in
+  Trace.annotate trace "now" (Tip_core.Chronon.to_string now);
   Log.debug (fun m ->
       m "executing (NOW = %s): %s"
         (Tip_core.Chronon.to_string now)
         (Tip_sql.Pretty.statement_to_string stmt));
   Tip_core.Tx_clock.with_override now (fun () ->
+      Trace.with_ambient trace @@ fun () ->
+      Fun.protect ~finally:(fun () -> ignore (Trace.finish trace)) @@ fun () ->
       let ectx = make_ectx t ~now ~params in
       match stmt with
       | Ast.Select select -> run_select t ectx select
@@ -354,12 +415,15 @@ let exec_statement_raw t ~params stmt =
         Rows
           { names = Array.to_list names;
             rows = Executor.collect_parallel ectx plan }
-      | Ast.Explain (Ast.Select select) ->
+      | Ast.Explain { analyze = false; target = Ast.Select select } ->
         let plan, _ = Planner.plan ~ext:t.ext ~ectx t.catalog select in
         Message (Planner.explain plan)
-      | Ast.Explain (Ast.Select_compound compound) ->
+      | Ast.Explain { analyze = false; target = Ast.Select_compound compound }
+        ->
         let plan, _ = Planner.plan_union ~ext:t.ext ~ectx t.catalog compound in
         Message (Planner.explain plan)
+      | Ast.Explain { analyze = true; target } ->
+        run_explain_analyze t ectx ~now target
       | Ast.Explain _ -> db_error "EXPLAIN supports only SELECT"
       | Ast.Insert { table; columns; source } -> (
         let table =
@@ -720,6 +784,16 @@ let exec_statement_raw t ~params stmt =
                      Value.Bool c.not_null;
                      Value.Bool c.primary_key |])
                 (Schema.columns schema) }
+      | Ast.Stats ->
+        Rows
+          { names = [ "metric"; "kind"; "value" ];
+            rows =
+              List.map
+                (fun (s : Metrics.sample) ->
+                  [| Value.Str s.Metrics.s_name;
+                     Value.Str s.Metrics.s_kind;
+                     Value.Int s.Metrics.s_value |])
+                (Metrics.samples ()) }
       | Ast.Checkpoint ->
         if t.tx <> None then
           db_error "CHECKPOINT is not allowed inside a transaction";
@@ -738,14 +812,21 @@ let exec_statement_raw t ~params stmt =
    injected [Failpoint.Crash] is the exception: it stands for the
    process dying mid-I/O, so nothing may run after it. *)
 let exec_statement t ~params stmt =
+  let t0 = Trace.now_ns () in
+  let observe () =
+    Metrics.incr m_statements;
+    Metrics.observe h_statement_ns (Trace.now_ns () - t0)
+  in
   match exec_statement_raw t ~params stmt with
   | result ->
     flush_pending t;
     maybe_auto_checkpoint t;
+    observe ();
     result
   | exception (Failpoint.Crash _ as e) -> raise e
   | exception e ->
     flush_pending t;
+    observe ();
     raise e
 
 let exec ?(params = []) t sql =

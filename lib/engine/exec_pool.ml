@@ -11,6 +11,20 @@ let max_size = 64
 
 let clamp n = if n < 1 then 1 else if n > max_size then max_size else n
 
+module Metrics = Tip_obs.Metrics
+
+let m_batches =
+  Metrics.counter "pool_batches_total" ~help:"Task batches submitted to the pool"
+
+let m_tasks =
+  Metrics.counter "pool_tasks_total" ~help:"Thunks executed across all batches"
+
+let g_pool_size =
+  Metrics.gauge "pool_size" ~help:"Configured pool size (domains per batch)"
+
+let g_pool_workers =
+  Metrics.gauge "pool_workers" ~help:"Worker domains spawned so far"
+
 let resolve_size ~env ~recommended =
   match env with
   | Some s -> (
@@ -58,7 +72,8 @@ let ensure_workers wanted =
   in
   for _ = 1 to missing do
     ignore (Domain.spawn worker_loop : unit Domain.t)
-  done
+  done;
+  Metrics.gauge_set g_pool_workers !workers
 
 (* --- Batches ---------------------------------------------------------- *)
 
@@ -66,6 +81,9 @@ let run_sequential thunks = List.map (fun t -> t ()) thunks
 
 let run thunks =
   let n = size () in
+  Metrics.incr m_batches;
+  Metrics.add m_tasks (List.length thunks);
+  Metrics.gauge_set g_pool_size n;
   match thunks with
   | [] -> []
   | [ t ] -> [ t () ]

@@ -16,8 +16,40 @@
 
 open Tip_storage
 module Ast = Tip_sql.Ast
+module Metrics = Tip_obs.Metrics
+module Trace = Tip_obs.Trace
 
 exception Exec_error of string
+
+(* Registry handles, created once at module init. Scan counts are added
+   in bulk (per scan / per morsel), never per row, to keep the
+   instrumented hot path within the <3% overhead budget. *)
+let m_rows_scanned =
+  Metrics.counter "exec_rows_scanned_total"
+    ~help:"Rows examined by leaf scans (sequential and morsel paths)"
+
+let m_rows_joined =
+  Metrics.counter "exec_rows_joined_total"
+    ~help:"Rows emitted by hash-join probes"
+
+let m_rows_coalesced =
+  Metrics.counter "exec_rows_coalesced_total"
+    ~help:"Rows folded into user-registered aggregates (e.g. group_union)"
+
+let m_agg_rows =
+  Metrics.counter "exec_agg_rows_total"
+    ~help:"Rows consumed by sequential aggregation"
+
+let m_morsels =
+  Metrics.counter "exec_morsels_total" ~help:"Morsel tasks executed on the pool"
+
+let m_parallel_subtrees =
+  Metrics.counter "exec_parallel_subtrees_total"
+    ~help:"Plan subtrees that took the morsel-parallel path"
+
+let m_queries =
+  Metrics.counter "exec_queries_total"
+    ~help:"Plans executed through collect_parallel"
 
 (* Hash table keyed by a list of values (group keys / join keys). *)
 module Row_key = struct
@@ -141,8 +173,10 @@ let make_runner ctx (spec : Plan.agg_spec) : runner =
     { step =
         (fun row ->
           let v = eval_arg row in
-          if not (Value.is_null v) then
-            acc := agg.Extension.agg_step ~now:ctx.Expr_eval.now !acc v);
+          if not (Value.is_null v) then begin
+            Metrics.incr m_rows_coalesced;
+            acc := agg.Extension.agg_step ~now:ctx.Expr_eval.now !acc v
+          end);
       final = (fun () -> agg.Extension.agg_final ~now:ctx.Expr_eval.now !acc) }
 
 (* --- Sequence helpers ----------------------------------------------------- *)
@@ -234,17 +268,40 @@ let top_k ctx by k input : Value.t array list =
 
 type recurse = Expr_eval.ctx -> Plan.t -> Value.t array Seq.t
 
+(* EXPLAIN ANALYZE support: wrap a child sequence so that every pull
+   (including the first, which performs any eager work of the operator
+   body) accrues wall time into [stats.actual_ns] and every produced row
+   bumps [stats.actual_rows]. Timings are inclusive of children, like
+   the usual EXPLAIN ANALYZE convention. *)
+let instrumented_seq (stats : Plan.op_stats) (produce : unit -> Value.t array Seq.t) :
+    Value.t array Seq.t =
+  let rec wrap force () =
+    let t0 = Trace.now_ns () in
+    let node = force () in
+    ignore (Atomic.fetch_and_add stats.Plan.actual_ns (Trace.now_ns () - t0));
+    match node with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (row, rest) ->
+      Atomic.incr stats.Plan.actual_rows;
+      Seq.Cons (row, wrap rest)
+  in
+  wrap (fun () -> (produce ()) ())
+
 let rec run_with (recurse : recurse) ctx (plan : Plan.t) : Value.t array Seq.t =
   match plan with
   | Plan.One_row -> Seq.return [||]
+  | Plan.Instrument { input; stats } ->
+    instrumented_seq stats (fun () -> recurse ctx input)
   | Plan.Seq_scan { table; _ } ->
     (* Snapshot the rid list so concurrent mutation cannot skew the scan. *)
     let rids = Table.rids table in
+    Metrics.add m_rows_scanned (Table.row_count table);
     Seq.filter_map (fun rid -> Table.get table rid) (seq_of_list rids)
   | Plan.Index_scan { table; btree; lo; hi; _ } ->
     (* Rows come back in key order — the planner relies on this to
        satisfy ORDER BY from an index. *)
     let rids = Btree.range btree ~lo ~hi in
+    Metrics.add m_rows_scanned (List.length rids);
     Seq.filter_map (fun rid -> Table.get table rid) (seq_of_list rids)
   | Plan.Interval_scan { table; index; lo; hi; _ } ->
     (* Multi-period values have one index entry per period, so a row can
@@ -253,11 +310,14 @@ let rec run_with (recurse : recurse) ctx (plan : Plan.t) : Value.t array Seq.t =
        index only adds overhead, and the recheck filter above makes a
        plain scan equivalent — so degrade to one. *)
     let rids = Interval_index.query_overlaps index ~lo ~hi in
-    if List.length rids > Table.row_count table / 2 then
+    if List.length rids > Table.row_count table / 2 then begin
+      Metrics.add m_rows_scanned (Table.row_count table);
       Seq.filter_map (fun rid -> Table.get table rid)
         (seq_of_list (Table.rids table))
+    end
     else begin
       let rids = List.sort_uniq Int.compare rids in
+      Metrics.add m_rows_scanned (List.length rids);
       Seq.filter_map (fun rid -> Table.get table rid) (seq_of_list rids)
     end
   | Plan.Filter { input; pred; _ } ->
@@ -287,6 +347,7 @@ let rec run_with (recurse : recurse) ctx (plan : Plan.t) : Value.t array Seq.t =
           match Key_table.find_opt build key with
           | None -> Seq.empty
           | Some matches ->
+            Metrics.add m_rows_joined (List.length matches);
             (* entries were prepended during build; restore scan order *)
             Seq.map (fun rrow -> concat_rows lrow rrow)
               (seq_of_list (List.rev matches))
@@ -357,8 +418,10 @@ let rec run_with (recurse : recurse) ctx (plan : Plan.t) : Value.t array Seq.t =
 and run_aggregate recurse ctx input keys aggs =
   let groups : (Value.t list * runner list) Key_table.t = Key_table.create 64 in
   let order = ref [] in
+  let input_rows = ref 0 in
   Seq.iter
     (fun row ->
+      incr input_rows;
       let key = List.map (fun c -> c ctx row) keys in
       let runners =
         match Key_table.find_opt groups key with
@@ -371,6 +434,7 @@ and run_aggregate recurse ctx input keys aggs =
       in
       List.iter (fun r -> r.step row) runners)
     (recurse ctx input);
+  Metrics.add m_agg_rows !input_rows;
   let emit (key, runners) =
     Array.of_list (key @ List.map (fun r -> r.final ()) runners)
   in
@@ -389,6 +453,10 @@ and run_aggregate recurse ctx input keys aggs =
    full materialize-and-sort. *)
 and run_topk recurse ctx plan k : Value.t array Seq.t option =
   match plan with
+  | Plan.Instrument { input; stats } ->
+    Option.map
+      (fun s -> instrumented_seq stats (fun () -> s))
+      (run_topk recurse ctx input k)
   | Plan.Project { input; exprs; _ } ->
     Option.map
       (Seq.map (fun row -> Array.map (fun c -> c ctx row) exprs))
@@ -450,6 +518,21 @@ let rec par_pipeline ctx (plan : Plan.t) :
     in
     if Array.length rids < !min_parallel_rows then None
     else Some ({ par_table = table; par_rids = rids }, fun emit -> emit)
+  | Plan.Instrument { input; stats } ->
+    (* Parallel path: operators report the rows that flowed through them
+       (counted atomically across workers) and the [parallel] marker;
+       per-operator time is attributed to the subtree root by
+       [try_parallel], since fused morsel stages have no per-operator
+       boundaries to time. *)
+    Option.map
+      (fun (src, transform) ->
+        Atomic.set stats.Plan.ran_parallel true;
+        ( src,
+          fun emit ->
+            transform (fun row ->
+                Atomic.incr stats.Plan.actual_rows;
+                emit row) ))
+      (par_pipeline ctx input)
   | Plan.Filter { input; pred; _ } ->
     Option.map
       (fun (src, transform) ->
@@ -492,6 +575,7 @@ let rec par_pipeline ctx (plan : Plan.t) :
                   match Key_table.find_opt build key with
                   | None -> ()
                   | Some matches ->
+                    Metrics.add m_rows_joined (List.length matches);
                     List.iter
                       (fun rrow -> emit (concat_rows lrow rrow))
                       (List.rev matches)
@@ -500,6 +584,8 @@ let rec par_pipeline ctx (plan : Plan.t) :
 
 (* Runs one morsel through the fused pipeline, collecting emitted rows. *)
 let run_morsel src transform (lo, len) consume =
+  Metrics.incr m_morsels;
+  Metrics.add m_rows_scanned len;
   let push = transform consume in
   for i = lo to lo + len - 1 do
     match Table.get src.par_table src.par_rids.(i) with
@@ -659,15 +745,37 @@ let par_aggregate ctx src transform keys aggs : Value.t array list =
 let try_parallel ctx plan : Value.t array list option =
   if Exec_pool.sequential () || not (Plan.parallel_safe plan) then None
   else begin
-    match plan with
-    | Plan.Aggregate { input; keys; aggs; _ } ->
-      Option.map
-        (fun (src, transform) -> par_aggregate ctx src transform keys aggs)
-        (par_pipeline ctx input)
-    | _ ->
-      Option.map
-        (fun (src, transform) -> par_collect src transform)
-        (par_pipeline ctx plan)
+    (* An [Instrument] wrapper at the subtree root receives the whole
+       parallel execution's wall time and output row count (the fused
+       stages below it report rows only; see [par_pipeline]). *)
+    let target, stats =
+      match plan with
+      | Plan.Instrument { input; stats } -> (input, Some stats)
+      | p -> (p, None)
+    in
+    let t0 = Trace.now_ns () in
+    let result =
+      match target with
+      | Plan.Aggregate { input; keys; aggs; _ } ->
+        Option.map
+          (fun (src, transform) -> par_aggregate ctx src transform keys aggs)
+          (par_pipeline ctx input)
+      | _ ->
+        Option.map
+          (fun (src, transform) -> par_collect src transform)
+          (par_pipeline ctx target)
+    in
+    (match result with
+    | Some rows ->
+      Metrics.incr m_parallel_subtrees;
+      Option.iter
+        (fun (s : Plan.op_stats) ->
+          ignore (Atomic.fetch_and_add s.Plan.actual_ns (Trace.now_ns () - t0));
+          ignore (Atomic.fetch_and_add s.Plan.actual_rows (List.length rows));
+          Atomic.set s.Plan.ran_parallel true)
+        stats
+    | None -> ());
+    result
   end
 
 let rec run_hybrid ctx plan =
@@ -676,5 +784,6 @@ let rec run_hybrid ctx plan =
   | None -> run_with run_hybrid ctx plan
 
 let collect_parallel ctx plan =
+  Metrics.incr m_queries;
   if Exec_pool.sequential () then collect ctx plan
   else List.of_seq (run_hybrid ctx plan)

@@ -24,6 +24,22 @@ type agg_spec = {
   agg_label : string;
 }
 
+(* Per-operator runtime counters for EXPLAIN ANALYZE. Atomics because a
+   wrapped operator may run inside parallel morsel workers; the reader
+   (the renderer) only looks after execution finishes. *)
+type op_stats = {
+  actual_rows : int Atomic.t;
+  actual_ns : int Atomic.t;
+  ran_parallel : bool Atomic.t;
+}
+
+let fresh_stats () =
+  {
+    actual_rows = Atomic.make 0;
+    actual_ns = Atomic.make 0;
+    ran_parallel = Atomic.make false;
+  }
+
 type t =
   | Seq_scan of { table : Table.t; label : string }
   | Index_scan of {
@@ -76,6 +92,8 @@ type t =
   | Limit of { input : t; limit : int option; offset : int option }
   | Append of t list (* concatenation of same-arity inputs (UNION ALL) *)
   | One_row (* FROM-less SELECT produces a single empty row *)
+  | Instrument of { input : t; stats : op_stats }
+    (* transparent wrapper recording actual rows / time (EXPLAIN ANALYZE) *)
 
 (* --- Parallelism-safety annotation ------------------------------------ *)
 
@@ -99,13 +117,15 @@ let rec parallel_pipeline = function
   | Seq_scan _ | Interval_scan _ -> true
   | Filter { input; _ } | Project { input; _ } -> parallel_pipeline input
   | Hash_join { left; _ } -> parallel_pipeline left
+  | Instrument { input; _ } -> parallel_pipeline input
   | Index_scan _ | Nested_loop _ | Left_outer_join _ | Aggregate _ | Sort _
   | Distinct _ | Limit _ | Append _ | One_row ->
     false
 
-let parallel_safe = function
+let rec parallel_safe = function
   | Aggregate { input; aggs; _ } ->
     parallel_pipeline input && List.for_all mergeable_agg aggs
+  | Instrument { input; _ } -> parallel_safe input
   | plan -> parallel_pipeline plan
 
 (* Does any subtree qualify? (The executor applies [parallel_safe] at
@@ -120,7 +140,8 @@ let rec parallel_candidate plan =
   | Aggregate { input; _ }
   | Sort { input; _ }
   | Distinct input
-  | Limit { input; _ } ->
+  | Limit { input; _ }
+  | Instrument { input; _ } ->
     parallel_candidate input
   | Nested_loop { left; right }
   | Hash_join { left; right; _ }
@@ -128,6 +149,34 @@ let rec parallel_candidate plan =
     parallel_candidate left || parallel_candidate right
   | Append inputs -> List.exists parallel_candidate inputs
   | Seq_scan _ | Index_scan _ | Interval_scan _ | One_row -> false
+
+(* Wrap every operator with an [Instrument] node (EXPLAIN ANALYZE).
+   Only the analyze path does this, so the planner and the plain
+   executor never see wrapper nodes. Idempotent. *)
+let rec instrument plan =
+  match plan with
+  | Instrument _ -> plan
+  | _ ->
+    let input =
+      match plan with
+      | Seq_scan _ | Index_scan _ | Interval_scan _ | One_row -> plan
+      | Filter r -> Filter { r with input = instrument r.input }
+      | Nested_loop { left; right } ->
+        Nested_loop { left = instrument left; right = instrument right }
+      | Hash_join r ->
+        Hash_join { r with left = instrument r.left; right = instrument r.right }
+      | Left_outer_join r ->
+        Left_outer_join
+          { r with left = instrument r.left; right = instrument r.right }
+      | Project r -> Project { r with input = instrument r.input }
+      | Aggregate r -> Aggregate { r with input = instrument r.input }
+      | Sort r -> Sort { r with input = instrument r.input }
+      | Distinct p -> Distinct (instrument p)
+      | Limit r -> Limit { r with input = instrument r.input }
+      | Append ps -> Append (List.map instrument ps)
+      | Instrument _ -> assert false
+    in
+    Instrument { input; stats = fresh_stats () }
 
 let agg_name = function
   | Agg_count_star -> "count(*)"
@@ -138,52 +187,66 @@ let agg_name = function
   | Agg_max -> "max"
   | Agg_user (_, name) -> name
 
-let rec pp ?(indent = 0) ppf plan =
+(* [Instrument] wrappers render as a suffix on the operator they wrap,
+   e.g. "SeqScan m (actual rows=50000 time=0.812 ms, parallel)". *)
+let stats_note stats =
+  Printf.sprintf " (actual rows=%d time=%.3f ms%s)"
+    (Atomic.get stats.actual_rows)
+    (float_of_int (Atomic.get stats.actual_ns) /. 1e6)
+    (if Atomic.get stats.ran_parallel then ", parallel" else "")
+
+let rec pp ?(indent = 0) ppf plan = pp_suffix ~indent ~suffix:"" ppf plan
+
+and pp_suffix ~indent ~suffix ppf plan =
   let pad ppf () = Fmt.string ppf (String.make (indent * 2) ' ') in
   let child = indent + 1 in
   match plan with
+  | Instrument { input; stats } ->
+    pp_suffix ~indent ~suffix:(suffix ^ stats_note stats) ppf input
   | Seq_scan { table; label } ->
-    Fmt.pf ppf "%aSeqScan %s%s@." pad () (Table.name table) label
+    Fmt.pf ppf "%aSeqScan %s%s%s@." pad () (Table.name table) label suffix
   | Index_scan { table; label; _ } ->
-    Fmt.pf ppf "%aIndexScan %s %s@." pad () (Table.name table) label
+    Fmt.pf ppf "%aIndexScan %s %s%s@." pad () (Table.name table) label suffix
   | Interval_scan { table; label; _ } ->
-    Fmt.pf ppf "%aIntervalScan %s %s@." pad () (Table.name table) label
+    Fmt.pf ppf "%aIntervalScan %s %s%s@." pad () (Table.name table) label suffix
   | Filter { input; label; _ } ->
-    Fmt.pf ppf "%aFilter %s@." pad () label;
+    Fmt.pf ppf "%aFilter %s%s@." pad () label suffix;
     pp ~indent:child ppf input
   | Nested_loop { left; right } ->
-    Fmt.pf ppf "%aNestedLoop@." pad ();
+    Fmt.pf ppf "%aNestedLoop%s@." pad () suffix;
     pp ~indent:child ppf left;
     pp ~indent:child ppf right
   | Hash_join { left; right; label; _ } ->
-    Fmt.pf ppf "%aHashJoin %s@." pad () label;
+    Fmt.pf ppf "%aHashJoin %s%s@." pad () label suffix;
     pp ~indent:child ppf left;
     pp ~indent:child ppf right
   | Left_outer_join { left; right; label; _ } ->
-    Fmt.pf ppf "%aLeftOuterJoin %s@." pad () label;
+    Fmt.pf ppf "%aLeftOuterJoin %s%s@." pad () label suffix;
     pp ~indent:child ppf left;
     pp ~indent:child ppf right
   | Project { input; names; _ } ->
-    Fmt.pf ppf "%aProject [%s]@." pad ()
-      (String.concat ", " (Array.to_list names));
+    Fmt.pf ppf "%aProject [%s]%s@." pad ()
+      (String.concat ", " (Array.to_list names))
+      suffix;
     pp ~indent:child ppf input
   | Aggregate { input; label; _ } ->
-    Fmt.pf ppf "%aAggregate %s@." pad () label;
+    Fmt.pf ppf "%aAggregate %s%s@." pad () label suffix;
     pp ~indent:child ppf input
   | Sort { input; label; _ } ->
-    Fmt.pf ppf "%aSort %s@." pad () label;
+    Fmt.pf ppf "%aSort %s%s@." pad () label suffix;
     pp ~indent:child ppf input
   | Distinct input ->
-    Fmt.pf ppf "%aDistinct@." pad ();
+    Fmt.pf ppf "%aDistinct%s@." pad () suffix;
     pp ~indent:child ppf input
   | Limit { input; limit; offset } ->
-    Fmt.pf ppf "%aLimit%s%s@." pad ()
+    Fmt.pf ppf "%aLimit%s%s%s@." pad ()
       (match limit with Some n -> Printf.sprintf " limit=%d" n | None -> "")
-      (match offset with Some n -> Printf.sprintf " offset=%d" n | None -> "");
+      (match offset with Some n -> Printf.sprintf " offset=%d" n | None -> "")
+      suffix;
     pp ~indent:child ppf input
   | Append inputs ->
-    Fmt.pf ppf "%aAppend@." pad ();
+    Fmt.pf ppf "%aAppend%s@." pad () suffix;
     List.iter (pp ~indent:child ppf) inputs
-  | One_row -> Fmt.pf ppf "%aOneRow@." pad ()
+  | One_row -> Fmt.pf ppf "%aOneRow%s@." pad () suffix
 
 let to_string plan = Fmt.str "%a" (pp ~indent:0) plan

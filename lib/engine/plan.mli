@@ -22,6 +22,17 @@ type agg_spec = {
   agg_label : string;
 }
 
+(** Per-operator runtime counters recorded by [Instrument] wrappers
+    (EXPLAIN ANALYZE). Atomic because instrumented operators may run
+    inside parallel morsel workers. *)
+type op_stats = {
+  actual_rows : int Atomic.t;
+  actual_ns : int Atomic.t;
+  ran_parallel : bool Atomic.t;
+}
+
+val fresh_stats : unit -> op_stats
+
 type t =
   | Seq_scan of { table : Table.t; label : string }
   | Index_scan of {
@@ -74,8 +85,15 @@ type t =
   | Limit of { input : t; limit : int option; offset : int option }
   | Append of t list  (** concatenation of same-arity inputs (UNION ALL) *)
   | One_row  (** FROM-less SELECT produces a single empty row *)
+  | Instrument of { input : t; stats : op_stats }
+      (** transparent wrapper recording actual rows and wall time; the
+          parallelism predicates and the executor see through it *)
 
 val agg_name : agg_impl -> string
+
+val instrument : t -> t
+(** Wrap every operator in the tree with an [Instrument] node
+    (idempotent; used only by the EXPLAIN ANALYZE path). *)
 
 (** {1 Parallelism-safety annotation}
 

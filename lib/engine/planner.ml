@@ -998,3 +998,16 @@ let explain plan =
     else "Parallel: none"
   in
   Plan.to_string plan ^ "\n" ^ note
+
+(* EXPLAIN ANALYZE output: the executed (instrumented) plan tree — each
+   operator annotated with actual rows, inclusive wall time and a
+   [parallel] marker where the morsel path ran — plus a footer with the
+   phase timings, total row count, and the NOW chronon the statement was
+   bound to (bound once, at root-span open; DESIGN.md §9). *)
+let explain_analyze ~now ~rows ~plan_ns ~exec_ns plan =
+  let ms ns = float_of_int ns /. 1e6 in
+  Printf.sprintf "%s%s\nPhases: plan %.3f ms, execute %.3f ms\nRows: %d\nNOW: %s"
+    (explain plan)
+    (if Exec_pool.sequential () then " (pool: sequential)"
+     else Printf.sprintf " (pool: %d domains)" (Exec_pool.size ()))
+    (ms plan_ns) (ms exec_ns) rows now

@@ -58,3 +58,10 @@ val subquery_runner_for_table :
     ("Parallel: safe" — whole plan runs on the pool, "Parallel: partial"
     — some subtree does, "Parallel: none"). *)
 val explain : Plan.t -> string
+
+(** EXPLAIN ANALYZE rendering: {!explain} of the executed (instrumented)
+    plan plus a footer with phase timings, output row count, and the NOW
+    chronon the statement was bound to. [now] is already rendered;
+    [plan_ns]/[exec_ns] are the phase durations. *)
+val explain_analyze :
+  now:string -> rows:int -> plan_ns:int -> exec_ns:int -> Plan.t -> string

@@ -1,0 +1,41 @@
+let lock = Mutex.create ()
+
+let default_sink s =
+  output_string stderr (s ^ "\n");
+  flush stderr
+
+let sink = ref default_sink
+let set_sink f = sink := f
+
+let timestamp () =
+  let t = Unix.gettimeofday () in
+  let tm = Unix.localtime t in
+  let millis = int_of_float ((t -. Float.of_int (int_of_float t)) *. 1000.) in
+  Printf.sprintf "%04d-%02d-%02d %02d:%02d:%02d.%03d" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec millis
+
+(* The whole line is built before the lock is taken; the lock only
+   covers handing it to the sink, so sessions can never interleave
+   fragments of two lines. *)
+let emit s =
+  let line = timestamp () ^ " " ^ s in
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) (fun () -> !sink line)
+
+let line fmt = Format.kasprintf emit fmt
+
+let reporter () =
+  let report src level ~over k msgf =
+    msgf @@ fun ?header:_ ?tags:_ fmt ->
+    Format.kasprintf
+      (fun msg ->
+        emit
+          (Printf.sprintf "[%s] [%s] %s"
+             (Logs.level_to_string (Some level))
+             (Logs.Src.name src) msg);
+        over ();
+        k ())
+      fmt
+  in
+  { Logs.report }

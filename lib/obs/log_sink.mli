@@ -1,0 +1,20 @@
+(** Mutex-guarded, timestamped log sink.
+
+    The server handles each client on its own thread; naive
+    [Printf.printf] log lines from concurrent sessions interleave
+    mid-line. Every line routed through this sink is formatted in
+    full, timestamped, and emitted atomically under one process-wide
+    mutex. *)
+
+val set_sink : (string -> unit) -> unit
+(** Replace the output function (default: stderr + flush). The sink
+    receives complete, timestamped lines without trailing newline.
+    Tests capture lines by installing a buffer here. *)
+
+val line : ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [line fmt ...] timestamps and emits one line atomically. *)
+
+val reporter : unit -> Logs.reporter
+(** A [Logs] reporter that routes every log message through the sink
+    (so [Logs]-based server logging and direct [line] calls share the
+    mutex and the timestamp format). *)

@@ -1,0 +1,72 @@
+(** Process-wide metrics registry.
+
+    Counters and histograms are sharded per domain (the writer picks a
+    shard from [Domain.self ()]) and merged on read, so the hot paths of
+    the morsel executor never contend on a lock. Gauges are single
+    atomics: they are written rarely (pool resizes, session open/close).
+
+    The registry is enabled unless the [TIP_METRICS] environment
+    variable is set to [off]/[0]/[false]; [set_enabled] toggles it at
+    runtime (used by the overhead benchmark). When disabled, writes are
+    a single atomic load and branch. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** {1 Counters} — monotonically increasing integers. *)
+
+type counter
+
+val counter : ?help:string -> string -> counter
+(** [counter name] registers (or retrieves) the counter called [name].
+    Registration is idempotent; a kind clash raises [Invalid_argument]. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges} — values that go up and down. *)
+
+type gauge
+
+val gauge : ?help:string -> string -> gauge
+val gauge_set : gauge -> int -> unit
+val gauge_add : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+(** {1 Histograms} — fixed-bucket latency distributions (nanoseconds).
+
+    Buckets are powers of ten from 1us to 10s plus a +inf overflow;
+    every observation lands in the first bucket whose upper bound is
+    >= the value. *)
+
+type histogram
+
+val histogram : ?help:string -> string -> histogram
+
+val observe : histogram -> int -> unit
+(** [observe h ns] records a latency of [ns] nanoseconds. *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> int
+
+val bucket_labels : string array
+(** Upper-bound labels, ["1us"] ... ["10s"; "inf"]. *)
+
+val histogram_buckets : histogram -> int array
+(** Cumulative per-bucket counts, merged across shards. *)
+
+(** {1 Exposition} *)
+
+type sample = { s_name : string; s_kind : string; s_value : int }
+
+val samples : unit -> sample list
+(** Flattened registry, sorted by name. Histograms expand into
+    [name_count], [name_sum_ns] and cumulative [name_le_<bound>] rows. *)
+
+val dump_text : unit -> string
+(** Prometheus-style text exposition of every registered metric (the
+    payload of the wire protocol's [M] request). *)
+
+val reset_all : unit -> unit
+(** Zero every registered metric (tests and benchmarks). *)

@@ -1,0 +1,89 @@
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+type span = {
+  sp_name : string;
+  mutable sp_attrs : (string * string) list;
+  mutable sp_elapsed_ns : int;
+  mutable sp_children : span list;
+}
+
+(* Open spans keep [sp_children] newest-first while children accumulate;
+   closing a span reverses the list into start order. [tr_stack] is the
+   path of open spans, innermost first. *)
+type t = {
+  tr_root : span;
+  mutable tr_stack : (span * int) list; (* span, start ns *)
+}
+
+let fresh name =
+  { sp_name = name; sp_attrs = []; sp_elapsed_ns = -1; sp_children = [] }
+
+let start name =
+  let root = fresh name in
+  { tr_root = root; tr_stack = [ (root, now_ns ()) ] }
+
+let root t = t.tr_root
+
+let close_span sp start_ns =
+  sp.sp_elapsed_ns <- now_ns () - start_ns;
+  sp.sp_children <- List.rev sp.sp_children
+
+let with_span t name f =
+  match t.tr_stack with
+  | [] -> f () (* trace already finished: run untraced *)
+  | (parent, _) :: _ ->
+    let sp = fresh name in
+    parent.sp_children <- sp :: parent.sp_children;
+    let start_ns = now_ns () in
+    t.tr_stack <- (sp, start_ns) :: t.tr_stack;
+    Fun.protect
+      ~finally:(fun () ->
+        close_span sp start_ns;
+        (match t.tr_stack with
+        | (top, _) :: rest when top == sp -> t.tr_stack <- rest
+        | _ -> () (* unbalanced finish already popped us *)))
+      f
+
+let annotate t key value =
+  match t.tr_stack with
+  | [] -> ()
+  | (sp, _) :: _ -> sp.sp_attrs <- (key, value) :: sp.sp_attrs
+
+let finish t =
+  List.iter (fun (sp, start_ns) -> close_span sp start_ns) t.tr_stack;
+  t.tr_stack <- [];
+  t.tr_root
+
+let children sp = sp.sp_children
+let find_child sp name = List.find_opt (fun c -> c.sp_name = name) sp.sp_children
+
+let render sp =
+  let buf = Buffer.create 256 in
+  let rec go indent sp =
+    let attrs =
+      match List.rev sp.sp_attrs with
+      | [] -> ""
+      | kvs ->
+        " ["
+        ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+        ^ "]"
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s (%.3f ms)%s\n"
+         (String.make (indent * 2) ' ')
+         sp.sp_name
+         (float_of_int sp.sp_elapsed_ns /. 1e6)
+         attrs);
+    List.iter (go (indent + 1)) sp.sp_children
+  in
+  go 0 sp;
+  Buffer.contents buf
+
+(* Ambient slot: single statement at a time (see .mli). *)
+let ambient_slot : t option ref = ref None
+let ambient () = !ambient_slot
+
+let with_ambient t f =
+  let saved = !ambient_slot in
+  ambient_slot := Some t;
+  Fun.protect ~finally:(fun () -> ambient_slot := saved) f

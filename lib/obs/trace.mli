@@ -1,0 +1,59 @@
+(** Lightweight per-statement tracing.
+
+    A trace is a tree of spans. [Database.exec] opens the root span for
+    each statement (annotated with the NOW chronon bound for that
+    statement — bound exactly once, at root-span open); planner and
+    executor phases open children with [with_span].
+
+    Spans record wall-clock nanoseconds ([now_ns]). The trace owner
+    drives the span stack from a single thread; only the finished tree
+    is safe to share. *)
+
+val now_ns : unit -> int
+(** Current time in integer nanoseconds (wall clock; microsecond
+    resolution — the finest clock available without extra deps). *)
+
+type span = {
+  sp_name : string;
+  mutable sp_attrs : (string * string) list; (* newest first *)
+  mutable sp_elapsed_ns : int; (* set when the span closes *)
+  mutable sp_children : span list; (* in start order once closed *)
+}
+
+type t
+
+val start : string -> t
+(** [start name] begins a trace whose root span is [name]. *)
+
+val root : t -> span
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a child span of the innermost open span. *)
+
+val annotate : t -> string -> string -> unit
+(** Attach a key/value attribute to the innermost open span. *)
+
+val finish : t -> span
+(** Close the root span (and any spans left open) and return the tree. *)
+
+val children : span -> span list
+(** Closed children in start order. *)
+
+val find_child : span -> string -> span option
+
+val render : span -> string
+(** Indented text rendering of a finished span tree, e.g.
+    {v statement (1.234 ms) [now=2001-06-01]
+      plan (0.021 ms)
+      execute (1.102 ms) v} *)
+
+(** {1 Ambient trace}
+
+    The engine stores the statement's trace in an ambient slot so that
+    deeply nested phases (e.g. EXPLAIN ANALYZE rendering) can reach it
+    without threading it through every signature. Statements execute
+    one at a time per process in practice (the server serializes on its
+    db lock); the slot is a plain ref with save/restore semantics. *)
+
+val ambient : unit -> t option
+val with_ambient : t -> (unit -> 'a) -> 'a

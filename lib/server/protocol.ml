@@ -64,11 +64,13 @@ let decode_typed ty text =
 type request =
   | Execute of string
   | Bind of string * Value.t
+  | Metrics
   | Quit
 
 let encode_request = function
   | Execute sql -> "Q " ^ escape sql
   | Bind (name, v) -> Printf.sprintf "B %s\t%s" (escape name) (encode_typed v)
+  | Metrics -> "M"
   | Quit -> "X"
 
 let decode_request line =
@@ -81,6 +83,7 @@ let decode_request line =
     | [ name; ty; text ] -> Some (Bind (unescape name, decode_typed ty text))
     | _ -> None
   end
+  else if String.equal line "M" then Some Metrics
   else if String.equal line "X" then Some Quit
   else None
 

@@ -3,7 +3,8 @@
 
     Line-oriented text over a stream socket. Requests: [Q <sql>] executes
     a statement, [B <name> <type> <text>] binds a parameter for the next
-    Q, [X] ends the session. Responses: a row block, an affected count,
+    Q, [M] asks for the server's metrics registry as a text dump, [X]
+    ends the session. Responses: a row block, an affected count,
     a message, or an error. Values travel in literal syntax tagged with
     their type name and are rebuilt on the client (register the blade
     types first); NOW stays symbolic on the wire. *)
@@ -13,6 +14,7 @@ open Tip_storage
 type request =
   | Execute of string
   | Bind of string * Value.t
+  | Metrics  (** text dump of the server's metrics registry *)
   | Quit
 
 val encode_request : request -> string

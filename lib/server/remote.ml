@@ -78,6 +78,18 @@ let execute t sql =
   | Protocol.Error e -> raise (Remote_error e)
   | exception End_of_file -> raise (Remote_error "server closed the connection")
 
+(* Fetches the server's metrics registry as a text dump (M request).
+   @raise Remote_error when the server reports an error. *)
+let metrics t =
+  check_open t;
+  send t Protocol.Metrics;
+  match Protocol.read_response t.ic with
+  | Protocol.Message m -> m
+  | Protocol.Error e -> raise (Remote_error e)
+  | Protocol.Rows _ | Protocol.Affected _ ->
+    raise (Remote_error "unexpected response to a metrics request")
+  | exception End_of_file -> raise (Remote_error "server closed the connection")
+
 let close t =
   if not t.closed then begin
     (try send t Protocol.Quit with Sys_error _ | Remote_error _ -> ());

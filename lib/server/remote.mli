@@ -23,4 +23,8 @@ val bind : t -> string -> Tip_storage.Value.t -> unit
     @raise Remote_error on server-side errors or a lost connection. *)
 val execute : t -> string -> Tip_engine.Database.result
 
+(** The server's metrics registry as a text dump ([M] request).
+    @raise Remote_error on server-side errors or a lost connection. *)
+val metrics : t -> string
+
 val close : t -> unit

@@ -8,16 +8,35 @@
    bindings (B lines) accumulate per session and apply to the next Q. *)
 
 module Db = Tip_engine.Database
+module Metrics = Tip_obs.Metrics
+module Trace = Tip_obs.Trace
 
 let log_src = Logs.Src.create "tip.server" ~doc:"TIP network server"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let m_sessions =
+  Metrics.counter "server_sessions_total" ~help:"Client sessions accepted"
+
+let g_sessions_active =
+  Metrics.gauge "server_sessions_active" ~help:"Client sessions currently open"
+
+let m_statements =
+  Metrics.counter "server_statements_total" ~help:"Statements served over the wire"
+
+let m_errors =
+  Metrics.counter "server_errors_total" ~help:"Statements answered with an E response"
+
+let h_statement_ns =
+  Metrics.histogram "server_statement_ns"
+    ~help:"Wire statement latency (ns), queueing on the db lock included"
 
 type t = {
   db : Db.t;
   db_lock : Mutex.t;
   listener : Unix.file_descr;
   idle_timeout : float option;
+  slow_ms : float option;
   mutable running : bool;
 }
 
@@ -31,31 +50,52 @@ let result_to_response : Db.result -> Protocol.response = function
    poison statement) is caught by the final catch-all so one client
    cannot take the server down. Simulated crashes ([Failpoint.Crash])
    are deliberately NOT caught — they stand for process death. *)
+let response_rows = function
+  | Protocol.Rows { rows; _ } -> List.length rows
+  | Protocol.Affected n -> n
+  | Protocol.Message _ | Protocol.Error _ -> 0
+
 let execute_guarded t ~params sql =
+  let t0 = Trace.now_ns () in
   Mutex.lock t.db_lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.db_lock)
-    (fun () ->
-      match
-        Tip_storage.Failpoint.hit ~site:"server.exec" ();
-        Db.exec ~params t.db sql
-      with
-      | result -> result_to_response result
-      | exception Db.Error msg -> Protocol.Error msg
-      | exception Tip_sql.Parser.Error msg -> Protocol.Error msg
-      | exception Tip_sql.Lexer.Error msg -> Protocol.Error msg
-      | exception Tip_engine.Planner.Plan_error msg -> Protocol.Error msg
-      | exception Tip_engine.Expr_eval.Eval_error msg -> Protocol.Error msg
-      | exception Tip_storage.Value.Type_error msg -> Protocol.Error msg
-      | exception Tip_storage.Table.Constraint_violation msg ->
-        Protocol.Error msg
-      | exception Tip_storage.Catalog.Catalog_error msg -> Protocol.Error msg
-      | exception Tip_storage.Schema.Schema_error msg -> Protocol.Error msg
-      | exception (Tip_storage.Failpoint.Crash _ as e) -> raise e
-      | exception e ->
-        Log.err (fun m ->
-            m "internal error executing %S: %s" sql (Printexc.to_string e));
-        Protocol.Error ("internal error: " ^ Printexc.to_string e))
+  let response =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.db_lock)
+      (fun () ->
+        match
+          Tip_storage.Failpoint.hit ~site:"server.exec" ();
+          Db.exec ~params t.db sql
+        with
+        | result -> result_to_response result
+        | exception Db.Error msg -> Protocol.Error msg
+        | exception Tip_sql.Parser.Error msg -> Protocol.Error msg
+        | exception Tip_sql.Lexer.Error msg -> Protocol.Error msg
+        | exception Tip_engine.Planner.Plan_error msg -> Protocol.Error msg
+        | exception Tip_engine.Expr_eval.Eval_error msg -> Protocol.Error msg
+        | exception Tip_storage.Value.Type_error msg -> Protocol.Error msg
+        | exception Tip_storage.Table.Constraint_violation msg ->
+          Protocol.Error msg
+        | exception Tip_storage.Catalog.Catalog_error msg -> Protocol.Error msg
+        | exception Tip_storage.Schema.Schema_error msg -> Protocol.Error msg
+        | exception (Tip_storage.Failpoint.Crash _ as e) -> raise e
+        | exception e ->
+          Log.err (fun m ->
+              m "internal error executing %S: %s" sql (Printexc.to_string e));
+          Protocol.Error ("internal error: " ^ Printexc.to_string e))
+  in
+  let elapsed_ns = Trace.now_ns () - t0 in
+  Metrics.incr m_statements;
+  Metrics.observe h_statement_ns elapsed_ns;
+  (match response with
+  | Protocol.Error _ -> Metrics.incr m_errors
+  | _ -> ());
+  (match t.slow_ms with
+  | Some threshold when float_of_int elapsed_ns /. 1e6 >= threshold ->
+    Tip_obs.Log_sink.line "SLOW %.3f ms rows=%d stmt=%s"
+      (float_of_int elapsed_ns /. 1e6)
+      (response_rows response) sql
+  | _ -> ());
+  response
 
 let handle_session t fd =
   (* SO_RCVTIMEO makes a silent client's read fail after the idle
@@ -97,14 +137,20 @@ let handle_session t fd =
         let response = execute_guarded t ~params:!params sql in
         params := [];
         if reply response then loop ()
+      | Ok (Some Protocol.Metrics) ->
+        if reply (Protocol.Message (Metrics.dump_text ())) then loop ()
       | Ok None ->
         if reply (Protocol.Error "malformed request") then loop ()
       | Error e ->
         if reply (Protocol.Error ("malformed request: " ^ Printexc.to_string e))
         then loop ())
   in
+  Metrics.incr m_sessions;
+  Metrics.gauge_add g_sessions_active 1;
   Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    ~finally:(fun () ->
+      Metrics.gauge_add g_sessions_active (-1);
+      try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       try loop ()
       with e ->
@@ -113,8 +159,9 @@ let handle_session t fd =
         Log.err (fun m -> m "session aborted: %s" (Printexc.to_string e)))
 
 (* Creates a listening socket; port 0 picks an ephemeral port.
-   [idle_timeout] (seconds) drops sessions that stay silent that long. *)
-let listen ?(host = "127.0.0.1") ?idle_timeout ~port db =
+   [idle_timeout] (seconds) drops sessions that stay silent that long.
+   [slow_ms] logs statements at or above that latency to the obs sink. *)
+let listen ?(host = "127.0.0.1") ?idle_timeout ?slow_ms ~port db =
   (* a client vanishing mid-response must surface as EPIPE on the write,
      not kill the whole server *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -123,7 +170,12 @@ let listen ?(host = "127.0.0.1") ?idle_timeout ~port db =
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
   Unix.listen fd 16;
-  { db; db_lock = Mutex.create (); listener = fd; idle_timeout; running = true }
+  { db;
+    db_lock = Mutex.create ();
+    listener = fd;
+    idle_timeout;
+    slow_ms;
+    running = true }
 
 let port t =
   match Unix.getsockname t.listener with

@@ -9,9 +9,17 @@ type t
 
 (** Creates the listening socket; [port 0] picks an ephemeral port.
     [idle_timeout] (seconds) drops sessions that stay silent that long,
-    so abandoned clients cannot pin threads forever. *)
+    so abandoned clients cannot pin threads forever. [slow_ms] enables
+    the slow-query log: statements taking at least that many
+    milliseconds are reported through {!Tip_obs.Log_sink} with their
+    text, latency, and row count. *)
 val listen :
-  ?host:string -> ?idle_timeout:float -> port:int -> Tip_engine.Database.t -> t
+  ?host:string ->
+  ?idle_timeout:float ->
+  ?slow_ms:float ->
+  port:int ->
+  Tip_engine.Database.t ->
+  t
 
 (** The actual bound port. *)
 val port : t -> int

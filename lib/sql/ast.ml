@@ -123,7 +123,9 @@ type statement =
       using : string option; (* e.g. USING INTERVAL; None = ordered B+tree *)
     }
   | Drop_index of { index : string }
-  | Explain of statement
+  | Explain of { analyze : bool; target : statement }
+      (* EXPLAIN renders the plan; EXPLAIN ANALYZE also runs it and
+         annotates each operator with actual rows and wall time *)
   | Begin_tx
   | Commit_tx
   | Rollback_tx
@@ -136,6 +138,7 @@ type statement =
   | Show_tables
   | Describe of { table : string }
   | Checkpoint (* snapshot + truncate the WAL (no-op without durability) *)
+  | Stats (* the metrics registry as rows; SHOW METRICS is an alias *)
 
 and insert_source =
   | Values of expr list list

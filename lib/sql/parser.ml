@@ -686,7 +686,10 @@ let rec parse_statement st =
       Ast.Drop_index { index = ident st }
     end
   end
-  else if eat_kw st "EXPLAIN" then Ast.Explain (parse_statement st)
+  else if eat_kw st "EXPLAIN" then begin
+    let analyze = eat_kw st "ANALYZE" in
+    Ast.Explain { analyze; target = parse_statement st }
+  end
   else if eat_kw st "BEGIN" then begin
     ignore (eat_kw st "WORK" || eat_kw st "TRANSACTION");
     Ast.Begin_tx
@@ -735,13 +738,18 @@ let rec parse_statement st =
     end
   end
   else if eat_kw st "SHOW" then begin
-    (match peek st with
-    | Token.Ident s when String.uppercase_ascii s = "TABLES" -> advance st
-    | _ -> error st "expected TABLES");
-    Ast.Show_tables
+    match peek st with
+    | Token.Ident s when String.uppercase_ascii s = "TABLES" ->
+      advance st;
+      Ast.Show_tables
+    | Token.Ident s when String.uppercase_ascii s = "METRICS" ->
+      advance st;
+      Ast.Stats
+    | _ -> error st "expected TABLES or METRICS"
   end
   else if eat_kw st "DESCRIBE" then Ast.Describe { table = ident st }
   else if eat_kw st "CHECKPOINT" then Ast.Checkpoint
+  else if eat_kw st "STATS" then Ast.Stats
   else error st "expected a statement"
 
 (* --- Entry points ------------------------------------------------------ *)

@@ -181,7 +181,8 @@ and pp_statement ppf = function
       index table column
       (match using with Some u -> " USING " ^ u | None -> "")
   | Ast.Drop_index { index } -> Fmt.pf ppf "DROP INDEX %s" index
-  | Ast.Explain s -> Fmt.pf ppf "EXPLAIN %a" pp_statement s
+  | Ast.Explain { analyze; target } ->
+    Fmt.pf ppf "EXPLAIN %s%a" (if analyze then "ANALYZE " else "") pp_statement target
   | Ast.Begin_tx -> Fmt.string ppf "BEGIN"
   | Ast.Commit_tx -> Fmt.string ppf "COMMIT"
   | Ast.Rollback_tx -> Fmt.string ppf "ROLLBACK"
@@ -197,6 +198,7 @@ and pp_statement ppf = function
   | Ast.Show_tables -> Fmt.string ppf "SHOW TABLES"
   | Ast.Describe { table } -> Fmt.pf ppf "DESCRIBE %s" table
   | Ast.Checkpoint -> Fmt.string ppf "CHECKPOINT"
+  | Ast.Stats -> Fmt.string ppf "STATS"
 
 let expr_to_string e = Fmt.str "%a" pp_expr e
 let statement_to_string s = Fmt.str "%a" pp_statement s

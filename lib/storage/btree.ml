@@ -9,6 +9,10 @@
 
 type rid = int
 
+let m_probes =
+  Tip_obs.Metrics.counter "btree_probes_total"
+    ~help:"B+tree range/point probes served"
+
 (* Max entries per node; nodes split at 2*branching. *)
 let branching = 16
 
@@ -175,6 +179,7 @@ let above_lo lo key =
 
 (* In-order traversal clipped to [lo, hi]; [f key rid] per entry. *)
 let iter_range t ~lo ~hi f =
+  Tip_obs.Metrics.incr m_probes;
   let rec go node =
     match node with
     | Leaf entries ->

@@ -15,6 +15,10 @@
 
 type interval = { lo : int; hi : int; rid : int }
 
+let m_probes =
+  Tip_obs.Metrics.counter "interval_probes_total"
+    ~help:"Interval-index overlap probes served"
+
 type node = {
   iv : interval;
   left : node option;
@@ -116,6 +120,7 @@ let remove t ~lo ~hi rid =
 
 (* All rids whose interval intersects [lo, hi] (closed on both ends). *)
 let query_overlaps t ~lo ~hi =
+  Tip_obs.Metrics.incr m_probes;
   let acc = ref [] in
   let rec go = function
     | None -> ()

@@ -18,6 +18,15 @@
 let log_src = Logs.Src.create "tip.recovery" ~doc:"TIP crash recovery"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+module Metrics = Tip_obs.Metrics
+
+let m_replayed_records =
+  Metrics.counter "recovery_replayed_records_total"
+    ~help:"Redo records applied during WAL replay"
+
+let m_replayed_batches =
+  Metrics.counter "recovery_replayed_batches_total"
+    ~help:"Committed batches applied during WAL replay"
 
 let snapshot_path ~dir = Filename.concat dir "snapshot"
 let wal_path ~dir = Filename.concat dir "wal"
@@ -80,6 +89,8 @@ let recover ~dir =
     | Schema.Schema_error msg ->
       stopped := Some msg
   end;
+  Metrics.add m_replayed_records !replayed_records;
+  Metrics.add m_replayed_batches !replayed_batches;
   Option.iter
     (fun msg -> Log.warn (fun m -> m "WAL replay stopped early: %s" msg))
     !stopped;

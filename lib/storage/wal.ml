@@ -29,6 +29,20 @@
    batch is discarded as a whole and recovery always lands on a
    statement boundary. *)
 
+module Metrics = Tip_obs.Metrics
+
+let m_appends =
+  Metrics.counter "wal_appends_total" ~help:"Redo records appended to the log"
+
+let m_commits =
+  Metrics.counter "wal_commits_total" ~help:"Committed statement batches"
+
+let m_fsyncs = Metrics.counter "wal_fsyncs_total" ~help:"fsync calls on the log"
+let m_bytes = Metrics.counter "wal_bytes_total" ~help:"Bytes written to the log"
+
+let m_truncates =
+  Metrics.counter "wal_truncates_total" ~help:"Log truncations (checkpoints)"
+
 (* --- CRC32 (IEEE 802.3, table-driven) ---------------------------------- *)
 
 let crc_table =
@@ -183,7 +197,15 @@ type writer = {
 let write_frames w records =
   let buf = Buffer.create 256 in
   List.iter (fun r -> Buffer.add_string buf (frame r)) records;
+  Metrics.add m_appends (List.length records);
+  Metrics.add m_bytes (Buffer.length buf);
   Failpoint.write ~site:"wal.write" w.fd (Buffer.to_bytes buf)
+
+(* All durable-path fsyncs funnel through here so the counter cannot
+   drift from the failpoint site. *)
+let fsync_fd fd =
+  Metrics.incr m_fsyncs;
+  Failpoint.fsync ~site:"wal.fsync" fd
 
 (* Creates (or truncates) the log and stamps it with [gen]. *)
 let create ?(sync = Always) ~gen path =
@@ -199,7 +221,7 @@ let create ?(sync = Always) ~gen path =
       closed = false }
   in
   write_frames w [ Generation gen ];
-  Failpoint.fsync ~site:"wal.fsync" fd;
+  fsync_fd fd;
   w
 
 let check_open w = if w.closed then invalid_arg "Wal: writer is closed"
@@ -209,15 +231,16 @@ let check_open w = if w.closed then invalid_arg "Wal: writer is closed"
    records survive any crash. *)
 let commit w records =
   check_open w;
+  Metrics.incr m_commits;
   write_frames w (records @ [ Commit ]);
   w.appended <- w.appended + List.length records + 1;
   match w.sync_policy with
-  | Always -> Failpoint.fsync ~site:"wal.fsync" w.fd
+  | Always -> fsync_fd w.fd
   | Never -> ()
   | Every_n n ->
     w.unsynced_commits <- w.unsynced_commits + 1;
     if w.unsynced_commits >= n then begin
-      Failpoint.fsync ~site:"wal.fsync" w.fd;
+      fsync_fd w.fd;
       w.unsynced_commits <- 0
     end
 
@@ -227,16 +250,17 @@ let record_count w = w.appended
    second half; the snapshot carrying [gen] must already be in place). *)
 let truncate w ~gen =
   check_open w;
+  Metrics.incr m_truncates;
   Unix.ftruncate w.fd 0;
   ignore (Unix.lseek w.fd 0 Unix.SEEK_SET);
   write_frames w [ Generation gen ];
-  Failpoint.fsync ~site:"wal.fsync" w.fd;
+  fsync_fd w.fd;
   w.appended <- 0;
   w.unsynced_commits <- 0
 
 let sync w =
   check_open w;
-  Failpoint.fsync ~site:"wal.fsync" w.fd;
+  fsync_fd w.fd;
   w.unsynced_commits <- 0
 
 (* Closing never flushes anything (appends are unbuffered writes), so

@@ -26,4 +26,5 @@ let () =
       ("server", Test_server.suite);
       ("copy+savepoints", Test_copy_savepoints.suite);
       ("misc-coverage", Test_misc_coverage.suite);
-      ("durability", Test_durability.suite) ]
+      ("durability", Test_durability.suite);
+      ("obs", Test_obs.suite) ]

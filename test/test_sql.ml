@@ -153,8 +153,17 @@ let check_statements () =
   | Ast.Set_now None -> ()
   | _ -> Alcotest.fail "set now default");
   (match parse "EXPLAIN SELECT 1" with
-  | Ast.Explain (Ast.Select _) -> ()
+  | Ast.Explain { analyze = false; target = Ast.Select _ } -> ()
   | _ -> Alcotest.fail "explain");
+  (match parse "EXPLAIN ANALYZE SELECT 1" with
+  | Ast.Explain { analyze = true; target = Ast.Select _ } -> ()
+  | _ -> Alcotest.fail "explain analyze");
+  (match parse "STATS" with
+  | Ast.Stats -> ()
+  | _ -> Alcotest.fail "stats");
+  (match parse "SHOW METRICS" with
+  | Ast.Stats -> ()
+  | _ -> Alcotest.fail "show metrics");
   (match parse "CREATE UNIQUE INDEX i ON t (c)" with
   | Ast.Create_index { unique = true; _ } -> ()
   | _ -> Alcotest.fail "unique index");
