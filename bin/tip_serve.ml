@@ -21,7 +21,8 @@ let parse_sync s =
     Printf.eprintf "tip_server: bad --sync %S (want always|never|every=N)\n" s;
     exit 2
 
-let main port demo load save durability sync idle_timeout now slow_ms =
+let main port demo load save durability sync idle_timeout now slow_ms
+    max_sessions statement_timeout_ms =
   (* every server log line — Logs sources and our own announcements —
      goes through the one mutex-guarded timestamped sink *)
   Logs.set_reporter (Sink.reporter ());
@@ -53,27 +54,43 @@ let main port demo load save durability sync idle_timeout now slow_ms =
   Option.iter
     (fun d -> ignore (Db.exec db (Printf.sprintf "SET NOW = '%s'" d)))
     now;
-  let server = Tip_server.Server.listen ?idle_timeout ?slow_ms ~port db in
+  let server =
+    Tip_server.Server.listen ?idle_timeout ?slow_ms ?max_sessions
+      ?statement_timeout_ms ~port db
+  in
   Sink.line "tip_server: listening on port %d%s"
     (Tip_server.Server.port server)
     (if demo then " (medical demo loaded)" else "");
-  let shutdown _ =
-    Sink.line "tip_server: shutting down";
-    if Option.is_some durability then begin
-      ignore (Db.checkpoint db);
-      Db.close_durable db
+  (* Graceful drain: the first SIGTERM/SIGINT only closes the listener
+     (async-signal-cheap), which makes [serve] return on the main
+     thread; the real work — cancelling in-flight statements via their
+     tokens, waiting for them to unwind, checkpointing — runs there,
+     not inside the handler. A second signal hard-exits. *)
+  let signalled = Atomic.make false in
+  let on_signal _ =
+    if Atomic.exchange signalled true then begin
+      Sink.line "tip_server: second signal, exiting immediately";
+      exit 130
     end
-    else
-      Option.iter
-        (fun file ->
-          Tip_storage.Persist.save (Db.catalog db) file;
-          Sink.line "tip_server: saved to %s" file)
-        save;
-    exit 0
+    else Tip_server.Server.stop server
   in
-  Sys.set_signal Sys.sigint (Sys.Signal_handle shutdown);
-  Sys.set_signal Sys.sigterm (Sys.Signal_handle shutdown);
-  Tip_server.Server.serve server
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Tip_server.Server.serve server;
+  Sink.line "tip_server: draining";
+  let secs = Tip_server.Server.drain server in
+  Sink.line "tip_server: drained in %.3fs, shutting down" secs;
+  if Option.is_some durability then begin
+    ignore (Db.checkpoint db);
+    Db.close_durable db
+  end
+  else
+    Option.iter
+      (fun file ->
+        Tip_storage.Persist.save (Db.catalog db) file;
+        Sink.line "tip_server: saved to %s" file)
+      save;
+  exit 0
 
 let () =
   let open Cmdliner in
@@ -112,9 +129,22 @@ let () =
            ~doc:"Log statements taking at least this many milliseconds \
                  (text, latency, row count).")
   in
+  let max_sessions =
+    Arg.(value & opt (some int) None & info [ "max-sessions" ] ~docv:"N"
+           ~doc:"Admission control: reject connections beyond N concurrent \
+                 sessions with E OVERLOADED instead of queueing them.")
+  in
+  let statement_timeout_ms =
+    Arg.(value & opt (some int) None & info [ "statement-timeout-ms" ]
+           ~docv:"MS"
+           ~doc:"Default per-statement deadline in milliseconds; statements \
+                 exceeding it abort with E TIMEOUT (sessions may override \
+                 with SET TIMEOUT).")
+  in
   let term =
     Term.(const main $ port $ demo $ load $ save $ durability $ sync
-          $ idle_timeout $ now $ slow_ms)
+          $ idle_timeout $ now $ slow_ms $ max_sessions
+          $ statement_timeout_ms)
   in
   let info = Cmd.info "tip_serve" ~doc:"TIP database server" in
   exit (Cmd.eval (Cmd.v info term))

@@ -17,9 +17,32 @@ module Db = Tip_engine.Database
 
 let print_result result = print_endline (Db.render_result result)
 
+(* Token of the statement currently executing in the interactive REPL;
+   the SIGINT handler cancels it instead of killing the shell. *)
+let current_token : Tip_core.Deadline.t option ref = ref None
+
+(* Ctrl-C while a statement runs cancels it cooperatively (the executor
+   aborts at the next batch boundary and we return to the prompt);
+   Ctrl-C at the prompt exits. Installed only for the interactive
+   embedded REPL — batch (-c) and remote modes keep the default. *)
+let install_interrupt () =
+  try
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle
+         (fun _ ->
+           match !current_token with
+           | Some tok ->
+             Tip_core.Deadline.cancel tok Tip_core.Deadline.Client_gone
+           | None ->
+             print_newline ();
+             exit 130))
+  with Invalid_argument _ | Sys_error _ -> ()
+
 let handle_error f =
   match f () with
   | () -> ()
+  | exception Tip_core.Deadline.Cancelled reason ->
+    Printf.printf "cancelled: %s\n" (Tip_core.Deadline.reason_message reason)
   | exception Tip_sql.Parser.Error msg -> Printf.printf "error: %s\n" msg
   | exception Tip_sql.Lexer.Error msg -> Printf.printf "error: %s\n" msg
   | exception Db.Error msg -> Printf.printf "error: %s\n" msg
@@ -33,10 +56,19 @@ let handle_error f =
   | exception Tip_storage.Schema.Schema_error msg ->
     Printf.printf "error: %s\n" msg
 
-let run_sql db sql =
+let run_sql ?(interactive = false) db sql =
   handle_error (fun () ->
       List.iter
-        (fun stmt -> print_result (Db.exec_statement db ~params:[] stmt))
+        (fun stmt ->
+          let token =
+            if interactive then Tip_core.Deadline.create ()
+            else Tip_core.Deadline.never
+          in
+          if interactive then current_token := Some token;
+          Fun.protect
+            ~finally:(fun () -> if interactive then current_token := None)
+            (fun () ->
+              print_result (Db.exec_statement db ~token ~params:[] stmt)))
         (Tip_sql.Parser.parse_script sql))
 
 let run_shell_command db_ref line =
@@ -73,6 +105,7 @@ let run_shell_command db_ref line =
 
 let repl db =
   let db_ref = ref db in
+  install_interrupt ();
   print_endline "TIP shell — temporal SQL with the TIP DataBlade. \\help for help.";
   let buf = Buffer.create 256 in
   let rec loop () =
@@ -94,7 +127,7 @@ let repl db =
         let s = Buffer.contents buf in
         if String.contains s ';' then begin
           Buffer.clear buf;
-          run_sql !db_ref s;
+          run_sql ~interactive:true !db_ref s;
           loop ()
         end
         else loop ()

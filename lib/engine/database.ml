@@ -17,6 +17,7 @@ module Ast = Tip_sql.Ast
 module Parser = Tip_sql.Parser
 module Metrics = Tip_obs.Metrics
 module Trace = Tip_obs.Trace
+module Deadline = Tip_core.Deadline
 
 exception Error of string
 
@@ -32,6 +33,14 @@ let m_checkpoints =
 let h_statement_ns =
   Metrics.histogram "engine_statement_ns"
     ~help:"Per-statement latency (parse excluded), nanoseconds"
+
+let m_cancelled =
+  Metrics.counter "engine_statements_cancelled_total"
+    ~help:"Statements aborted by their governance token (any reason)"
+
+let m_timed_out =
+  Metrics.counter "engine_statements_timed_out_total"
+    ~help:"Statements aborted because their deadline passed"
 
 (* Statement tracing; enable with Logs.Src.set_level (or tip_shell
    --verbose). *)
@@ -69,6 +78,13 @@ type t = {
   mutable tx : tx option;
   mutable durability : durability option;
   mutable pending : pending_entry list; (* newest first *)
+  mutable stmt_undo : undo list;
+      (* the running statement's own undo entries (newest first), kept
+         even outside transactions so a cancelled statement can revert
+         its partial effects without touching committed state *)
+  mutable timeout_ms : int option;
+      (* default statement deadline, set by SET TIMEOUT; applied to
+         statements whose caller armed no deadline of their own *)
 }
 
 type result =
@@ -86,15 +102,19 @@ let create ?catalog () =
     now_override = None;
     tx = None;
     durability = None;
-    pending = [] }
+    pending = [];
+    stmt_undo = [];
+    timeout_ms = None }
 
 let catalog t = t.catalog
 let extension t = t.ext
 let now_override t = t.now_override
 let in_transaction t = t.tx <> None
 let durability_dir t = Option.map (fun d -> d.dir) t.durability
+let statement_timeout_ms t = t.timeout_ms
 
 let log_undo t u =
+  t.stmt_undo <- u :: t.stmt_undo;
   match t.tx with Some tx -> tx.undo <- u :: tx.undo | None -> ()
 
 (* --- Write-ahead journaling -------------------------------------------- *)
@@ -213,10 +233,12 @@ let statement_now t =
   | Some c -> c
   | None -> Tip_core.Tx_clock.now ()
 
-let make_ectx t ~now ~params =
+let make_ectx ?(token = Tip_core.Deadline.never) t ~now ~params =
   { Expr_eval.now;
     params = List.map (fun (k, v) -> (String.lowercase_ascii k, v)) params;
-    ext = t.ext }
+    ext = t.ext;
+    token;
+    poll_tick = 0 }
 
 (* Evaluates an expression that may reference parameters and subqueries
    but no columns (INSERT values, SET NOW). *)
@@ -292,6 +314,7 @@ let dml_matches t ectx table where =
   let matches = ref [] in
   List.iter
     (fun rid ->
+      Expr_eval.tick ectx;
       match Table.get table rid with
       | None -> ()
       | Some row ->
@@ -389,7 +412,7 @@ let reorder_columns schema columns values =
       cols values;
     row
 
-let exec_statement_raw t ~params stmt =
+let exec_statement_raw t ~token ~params stmt =
   (* The statement's NOW is read from the clock exactly once, here, and
      frozen for the whole statement: the root span opens with it, and
      [Tx_clock.with_override] makes every later read — blade routines,
@@ -405,7 +428,7 @@ let exec_statement_raw t ~params stmt =
   Tip_core.Tx_clock.with_override now (fun () ->
       Trace.with_ambient trace @@ fun () ->
       Fun.protect ~finally:(fun () -> ignore (Trace.finish trace)) @@ fun () ->
-      let ectx = make_ectx t ~now ~params in
+      let ectx = make_ectx ~token t ~now ~params in
       match stmt with
       | Ast.Select select -> run_select t ectx select
       | Ast.Select_compound compound ->
@@ -481,6 +504,7 @@ let exec_statement_raw t ~params stmt =
         let matches = dml_matches t ectx table where in
         List.iter
           (fun (rid, old_row) ->
+            Expr_eval.tick ectx;
             let row = Array.copy old_row in
             List.iter
               (fun (i, c) ->
@@ -508,6 +532,7 @@ let exec_statement_raw t ~params stmt =
         let matches = dml_matches t ectx table where in
         List.iter
           (fun (rid, old_row) ->
+            Expr_eval.tick ectx;
             if Table.delete table rid then begin
               log_undo t (U_delete (table, old_row));
               journal_delete t table old_row;
@@ -743,6 +768,19 @@ let exec_statement_raw t ~params stmt =
           with Sys_error msg | Csv.Csv_error msg -> db_error "COPY: %s" msg
         in
         Affected n
+      | Ast.Set_timeout None ->
+        t.timeout_ms <- None;
+        Message "statement timeout disabled"
+      | Ast.Set_timeout (Some ms) ->
+        if ms < 0 then db_error "SET TIMEOUT expects a non-negative value";
+        if ms = 0 then begin
+          t.timeout_ms <- None;
+          Message "statement timeout disabled"
+        end
+        else begin
+          t.timeout_ms <- Some ms;
+          Message (Printf.sprintf "statement timeout set to %d ms" ms)
+        end
       | Ast.Set_now None ->
         t.now_override <- None;
         Message "NOW restored to the transaction clock"
@@ -804,43 +842,89 @@ let exec_statement_raw t ~params stmt =
           Message
             (Printf.sprintf "CHECKPOINT complete (%d log records truncated)" n)))
 
+(* Layers the database-default statement timeout (SET TIMEOUT) under
+   whatever token the caller supplied: a fresh token when the caller is
+   ungoverned, otherwise arm the caller's token unless it already
+   carries a deadline of its own (the server's per-session timeout
+   wins over the embedded default). *)
+let effective_token t token =
+  match t.timeout_ms with
+  | None -> token
+  | Some ms ->
+    if Deadline.is_never token then Deadline.create ~timeout_ms:ms ()
+    else begin
+      Deadline.arm_timeout_if_unset token ms;
+      token
+    end
+
 (* The durable commit boundary: whenever a statement leaves the
    database outside a transaction, its journal entries are appended to
    the WAL (and fsynced per the sync policy) before the result — or the
    exception — reaches the caller. A partially-executed failing
-   statement is flushed too, so the log always mirrors memory. An
-   injected [Failpoint.Crash] is the exception: it stands for the
-   process dying mid-I/O, so nothing may run after it. *)
-let exec_statement t ~params stmt =
+   statement is flushed too, so the log always mirrors memory. Two
+   exceptions to "flush what happened":
+
+   - An injected [Failpoint.Crash] stands for the process dying mid-I/O,
+     so nothing may run after it.
+
+   - A cancelled statement ([Deadline.Cancelled]: deadline, budget,
+     Ctrl-C, drain) must leave no trace at all: its in-memory effects
+     are reverted through the statement-scoped undo list, its journal
+     entries are dropped before they reach the WAL, and inside a
+     transaction the undo log is rewound to the statement boundary so a
+     later ROLLBACK does not double-undo. The caller sees the raised
+     reason; the WAL sees a clean statement prefix. *)
+let exec_statement ?(token = Deadline.never) t ~params stmt =
+  let token = effective_token t token in
   let t0 = Trace.now_ns () in
   let observe () =
     Metrics.incr m_statements;
     Metrics.observe h_statement_ns (Trace.now_ns () - t0)
   in
-  match exec_statement_raw t ~params stmt with
+  t.stmt_undo <- [];
+  let saved_tx_undo = match t.tx with Some tx -> Some tx.undo | None -> None in
+  let saved_pending = t.pending in
+  match exec_statement_raw t ~token ~params stmt with
   | result ->
     flush_pending t;
     maybe_auto_checkpoint t;
     observe ();
     result
   | exception (Failpoint.Crash _ as e) -> raise e
+  | exception (Deadline.Cancelled reason as e) ->
+    List.iter undo_entry t.stmt_undo;
+    t.stmt_undo <- [];
+    (match t.tx, saved_tx_undo with
+    | Some tx, Some saved -> tx.undo <- saved
+    | _, _ -> ());
+    t.pending <- saved_pending;
+    Metrics.incr m_cancelled;
+    (match reason with
+    | Deadline.Timeout -> Metrics.incr m_timed_out
+    | _ -> ());
+    Log.info (fun m ->
+        m "statement cancelled (%s): %s"
+          (Deadline.reason_label reason)
+          (Tip_sql.Pretty.statement_to_string stmt));
+    observe ();
+    raise e
   | exception e ->
     flush_pending t;
     observe ();
     raise e
 
-let exec ?(params = []) t sql =
+let exec ?token ?(params = []) t sql =
   match Parser.parse sql with
-  | stmt -> exec_statement t ~params stmt
+  | stmt -> exec_statement ?token t ~params stmt
   | exception Parser.Error msg -> db_error "%s" msg
 
 (* Runs a ';'-separated script, returning the last result. *)
-let exec_script ?(params = []) t sql =
+let exec_script ?token ?(params = []) t sql =
   match Parser.parse_script sql with
   | [] -> Message "empty script"
   | stmts ->
     List.fold_left
-      (fun _ stmt -> exec_statement t ~params stmt)
+      (fun _ stmt -> exec_statement ?token t ~params stmt)
       (Message "") stmts
   | exception Parser.Error msg -> db_error "%s" msg
 

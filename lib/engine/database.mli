@@ -38,19 +38,47 @@ val now_override : t -> Tip_core.Chronon.t option
 
 val in_transaction : t -> bool
 
-(** {1 Execution} *)
+(** {1 Execution}
+
+    Every entry point accepts a governance [token]
+    ({!Tip_core.Deadline.t}). The executor polls it at batch boundaries;
+    when it trips — deadline, budget, client interrupt, drain — the
+    statement raises [Deadline.Cancelled], its partial in-memory effects
+    are reverted, and none of its records reach the WAL (the log keeps a
+    clean statement prefix). A [SET TIMEOUT n] default deadline is
+    layered under ungoverned callers and under tokens with no deadline
+    of their own. *)
 
 (** Parses and executes one statement; [params] binds [:name] host
     variables.
-    @raise Error (and planner/eval/constraint exceptions) on failure. *)
-val exec : ?params:(string * Value.t) list -> t -> string -> result
+    @raise Error (and planner/eval/constraint exceptions) on failure.
+    @raise Tip_core.Deadline.Cancelled when [token] trips. *)
+val exec :
+  ?token:Tip_core.Deadline.t ->
+  ?params:(string * Value.t) list ->
+  t ->
+  string ->
+  result
 
 (** Executes an already-parsed statement. *)
 val exec_statement :
-  t -> params:(string * Value.t) list -> Ast.statement -> result
+  ?token:Tip_core.Deadline.t ->
+  t ->
+  params:(string * Value.t) list ->
+  Ast.statement ->
+  result
 
 (** Runs a [';']-separated script; returns the last result. *)
-val exec_script : ?params:(string * Value.t) list -> t -> string -> result
+val exec_script :
+  ?token:Tip_core.Deadline.t ->
+  ?params:(string * Value.t) list ->
+  t ->
+  string ->
+  result
+
+(** The default statement deadline currently in force ([SET TIMEOUT]),
+    in milliseconds. *)
+val statement_timeout_ms : t -> int option
 
 (** {1 Durability}
 

@@ -79,11 +79,20 @@ let ensure_workers wanted =
 
 let run_sequential thunks = List.map (fun t -> t ()) thunks
 
-let run thunks =
+let run ?token thunks =
   let n = size () in
   Metrics.incr m_batches;
   Metrics.add m_tasks (List.length thunks);
   Metrics.gauge_set g_pool_size n;
+  (* Once the statement token trips, still-queued tasks are skipped
+     outright (recorded as cancelled, never executed), so a cancelled
+     parallel subtree stops within the morsel currently running rather
+     than finishing the whole batch. *)
+  let abandoned () =
+    match token with
+    | None -> None
+    | Some tok -> Tip_core.Deadline.cancelled tok
+  in
   match thunks with
   | [] -> []
   | [ t ] -> [ t () ]
@@ -96,7 +105,11 @@ let run thunks =
     let pending = ref len in
     let batch_done = Condition.create () in
     let job i () =
-      let r = try Ok (tasks.(i) ()) with e -> Error e in
+      let r =
+        match abandoned () with
+        | Some reason -> Error (Tip_core.Deadline.Cancelled reason)
+        | None -> ( try Ok (tasks.(i) ()) with e -> Error e)
+      in
       Mutex.lock lock;
       results.(i) <- Some r;
       decr pending;

@@ -42,5 +42,10 @@ val sequential : unit -> bool
     [size () > 1] (the calling domain participates), and returns their
     results in input order. If any thunk raises, the first exception (in
     input order) is re-raised after all tasks finish. Must not be called
-    from within a task. *)
-val run : (unit -> 'a) list -> 'a list
+    from within a task.
+
+    When [token] is supplied, tasks still queued after the token is
+    cancelled are skipped (they fail with [Deadline.Cancelled] without
+    executing), so a cancelled batch ends within one task's worth of
+    work. *)
+val run : ?token:Tip_core.Deadline.t -> (unit -> 'a) list -> 'a list

@@ -18,6 +18,7 @@ open Tip_storage
 module Ast = Tip_sql.Ast
 module Metrics = Tip_obs.Metrics
 module Trace = Tip_obs.Trace
+module Deadline = Tip_core.Deadline
 
 exception Exec_error of string
 
@@ -287,6 +288,18 @@ let instrumented_seq (stats : Plan.op_stats) (produce : unit -> Value.t array Se
   in
   wrap (fun () -> (produce ()) ())
 
+(* Leaf-scan body shared by the three scan operators: bulk metric +
+   budget charge once per scan, a governance tick per produced row so a
+   runaway statement is observed within one poll interval. *)
+let scan_rows ctx table n rids =
+  Metrics.add m_rows_scanned n;
+  Deadline.charge_rows_scanned ctx.Expr_eval.token n;
+  Seq.filter_map
+    (fun rid ->
+      Expr_eval.tick ctx;
+      Table.get table rid)
+    (seq_of_list rids)
+
 let rec run_with (recurse : recurse) ctx (plan : Plan.t) : Value.t array Seq.t =
   match plan with
   | Plan.One_row -> Seq.return [||]
@@ -295,14 +308,12 @@ let rec run_with (recurse : recurse) ctx (plan : Plan.t) : Value.t array Seq.t =
   | Plan.Seq_scan { table; _ } ->
     (* Snapshot the rid list so concurrent mutation cannot skew the scan. *)
     let rids = Table.rids table in
-    Metrics.add m_rows_scanned (Table.row_count table);
-    Seq.filter_map (fun rid -> Table.get table rid) (seq_of_list rids)
+    scan_rows ctx table (Table.row_count table) rids
   | Plan.Index_scan { table; btree; lo; hi; _ } ->
     (* Rows come back in key order — the planner relies on this to
        satisfy ORDER BY from an index. *)
     let rids = Btree.range btree ~lo ~hi in
-    Metrics.add m_rows_scanned (List.length rids);
-    Seq.filter_map (fun rid -> Table.get table rid) (seq_of_list rids)
+    scan_rows ctx table (List.length rids) rids
   | Plan.Interval_scan { table; index; lo; hi; _ } ->
     (* Multi-period values have one index entry per period, so a row can
        match the probe window several times; dedupe before fetching.
@@ -310,23 +321,27 @@ let rec run_with (recurse : recurse) ctx (plan : Plan.t) : Value.t array Seq.t =
        index only adds overhead, and the recheck filter above makes a
        plain scan equivalent — so degrade to one. *)
     let rids = Interval_index.query_overlaps index ~lo ~hi in
-    if List.length rids > Table.row_count table / 2 then begin
-      Metrics.add m_rows_scanned (Table.row_count table);
-      Seq.filter_map (fun rid -> Table.get table rid)
-        (seq_of_list (Table.rids table))
-    end
+    if List.length rids > Table.row_count table / 2 then
+      scan_rows ctx table (Table.row_count table) (Table.rids table)
     else begin
       let rids = List.sort_uniq Int.compare rids in
-      Metrics.add m_rows_scanned (List.length rids);
-      Seq.filter_map (fun rid -> Table.get table rid) (seq_of_list rids)
+      scan_rows ctx table (List.length rids) rids
     end
   | Plan.Filter { input; pred; _ } ->
     Seq.filter (fun row -> Expr_eval.to_predicate pred ctx row)
       (recurse ctx input)
   | Plan.Nested_loop { left; right } ->
     let right_rows = List.of_seq (recurse ctx right) in
+    (* Output cardinality is |left|·|right| — far beyond what the leaf
+       scans charged — so tick per emitted row: a cross join over tiny
+       inputs is exactly the runaway the governor must catch. *)
     Seq.concat_map
-      (fun lrow -> Seq.map (fun rrow -> concat_rows lrow rrow) (seq_of_list right_rows))
+      (fun lrow ->
+        Seq.map
+          (fun rrow ->
+            Expr_eval.tick ctx;
+            concat_rows lrow rrow)
+          (seq_of_list right_rows))
       (recurse ctx left)
   | Plan.Hash_join { left; right; left_keys; right_keys; _ } ->
     (* Build on the right, probe from the left; NULL keys never join. *)
@@ -349,7 +364,10 @@ let rec run_with (recurse : recurse) ctx (plan : Plan.t) : Value.t array Seq.t =
           | Some matches ->
             Metrics.add m_rows_joined (List.length matches);
             (* entries were prepended during build; restore scan order *)
-            Seq.map (fun rrow -> concat_rows lrow rrow)
+            Seq.map
+              (fun rrow ->
+                Expr_eval.tick ctx;
+                concat_rows lrow rrow)
               (seq_of_list (List.rev matches))
         end)
       (recurse ctx left)
@@ -358,6 +376,7 @@ let rec run_with (recurse : recurse) ctx (plan : Plan.t) : Value.t array Seq.t =
     let nulls = Array.make right_width Value.Null in
     Seq.concat_map
       (fun lrow ->
+        Expr_eval.tick ctx;
         let matches =
           List.filter
             (fun rrow -> Expr_eval.to_predicate on ctx (concat_rows lrow rrow))
@@ -582,27 +601,40 @@ let rec par_pipeline ctx (plan : Plan.t) :
                 end) ))
   | _ -> None
 
-(* Runs one morsel through the fused pipeline, collecting emitted rows. *)
-let run_morsel src transform (lo, len) consume =
+(* Runs one morsel through the fused pipeline, collecting emitted rows.
+
+   Each morsel polls the statement token on entry and then every 1024
+   rows with a task-local counter (the shared ctx tick counter is not
+   used off the coordinating thread, and neither is the failpoint
+   table — both are unsynchronized). Together with [Exec_pool.run
+   ?token] skipping still-queued morsels once the flag is set, a
+   cancelled parallel subtree stops within one morsel, not at
+   join-completion. *)
+let run_morsel token src transform (lo, len) consume =
   Metrics.incr m_morsels;
   Metrics.add m_rows_scanned len;
+  Deadline.check token;
+  Deadline.charge_rows_scanned token len;
   let push = transform consume in
+  let ticks = ref 0 in
   for i = lo to lo + len - 1 do
+    incr ticks;
+    if !ticks land 1023 = 0 then Deadline.check token;
     match Table.get src.par_table src.par_rids.(i) with
     | Some row -> push row
     | None -> ()
   done
 
-let par_collect src transform : Value.t array list =
+let par_collect token src transform : Value.t array list =
   let thunks =
     List.map
       (fun range () ->
         let acc = ref [] in
-        run_morsel src transform range (fun row -> acc := row :: !acc);
+        run_morsel token src transform range (fun row -> acc := row :: !acc);
         List.rev !acc)
       (morsel_ranges (Array.length src.par_rids))
   in
-  List.concat (Exec_pool.run thunks)
+  List.concat (Exec_pool.run ~token thunks)
 
 (* --- Partitioned parallel aggregation ------------------------------------ *)
 
@@ -686,12 +718,13 @@ let pacc_final = function
 
 let par_aggregate ctx src transform keys aggs : Value.t array list =
   let specs = Array.of_list aggs in
+  let token = ctx.Expr_eval.token in
   let thunks =
     List.map
       (fun range () ->
         let groups : pacc array Key_table.t = Key_table.create 64 in
         let order = ref [] in
-        run_morsel src transform range (fun row ->
+        run_morsel token src transform range (fun row ->
             let key = List.map (fun c -> c ctx row) keys in
             let accs =
               match Key_table.find_opt groups key with
@@ -708,7 +741,7 @@ let par_aggregate ctx src transform keys aggs : Value.t array list =
         (List.rev !order, groups))
       (morsel_ranges (Array.length src.par_rids))
   in
-  let partials = Exec_pool.run thunks in
+  let partials = Exec_pool.run ~token thunks in
   (* Merge in morsel order: concatenating the partial orders and keeping
      first occurrences reproduces the sequential first-appearance group
      order, because morsels partition the input in order. *)
@@ -762,7 +795,8 @@ let try_parallel ctx plan : Value.t array list option =
           (par_pipeline ctx input)
       | _ ->
         Option.map
-          (fun (src, transform) -> par_collect src transform)
+          (fun (src, transform) ->
+            par_collect ctx.Expr_eval.token src transform)
           (par_pipeline ctx target)
     in
     (match result with
@@ -783,7 +817,28 @@ let rec run_hybrid ctx plan =
   | Some rows -> seq_of_list rows
   | None -> run_with run_hybrid ctx plan
 
+(* Result-set budgets are charged on the client-facing collection path
+   only (subquery [collect]s are intermediate work, already bounded by
+   the scan budget). The memory estimate walks the row's object graph,
+   so it is computed only when a memory budget is actually armed. *)
+let charge_result_seq ctx seq =
+  let token = ctx.Expr_eval.token in
+  if not (Deadline.has_budget token) then seq
+  else
+    Seq.map
+      (fun row ->
+        let bytes =
+          if Deadline.tracks_mem token then
+            Obj.reachable_words (Obj.repr row) * (Sys.word_size / 8)
+          else 0
+        in
+        Deadline.charge_result token ~rows:1 ~bytes;
+        row)
+      seq
+
 let collect_parallel ctx plan =
   Metrics.incr m_queries;
-  if Exec_pool.sequential () then collect ctx plan
-  else List.of_seq (run_hybrid ctx plan)
+  let rows =
+    if Exec_pool.sequential () then run ctx plan else run_hybrid ctx plan
+  in
+  List.of_seq (charge_result_seq ctx rows)

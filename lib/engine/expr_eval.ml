@@ -23,9 +23,45 @@ type ctx = {
   now : Tip_core.Chronon.t;
   params : (string * Value.t) list;
   ext : Extension.t;
+  token : Tip_core.Deadline.t;
+  mutable poll_tick : int;
 }
 
 type compiled = ctx -> Value.t array -> Value.t
+
+(* --- Cooperative cancellation ------------------------------------------- *)
+
+(* The executor and the DML row loops call [tick] once per row; every
+   256th tick performs a real poll (atomic load + possible clock read).
+   [poll] is also a failpoint site so tests can fire a cancellation at
+   an exact batch boundary: arming [exec.poll:k:fail=cancel] turns the
+   k-th poll into [cancel token] before the check, which is how the
+   differential fuzz walks the cancellation window deterministically. *)
+
+let poll_site = "exec.poll"
+
+let poll ctx =
+  (if Failpoint.active () then
+     match Failpoint.hit ~site:poll_site () with
+     | () -> ()
+     | exception Failure msg
+       when String.length msg >= 6 && String.sub msg 0 6 = "cancel" ->
+         let reason =
+           match msg with
+           | "cancel-shutdown" -> Tip_core.Deadline.Shutdown
+           | "cancel-client" -> Tip_core.Deadline.Client_gone
+           | _ -> Tip_core.Deadline.Timeout
+         in
+         Tip_core.Deadline.cancel ctx.token reason);
+  Tip_core.Deadline.check ctx.token
+
+(* Poll every 256 rows in production; with failpoints armed, poll every
+   row so injected cancellations land at exact row boundaries (traces in
+   the fuzz touch tables far smaller than the production interval). *)
+let tick ctx =
+  let n = ctx.poll_tick + 1 in
+  ctx.poll_tick <- n;
+  if n land 255 = 0 || Failpoint.active () then poll ctx
 
 (* A planned subquery: [sq_run ctx outer_row] produces its rows.
    Non-correlated subqueries ignore the outer row (and get cached once

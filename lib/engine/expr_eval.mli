@@ -18,12 +18,25 @@ module Ast = Tip_sql.Ast
 exception Eval_error of string
 
 (** Per-statement evaluation context: the bound transaction time, host
-    parameters, and the extension registry. *)
+    parameters, the extension registry, and the statement's governance
+    token. *)
 type ctx = {
   now : Tip_core.Chronon.t;
   params : (string * Value.t) list;  (** lowercase names *)
   ext : Extension.t;
+  token : Tip_core.Deadline.t;
+      (** cancellation/budget token; [Deadline.never] when ungoverned *)
+  mutable poll_tick : int;
+      (** row counter behind {!tick}'s every-256-rows polling *)
 }
+
+val poll : ctx -> unit
+(** Check the token now (also a failpoint site, [exec.poll], so tests
+    can cancel at an exact batch boundary). Raises
+    [Tip_core.Deadline.Cancelled]. *)
+
+val tick : ctx -> unit
+(** Per-row hook: polls every 256th call. *)
 
 (** A compiled expression: evaluate against a context and a row. *)
 type compiled = ctx -> Value.t array -> Value.t

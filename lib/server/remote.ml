@@ -1,6 +1,13 @@
 (* The remote client: the same API shape as an embedded connection, over
    the wire protocol. Typed values cross the network in literal syntax
-   and are rebuilt on this side (register the blade types first). *)
+   and are rebuilt on this side (register the blade types first).
+
+   Deadlines: [connect ?deadline] bounds the whole connect (retries
+   included) and installs SO_SNDTIMEO/SO_RCVTIMEO on the socket, so a
+   hung server cannot block this client forever; [execute ?deadline]
+   tightens the socket timeouts for one call. A timed-out wire
+   operation raises [Remote_error "TIMEOUT: ..."], which {!error_code}
+   classifies alongside the server's own typed E responses. *)
 
 exception Remote_error of string
 
@@ -8,8 +15,35 @@ type t = {
   fd : Unix.file_descr;
   ic : in_channel;
   oc : out_channel;
+  default_deadline : float option; (* connect-time per-call bound, secs *)
   mutable closed : bool;
 }
+
+(* --- Typed error classification ----------------------------------------- *)
+
+type error_code =
+  | Timeout
+  | Overloaded
+  | Budget
+  | Shutdown
+  | Idle_timeout
+  | Cancelled
+  | Other
+
+(* Typed server errors are "CODE: human text"; everything else (engine
+   errors, parse errors, transport failures we did not tag) is Other. *)
+let error_code msg =
+  let prefixed p =
+    String.length msg >= String.length p
+    && String.equal (String.sub msg 0 (String.length p)) p
+  in
+  if prefixed "TIMEOUT:" then Timeout
+  else if prefixed "OVERLOADED:" then Overloaded
+  else if prefixed "BUDGET:" then Budget
+  else if prefixed "SHUTDOWN:" then Shutdown
+  else if prefixed "IDLE_TIMEOUT:" then Idle_timeout
+  else if prefixed "CANCELLED:" then Cancelled
+  else Other
 
 (* Transient connect failures — the server not up yet, or the network
    hiccuping — are worth retrying; anything else (bad address, no
@@ -19,39 +53,66 @@ let transient = function
     true
   | _ -> false
 
+let set_socket_timeouts fd secs =
+  try
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO secs;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO secs
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
+
 (* Connects with bounded retries: [attempts] tries in total, starting
    [retry_delay] seconds apart and doubling each time, plus up to 50%
-   random jitter so a herd of clients does not reconnect in lockstep. *)
-let connect ?(host = "127.0.0.1") ?(attempts = 5) ?(retry_delay = 0.05) ~port ()
-    =
+   random jitter so a herd of clients does not reconnect in lockstep.
+   [deadline] (seconds) caps the whole procedure — a retry loop never
+   outlives it — and becomes the socket send/receive timeout for later
+   calls. *)
+let connect ?(host = "127.0.0.1") ?(attempts = 5) ?(retry_delay = 0.05)
+    ?deadline ~port () =
   (* the server dropping the connection must surface as an exception on
      our write, not kill the client process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
   let attempts = max 1 attempts in
+  let give_up_at =
+    Option.map (fun d -> Unix.gettimeofday () +. d) deadline
+  in
+  let out_of_time () =
+    match give_up_at with
+    | Some at -> Unix.gettimeofday () >= at
+    | None -> false
+  in
   let rec try_connect attempt delay =
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Option.iter (fun d -> set_socket_timeouts fd d) deadline;
     match
       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
     with
     | () -> fd
     | exception Unix.Unix_error (e, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
-      if transient e && attempt < attempts then begin
-        Unix.sleepf (delay +. Random.float (delay /. 2.));
+      if transient e && attempt < attempts && not (out_of_time ()) then begin
+        let pause = delay +. Random.float (delay /. 2.) in
+        let pause =
+          (* never sleep past the overall deadline *)
+          match give_up_at with
+          | Some at -> Float.min pause (Float.max 0. (at -. Unix.gettimeofday ()))
+          | None -> pause
+        in
+        Unix.sleepf pause;
         try_connect (attempt + 1) (delay *. 2.)
       end
       else
         raise
           (Remote_error
-             (Printf.sprintf "%s (after %d attempt%s)" (Unix.error_message e)
-                attempt
+             (Printf.sprintf "%s%s (after %d attempt%s)"
+                (if out_of_time () then "TIMEOUT: " else "")
+                (Unix.error_message e) attempt
                 (if attempt = 1 then "" else "s")))
   in
   let fd = try_connect 1 (Float.max 0.001 retry_delay) in
   { fd;
     ic = Unix.in_channel_of_descr fd;
     oc = Unix.out_channel_of_descr fd;
+    default_deadline = deadline;
     closed = false }
 
 let check_open t = if t.closed then raise (Remote_error "connection is closed")
@@ -61,15 +122,50 @@ let send t request =
   output_char t.oc '\n';
   flush t.oc
 
+(* Runs one request/response exchange under a per-call deadline: the
+   socket timeouts are tightened for the call and restored after.
+   EAGAIN and friends surface from the buffered channel as [Sys_error]
+   or [Unix_error]; both become a typed TIMEOUT Remote_error. *)
+let with_deadline t deadline f =
+  let applied =
+    match deadline with
+    | Some d ->
+      set_socket_timeouts t.fd d;
+      true
+    | None -> false
+  in
+  let governed = applied || t.default_deadline <> None in
+  Fun.protect
+    ~finally:(fun () ->
+      if applied then
+        match t.default_deadline with
+        | Some d -> set_socket_timeouts t.fd d
+        | None -> set_socket_timeouts t.fd 0. (* 0 = no timeout *))
+    (fun () ->
+      match f () with
+      | v -> v
+      | exception Sys_error msg when governed ->
+        raise (Remote_error ("TIMEOUT: wire operation failed: " ^ msg))
+      | exception Sys_blocked_io when governed ->
+        (* buffered channels surface an EAGAIN read as Sys_blocked_io *)
+        raise (Remote_error "TIMEOUT: server did not respond in time")
+      | exception Unix.Unix_error
+          ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+        when governed ->
+        raise (Remote_error "TIMEOUT: server did not respond in time"))
+
 (* Binds a [:name] parameter for the next [execute]. *)
 let bind t name value =
   check_open t;
   send t (Protocol.Bind (name, value))
 
 (* Executes one statement and returns the embedded-style result.
-   @raise Remote_error when the server reports an error. *)
-let execute t sql =
+   [deadline] (seconds) bounds this call's wire I/O.
+   @raise Remote_error when the server reports an error (use
+   {!error_code} on the message to classify typed failures). *)
+let execute ?deadline t sql =
   check_open t;
+  with_deadline t deadline @@ fun () ->
   send t (Protocol.Execute sql);
   match Protocol.read_response t.ic with
   | Protocol.Rows { names; rows } -> Tip_engine.Database.Rows { names; rows }
@@ -80,8 +176,9 @@ let execute t sql =
 
 (* Fetches the server's metrics registry as a text dump (M request).
    @raise Remote_error when the server reports an error. *)
-let metrics t =
+let metrics ?deadline t =
   check_open t;
+  with_deadline t deadline @@ fun () ->
   send t Protocol.Metrics;
   match Protocol.read_response t.ic with
   | Protocol.Message m -> m

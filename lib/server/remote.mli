@@ -5,26 +5,54 @@
 
 exception Remote_error of string
 
+(** Classification of a {!Remote_error} message. The server's
+    governance layer prefixes typed failures ([TIMEOUT: ...],
+    [OVERLOADED: ...], [BUDGET: ...], [SHUTDOWN: ...],
+    [IDLE_TIMEOUT: ...], [CANCELLED: ...]); client-side wire timeouts
+    use the same [TIMEOUT:] prefix. Anything else is [Other]. *)
+type error_code =
+  | Timeout
+  | Overloaded
+  | Budget
+  | Shutdown
+  | Idle_timeout
+  | Cancelled
+  | Other
+
+val error_code : string -> error_code
+
 type t
 
 (** Connects with bounded retries on transient failures (connection
     refused, timed out, network unreachable, reset): [attempts] tries
     in total (default 5), the first retry after [retry_delay] seconds
     (default 0.05), doubling each time with random jitter. This rides
-    out a server that is still starting up.
+    out a server that is still starting up. [deadline] (seconds) caps
+    the whole procedure, retries included, and becomes the socket
+    send/receive timeout for subsequent calls — a hung server then
+    fails calls with [Remote_error "TIMEOUT: ..."] instead of blocking
+    forever.
     @raise Remote_error when the server stays unreachable. *)
 val connect :
-  ?host:string -> ?attempts:int -> ?retry_delay:float -> port:int -> unit -> t
+  ?host:string ->
+  ?attempts:int ->
+  ?retry_delay:float ->
+  ?deadline:float ->
+  port:int ->
+  unit ->
+  t
 
 (** Binds a [:name] parameter for the next {!execute}. *)
 val bind : t -> string -> Tip_storage.Value.t -> unit
 
-(** Executes one statement.
-    @raise Remote_error on server-side errors or a lost connection. *)
-val execute : t -> string -> Tip_engine.Database.result
+(** Executes one statement. [deadline] (seconds) bounds this call's
+    wire I/O (overriding the connect-time default for the call).
+    @raise Remote_error on server-side errors or a lost connection;
+    use {!error_code} to classify. *)
+val execute : ?deadline:float -> t -> string -> Tip_engine.Database.result
 
 (** The server's metrics registry as a text dump ([M] request).
     @raise Remote_error on server-side errors or a lost connection. *)
-val metrics : t -> string
+val metrics : ?deadline:float -> t -> string
 
 val close : t -> unit

@@ -5,11 +5,21 @@
    One thread per client; statement execution is serialized with a
    mutex, so clients see the same single-writer semantics as embedded
    connections (DESIGN.md documents the concurrency scope). Parameter
-   bindings (B lines) accumulate per session and apply to the next Q. *)
+   bindings (B lines) accumulate per session and apply to the next Q.
+
+   Resource governance (DESIGN.md §10): every statement runs under a
+   Deadline token — armed with the per-session timeout (SET TIMEOUT)
+   or the server-wide --statement-timeout-ms default — and registered
+   in an in-flight table so a drain can cancel everything currently
+   executing. Admission control caps concurrent sessions: beyond
+   --max-sessions, a new connection is answered E OVERLOADED and
+   closed instead of queueing behind the db lock forever. *)
 
 module Db = Tip_engine.Database
 module Metrics = Tip_obs.Metrics
 module Trace = Tip_obs.Trace
+module Deadline = Tip_core.Deadline
+module Ast = Tip_sql.Ast
 
 let log_src = Logs.Src.create "tip.server" ~doc:"TIP network server"
 
@@ -27,9 +37,26 @@ let m_statements =
 let m_errors =
   Metrics.counter "server_errors_total" ~help:"Statements answered with an E response"
 
+let m_sessions_rejected =
+  Metrics.counter "server_sessions_rejected_total"
+    ~help:"Connections refused with E OVERLOADED by admission control"
+
+let m_idle_drops =
+  Metrics.counter "server_idle_drops_total"
+    ~help:"Sessions closed with E IDLE_TIMEOUT after staying silent"
+
+let g_drain_ms =
+  Metrics.gauge "server_drain_seconds"
+    ~help:"Duration of the last graceful drain, milliseconds"
+
 let h_statement_ns =
   Metrics.histogram "server_statement_ns"
     ~help:"Wire statement latency (ns), queueing on the db lock included"
+
+(* Per-session statement-timeout override (SET TIMEOUT n):
+   [Inherit] uses the server-wide default, [Off] disables deadlines for
+   this session, [Ms n] arms n milliseconds. *)
+type session_timeout = Inherit | Off | Ms of int
 
 type t = {
   db : Db.t;
@@ -37,6 +64,13 @@ type t = {
   listener : Unix.file_descr;
   idle_timeout : float option;
   slow_ms : float option;
+  statement_timeout_ms : int option;
+  max_sessions : int option;
+  active : int Atomic.t;
+  inflight : (int, Deadline.t) Hashtbl.t; (* statement id -> its token *)
+  inflight_lock : Mutex.t;
+  stmt_ids : int Atomic.t;
+  mutable draining : bool;
   mutable running : bool;
 }
 
@@ -45,43 +79,113 @@ let result_to_response : Db.result -> Protocol.response = function
   | Db.Affected n -> Protocol.Affected n
   | Db.Message m -> Protocol.Message m
 
-(* Every failure becomes an E response; the session survives. Expected
-   engine errors travel as their bare message; anything else (a bug, a
-   poison statement) is caught by the final catch-all so one client
-   cannot take the server down. Simulated crashes ([Failpoint.Crash])
-   are deliberately NOT caught — they stand for process death. *)
 let response_rows = function
   | Protocol.Rows { rows; _ } -> List.length rows
   | Protocol.Affected n -> n
   | Protocol.Message _ | Protocol.Error _ -> 0
 
-let execute_guarded t ~params sql =
-  let t0 = Trace.now_ns () in
+(* --- In-flight statement registry -------------------------------------- *)
+
+let register_inflight t token =
+  let id = Atomic.fetch_and_add t.stmt_ids 1 in
+  Mutex.lock t.inflight_lock;
+  Hashtbl.replace t.inflight id token;
+  Mutex.unlock t.inflight_lock;
+  id
+
+let unregister_inflight t id =
+  Mutex.lock t.inflight_lock;
+  Hashtbl.remove t.inflight id;
+  Mutex.unlock t.inflight_lock
+
+let inflight_count t =
+  Mutex.lock t.inflight_lock;
+  let n = Hashtbl.length t.inflight in
+  Mutex.unlock t.inflight_lock;
+  n
+
+(* --- Statement execution ------------------------------------------------ *)
+
+(* Every failure becomes an E response; the session survives. Expected
+   engine errors travel as their bare message; a tripped governance
+   token travels as its typed message (TIMEOUT:/BUDGET:/SHUTDOWN:/
+   CANCELLED: prefix); anything else (a bug, a poison statement) is
+   caught by the final catch-all so one client cannot take the server
+   down. Simulated crashes ([Failpoint.Crash]) are deliberately NOT
+   caught — they stand for process death. *)
+let execute_statement_guarded t ~token ~params stmt =
   Mutex.lock t.db_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.db_lock)
+    (fun () ->
+      match
+        Tip_storage.Failpoint.hit ~site:"server.exec" ();
+        (* waiting in the lock queue counts against the deadline: a
+           statement whose deadline passed while queued is answered
+           without executing at all *)
+        Deadline.check token;
+        Db.exec_statement ~token t.db ~params stmt
+      with
+      | result -> result_to_response result
+      | exception Deadline.Cancelled reason ->
+        Protocol.Error (Deadline.reason_message reason)
+      | exception Db.Error msg -> Protocol.Error msg
+      | exception Tip_engine.Planner.Plan_error msg -> Protocol.Error msg
+      | exception Tip_engine.Expr_eval.Eval_error msg -> Protocol.Error msg
+      | exception Tip_storage.Value.Type_error msg -> Protocol.Error msg
+      | exception Tip_storage.Table.Constraint_violation msg ->
+        Protocol.Error msg
+      | exception Tip_storage.Catalog.Catalog_error msg -> Protocol.Error msg
+      | exception Tip_storage.Schema.Schema_error msg -> Protocol.Error msg
+      | exception (Tip_storage.Failpoint.Crash _ as e) -> raise e
+      | exception e ->
+        Log.err (fun m ->
+            m "internal error executing %S: %s"
+              (Tip_sql.Pretty.statement_to_string stmt)
+              (Printexc.to_string e));
+        Protocol.Error ("internal error: " ^ Printexc.to_string e))
+
+let session_timeout_ms t session_timeout =
+  match session_timeout with
+  | Ms ms -> Some ms
+  | Off -> None
+  | Inherit -> t.statement_timeout_ms
+
+let execute_guarded t ~session_timeout ~params sql =
+  let t0 = Trace.now_ns () in
   let response =
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.db_lock)
-      (fun () ->
-        match
-          Tip_storage.Failpoint.hit ~site:"server.exec" ();
-          Db.exec ~params t.db sql
-        with
-        | result -> result_to_response result
-        | exception Db.Error msg -> Protocol.Error msg
-        | exception Tip_sql.Parser.Error msg -> Protocol.Error msg
-        | exception Tip_sql.Lexer.Error msg -> Protocol.Error msg
-        | exception Tip_engine.Planner.Plan_error msg -> Protocol.Error msg
-        | exception Tip_engine.Expr_eval.Eval_error msg -> Protocol.Error msg
-        | exception Tip_storage.Value.Type_error msg -> Protocol.Error msg
-        | exception Tip_storage.Table.Constraint_violation msg ->
-          Protocol.Error msg
-        | exception Tip_storage.Catalog.Catalog_error msg -> Protocol.Error msg
-        | exception Tip_storage.Schema.Schema_error msg -> Protocol.Error msg
-        | exception (Tip_storage.Failpoint.Crash _ as e) -> raise e
-        | exception e ->
-          Log.err (fun m ->
-              m "internal error executing %S: %s" sql (Printexc.to_string e));
-          Protocol.Error ("internal error: " ^ Printexc.to_string e))
+    match Tip_sql.Parser.parse sql with
+    | exception Tip_sql.Parser.Error msg -> Protocol.Error msg
+    | exception Tip_sql.Lexer.Error msg -> Protocol.Error msg
+    | Ast.Set_timeout v ->
+      (* Session-scoped: the shared database's own default is left
+         alone, so one client cannot re-govern the others. *)
+      let setting, text =
+        match v with
+        | None -> (Inherit, "statement timeout restored to the server default")
+        | Some 0 -> (Off, "statement timeout disabled for this session")
+        | Some ms when ms > 0 ->
+          (Ms ms, Printf.sprintf "statement timeout set to %d ms" ms)
+        | Some _ -> (Inherit, "")
+      in
+      if String.equal text "" then
+        Protocol.Error "SET TIMEOUT expects a non-negative value"
+      else begin
+        session_timeout := setting;
+        Protocol.Message text
+      end
+    | stmt ->
+      if t.draining then
+        Protocol.Error (Deadline.reason_message Deadline.Shutdown)
+      else begin
+        let token =
+          Deadline.create ?timeout_ms:(session_timeout_ms t !session_timeout) ()
+        in
+        let id = register_inflight t token in
+        Fun.protect
+          ~finally:(fun () -> unregister_inflight t id)
+          (fun () -> execute_statement_guarded t ~token ~params stmt)
+      end
   in
   let elapsed_ns = Trace.now_ns () - t0 in
   Metrics.incr m_statements;
@@ -97,9 +201,12 @@ let execute_guarded t ~params sql =
   | _ -> ());
   response
 
+(* --- Sessions ----------------------------------------------------------- *)
+
 let handle_session t fd =
   (* SO_RCVTIMEO makes a silent client's read fail after the idle
-     timeout; the session is then dropped and its thread reclaimed. *)
+     timeout; the session is then told why (E IDLE_TIMEOUT) and
+     dropped, so clients can tell an idle drop from a crash. *)
   (match t.idle_timeout with
   | Some secs -> (
     try Unix.setsockopt_float fd Unix.SO_RCVTIMEO secs
@@ -108,6 +215,7 @@ let handle_session t fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let params = ref [] in
+  let session_timeout = ref Inherit in
   let reply response =
     try
       Protocol.write_response oc response;
@@ -115,16 +223,30 @@ let handle_session t fd =
       true
     with Sys_error _ | Unix.Unix_error _ -> false (* peer went away *)
   in
+  let idle_drop () =
+    Metrics.incr m_idle_drops;
+    ignore
+      (reply
+         (Protocol.Error
+            (Printf.sprintf "IDLE_TIMEOUT: session idle for %gs, closing"
+               (Option.value t.idle_timeout ~default:0.))));
+    Log.debug (fun m -> m "dropping idle session")
+  in
   let rec loop () =
     match input_line ic with
     | exception End_of_file -> ()
     | exception Sys_error _ ->
-      (* read timed out (SO_RCVTIMEO) or the socket died *)
-      Log.debug (fun m -> m "dropping idle or broken session")
+      (* read timed out (SO_RCVTIMEO); if the socket is actually broken
+         the farewell write just fails silently inside [reply] *)
+      idle_drop ()
     | exception Unix.Unix_error
-        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT | Unix.ECONNRESET), _, _)
-      ->
-      Log.debug (fun m -> m "dropping idle or broken session")
+        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) ->
+      idle_drop ()
+    | exception Sys_blocked_io ->
+      (* buffered channels surface an EAGAIN read as Sys_blocked_io *)
+      idle_drop ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+      Log.debug (fun m -> m "dropping broken session")
     | line -> (
       (* A malformed B line can make [decode_request] itself raise (bad
          wire int, unregistered type, ...): answer E and keep going. *)
@@ -134,7 +256,7 @@ let handle_session t fd =
         params := (name, v) :: List.remove_assoc name !params;
         loop ()
       | Ok (Some (Protocol.Execute sql)) ->
-        let response = execute_guarded t ~params:!params sql in
+        let response = execute_guarded t ~session_timeout ~params:!params sql in
         params := [];
         if reply response then loop ()
       | Ok (Some Protocol.Metrics) ->
@@ -150,6 +272,7 @@ let handle_session t fd =
   Fun.protect
     ~finally:(fun () ->
       Metrics.gauge_add g_sessions_active (-1);
+      Atomic.decr t.active;
       try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       try loop ()
@@ -158,10 +281,27 @@ let handle_session t fd =
            accept loop's thread machinery with an unhandled exception *)
         Log.err (fun m -> m "session aborted: %s" (Printexc.to_string e)))
 
+(* Admission rejection: one short write, then close. Runs on its own
+   thread so a slow or unresponsive peer cannot stall the accept loop. *)
+let reject_session fd reason =
+  (try
+     let oc = Unix.out_channel_of_descr fd in
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0;
+     Protocol.write_response oc (Protocol.Error reason);
+     flush oc
+   with Sys_error _ | Unix.Unix_error _ | Invalid_argument _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
 (* Creates a listening socket; port 0 picks an ephemeral port.
    [idle_timeout] (seconds) drops sessions that stay silent that long.
-   [slow_ms] logs statements at or above that latency to the obs sink. *)
-let listen ?(host = "127.0.0.1") ?idle_timeout ?slow_ms ~port db =
+   [slow_ms] logs statements at or above that latency to the obs sink.
+   [max_sessions] rejects connections beyond that many concurrent
+   sessions with E OVERLOADED; the kernel accept backlog is bounded to
+   match, so refused load queues shallowly instead of piling up.
+   [statement_timeout_ms] is the default deadline for every statement
+   (sessions can override it with SET TIMEOUT). *)
+let listen ?(host = "127.0.0.1") ?idle_timeout ?slow_ms ?max_sessions
+    ?statement_timeout_ms ~port db =
   (* a client vanishing mid-response must surface as EPIPE on the write,
      not kill the whole server *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -169,12 +309,22 @@ let listen ?(host = "127.0.0.1") ?idle_timeout ?slow_ms ~port db =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-  Unix.listen fd 16;
+  let backlog =
+    match max_sessions with Some m -> Stdlib.min 16 (Stdlib.max 1 m) | None -> 16
+  in
+  Unix.listen fd backlog;
   { db;
     db_lock = Mutex.create ();
     listener = fd;
     idle_timeout;
     slow_ms;
+    statement_timeout_ms;
+    max_sessions;
+    active = Atomic.make 0;
+    inflight = Hashtbl.create 16;
+    inflight_lock = Mutex.create ();
+    stmt_ids = Atomic.make 0;
+    draining = false;
     running = true }
 
 let port t =
@@ -182,17 +332,45 @@ let port t =
   | Unix.ADDR_INET (_, port) -> port
   | Unix.ADDR_UNIX _ -> invalid_arg "Server.port: unix socket"
 
-(* Accept loop: one thread per client. Runs until [stop]. *)
+(* Accept loop: one thread per client, bounded by admission control. *)
 let serve t =
   Log.info (fun m -> m "listening on port %d" (port t));
   let rec accept_loop () =
     if t.running then begin
       match Unix.accept t.listener with
       | client_fd, _ ->
-        ignore (Thread.create (fun () -> handle_session t client_fd) ());
+        let admitted =
+          match t.max_sessions with
+          | Some m -> Atomic.get t.active < m
+          | None -> true
+        in
+        if admitted then begin
+          Atomic.incr t.active;
+          ignore (Thread.create (fun () -> handle_session t client_fd) ())
+        end
+        else begin
+          Metrics.incr m_sessions_rejected;
+          Log.info (fun m ->
+              m "rejecting connection: %d sessions active (max %d)"
+                (Atomic.get t.active)
+                (Option.value t.max_sessions ~default:0));
+          ignore
+            (Thread.create
+               (fun () ->
+                 reject_session client_fd
+                   (Printf.sprintf
+                      "OVERLOADED: %d sessions active (max %d), retry later"
+                      (Atomic.get t.active)
+                      (Option.value t.max_sessions ~default:0)))
+               ())
+        end;
         accept_loop ()
       | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
         () (* listener closed by [stop] *)
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+        (* a signal (e.g. the SIGTERM that initiates a drain) interrupts
+           the blocking accept; loop — the [t.running] check decides *)
+        accept_loop ()
     end
   in
   accept_loop ()
@@ -203,3 +381,34 @@ let serve_in_background t = ignore (Thread.create (fun () -> serve t) ())
 let stop t =
   t.running <- false;
   try Unix.close t.listener with Unix.Unix_error _ -> ()
+
+(* Graceful drain: stop accepting, cancel every in-flight statement
+   through its token (they abort within one morsel/batch boundary,
+   journal nothing, and answer E SHUTDOWN), then wait — up to [grace]
+   seconds — for the in-flight table to empty. Sessions blocked reading
+   their socket are left to the process exit; they hold no statements.
+   Returns the drain duration in seconds. *)
+let drain ?(grace = 5.0) t =
+  let t0 = Unix.gettimeofday () in
+  t.draining <- true;
+  stop t;
+  Mutex.lock t.inflight_lock;
+  Hashtbl.iter (fun _ tok -> Deadline.cancel tok Deadline.Shutdown) t.inflight;
+  Mutex.unlock t.inflight_lock;
+  let deadline = t0 +. grace in
+  let rec wait () =
+    if inflight_count t > 0 && Unix.gettimeofday () < deadline then begin
+      Thread.delay 0.01;
+      wait ()
+    end
+  in
+  wait ();
+  let secs = Unix.gettimeofday () -. t0 in
+  Metrics.gauge_set g_drain_ms (int_of_float (secs *. 1000.));
+  Log.info (fun m ->
+      m "drained in %.3fs (%d statement(s) still in flight)" secs
+        (inflight_count t));
+  secs
+
+let draining t = t.draining
+let active_sessions t = Atomic.get t.active

@@ -3,20 +3,36 @@
 
     One thread per client; statement execution is serialized with a
     mutex, preserving the single-writer semantics of embedded
-    connections. Errors become [E] responses and the session survives. *)
+    connections. Errors become [E] responses and the session survives.
+
+    Resource governance (DESIGN.md §10): every statement runs under a
+    {!Tip_core.Deadline} token armed with the session's statement
+    timeout ([SET TIMEOUT n], defaulting to [statement_timeout_ms]);
+    tripped tokens answer typed errors ([E TIMEOUT: ...],
+    [E BUDGET: ...]). Admission control caps concurrent sessions
+    ([max_sessions]; beyond it connections are answered
+    [E OVERLOADED: ...] and closed), and {!drain} performs a graceful
+    shutdown: stop accepting, cancel in-flight statements, wait. *)
 
 type t
 
 (** Creates the listening socket; [port 0] picks an ephemeral port.
-    [idle_timeout] (seconds) drops sessions that stay silent that long,
-    so abandoned clients cannot pin threads forever. [slow_ms] enables
-    the slow-query log: statements taking at least that many
-    milliseconds are reported through {!Tip_obs.Log_sink} with their
-    text, latency, and row count. *)
+    [idle_timeout] (seconds) closes sessions that stay silent that long
+    with a final [E IDLE_TIMEOUT: ...] response, so abandoned clients
+    cannot pin threads forever (and can tell the drop from a crash).
+    [slow_ms] enables the slow-query log: statements taking at least
+    that many milliseconds are reported through {!Tip_obs.Log_sink}
+    with their text, latency, and row count. [max_sessions] bounds
+    concurrent sessions (the kernel accept backlog is clamped to
+    match). [statement_timeout_ms] is the default per-statement
+    deadline; sessions override it with [SET TIMEOUT n] ([0] disables,
+    [DEFAULT] restores the server default). *)
 val listen :
   ?host:string ->
   ?idle_timeout:float ->
   ?slow_ms:float ->
+  ?max_sessions:int ->
+  ?statement_timeout_ms:int ->
   port:int ->
   Tip_engine.Database.t ->
   t
@@ -31,3 +47,17 @@ val serve : t -> unit
 val serve_in_background : t -> unit
 
 val stop : t -> unit
+
+(** Graceful drain: stop accepting, cancel every in-flight statement
+    via its token (each aborts within one morsel/batch boundary,
+    journals nothing, and is answered [E SHUTDOWN: ...]), then wait up
+    to [grace] seconds (default 5) for in-flight statements to finish
+    unwinding. Returns the drain duration in seconds. The caller is
+    expected to checkpoint the database afterwards. *)
+val drain : ?grace:float -> t -> float
+
+(** Whether {!drain} has begun (new statements are refused). *)
+val draining : t -> bool
+
+(** Sessions currently connected. *)
+val active_sessions : t -> int

@@ -135,6 +135,8 @@ type statement =
   | Copy_to of { table : string; file : string }   (* COPY t TO 'f.csv' *)
   | Copy_from of { table : string; file : string } (* COPY t FROM 'f.csv' *)
   | Set_now of expr option (* SET NOW = <expr>; None restores the wall clock *)
+  | Set_timeout of int option
+    (* SET TIMEOUT <ms>: default statement deadline; None/0 disables *)
   | Show_tables
   | Describe of { table : string }
   | Checkpoint (* snapshot + truncate the WAL (no-op without durability) *)

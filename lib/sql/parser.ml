@@ -728,14 +728,26 @@ let rec parse_statement st =
     | _ -> error st "expected a quoted file name"
   end
   else if eat_kw st "SET" then begin
-    (match peek st with
-    | Token.Ident s when String.uppercase_ascii s = "NOW" -> advance st
-    | _ -> error st "only SET NOW is supported");
-    if eat_kw st "DEFAULT" then Ast.Set_now None
-    else begin
-      expect_sym st "=";
-      Ast.Set_now (Some (parse_expr st))
-    end
+    match peek st with
+    | Token.Ident s when String.uppercase_ascii s = "NOW" ->
+      advance st;
+      if eat_kw st "DEFAULT" then Ast.Set_now None
+      else begin
+        expect_sym st "=";
+        Ast.Set_now (Some (parse_expr st))
+      end
+    | Token.Ident s when String.uppercase_ascii s = "TIMEOUT" ->
+      (* SET TIMEOUT n — statement deadline in milliseconds; 0 or
+         DEFAULT disables. The [=] is optional for symmetry with NOW. *)
+      advance st;
+      if eat_kw st "DEFAULT" then Ast.Set_timeout None
+      else begin
+        ignore (eat_sym st "=");
+        match next st with
+        | Token.Int n when n >= 0 -> Ast.Set_timeout (Some n)
+        | _ -> error st "SET TIMEOUT expects a non-negative integer (ms)"
+      end
+    | _ -> error st "only SET NOW and SET TIMEOUT are supported"
   end
   else if eat_kw st "SHOW" then begin
     match peek st with

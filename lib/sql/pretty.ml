@@ -195,6 +195,8 @@ and pp_statement ppf = function
     Fmt.pf ppf "COPY %s FROM '%s'" table (escape_string file)
   | Ast.Set_now None -> Fmt.string ppf "SET NOW DEFAULT"
   | Ast.Set_now (Some e) -> Fmt.pf ppf "SET NOW = %a" pp_expr e
+  | Ast.Set_timeout None -> Fmt.string ppf "SET TIMEOUT DEFAULT"
+  | Ast.Set_timeout (Some ms) -> Fmt.pf ppf "SET TIMEOUT %d" ms
   | Ast.Show_tables -> Fmt.string ppf "SHOW TABLES"
   | Ast.Describe { table } -> Fmt.pf ppf "DESCRIBE %s" table
   | Ast.Checkpoint -> Fmt.string ppf "CHECKPOINT"

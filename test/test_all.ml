@@ -27,4 +27,5 @@ let () =
       ("copy+savepoints", Test_copy_savepoints.suite);
       ("misc-coverage", Test_misc_coverage.suite);
       ("durability", Test_durability.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("governor", Test_governor.suite) ]
