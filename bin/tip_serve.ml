@@ -21,10 +21,20 @@ let parse_sync s =
     Printf.eprintf "tip_server: bad --sync %S (want always|never|every=N)\n" s;
     exit 2
 
+let parse_log_format s =
+  match String.lowercase_ascii s with
+  | "text" -> Sink.Text
+  | "json" -> Sink.Json
+  | _ ->
+    Printf.eprintf "tip_server: bad --log-format %S (want text|json)\n" s;
+    exit 2
+
 let main port demo load save durability sync idle_timeout now slow_ms
-    max_sessions statement_timeout_ms =
+    max_sessions statement_timeout_ms trace_dir log_format =
   (* every server log line — Logs sources and our own announcements —
      goes through the one mutex-guarded timestamped sink *)
+  Option.iter (fun s -> Sink.set_format (parse_log_format s)) log_format;
+  Option.iter (fun d -> Tip_obs.Trace.set_trace_dir (Some d)) trace_dir;
   Logs.set_reporter (Sink.reporter ());
   let db =
     match durability with
@@ -141,10 +151,21 @@ let () =
                  exceeding it abort with E TIMEOUT (sessions may override \
                  with SET TIMEOUT).")
   in
+  let trace_dir =
+    Arg.(value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR"
+           ~doc:"Export the span tree of every slow statement (see \
+                 $(b,--slow-ms)) as a Chrome trace-event JSON file in DIR \
+                 (also settable via TIP_TRACE_DIR).")
+  in
+  let log_format =
+    Arg.(value & opt (some string) None & info [ "log-format" ] ~docv:"FMT"
+           ~doc:"Log output format: text (default) or json — one structured \
+                 object per line (also settable via TIP_LOG_FORMAT).")
+  in
   let term =
     Term.(const main $ port $ demo $ load $ save $ durability $ sync
           $ idle_timeout $ now $ slow_ms $ max_sessions
-          $ statement_timeout_ms)
+          $ statement_timeout_ms $ trace_dir $ log_format)
   in
   let info = Cmd.info "tip_serve" ~doc:"TIP database server" in
   exit (Cmd.eval (Cmd.v info term))

@@ -17,6 +17,7 @@ module Ast = Tip_sql.Ast
 module Parser = Tip_sql.Parser
 module Metrics = Tip_obs.Metrics
 module Trace = Tip_obs.Trace
+module Introspect = Tip_obs.Introspect
 module Deadline = Tip_core.Deadline
 
 exception Error of string
@@ -37,6 +38,13 @@ let h_statement_ns =
 let m_cancelled =
   Metrics.counter "engine_statements_cancelled_total"
     ~help:"Statements aborted by their governance token (any reason)"
+
+(* The executor's scan counter, re-registered by name (registration is
+   idempotent and returns the same handle): reading it before and after
+   a statement yields that statement's rows-scanned tally for the
+   fingerprint store — statements execute serially per database, so the
+   delta is attributable. *)
+let m_rows_scanned = Metrics.counter "exec_rows_scanned_total"
 
 let m_timed_out =
   Metrics.counter "engine_statements_timed_out_total"
@@ -822,15 +830,23 @@ let exec_statement_raw t ~token ~params stmt =
                      Value.Bool c.not_null;
                      Value.Bool c.primary_key |])
                 (Schema.columns schema) }
-      | Ast.Stats ->
+      | Ast.Stats pattern ->
+        let keep =
+          match pattern with
+          | None -> fun _ -> true
+          | Some pat -> Expr_eval.like_match ~pattern:pat
+        in
         Rows
           { names = [ "metric"; "kind"; "value" ];
             rows =
-              List.map
+              List.filter_map
                 (fun (s : Metrics.sample) ->
-                  [| Value.Str s.Metrics.s_name;
-                     Value.Str s.Metrics.s_kind;
-                     Value.Int s.Metrics.s_value |])
+                  if keep s.Metrics.s_name then
+                    Some
+                      [| Value.Str s.Metrics.s_name;
+                         Value.Str s.Metrics.s_kind;
+                         Value.Int s.Metrics.s_value |]
+                  else None)
                 (Metrics.samples ()) }
       | Ast.Checkpoint ->
         if t.tx <> None then
@@ -874,9 +890,31 @@ let effective_token t token =
      transaction the undo log is rewound to the statement boundary so a
      later ROLLBACK does not double-undo. The caller sees the raised
      reason; the WAL sees a clean statement prefix. *)
-let exec_statement ?(token = Deadline.never) t ~params stmt =
+let exec_statement ?(token = Deadline.never) ?sql t ~params stmt =
   let token = effective_token t token in
   let t0 = Trace.now_ns () in
+  let scanned0 =
+    if Introspect.enabled () then Metrics.counter_value m_rows_scanned else 0
+  in
+  (* Fold the execution into the fingerprint store (tip_stat_statements):
+     keyed by the normalized shape of the original text when the caller
+     has it, else of the pretty-printed AST (identical shape — literals
+     collapse to ? either way). Skipped entirely while disabled, so the
+     fingerprinting tax is opt-out (benchmark E20). *)
+  let note outcome ~rows_returned =
+    if Introspect.enabled () then
+      Introspect.record
+        ~query:
+          (Tip_sql.Lexer.fingerprint
+             (match sql with
+             | Some s -> s
+             | None -> Tip_sql.Pretty.statement_to_string stmt))
+        ~elapsed_ns:(Trace.now_ns () - t0)
+        ~rows_returned
+        ~rows_scanned:
+          (Stdlib.max 0 (Metrics.counter_value m_rows_scanned - scanned0))
+        outcome
+  in
   let observe () =
     Metrics.incr m_statements;
     Metrics.observe h_statement_ns (Trace.now_ns () - t0)
@@ -889,6 +927,11 @@ let exec_statement ?(token = Deadline.never) t ~params stmt =
     flush_pending t;
     maybe_auto_checkpoint t;
     observe ();
+    note Introspect.Finished
+      ~rows_returned:
+        (match result with
+        | Rows { rows; _ } -> List.length rows
+        | Affected _ | Message _ -> 0);
     result
   | exception (Failpoint.Crash _ as e) -> raise e
   | exception (Deadline.Cancelled reason as e) ->
@@ -907,15 +950,17 @@ let exec_statement ?(token = Deadline.never) t ~params stmt =
           (Deadline.reason_label reason)
           (Tip_sql.Pretty.statement_to_string stmt));
     observe ();
+    note Introspect.Cancelled ~rows_returned:0;
     raise e
   | exception e ->
     flush_pending t;
     observe ();
+    note Introspect.Errored ~rows_returned:0;
     raise e
 
 let exec ?token ?(params = []) t sql =
   match Parser.parse sql with
-  | stmt -> exec_statement ?token t ~params stmt
+  | stmt -> exec_statement ?token ~sql t ~params stmt
   | exception Parser.Error msg -> db_error "%s" msg
 
 (* Runs a ';'-separated script, returning the last result. *)
@@ -1014,3 +1059,89 @@ let render_result result =
       (Printf.sprintf "(%d row%s)" (List.length rows)
          (if List.length rows = 1 then "" else "s"));
     Buffer.contents buf
+
+(* --- Built-in virtual tables (DESIGN.md §11) --------------------------------- *)
+
+(* The engine's side of the introspection catalog: statement
+   fingerprints, the metrics registry, and per-table access counters as
+   relations. tip_stat_activity lives in the server, which owns the
+   session table. Registered at module init so every database (embedded
+   or served) resolves them. *)
+
+let ms ns = Value.Float (float_of_int ns /. 1e6)
+
+let () =
+  Vtab.register
+    { Vtab.vt_name = "tip_stat_statements";
+      vt_cols =
+        [| "query"; "calls"; "total_ms"; "mean_ms"; "min_ms"; "max_ms";
+           "p50_ms"; "p95_ms"; "p99_ms"; "rows_returned"; "rows_scanned";
+           "errors"; "cancellations" |];
+      vt_help = "statement fingerprints with latency and row aggregates";
+      vt_rows =
+        (fun _catalog ->
+          List.map
+            (fun (s : Introspect.stat) ->
+              let pct q =
+                Value.Float (Metrics.percentile_of_buckets s.buckets q /. 1e6)
+              in
+              [| Value.Str s.Introspect.query;
+                 Value.Int s.calls;
+                 ms s.total_ns;
+                 (if s.calls = 0 then Value.Null
+                  else ms (s.total_ns / s.calls));
+                 ms s.min_ns;
+                 ms s.max_ns;
+                 pct 0.50;
+                 pct 0.95;
+                 pct 0.99;
+                 Value.Int s.rows_returned;
+                 Value.Int s.rows_scanned;
+                 Value.Int s.errors;
+                 Value.Int s.cancelled |])
+            (Introspect.snapshot ())) };
+  Vtab.register
+    { Vtab.vt_name = "tip_stat_metrics";
+      vt_cols =
+        [| "name"; "kind"; "value"; "sum_ns"; "p50_ms"; "p95_ms"; "p99_ms" |];
+      vt_help = "the process metrics registry, one row per metric";
+      vt_rows =
+        (fun _catalog ->
+          List.map
+            (fun (i : Metrics.info) ->
+              let p sel =
+                match i.Metrics.i_percentiles with
+                | Some ps -> Value.Float (sel ps /. 1e6)
+                | None -> Value.Null
+              in
+              [| Value.Str i.Metrics.i_name;
+                 Value.Str i.i_kind;
+                 Value.Int i.i_value;
+                 (match i.i_sum_ns with
+                 | Some s -> Value.Int s
+                 | None -> Value.Null);
+                 p (fun (a, _, _) -> a);
+                 p (fun (_, b, _) -> b);
+                 p (fun (_, _, c) -> c) |])
+            (Metrics.infos ())) };
+  Vtab.register
+    { Vtab.vt_name = "tip_stat_tables";
+      vt_cols =
+        [| "table_name"; "row_count"; "index_count"; "scans"; "scan_rows";
+           "writes" |];
+      vt_help = "per-table live rows and access counters";
+      vt_rows =
+        (fun catalog ->
+          List.filter_map
+            (fun name ->
+              match Catalog.find_table catalog name with
+              | None -> None
+              | Some tbl ->
+                Some
+                  [| Value.Str name;
+                     Value.Int (Table.row_count tbl);
+                     Value.Int (List.length (Table.indexes tbl));
+                     Value.Int (Table.scan_count tbl);
+                     Value.Int (Table.scan_row_count tbl);
+                     Value.Int (Table.write_count tbl) |])
+            (Catalog.table_names catalog)) }

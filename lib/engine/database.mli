@@ -60,9 +60,13 @@ val exec :
   string ->
   result
 
-(** Executes an already-parsed statement. *)
+(** Executes an already-parsed statement. [sql] is the statement's
+    original text, used only to key the {!Tip_obs.Introspect}
+    fingerprint store ([tip_stat_statements]); when absent the
+    pretty-printed AST is fingerprinted instead (same shape). *)
 val exec_statement :
   ?token:Tip_core.Deadline.t ->
+  ?sql:string ->
   t ->
   params:(string * Value.t) list ->
   Ast.statement ->

@@ -303,6 +303,18 @@ let scan_rows ctx table n rids =
 let rec run_with (recurse : recurse) ctx (plan : Plan.t) : Value.t array Seq.t =
   match plan with
   | Plan.One_row -> Seq.return [||]
+  | Plan.Virtual_scan { produce; _ } ->
+    (* Providers materialize a snapshot; charge it like a scan so
+       governance budgets and metrics see virtual rows too. *)
+    let rows = produce () in
+    let n = List.length rows in
+    Metrics.add m_rows_scanned n;
+    Deadline.charge_rows_scanned ctx.Expr_eval.token n;
+    Seq.map
+      (fun row ->
+        Expr_eval.tick ctx;
+        row)
+      (seq_of_list rows)
   | Plan.Instrument { input; stats } ->
     instrumented_seq stats (fun () -> recurse ctx input)
   | Plan.Seq_scan { table; _ } ->

@@ -92,6 +92,13 @@ type t =
   | Limit of { input : t; limit : int option; offset : int option }
   | Append of t list (* concatenation of same-arity inputs (UNION ALL) *)
   | One_row (* FROM-less SELECT produces a single empty row *)
+  | Virtual_scan of {
+      vt_name : string;
+      produce : unit -> Value.t array list;
+      label : string;
+    }
+    (* snapshot of a registered virtual table (the tip_stat relations);
+       never parallel — providers read mutable registries *)
   | Instrument of { input : t; stats : op_stats }
     (* transparent wrapper recording actual rows / time (EXPLAIN ANALYZE) *)
 
@@ -119,7 +126,7 @@ let rec parallel_pipeline = function
   | Hash_join { left; _ } -> parallel_pipeline left
   | Instrument { input; _ } -> parallel_pipeline input
   | Index_scan _ | Nested_loop _ | Left_outer_join _ | Aggregate _ | Sort _
-  | Distinct _ | Limit _ | Append _ | One_row ->
+  | Distinct _ | Limit _ | Append _ | One_row | Virtual_scan _ ->
     false
 
 let rec parallel_safe = function
@@ -148,7 +155,8 @@ let rec parallel_candidate plan =
   | Left_outer_join { left; right; _ } ->
     parallel_candidate left || parallel_candidate right
   | Append inputs -> List.exists parallel_candidate inputs
-  | Seq_scan _ | Index_scan _ | Interval_scan _ | One_row -> false
+  | Seq_scan _ | Index_scan _ | Interval_scan _ | One_row | Virtual_scan _ ->
+    false
 
 (* Wrap every operator with an [Instrument] node (EXPLAIN ANALYZE).
    Only the analyze path does this, so the planner and the plain
@@ -159,7 +167,9 @@ let rec instrument plan =
   | _ ->
     let input =
       match plan with
-      | Seq_scan _ | Index_scan _ | Interval_scan _ | One_row -> plan
+      | Seq_scan _ | Index_scan _ | Interval_scan _ | One_row
+      | Virtual_scan _ ->
+        plan
       | Filter r -> Filter { r with input = instrument r.input }
       | Nested_loop { left; right } ->
         Nested_loop { left = instrument left; right = instrument right }
@@ -247,6 +257,8 @@ and pp_suffix ~indent ~suffix ppf plan =
   | Append inputs ->
     Fmt.pf ppf "%aAppend%s@." pad () suffix;
     List.iter (pp ~indent:child ppf) inputs
+  | Virtual_scan { vt_name; label; _ } ->
+    Fmt.pf ppf "%aVirtualScan %s%s%s@." pad () vt_name label suffix
   | One_row -> Fmt.pf ppf "%aOneRow%s@." pad () suffix
 
 let to_string plan = Fmt.str "%a" (pp ~indent:0) plan

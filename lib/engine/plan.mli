@@ -85,6 +85,13 @@ type t =
   | Limit of { input : t; limit : int option; offset : int option }
   | Append of t list  (** concatenation of same-arity inputs (UNION ALL) *)
   | One_row  (** FROM-less SELECT produces a single empty row *)
+  | Virtual_scan of {
+      vt_name : string;
+      produce : unit -> Value.t array list;
+      label : string;
+    }
+      (** snapshot of a registered virtual table ({!Vtab}); never
+          parallel — providers read mutable registries *)
   | Instrument of { input : t; stats : op_stats }
       (** transparent wrapper recording actual rows and wall time; the
           parallelism predicates and the executor see through it *)

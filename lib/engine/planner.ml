@@ -522,17 +522,32 @@ and plan_subquery ?outer pctx select =
 (* Builds the fref tree and layout from the FROM clause. *)
 and build_fref pctx catalog offset table_ref : fref * int =
   match table_ref with
-  | Ast.Table { name; alias; as_of = None } ->
-    let table =
-      match Catalog.find_table catalog name with
-      | Some t -> t
+  | Ast.Table { name; alias; as_of = None } -> (
+    match Catalog.find_table catalog name with
+    | Some table ->
+      let schema = Table.schema table in
+      let col_names =
+        Array.map (fun c -> c.Schema.name) schema.Schema.columns
+      in
+      let qual = Some (lc (Option.value alias ~default:name)) in
+      let binding = { qual; col_names; offset } in
+      (F_base (B_table table, binding), offset + Array.length col_names)
+    | None -> (
+      (* Catalog miss: the name may be a registered virtual table (a
+         tip_stat relation). A real table always shadows a virtual one. *)
+      match Vtab.find name with
       | None -> plan_error "no such table: %s" name
-    in
-    let schema = Table.schema table in
-    let col_names = Array.map (fun c -> c.Schema.name) schema.Schema.columns in
-    let qual = Some (lc (Option.value alias ~default:name)) in
-    let binding = { qual; col_names; offset } in
-    (F_base (B_table table, binding), offset + Array.length col_names)
+      | Some p ->
+        let plan =
+          Plan.Virtual_scan
+            { vt_name = p.Vtab.vt_name;
+              produce = (fun () -> p.Vtab.vt_rows catalog);
+              label = "" }
+        in
+        let col_names = p.Vtab.vt_cols in
+        let qual = Some (lc (Option.value alias ~default:name)) in
+        let binding = { qual; col_names; offset } in
+        (F_base (B_derived plan, binding), offset + Array.length col_names)))
   | Ast.Table { name; alias; as_of = Some at_expr } ->
     (* Time travel: read the WITH HISTORY shadow table as it was at the
        given instant. The scan filters rows whose transaction-time

@@ -125,6 +125,44 @@ let observe h ns =
 let histogram_count h = sum_cells h.h_count
 let histogram_sum h = sum_cells h.h_sum
 
+(* Non-cumulative per-bucket counts merged across shards. *)
+let raw_buckets h =
+  let merged = Array.make (Array.length bounds + 1) 0 in
+  Array.iter
+    (fun cells ->
+      Array.iteri (fun i a -> merged.(i) <- merged.(i) + Atomic.get a) cells)
+    h.h_cells;
+  merged
+
+(* Interpolated percentile over non-cumulative bucket counts: find the
+   bucket holding the q-th observation and interpolate linearly between
+   its bounds (a uniform-within-bucket assumption). The overflow bucket
+   has no upper bound, so it clamps to the last finite bound — a p99 of
+   "at least 10s" reads as 10s rather than infinity. *)
+let percentile_of_buckets buckets q =
+  let total = Array.fold_left ( + ) 0 buckets in
+  if total = 0 then 0.
+  else begin
+    let last = float_of_int bounds.(Array.length bounds - 1) in
+    let rank = q *. float_of_int total in
+    let rec go i seen =
+      if i >= Array.length buckets then last
+      else begin
+        let here = buckets.(i) in
+        if here > 0 && float_of_int (seen + here) >= rank then begin
+          let lo = if i = 0 then 0. else float_of_int bounds.(i - 1) in
+          let hi = if i < Array.length bounds then float_of_int bounds.(i) else last in
+          let frac = (rank -. float_of_int seen) /. float_of_int here in
+          Float.min (lo +. (frac *. (hi -. lo))) last
+        end
+        else go (i + 1) (seen + here)
+      end
+    in
+    go 0 0
+  end
+
+let percentile h q = percentile_of_buckets (raw_buckets h) q
+
 (* Per-bucket counts merged across shards, made cumulative (Prometheus
    histogram semantics: bucket le=X counts every observation <= X). *)
 let histogram_buckets h =
@@ -158,12 +196,23 @@ let samples () =
            [ { s_name = name; s_kind = "gauge"; s_value = gauge_value g } ]
          | M_histogram h ->
            let buckets = histogram_buckets h in
+           let raw = raw_buckets h in
+           let pct q = int_of_float (percentile_of_buckets raw q) in
            ({ s_name = name ^ "_count";
               s_kind = "histogram";
               s_value = histogram_count h }
            :: { s_name = name ^ "_sum_ns";
                 s_kind = "histogram";
                 s_value = histogram_sum h }
+           :: { s_name = name ^ "_p50_ns";
+                s_kind = "histogram";
+                s_value = pct 0.50 }
+           :: { s_name = name ^ "_p95_ns";
+                s_kind = "histogram";
+                s_value = pct 0.95 }
+           :: { s_name = name ^ "_p99_ns";
+                s_kind = "histogram";
+                s_value = pct 0.99 }
            :: Array.to_list
                 (Array.mapi
                    (fun i v ->
@@ -172,6 +221,41 @@ let samples () =
                        s_kind = "histogram";
                        s_value = v })
                    buckets)))
+
+(* One row per registered metric (histograms NOT expanded into bucket
+   samples), for the tip_stat_metrics virtual table. *)
+type info = {
+  i_name : string;
+  i_kind : string;
+  i_value : int; (* counter/gauge value; histogram observation count *)
+  i_sum_ns : int option; (* histograms only *)
+  i_percentiles : (float * float * float) option; (* p50/p95/p99, ns *)
+}
+
+let infos () =
+  metrics_sorted ()
+  |> List.map (fun (name, m, _) ->
+         match m with
+         | M_counter c ->
+           { i_name = name;
+             i_kind = "counter";
+             i_value = counter_value c;
+             i_sum_ns = None;
+             i_percentiles = None }
+         | M_gauge g ->
+           { i_name = name;
+             i_kind = "gauge";
+             i_value = gauge_value g;
+             i_sum_ns = None;
+             i_percentiles = None }
+         | M_histogram h ->
+           let raw = raw_buckets h in
+           let pct q = percentile_of_buckets raw q in
+           { i_name = name;
+             i_kind = "histogram";
+             i_value = histogram_count h;
+             i_sum_ns = Some (histogram_sum h);
+             i_percentiles = Some (pct 0.50, pct 0.95, pct 0.99) })
 
 let dump_text () =
   let buf = Buffer.create 1024 in
@@ -201,7 +285,14 @@ let dump_text () =
         Buffer.add_string buf
           (Printf.sprintf "tip_%s_sum %d\n" name (histogram_sum h));
         Buffer.add_string buf
-          (Printf.sprintf "tip_%s_count %d\n" name (histogram_count h)))
+          (Printf.sprintf "tip_%s_count %d\n" name (histogram_count h));
+        let raw = raw_buckets h in
+        List.iter
+          (fun (label, q) ->
+            Buffer.add_string buf
+              (Printf.sprintf "tip_%s_%s %.0f\n" name label
+                 (percentile_of_buckets raw q)))
+          [ ("p50_ns", 0.50); ("p95_ns", 0.95); ("p99_ns", 0.99) ])
     (metrics_sorted ());
   Buffer.contents buf
 

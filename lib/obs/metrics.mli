@@ -53,8 +53,23 @@ val histogram_sum : histogram -> int
 val bucket_labels : string array
 (** Upper-bound labels, ["1us"] ... ["10s"; "inf"]. *)
 
+val bounds : int array
+(** Finite bucket upper bounds in nanoseconds (one shorter than
+    {!bucket_labels}: the overflow bucket has no bound). *)
+
 val histogram_buckets : histogram -> int array
 (** Cumulative per-bucket counts, merged across shards. *)
+
+val percentile : histogram -> float -> float
+(** [percentile h q] (with [q] in [0, 1]) estimates the q-th latency
+    percentile in nanoseconds by linear interpolation within the bucket
+    holding the q-th observation. The unbounded overflow bucket clamps
+    to the last finite bound; an empty histogram reports 0. *)
+
+val percentile_of_buckets : int array -> float -> float
+(** {!percentile} over explicit non-cumulative bucket counts aligned
+    with {!bucket_labels} (exposed for stores that keep their own
+    bucket arrays, and for testing the interpolation directly). *)
 
 (** {1 Exposition} *)
 
@@ -62,7 +77,23 @@ type sample = { s_name : string; s_kind : string; s_value : int }
 
 val samples : unit -> sample list
 (** Flattened registry, sorted by name. Histograms expand into
-    [name_count], [name_sum_ns] and cumulative [name_le_<bound>] rows. *)
+    [name_count], [name_sum_ns], interpolated [name_p50_ns] /
+    [name_p95_ns] / [name_p99_ns] and cumulative [name_le_<bound>]
+    rows. *)
+
+(** One row per registered metric, histograms carried whole — the
+    backing of the [tip_stat_metrics] virtual table. *)
+type info = {
+  i_name : string;
+  i_kind : string;  (** ["counter"], ["gauge"] or ["histogram"] *)
+  i_value : int;  (** counter/gauge value; histogram observation count *)
+  i_sum_ns : int option;  (** histograms only *)
+  i_percentiles : (float * float * float) option;
+      (** interpolated (p50, p95, p99) in nanoseconds; histograms only *)
+}
+
+val infos : unit -> info list
+(** The registry sorted by name, one {!info} per metric. *)
 
 val dump_text : unit -> string
 (** Prometheus-style text exposition of every registered metric (the

@@ -16,6 +16,7 @@ val now_ns : unit -> int
 type span = {
   sp_name : string;
   mutable sp_attrs : (string * string) list; (* newest first *)
+  mutable sp_start_ns : int; (* wall-clock ns when the span opened *)
   mutable sp_elapsed_ns : int; (* set when the span closes *)
   mutable sp_children : span list; (* in start order once closed *)
 }
@@ -57,3 +58,30 @@ val render : span -> string
 
 val ambient : unit -> t option
 val with_ambient : t -> (unit -> 'a) -> 'a
+
+val last_root : unit -> span option
+(** The most recently finished root span (set by {!finish}). Lets the
+    server export the trace of the statement it just completed without
+    threading the handle through the engine. *)
+
+(** {1 Chrome trace-event export}
+
+    Finished span trees serialize to the Chrome trace-event JSON format
+    (an array of complete ["ph":"X"] events with microsecond [ts]/[dur]
+    relative to the root), loadable directly in [about:tracing] and
+    Perfetto. *)
+
+val to_chrome_json : span -> string
+
+val trace_dir : unit -> string option
+(** The export directory: seeded from [TIP_TRACE_DIR], overridden by
+    {!set_trace_dir} (e.g. [tip_serve --trace-dir]). [None] disables
+    export. *)
+
+val set_trace_dir : string option -> unit
+
+val export_chrome : span -> string option
+(** Writes the span tree as one [trace-<ms>-<seq>.json] file in the
+    configured directory, creating it if needed. Returns the path, or
+    [None] when no directory is configured or the write fails (export
+    must never take down the statement it observed). *)

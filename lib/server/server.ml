@@ -58,6 +58,19 @@ let h_statement_ns =
    this session, [Ms n] arms n milliseconds. *)
 type session_timeout = Inherit | Off | Ms of int
 
+(* Live session row for tip_stat_activity. The owning session thread
+   writes; the activity snapshot reads under [sessions_lock], so a
+   half-updated statement entry can never be observed. *)
+type session_info = {
+  si_id : int;
+  si_addr : string;
+  mutable si_state : string; (* "idle" | "active" *)
+  mutable si_query : string option; (* statement currently executing *)
+  mutable si_started : float; (* unix time: statement start (session
+                                 start while idle) *)
+  mutable si_token : Deadline.t option; (* current statement's token *)
+}
+
 type t = {
   db : Db.t;
   db_lock : Mutex.t;
@@ -70,6 +83,9 @@ type t = {
   inflight : (int, Deadline.t) Hashtbl.t; (* statement id -> its token *)
   inflight_lock : Mutex.t;
   stmt_ids : int Atomic.t;
+  sessions : (int, session_info) Hashtbl.t; (* session id -> live row *)
+  sessions_lock : Mutex.t;
+  session_ids : int Atomic.t;
   mutable draining : bool;
   mutable running : bool;
 }
@@ -104,6 +120,74 @@ let inflight_count t =
   Mutex.unlock t.inflight_lock;
   n
 
+(* --- Session registry (tip_stat_activity) ------------------------------- *)
+
+let with_sessions_lock t f =
+  Mutex.lock t.sessions_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.sessions_lock) f
+
+let register_session t addr =
+  let si =
+    { si_id = Atomic.fetch_and_add t.session_ids 1;
+      si_addr = addr;
+      si_state = "idle";
+      si_query = None;
+      si_started = Unix.gettimeofday ();
+      si_token = None }
+  in
+  with_sessions_lock t (fun () -> Hashtbl.replace t.sessions si.si_id si);
+  si
+
+let unregister_session t si =
+  with_sessions_lock t (fun () -> Hashtbl.remove t.sessions si.si_id)
+
+let session_begin_statement t si ~sql ~token =
+  with_sessions_lock t (fun () ->
+      si.si_state <- "active";
+      si.si_query <- Some sql;
+      si.si_started <- Unix.gettimeofday ();
+      si.si_token <- Some token)
+
+let session_end_statement t si =
+  with_sessions_lock t (fun () ->
+      si.si_state <- "idle";
+      si.si_query <- None;
+      si.si_started <- Unix.gettimeofday ();
+      si.si_token <- None)
+
+(* The current-statement start time as a TIP Instant when the blade has
+   registered the type (the server cannot depend on the blade
+   directly); plain DATE otherwise. *)
+let started_value unix_time =
+  let chronon = Tip_core.Chronon.of_unix_seconds (int_of_float unix_time) in
+  match Tip_storage.Value.lookup_type "instant" with
+  | Some vt -> (
+    try vt.Tip_storage.Value.parse (Tip_core.Chronon.to_string chronon)
+    with Tip_storage.Value.Type_error _ -> Tip_storage.Value.Date chronon)
+  | None -> Tip_storage.Value.Date chronon
+
+let activity_rows t () =
+  let module Value = Tip_storage.Value in
+  with_sessions_lock t (fun () ->
+      Hashtbl.fold
+        (fun _ si acc ->
+          [| Value.Int si.si_id;
+             Value.Str si.si_addr;
+             Value.Str si.si_state;
+             (match si.si_query with
+             | Some q -> Value.Str q
+             | None -> Value.Null);
+             started_value si.si_started;
+             (match Option.map Deadline.remaining_ms si.si_token with
+             | Some (Some ms) -> Value.Float ms
+             | Some None | None -> Value.Null) |]
+          :: acc)
+        t.sessions [])
+  |> List.sort (fun a b ->
+         match a.(0), b.(0) with
+         | Tip_storage.Value.Int x, Tip_storage.Value.Int y -> Int.compare x y
+         | _ -> 0)
+
 (* --- Statement execution ------------------------------------------------ *)
 
 (* Every failure becomes an E response; the session survives. Expected
@@ -113,37 +197,54 @@ let inflight_count t =
    caught by the final catch-all so one client cannot take the server
    down. Simulated crashes ([Failpoint.Crash]) are deliberately NOT
    caught — they stand for process death. *)
-let execute_statement_guarded t ~token ~params stmt =
+(* Returns the response plus the finished statement trace (grabbed
+   under the db lock, so it cannot be another session's): the caller
+   exports it when the statement turns out slow and --trace-dir is on. *)
+let execute_statement_guarded t ~token ~params ~sql stmt =
   Mutex.lock t.db_lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.db_lock)
     (fun () ->
-      match
-        Tip_storage.Failpoint.hit ~site:"server.exec" ();
-        (* waiting in the lock queue counts against the deadline: a
-           statement whose deadline passed while queued is answered
-           without executing at all *)
-        Deadline.check token;
-        Db.exec_statement ~token t.db ~params stmt
-      with
-      | result -> result_to_response result
-      | exception Deadline.Cancelled reason ->
-        Protocol.Error (Deadline.reason_message reason)
-      | exception Db.Error msg -> Protocol.Error msg
-      | exception Tip_engine.Planner.Plan_error msg -> Protocol.Error msg
-      | exception Tip_engine.Expr_eval.Eval_error msg -> Protocol.Error msg
-      | exception Tip_storage.Value.Type_error msg -> Protocol.Error msg
-      | exception Tip_storage.Table.Constraint_violation msg ->
-        Protocol.Error msg
-      | exception Tip_storage.Catalog.Catalog_error msg -> Protocol.Error msg
-      | exception Tip_storage.Schema.Schema_error msg -> Protocol.Error msg
-      | exception (Tip_storage.Failpoint.Crash _ as e) -> raise e
-      | exception e ->
-        Log.err (fun m ->
-            m "internal error executing %S: %s"
-              (Tip_sql.Pretty.statement_to_string stmt)
-              (Printexc.to_string e));
-        Protocol.Error ("internal error: " ^ Printexc.to_string e))
+      let root_before = Trace.last_root () in
+      let response =
+        match
+          Tip_storage.Failpoint.hit ~site:"server.exec" ();
+          (* waiting in the lock queue counts against the deadline: a
+             statement whose deadline passed while queued is answered
+             without executing at all *)
+          Deadline.check token;
+          Db.exec_statement ~token ~sql t.db ~params stmt
+        with
+        | result -> result_to_response result
+        | exception Deadline.Cancelled reason ->
+          Protocol.Error (Deadline.reason_message reason)
+        | exception Db.Error msg -> Protocol.Error msg
+        | exception Tip_engine.Planner.Plan_error msg -> Protocol.Error msg
+        | exception Tip_engine.Expr_eval.Eval_error msg -> Protocol.Error msg
+        | exception Tip_storage.Value.Type_error msg -> Protocol.Error msg
+        | exception Tip_storage.Table.Constraint_violation msg ->
+          Protocol.Error msg
+        | exception Tip_storage.Catalog.Catalog_error msg -> Protocol.Error msg
+        | exception Tip_storage.Schema.Schema_error msg -> Protocol.Error msg
+        | exception (Tip_storage.Failpoint.Crash _ as e) -> raise e
+        | exception e ->
+          Log.err (fun m ->
+              m "internal error executing %S: %s"
+                (Tip_sql.Pretty.statement_to_string stmt)
+                (Printexc.to_string e));
+          Protocol.Error ("internal error: " ^ Printexc.to_string e)
+      in
+      (* Only a root that appeared during THIS statement is ours to
+         export; a statement cancelled before it reached the engine
+         leaves [last_root] pointing at some earlier statement. *)
+      let root =
+        match Trace.last_root () with
+        | Some r
+          when (match root_before with Some b -> b != r | None -> true) ->
+          Some r
+        | _ -> None
+      in
+      (response, root))
 
 let session_timeout_ms t session_timeout =
   match session_timeout with
@@ -151,12 +252,12 @@ let session_timeout_ms t session_timeout =
   | Off -> None
   | Inherit -> t.statement_timeout_ms
 
-let execute_guarded t ~session_timeout ~params sql =
+let execute_guarded t ~session ~session_timeout ~params sql =
   let t0 = Trace.now_ns () in
-  let response =
+  let response, trace_root =
     match Tip_sql.Parser.parse sql with
-    | exception Tip_sql.Parser.Error msg -> Protocol.Error msg
-    | exception Tip_sql.Lexer.Error msg -> Protocol.Error msg
+    | exception Tip_sql.Parser.Error msg -> (Protocol.Error msg, None)
+    | exception Tip_sql.Lexer.Error msg -> (Protocol.Error msg, None)
     | Ast.Set_timeout v ->
       (* Session-scoped: the shared database's own default is left
          alone, so one client cannot re-govern the others. *)
@@ -169,22 +270,25 @@ let execute_guarded t ~session_timeout ~params sql =
         | Some _ -> (Inherit, "")
       in
       if String.equal text "" then
-        Protocol.Error "SET TIMEOUT expects a non-negative value"
+        (Protocol.Error "SET TIMEOUT expects a non-negative value", None)
       else begin
         session_timeout := setting;
-        Protocol.Message text
+        (Protocol.Message text, None)
       end
     | stmt ->
       if t.draining then
-        Protocol.Error (Deadline.reason_message Deadline.Shutdown)
+        (Protocol.Error (Deadline.reason_message Deadline.Shutdown), None)
       else begin
         let token =
           Deadline.create ?timeout_ms:(session_timeout_ms t !session_timeout) ()
         in
         let id = register_inflight t token in
+        session_begin_statement t session ~sql ~token;
         Fun.protect
-          ~finally:(fun () -> unregister_inflight t id)
-          (fun () -> execute_statement_guarded t ~token ~params stmt)
+          ~finally:(fun () ->
+            session_end_statement t session;
+            unregister_inflight t id)
+          (fun () -> execute_statement_guarded t ~token ~params ~sql stmt)
       end
   in
   let elapsed_ns = Trace.now_ns () - t0 in
@@ -195,15 +299,27 @@ let execute_guarded t ~session_timeout ~params sql =
   | _ -> ());
   (match t.slow_ms with
   | Some threshold when float_of_int elapsed_ns /. 1e6 >= threshold ->
-    Tip_obs.Log_sink.line "SLOW %.3f ms rows=%d stmt=%s"
-      (float_of_int elapsed_ns /. 1e6)
-      (response_rows response) sql
+    let ms = float_of_int elapsed_ns /. 1e6 in
+    let rows = response_rows response in
+    Tip_obs.Log_sink.event ~session:session.si_id ~event:"slow_query"
+      ~text:(Printf.sprintf "SLOW %.3f ms rows=%d stmt=%s" ms rows sql)
+      [ ("ms", Printf.sprintf "%.3f" ms);
+        ("rows", string_of_int rows);
+        ("stmt", sql) ];
+    (* Slow statements additionally export their span tree as a Chrome
+       trace-event file when --trace-dir / TIP_TRACE_DIR is set. *)
+    (match trace_root with
+    | Some root when Trace.trace_dir () <> None -> (
+      match Trace.export_chrome root with
+      | Some path -> Log.debug (fun m -> m "trace exported to %s" path)
+      | None -> ())
+    | _ -> ())
   | _ -> ());
   response
 
 (* --- Sessions ----------------------------------------------------------- *)
 
-let handle_session t fd =
+let handle_session t fd addr =
   (* SO_RCVTIMEO makes a silent client's read fail after the idle
      timeout; the session is then told why (E IDLE_TIMEOUT) and
      dropped, so clients can tell an idle drop from a crash. *)
@@ -216,6 +332,7 @@ let handle_session t fd =
   let oc = Unix.out_channel_of_descr fd in
   let params = ref [] in
   let session_timeout = ref Inherit in
+  let session = register_session t addr in
   let reply response =
     try
       Protocol.write_response oc response;
@@ -256,7 +373,9 @@ let handle_session t fd =
         params := (name, v) :: List.remove_assoc name !params;
         loop ()
       | Ok (Some (Protocol.Execute sql)) ->
-        let response = execute_guarded t ~session_timeout ~params:!params sql in
+        let response =
+          execute_guarded t ~session ~session_timeout ~params:!params sql
+        in
         params := [];
         if reply response then loop ()
       | Ok (Some Protocol.Metrics) ->
@@ -271,6 +390,7 @@ let handle_session t fd =
   Metrics.gauge_add g_sessions_active 1;
   Fun.protect
     ~finally:(fun () ->
+      unregister_session t session;
       Metrics.gauge_add g_sessions_active (-1);
       Atomic.decr t.active;
       try Unix.close fd with Unix.Unix_error _ -> ())
@@ -313,19 +433,36 @@ let listen ?(host = "127.0.0.1") ?idle_timeout ?slow_ms ?max_sessions
     match max_sessions with Some m -> Stdlib.min 16 (Stdlib.max 1 m) | None -> 16
   in
   Unix.listen fd backlog;
-  { db;
-    db_lock = Mutex.create ();
-    listener = fd;
-    idle_timeout;
-    slow_ms;
-    statement_timeout_ms;
-    max_sessions;
-    active = Atomic.make 0;
-    inflight = Hashtbl.create 16;
-    inflight_lock = Mutex.create ();
-    stmt_ids = Atomic.make 0;
-    draining = false;
-    running = true }
+  let t =
+    { db;
+      db_lock = Mutex.create ();
+      listener = fd;
+      idle_timeout;
+      slow_ms;
+      statement_timeout_ms;
+      max_sessions;
+      active = Atomic.make 0;
+      inflight = Hashtbl.create 16;
+      inflight_lock = Mutex.create ();
+      stmt_ids = Atomic.make 0;
+      sessions = Hashtbl.create 16;
+      sessions_lock = Mutex.create ();
+      session_ids = Atomic.make 1;
+      draining = false;
+      running = true }
+  in
+  (* Live session activity as a queryable relation. Registered per
+     server instance (the newest server in the process wins — tests
+     spin up one at a time); the catalog argument is ignored because
+     activity is server state, not database state. *)
+  Tip_engine.Vtab.register
+    { Tip_engine.Vtab.vt_name = "tip_stat_activity";
+      vt_cols =
+        [| "session_id"; "client_addr"; "state"; "query"; "started";
+           "deadline_remaining_ms" |];
+      vt_help = "one row per connected client session";
+      vt_rows = (fun _catalog -> activity_rows t ()) };
+  t
 
 let port t =
   match Unix.getsockname t.listener with
@@ -338,7 +475,13 @@ let serve t =
   let rec accept_loop () =
     if t.running then begin
       match Unix.accept t.listener with
-      | client_fd, _ ->
+      | client_fd, sockaddr ->
+        let addr =
+          match sockaddr with
+          | Unix.ADDR_INET (a, p) ->
+            Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+          | Unix.ADDR_UNIX path -> path
+        in
         let admitted =
           match t.max_sessions with
           | Some m -> Atomic.get t.active < m
@@ -346,7 +489,7 @@ let serve t =
         in
         if admitted then begin
           Atomic.incr t.active;
-          ignore (Thread.create (fun () -> handle_session t client_fd) ())
+          ignore (Thread.create (fun () -> handle_session t client_fd addr) ())
         end
         else begin
           Metrics.incr m_sessions_rejected;

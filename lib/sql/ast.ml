@@ -140,7 +140,9 @@ type statement =
   | Show_tables
   | Describe of { table : string }
   | Checkpoint (* snapshot + truncate the WAL (no-op without durability) *)
-  | Stats (* the metrics registry as rows; SHOW METRICS is an alias *)
+  | Stats of string option
+    (* the metrics registry as rows; SHOW METRICS is an alias; the
+       optional LIKE pattern filters metric names *)
 
 and insert_source =
   | Values of expr list list

@@ -201,3 +201,137 @@ let tokenize src =
       go (t :: acc)
   in
   Array.of_list (go [])
+
+(* Normalized statement shape for the introspection catalog: every
+   literal and host variable collapses to [?], bare identifiers and
+   keywords fold to lowercase, comments and whitespace disappear, and
+   tokens are re-joined with single spaces. Two statements differing
+   only in constants therefore share one fingerprint, while quoted
+   identifiers keep their case (they name distinct objects). Input the
+   lexer rejects falls back to its trimmed raw text so errors are still
+   attributable to *something* in tip_stat_statements. *)
+(* Runs on EVERY statement (the engine's introspection hook), so it is a
+   hand-rolled single pass over the source — same token boundaries as
+   [tokenize], but no token array, no locations, no literal decoding:
+   the only allocation is the output buffer. *)
+let fingerprint src =
+  let len = String.length src in
+  let buf = Buffer.create len in
+  let exception Fallback in
+  let emit_sep () = if Buffer.length buf > 0 then Buffer.add_char buf ' ' in
+  try
+    let i = ref 0 in
+    (* no options, no substrings: this runs on every statement *)
+    let next_is c = !i + 1 < len && src.[!i + 1] = c in
+    while !i < len do
+      match src.[!i] with
+      | ' ' | '\t' | '\r' | '\n' -> incr i
+      | '-' when next_is '-' ->
+        while !i < len && src.[!i] <> '\n' do incr i done
+      | '/' when next_is '*' ->
+        i := !i + 2;
+        let closed = ref false in
+        while not !closed do
+          if !i >= len then raise Fallback
+          else if src.[!i] = '*' && next_is '/' then begin
+            i := !i + 2;
+            closed := true
+          end
+          else incr i
+        done
+      | '0' .. '9' ->
+        while !i < len && is_digit src.[!i] do incr i done;
+        if
+          !i < len
+          && src.[!i] = '.'
+          && !i + 1 < len
+          && is_digit src.[!i + 1]
+        then begin
+          incr i;
+          while !i < len && is_digit src.[!i] do incr i done
+        end;
+        if !i < len && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+          incr i;
+          if !i < len && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+          while !i < len && is_digit src.[!i] do incr i done
+        end;
+        emit_sep ();
+        Buffer.add_char buf '?'
+      | '\'' ->
+        incr i;
+        let closed = ref false in
+        while not !closed do
+          if !i >= len then raise Fallback
+          else if src.[!i] = '\'' && next_is '\'' then i := !i + 2
+          else if src.[!i] = '\'' then begin
+            incr i;
+            closed := true
+          end
+          else incr i
+        done;
+        emit_sep ();
+        Buffer.add_char buf '?'
+      | '"' ->
+        incr i;
+        emit_sep ();
+        Buffer.add_char buf '"';
+        let closed = ref false in
+        while not !closed do
+          if !i >= len then raise Fallback
+          else if src.[!i] = '"' && next_is '"' then begin
+            Buffer.add_char buf '"';
+            i := !i + 2
+          end
+          else if src.[!i] = '"' then begin
+            incr i;
+            closed := true
+          end
+          else begin
+            Buffer.add_char buf src.[!i];
+            incr i
+          end
+        done;
+        Buffer.add_char buf '"'
+      | c when is_ident_start c ->
+        emit_sep ();
+        while !i < len && is_ident_char src.[!i] do
+          Buffer.add_char buf (Char.lowercase_ascii src.[!i]);
+          incr i
+        done
+      | ':' when next_is ':' ->
+        i := !i + 2;
+        emit_sep ();
+        Buffer.add_string buf "::"
+      | ':' ->
+        if !i + 1 < len && is_ident_start src.[!i + 1] then begin
+          incr i;
+          while !i < len && is_ident_char src.[!i] do incr i done;
+          emit_sep ();
+          Buffer.add_char buf '?'
+        end
+        else raise Fallback
+      | '<' when next_is '=' || next_is '>' ->
+        emit_sep ();
+        Buffer.add_string buf (if next_is '=' then "<=" else "<>");
+        i := !i + 2
+      | '>' when next_is '=' ->
+        i := !i + 2;
+        emit_sep ();
+        Buffer.add_string buf ">="
+      | '!' when next_is '=' ->
+        i := !i + 2;
+        emit_sep ();
+        Buffer.add_string buf "<>"
+      | '|' when next_is '|' ->
+        i := !i + 2;
+        emit_sep ();
+        Buffer.add_string buf "||"
+      | ( '(' | ')' | ',' | '.' | ';' | '+' | '-' | '*' | '/' | '%' | '='
+        | '<' | '>' ) as c ->
+        incr i;
+        emit_sep ();
+        Buffer.add_char buf c
+      | _ -> raise Fallback
+    done;
+    Buffer.contents buf
+  with Fallback -> String.trim src

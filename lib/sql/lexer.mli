@@ -10,3 +10,10 @@ exception Error of string
 (** Lexes the whole input; the result always ends with {!Token.Eof}.
     @raise Error with position information on malformed input. *)
 val tokenize : string -> Token.located array
+
+(** Normalized statement shape (the key of [tip_stat_statements]):
+    literals and [:host] variables become [?], bare identifiers fold to
+    lowercase, comments/whitespace collapse, tokens re-join with single
+    spaces. Quoted identifiers keep their case. Unlexable input returns
+    its trimmed raw text instead of raising. *)
+val fingerprint : string -> string

@@ -756,13 +756,22 @@ let rec parse_statement st =
       Ast.Show_tables
     | Token.Ident s when String.uppercase_ascii s = "METRICS" ->
       advance st;
-      Ast.Stats
+      Ast.Stats (stats_like st)
     | _ -> error st "expected TABLES or METRICS"
   end
   else if eat_kw st "DESCRIBE" then Ast.Describe { table = ident st }
   else if eat_kw st "CHECKPOINT" then Ast.Checkpoint
-  else if eat_kw st "STATS" then Ast.Stats
+  else if eat_kw st "STATS" then Ast.Stats (stats_like st)
   else error st "expected a statement"
+
+(* Optional metric-name filter: STATS LIKE 'wal%'. *)
+and stats_like st =
+  if eat_kw st "LIKE" then begin
+    match next st with
+    | Token.String pat -> Some pat
+    | _ -> error st "LIKE expects a string pattern"
+  end
+  else None
 
 (* --- Entry points ------------------------------------------------------ *)
 

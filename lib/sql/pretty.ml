@@ -200,7 +200,9 @@ and pp_statement ppf = function
   | Ast.Show_tables -> Fmt.string ppf "SHOW TABLES"
   | Ast.Describe { table } -> Fmt.pf ppf "DESCRIBE %s" table
   | Ast.Checkpoint -> Fmt.string ppf "CHECKPOINT"
-  | Ast.Stats -> Fmt.string ppf "STATS"
+  | Ast.Stats None -> Fmt.string ppf "STATS"
+  | Ast.Stats (Some pat) ->
+    Fmt.pf ppf "STATS LIKE '%s'" (escape_string pat)
 
 let expr_to_string e = Fmt.str "%a" pp_expr e
 let statement_to_string s = Fmt.str "%a" pp_statement s

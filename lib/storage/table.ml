@@ -25,10 +25,22 @@ type t = {
   schema : Schema.t;
   heap : Heap.t;
   mutable indexes : index list;
+  (* access counters for tip_stat_tables: one bulk atomic add per scan
+     entry point, never per row, so parallel workers do not contend *)
+  scans : int Atomic.t;
+  scan_rows : int Atomic.t;
+  writes : int Atomic.t;
 }
 
 let create schema =
-  let t = { schema; heap = Heap.create (); indexes = [] } in
+  let t =
+    { schema;
+      heap = Heap.create ();
+      indexes = [];
+      scans = Atomic.make 0;
+      scan_rows = Atomic.make 0;
+      writes = Atomic.make 0 }
+  in
   (match Schema.primary_key_index schema with
   | Some i ->
     t.indexes <-
@@ -112,6 +124,7 @@ let insert t row =
     t.indexes;
   let rid = Heap.insert t.heap row in
   List.iter (fun idx -> index_insert idx row rid) t.indexes;
+  ignore (Atomic.fetch_and_add t.writes 1);
   rid
 
 let delete t rid =
@@ -120,6 +133,7 @@ let delete t rid =
   | Some row ->
     List.iter (fun idx -> index_remove idx row rid) t.indexes;
     ignore (Heap.delete t.heap rid);
+    ignore (Atomic.fetch_and_add t.writes 1);
     true
 
 let update t rid row =
@@ -135,14 +149,37 @@ let update t rid row =
       List.iter (fun idx -> index_remove idx row rid) t.indexes;
       List.iter (fun idx -> index_insert idx old_row rid) t.indexes;
       raise e);
+    ignore (Atomic.fetch_and_add t.writes 1);
     true
 
 let get t rid = Heap.get t.heap rid
-let rids t = Heap.rids t.heap
-let rids_array t = Heap.rids_array t.heap
 let get_exn t rid = Heap.get_exn t.heap rid
-let iteri f t = Heap.iteri f t.heap
-let fold f init t = Heap.fold f init t.heap
+
+(* Scan entry points charge the access counters in bulk: one scan, plus
+   the live rows it will visit. *)
+let charge_scan t =
+  ignore (Atomic.fetch_and_add t.scans 1);
+  ignore (Atomic.fetch_and_add t.scan_rows (Heap.live_count t.heap))
+
+let rids t =
+  charge_scan t;
+  Heap.rids t.heap
+
+let rids_array t =
+  charge_scan t;
+  Heap.rids_array t.heap
+
+let iteri f t =
+  charge_scan t;
+  Heap.iteri f t.heap
+
+let fold f init t =
+  charge_scan t;
+  Heap.fold f init t.heap
+
+let scan_count t = Atomic.get t.scans
+let scan_row_count t = Atomic.get t.scan_rows
+let write_count t = Atomic.get t.writes
 
 (* --- Secondary indexes -------------------------------------------------- *)
 

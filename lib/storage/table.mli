@@ -53,6 +53,21 @@ val rids_array : t -> int array
 val iteri : (int -> Value.t array -> unit) -> t -> unit
 val fold : ('a -> Value.t array -> 'a) -> 'a -> t -> 'a
 
+(** {1 Access counters}
+
+    Cheap per-table statistics for the [tip_stat_tables] catalog,
+    charged in bulk (one atomic add per scan entry, one per mutation),
+    never per row. *)
+
+(** Full-scan entries ({!rids}, {!rids_array}, {!iteri}, {!fold}). *)
+val scan_count : t -> int
+
+(** Cumulative live rows visible to those scans. *)
+val scan_row_count : t -> int
+
+(** Successful inserts, deletes and updates. *)
+val write_count : t -> int
+
 (** {1 Secondary indexes} *)
 
 val find_index : t -> string -> index option

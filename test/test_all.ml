@@ -28,4 +28,5 @@ let () =
       ("misc-coverage", Test_misc_coverage.suite);
       ("durability", Test_durability.suite);
       ("obs", Test_obs.suite);
-      ("governor", Test_governor.suite) ]
+      ("governor", Test_governor.suite);
+      ("introspect", Test_introspect.suite) ]

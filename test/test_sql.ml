@@ -159,11 +159,17 @@ let check_statements () =
   | Ast.Explain { analyze = true; target = Ast.Select _ } -> ()
   | _ -> Alcotest.fail "explain analyze");
   (match parse "STATS" with
-  | Ast.Stats -> ()
+  | Ast.Stats None -> ()
   | _ -> Alcotest.fail "stats");
   (match parse "SHOW METRICS" with
-  | Ast.Stats -> ()
+  | Ast.Stats None -> ()
   | _ -> Alcotest.fail "show metrics");
+  (match parse "STATS LIKE 'wal%'" with
+  | Ast.Stats (Some "wal%") -> ()
+  | _ -> Alcotest.fail "stats like");
+  (match parse "SHOW METRICS LIKE 'engine%'" with
+  | Ast.Stats (Some "engine%") -> ()
+  | _ -> Alcotest.fail "show metrics like");
   (match parse "CREATE UNIQUE INDEX i ON t (c)" with
   | Ast.Create_index { unique = true; _ } -> ()
   | _ -> Alcotest.fail "unique index");
