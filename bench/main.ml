@@ -42,6 +42,12 @@ let json_path : string option ref = ref None
 let current_suite = ref ""
 let records : (string * string * float) list ref = ref []
 
+(* [--gate] turns the E21 batch-vs-row comparison into a regression
+   check: any case where batch execution is slower than row-at-a-time
+   (beyond a noise tolerance) fails the run. *)
+let gate = ref false
+let gate_failures : string list ref = ref []
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -1072,6 +1078,56 @@ let bench_introspect () =
 
 (* --- Driver --------------------------------------------------------------------------------- *)
 
+(* --- E21: vectorized batch execution ----------------------------------------------------------- *)
+
+let bench_vector () =
+  banner "E21 vector"
+    "Batch-at-a-time execution (DESIGN.md §12): the same plans driven in\n\
+     1024-row chunks with selection vectors and fused filter/join/aggregate\n\
+     kernels, against the row-at-a-time interpreter. Expect: batch at or\n\
+     above row speed everywhere (the --gate flag enforces it), with the\n\
+     margin widening on scan-heavy shapes; answers are identical\n\
+     (test/test_vector.ml fuzzes that invariant).";
+  let module Executor = Tip_engine.Executor in
+  let sizes = List.map (fun n -> n * scale) [ 200; 1000; 5000 ] in
+  let overlap_filter =
+    "SELECT patient FROM Prescription WHERE overlaps(valid, '{[2001-01-01, \
+     2001-03-01]}')"
+  in
+  let rows =
+    List.concat_map
+      (fun n ->
+        let db = medical_db ~prescriptions:n in
+        List.map
+          (fun (label, work) ->
+            let run mode () =
+              Executor.set_batch_enabled mode;
+              work ()
+            in
+            let measured =
+              measure_tests
+                [ (Printf.sprintf "%s row %d" label n, run false);
+                  (Printf.sprintf "%s batch %d" label n, run true) ]
+            in
+            Executor.set_batch_enabled true;
+            let get i = snd (List.nth measured i) in
+            let row_ns = get 0 and batch_ns = get 1 in
+            if !gate && not (batch_ns <= row_ns *. 1.2) then
+              gate_failures :=
+                Printf.sprintf "%s %d: batch %s slower than row %s" label n
+                  (ns_to_string batch_ns) (ns_to_string row_ns)
+                :: !gate_failures;
+            [ Printf.sprintf "%s %d" label n; ns_to_string row_ns;
+              ns_to_string batch_ns; Printf.sprintf "%.2fx" (row_ns /. batch_ns) ])
+          [ ("selfjoin",
+             fun () -> ignore (Tip_workload.Layered.native_self_join db));
+            ("coalesce",
+             fun () -> ignore (Tip_workload.Layered.native_coalesce db));
+            ("overlap-filter", fun () -> ignore (Db.exec db overlap_filter)) ])
+      sizes
+  in
+  print_table [ "case"; "row"; "batch"; "speedup" ] rows
+
 let suites =
   [ ("element", bench_element);
     ("coalesce", bench_coalesce);
@@ -1087,13 +1143,17 @@ let suites =
     ("wal", bench_wal);
     ("observability", bench_observability);
     ("governance", bench_governance);
-    ("introspect", bench_introspect) ]
+    ("introspect", bench_introspect);
+    ("vector", bench_vector) ]
 
 let () =
   let rec parse_args = function
     | [] -> []
     | "--json" :: path :: rest ->
       json_path := Some path;
+      parse_args rest
+    | "--gate" :: rest ->
+      gate := true;
       parse_args rest
     | arg :: rest -> arg :: parse_args rest
   in
@@ -1115,4 +1175,12 @@ let () =
         Printf.printf "unknown suite %s (available: %s)\n" name
           (String.concat ", " (List.map fst suites)))
     requested;
-  Option.iter write_json !json_path
+  Option.iter write_json !json_path;
+  if !gate then begin
+    match !gate_failures with
+    | [] -> print_endline "\nvector gate: batch >= row on every case"
+    | failures ->
+      print_endline "\nvector gate FAILED:";
+      List.iter (Printf.printf "  %s\n") (List.rev failures);
+      exit 1
+  end

@@ -323,13 +323,27 @@ let install_routines ext =
 let install_aggregates ext =
   let open Tip_engine.Extension in
   (* group_union: the temporal coalescing aggregate of the paper's
-     Section 2 — union of a collection of elements. *)
+     Section 2 — union of a collection of elements. The accumulator is
+     an *unnormalized* element: each step just prepends the input's
+     periods (union is normalize-of-concatenation, so order is free),
+     and one normalize in the finalizer coalesces everything — O(n log n)
+     per group instead of a full re-sort-and-sweep per input row. The
+     concatenation view also makes partial accumulators mergeable, so
+     coalescing runs on the morsel-parallel path. *)
+  let concat_elements a b =
+    element
+      (Element.of_periods
+         (List.rev_append (Element.periods a) (Element.periods b)))
+  in
   register_aggregate ext ~name:"group_union"
     { agg_init = (fun () -> element Element.empty);
       agg_step =
-        (fun ~now acc v ->
-          element (Element.union ~now (as_element acc) (to_element_value v)));
-      agg_final = (fun ~now:_ acc -> acc) };
+        (fun ~now:_ acc v ->
+          concat_elements (to_element_value v) (as_element acc));
+      agg_final = (fun ~now acc -> element (Element.normalize ~now (as_element acc)));
+      agg_merge =
+        Some
+          (fun ~now:_ a b -> concat_elements (as_element a) (as_element b)) };
   (* group_intersect: chronons common to every input element. *)
   register_aggregate ext ~name:"group_intersect"
     { agg_init = (fun () -> Value.Null); (* no input yet *)
@@ -338,7 +352,13 @@ let install_aggregates ext =
           if Value.is_null acc then element (to_element_value v)
           else
             element (Element.intersect ~now (as_element acc) (to_element_value v)));
-      agg_final = (fun ~now:_ acc -> acc) };
+      agg_final = (fun ~now:_ acc -> acc);
+      agg_merge =
+        Some
+          (fun ~now a b ->
+            if Value.is_null a then b
+            else if Value.is_null b then a
+            else element (Element.intersect ~now (as_element a) (as_element b))) };
   (* group_profile: per-instant COUNT — the sequenced aggregation that
      plain element routines cannot express (see EXPERIMENTS.md E12). The
      accumulator collects the grounded inputs; the final sweep builds the
@@ -357,7 +377,16 @@ let install_aggregates ext =
                  (Profile.entries current)
           in
           profile (Profile.of_weighted_ground weighted));
-      agg_final = (fun ~now:_ acc -> acc) }
+      agg_final = (fun ~now:_ acc -> acc);
+      agg_merge =
+        Some
+          (fun ~now:_ a b ->
+            let weighted p =
+              List.map
+                (fun e -> ([ e.Profile.span_ ], e.Profile.value))
+                (Profile.entries (as_profile p))
+            in
+            profile (Profile.of_weighted_ground (weighted a @ weighted b))) }
 
 let install_planner_hooks ext =
   Tip_engine.Extension.register_interval_sargable ext ~name:"overlaps";

@@ -108,6 +108,21 @@ let holds ~now r p q =
   | Some r' -> r = r'
   | None -> false
 
+(* Batched relation test for the chunked executor: classify ground pairs
+   drawn through a selection vector, compacting [sel] in place to the
+   pairs satisfying [r] and returning the surviving count. One
+   [classify_ground] per pair, no per-pair allocation. *)
+let holds_batch_ground r ~p ~q ~sel ~n =
+  let k = ref 0 in
+  for j = 0 to n - 1 do
+    let i = sel.(j) in
+    if classify_ground p.(i) q.(i) = r then begin
+      sel.(!k) <- i;
+      incr k
+    end
+  done;
+  !k
+
 let before ~now p q = holds ~now Before p q
 let meets ~now p q = holds ~now Meets p q
 let overlaps ~now p q = holds ~now Overlaps p q

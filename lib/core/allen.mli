@@ -42,6 +42,18 @@ val classify : now:Chronon.t -> Period.t -> Period.t -> relation option
     none. *)
 val holds : now:Chronon.t -> relation -> Period.t -> Period.t -> bool
 
+(** Batched relation test over parallel arrays of ground periods for the
+    chunked executor: compacts the selection vector [sel] (first [n]
+    entries index [p]/[q]) in place to the pairs satisfying the
+    relation, returning the surviving count. *)
+val holds_batch_ground :
+  relation ->
+  p:Period.ground array ->
+  q:Period.ground array ->
+  sel:int array ->
+  n:int ->
+  int
+
 (** {1 One predicate per relation} *)
 
 val before : now:Chronon.t -> Period.t -> Period.t -> bool

@@ -12,8 +12,11 @@ let epoch = 0
 
 let compare = Int.compare
 let equal = Int.equal
-let min = Stdlib.min
-let max = Stdlib.max
+
+(* Monomorphic: [Stdlib.min] would drag every comparison in the hot
+   element algebra through the polymorphic compare runtime. *)
+let min (a : int) (b : int) = if a <= b then a else b
+let max (a : int) (b : int) = if a >= b then a else b
 let hash t = t
 
 let to_unix_seconds t = t

@@ -44,9 +44,26 @@ let sweep sorted =
 
 let compare_ground (s1, _) (s2, _) = Chronon.compare s1 s2
 
+(* Elements are usually written (and always produced) in start order, so
+   probe the common case before paying for a sort; when one is needed,
+   the in-place array sort beats [List.sort]'s allocation churn — this
+   is the hot finalizer of [group_union], which grounds one unsorted
+   concatenation per group. *)
+let rec sorted_asc = function
+  | a :: (b :: _ as rest) -> compare_ground a b <= 0 && sorted_asc rest
+  | [] | [ _ ] -> true
+
 let ground ~now t =
   let bound = List.filter_map (Period.ground ~now) t in
-  sweep (List.sort compare_ground bound)
+  let sorted =
+    if sorted_asc bound then bound
+    else begin
+      let arr = Array.of_list bound in
+      Array.sort compare_ground arr;
+      Array.to_list arr
+    end
+  in
+  sweep sorted
 
 let normalize ~now t = of_ground_list (ground ~now t)
 

@@ -56,6 +56,41 @@ let overlaps ~now a b =
   | Some ga, Some gb -> ground_overlaps ga gb
   | None, _ | _, None -> false
 
+(* --- Batch kernels (vectorized execution) ----------------------------------- *)
+
+(* The batch executor works over conservative integer extents (unix
+   seconds, see Value.extents), not Chronon.t: these kernels are the
+   tight inner loops behind chunked OVERLAPS filters. Each takes a
+   selection vector [sel] of length [n] indexing the bound arrays,
+   compacts it in place to the surviving rows, and returns the new
+   count. *)
+
+(* Rows whose extent [starts.(i), ends.(i)] intersects [lo, hi]. *)
+let batch_overlaps_window ~starts ~ends ~lo ~hi ~sel ~n =
+  let k = ref 0 in
+  for j = 0 to n - 1 do
+    let i = sel.(j) in
+    if starts.(i) <= hi && lo <= ends.(i) then begin
+      sel.(!k) <- i;
+      incr k
+    end
+  done;
+  !k
+
+(* Row pairs whose extents intersect each other: the nonempty-ground-
+   intersection test (s1 <= e2 && s2 <= e1), matching [ground_overlaps]
+   on finite bounds. *)
+let batch_overlaps_pairs ~starts1 ~ends1 ~starts2 ~ends2 ~sel ~n =
+  let k = ref 0 in
+  for j = 0 to n - 1 do
+    let i = sel.(j) in
+    if starts1.(i) <= ends2.(i) && starts2.(i) <= ends1.(i) then begin
+      sel.(!k) <- i;
+      incr k
+    end
+  done;
+  !k
+
 let contains_period ~now a b =
   match ground ~now a, ground ~now b with
   | Some (s1, e1), Some (s2, e2) ->

@@ -58,6 +58,25 @@ val span_of : now:Chronon.t -> t -> t -> t option
 
 val ground_overlaps : ground -> ground -> bool
 
+(** {1 Batch kernels}
+
+    Tight loops over integer extent arrays (unix-second bounds as
+    produced by [Value.extents]) for the chunked executor. Each kernel
+    compacts the selection vector [sel] (first [n] entries are row
+    indexes into the bound arrays) in place to the rows passing the
+    test, returning the surviving count. *)
+
+(** Keep rows whose extent [starts.(i), ends.(i)] intersects [lo, hi]. *)
+val batch_overlaps_window :
+  starts:int array -> ends:int array -> lo:int -> hi:int ->
+  sel:int array -> n:int -> int
+
+(** Keep rows where extent 1 intersects extent 2 (the nonempty-ground-
+    intersection test, matching {!ground_overlaps} on finite bounds). *)
+val batch_overlaps_pairs :
+  starts1:int array -> ends1:int array -> starts2:int array ->
+  ends2:int array -> sel:int array -> n:int -> int
+
 (** {1 Equality} *)
 
 (** Structural equality of the representation (NOW kept symbolic). *)

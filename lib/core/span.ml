@@ -49,8 +49,8 @@ let ratio a b =
 
 let compare = Int.compare
 let equal = Int.equal
-let min = Stdlib.min
-let max = Stdlib.max
+let min (a : int) (b : int) = if a <= b then a else b
+let max (a : int) (b : int) = if a >= b then a else b
 
 let pp ppf t =
   let magnitude = Stdlib.abs t in

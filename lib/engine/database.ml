@@ -848,6 +848,31 @@ let exec_statement_raw t ~token ~params stmt =
                          Value.Int s.Metrics.s_value |]
                   else None)
                 (Metrics.samples ()) }
+      | Ast.Analyze target ->
+        let targets =
+          match target with
+          | Some name -> (
+            match Catalog.find_table t.catalog name with
+            | Some tbl -> [ tbl ]
+            | None -> db_error "no such table: %s" name)
+          | None ->
+            List.filter_map
+              (Catalog.find_table t.catalog)
+              (Catalog.table_names t.catalog)
+        in
+        let analyzed_at = Tip_core.Chronon.to_string now in
+        let total =
+          List.fold_left
+            (fun acc tbl ->
+              let st = Table.analyze ~analyzed_at tbl in
+              acc + st.Stats.st_rows)
+            0 targets
+        in
+        Message
+          (Printf.sprintf "ANALYZE complete (%d table%s, %d rows sampled)"
+             (List.length targets)
+             (if List.length targets = 1 then "" else "s")
+             total)
       | Ast.Checkpoint ->
         if t.tx <> None then
           db_error "CHECKPOINT is not allowed inside a transaction";
@@ -1128,8 +1153,8 @@ let () =
     { Vtab.vt_name = "tip_stat_tables";
       vt_cols =
         [| "table_name"; "row_count"; "index_count"; "scans"; "scan_rows";
-           "writes" |];
-      vt_help = "per-table live rows and access counters";
+           "writes"; "last_analyzed"; "histogram_buckets" |];
+      vt_help = "per-table live rows, access counters and ANALYZE state";
       vt_rows =
         (fun catalog ->
           List.filter_map
@@ -1137,11 +1162,20 @@ let () =
               match Catalog.find_table catalog name with
               | None -> None
               | Some tbl ->
+                let analyzed, buckets =
+                  match Table.stats tbl with
+                  | Some st ->
+                    ( Value.Str st.Stats.st_analyzed_at,
+                      Value.Int st.Stats.st_buckets )
+                  | None -> (Value.Null, Value.Null)
+                in
                 Some
                   [| Value.Str name;
                      Value.Int (Table.row_count tbl);
                      Value.Int (List.length (Table.indexes tbl));
                      Value.Int (Table.scan_count tbl);
                      Value.Int (Table.scan_row_count tbl);
-                     Value.Int (Table.write_count tbl) |])
+                     Value.Int (Table.write_count tbl);
+                     analyzed;
+                     buckets |])
             (Catalog.table_names catalog)) }

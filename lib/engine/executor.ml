@@ -88,6 +88,18 @@ end
 
 module Row_table = Hashtbl.Make (Row_array_key)
 
+(* Hash table keyed by a single value, for the one-key hash-join fast
+   path: probing with the value itself avoids allocating a one-element
+   key list per probe row. *)
+module Val_key = struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end
+
+module Val_table = Hashtbl.Make (Val_key)
+
 (* --- Aggregate runners -------------------------------------------------- *)
 
 type runner = { step : Value.t array -> unit; final : unit -> Value.t }
@@ -171,14 +183,21 @@ let make_runner ctx (spec : Plan.agg_spec) : runner =
       final = (fun () -> !acc) }
   | Plan.Agg_user (agg, _) ->
     let acc = ref (agg.Extension.agg_init ()) in
+    let steps = ref 0 in
+    (* The coalesce counter is flushed at finalization rather than paying
+       an atomic per input row. *)
     { step =
         (fun row ->
           let v = eval_arg row in
           if not (Value.is_null v) then begin
-            Metrics.incr m_rows_coalesced;
+            incr steps;
             acc := agg.Extension.agg_step ~now:ctx.Expr_eval.now !acc v
           end);
-      final = (fun () -> agg.Extension.agg_final ~now:ctx.Expr_eval.now !acc) }
+      final =
+        (fun () ->
+          Metrics.add m_rows_coalesced !steps;
+          steps := 0;
+          agg.Extension.agg_final ~now:ctx.Expr_eval.now !acc) }
 
 (* --- Sequence helpers ----------------------------------------------------- *)
 
@@ -289,18 +308,117 @@ let instrumented_seq (stats : Plan.op_stats) (produce : unit -> Value.t array Se
   wrap (fun () -> (produce ()) ())
 
 (* Leaf-scan body shared by the three scan operators: bulk metric +
-   budget charge once per scan, a governance tick per produced row so a
-   runaway statement is observed within one poll interval. *)
+   budget charge once per scan, and a cancellation poll every 256 rows
+   through a scan-local counter (the shared per-row tick counter is
+   costlier on the hot path and buys nothing here). Armed failpoints
+   fall back to a poll per row so injected cancellations land at exact
+   row boundaries, as the governance fuzz requires. *)
 let scan_rows ctx table n rids =
   Metrics.add m_rows_scanned n;
   Deadline.charge_rows_scanned ctx.Expr_eval.token n;
-  Seq.filter_map
-    (fun rid ->
-      Expr_eval.tick ctx;
-      Table.get table rid)
-    (seq_of_list rids)
+  if Failpoint.active () then
+    Seq.filter_map
+      (fun rid ->
+        Expr_eval.tick ctx;
+        Table.get table rid)
+      (seq_of_list rids)
+  else begin
+    let k = ref 0 in
+    Seq.filter_map
+      (fun rid ->
+        incr k;
+        if !k land 255 = 0 then Expr_eval.poll ctx;
+        Table.get table rid)
+      (seq_of_list rids)
+  end
+
+(* --- Chunks (batch-at-a-time execution) ---------------------------------- *)
+
+(* Fixed-size chunks of row references with a selection vector: leaf
+   scans fill [rows]/[len], filters compact [sel] in place via fused
+   kernels ({!Expr_eval.batch_pred}), and projections/joins write fresh
+   rows into stage-owned output chunks. Buffers are reused across chunks
+   — safe because emitted rows are heap-row references or freshly
+   allocated operator outputs, never the chunk buffer itself. *)
+let chunk_size = 1024
+
+type chunk = {
+  mutable rows : Value.t array array; (* row buffer; first [len] filled *)
+  mutable len : int;
+  mutable sel : int array; (* selection vector; first [nsel] valid *)
+  mutable nsel : int;
+}
+
+let make_chunk () =
+  { rows = Array.make chunk_size [||];
+    len = 0;
+    sel = Array.make chunk_size 0;
+    nsel = 0 }
+
+(* Grow [rows]/[sel] to hold at least [n] entries (join fan-out can
+   exceed the fixed chunk size). *)
+let ensure_capacity c n =
+  if Array.length c.rows < n then begin
+    let rows = Array.make (Stdlib.max n (2 * Array.length c.rows)) [||] in
+    Array.blit c.rows 0 rows 0 (Array.length c.rows);
+    c.rows <- rows
+  end;
+  if Array.length c.sel < n then begin
+    let sel = Array.make (Stdlib.max n (2 * Array.length c.sel)) 0 in
+    Array.blit c.sel 0 sel 0 (Array.length c.sel);
+    c.sel <- sel
+  end
+
+(* Fill [c] with the live rows of rids[lo, lo+len) (at most [chunk_size])
+   and reset the selection vector to identity. *)
+let fill_chunk table (rids : int array) lo len c =
+  let n = ref 0 in
+  for i = lo to lo + len - 1 do
+    match Table.get table rids.(i) with
+    | Some row ->
+      c.rows.(!n) <- row;
+      c.sel.(!n) <- !n;
+      incr n
+    | None -> ()
+  done;
+  c.len <- !n;
+  c.nsel <- !n
+
+(* Batch execution toggle: the batch-vs-row differential fuzz and the
+   bench's row-mode baseline turn it off to force the row-at-a-time
+   operators. *)
+let batch_enabled = ref true
+let set_batch_enabled b = batch_enabled := b
+
+(* Tables below this stay on the row path even when batching is on:
+   chunk setup (selection-vector init, stage allocation) costs more than
+   it saves on a handful of rows. Settable so the differential fuzz can
+   push its small tables through the batch kernels. *)
+let batch_min_rows = ref 256
+let set_batch_min_rows n = batch_min_rows := max 0 n
+
+(* Sequential chunk dispatch pays off once at least one operator can
+   fuse above a rid-splittable leaf; bare leaves keep the row path
+   (scan_rows already bulk-charges). Armed failpoints force the row
+   path so per-row poll counts stay exact for the governance fuzz. *)
+let batch_shape = function
+  | (Plan.Filter _ | Plan.Project _ | Plan.Hash_join _) as p ->
+    Plan.parallel_pipeline p
+  | _ -> false
+
+(* A compiled chunk pipeline: a leaf rid snapshot plus a stage factory.
+   Calling the factory instantiates the fused chunk transform for one
+   task — stages own reusable output chunks, so every concurrent morsel
+   task needs its own instance, while the read-only state underneath
+   (compiled kernels, materialized hash-join build tables) is shared. *)
+type par_source = { par_table : Table.t; par_rids : int array }
 
 let rec run_with (recurse : recurse) ctx (plan : Plan.t) : Value.t array Seq.t =
+  match run_chunked ctx plan with
+  | Some rows -> rows
+  | None -> run_rows recurse ctx plan
+
+and run_rows (recurse : recurse) ctx (plan : Plan.t) : Value.t array Seq.t =
   match plan with
   | Plan.One_row -> Seq.return [||]
   | Plan.Virtual_scan { produce; _ } ->
@@ -355,20 +473,28 @@ let rec run_with (recurse : recurse) ctx (plan : Plan.t) : Value.t array Seq.t =
             concat_rows lrow rrow)
           (seq_of_list right_rows))
       (recurse ctx left)
-  | Plan.Hash_join { left; right; left_keys; right_keys; _ } ->
-    (* Build on the right, probe from the left; NULL keys never join. *)
+  | Plan.Hash_join { left; right; left_keys; right_keys; build_left; _ } ->
+    (* Build on the cost-chosen side, probe from the other; NULL keys
+       never join. Output rows are always left-columns ++ right-columns;
+       the emission order is probe-major, so it depends on [build_left]
+       — a plan property, identical across the row, batch and morsel
+       paths. *)
+    let build_plan, probe_plan, build_keys, probe_keys =
+      if build_left then (left, right, left_keys, right_keys)
+      else (right, left, right_keys, left_keys)
+    in
     let build = Key_table.create 64 in
     Seq.iter
-      (fun rrow ->
-        let key = List.map (fun c -> c ctx rrow) right_keys in
+      (fun brow ->
+        let key = List.map (fun c -> c ctx brow) build_keys in
         if not (List.exists Value.is_null key) then begin
           let existing = Option.value (Key_table.find_opt build key) ~default:[] in
-          Key_table.replace build key (rrow :: existing)
+          Key_table.replace build key (brow :: existing)
         end)
-      (recurse ctx right);
+      (recurse ctx build_plan);
     Seq.concat_map
-      (fun lrow ->
-        let key = List.map (fun c -> c ctx lrow) left_keys in
+      (fun prow ->
+        let key = List.map (fun c -> c ctx prow) probe_keys in
         if List.exists Value.is_null key then Seq.empty
         else begin
           match Key_table.find_opt build key with
@@ -377,12 +503,13 @@ let rec run_with (recurse : recurse) ctx (plan : Plan.t) : Value.t array Seq.t =
             Metrics.add m_rows_joined (List.length matches);
             (* entries were prepended during build; restore scan order *)
             Seq.map
-              (fun rrow ->
+              (fun brow ->
                 Expr_eval.tick ctx;
-                concat_rows lrow rrow)
+                if build_left then concat_rows brow prow
+                else concat_rows prow brow)
               (seq_of_list (List.rev matches))
         end)
-      (recurse ctx left)
+      (recurse ctx probe_plan)
   | Plan.Left_outer_join { left; right; on; right_width; _ } ->
     let right_rows = List.of_seq (recurse ctx right) in
     let nulls = Array.make right_width Value.Null in
@@ -447,37 +574,89 @@ let rec run_with (recurse : recurse) ctx (plan : Plan.t) : Value.t array Seq.t =
     (match limit with Some n -> Seq.take n s | None -> s)
 
 and run_aggregate recurse ctx input keys aggs =
-  let groups : (Value.t list * runner list) Key_table.t = Key_table.create 64 in
-  let order = ref [] in
+  (* Groups in first-appearance order, each with its runner instances;
+     emission walks this list so no final table lookup is needed. *)
+  let order : (Value.t list * runner list) list ref = ref [] in
   let input_rows = ref 0 in
-  Seq.iter
-    (fun row ->
-      incr input_rows;
-      let key = List.map (fun c -> c ctx row) keys in
-      let runners =
-        match Key_table.find_opt groups key with
-        | Some (_, runners) -> runners
-        | None ->
-          let runners = List.map (make_runner ctx) aggs in
-          Key_table.replace groups key (key, runners);
-          order := key :: !order;
-          runners
-      in
-      List.iter (fun r -> r.step row) runners)
-    (recurse ctx input);
+  (* The common single-key GROUP BY hashes the key value directly; only
+     multi-key grouping pays a key-list allocation per row. *)
+  let consume =
+    match keys with
+    | [ ck ] ->
+      let groups : runner list Val_table.t = Val_table.create 64 in
+      fun row ->
+        incr input_rows;
+        let key = ck ctx row in
+        let runners =
+          match Val_table.find_opt groups key with
+          | Some runners -> runners
+          | None ->
+            let runners = List.map (make_runner ctx) aggs in
+            Val_table.replace groups key runners;
+            order := ([ key ], runners) :: !order;
+            runners
+        in
+        List.iter (fun r -> r.step row) runners
+    | _ ->
+      let groups : runner list Key_table.t = Key_table.create 64 in
+      fun row ->
+        incr input_rows;
+        let key = List.map (fun c -> c ctx row) keys in
+        let runners =
+          match Key_table.find_opt groups key with
+          | Some runners -> runners
+          | None ->
+            let runners = List.map (make_runner ctx) aggs in
+            Key_table.replace groups key runners;
+            order := (key, runners) :: !order;
+            runners
+        in
+        List.iter (fun r -> r.step row) runners
+  in
+  (* Chunked consumption: when the input is a rid-splittable pipeline
+     (including a bare leaf scan), drive chunks straight into the group
+     table with no row sequence in between. The pool-backed parallel
+     aggregation path is chosen upstream ([try_parallel]) before this
+     runs, so only subtrees it declined — pool off, table too small, or
+     unmergeable aggregates — land here. *)
+  let chunked =
+    if
+      !batch_enabled
+      && (not (Failpoint.active ()))
+      && Plan.parallel_pipeline input
+      && Exec_pool.sequential ()
+    then chunk_pipeline ctx ~min_rows:!batch_min_rows ~mark_parallel:false input
+    else None
+  in
+  (match chunked with
+  | Some (src, mk) ->
+    let nrids = Array.length src.par_rids in
+    Metrics.add m_rows_scanned nrids;
+    Deadline.charge_rows_scanned ctx.Expr_eval.token nrids;
+    let stage = mk () in
+    let c = make_chunk () in
+    let pos = ref 0 in
+    while !pos < nrids do
+      Expr_eval.poll ctx;
+      let len = Stdlib.min chunk_size (nrids - !pos) in
+      fill_chunk src.par_table src.par_rids !pos len c;
+      let out = stage c in
+      for j = 0 to out.nsel - 1 do
+        consume out.rows.(out.sel.(j))
+      done;
+      pos := !pos + len
+    done
+  | None -> Seq.iter consume (recurse ctx input));
   Metrics.add m_agg_rows !input_rows;
   let emit (key, runners) =
     Array.of_list (key @ List.map (fun r -> r.final ()) runners)
   in
-  if keys = [] && Key_table.length groups = 0 then begin
+  if keys = [] && !order = [] then begin
     (* Grand aggregate over an empty input still yields one row. *)
     let runners = List.map (make_runner ctx) aggs in
     Seq.return (emit ([], runners))
   end
-  else
-    Seq.map
-      (fun key -> emit (Key_table.find groups key))
-      (seq_of_list (List.rev !order))
+  else Seq.map emit (seq_of_list (List.rev !order))
 
 (* LIMIT directly above a Sort — possibly through row-wise Projects —
    needs only the first [k] sorted rows, so a bounded heap replaces the
@@ -498,6 +677,211 @@ and run_topk recurse ctx plan k : Value.t array Seq.t option =
 
 and run ctx plan = run_with run ctx plan
 
+(* Compile a rid-splittable pipeline into a chunk-stage factory. Shapes
+   mirror {!Plan.parallel_pipeline}: Seq_scan/Interval_scan leaves under
+   Filter/Project operators, Hash_join probe sides and Instrument
+   wrappers. Leaves below [min_rows] rows refuse (the morsel caller
+   passes its threshold; the sequential batch drivers pass
+   [batch_min_rows]).
+   [mark_parallel] controls the EXPLAIN ANALYZE parallel marker. *)
+and chunk_pipeline ctx ~min_rows ~mark_parallel (plan : Plan.t) :
+    (par_source * (unit -> chunk -> chunk)) option =
+  match plan with
+  | Plan.Seq_scan { table; _ } ->
+    let rids = Table.rids_array table in
+    if Array.length rids < min_rows then None
+    else Some ({ par_table = table; par_rids = rids }, fun () c -> c)
+  | Plan.Interval_scan { table; index; lo; hi; _ } ->
+    (* Same candidate set, dedup and adaptive full-scan degradation as
+       the row operator, so chunk concatenation reproduces its output
+       exactly. *)
+    let rids = Interval_index.query_overlaps index ~lo ~hi in
+    let rids =
+      if List.length rids > Table.row_count table / 2 then
+        Table.rids_array table
+      else Array.of_list (List.sort_uniq Int.compare rids)
+    in
+    if Array.length rids < min_rows then None
+    else Some ({ par_table = table; par_rids = rids }, fun () c -> c)
+  | Plan.Instrument { input; stats } ->
+    (* Chunked stages have no per-operator boundaries to time; operators
+       report the rows that flowed through them and the driver
+       attributes wall time to the subtree root. *)
+    Option.map
+      (fun (src, mk) ->
+        if mark_parallel then Atomic.set stats.Plan.ran_parallel true;
+        ( src,
+          fun () ->
+            let stage = mk () in
+            fun c ->
+              let c = stage c in
+              ignore (Atomic.fetch_and_add stats.Plan.actual_rows c.nsel);
+              c ))
+      (chunk_pipeline ctx ~min_rows ~mark_parallel input)
+  | Plan.Filter { input; pred; bpred; _ } ->
+    let kernel =
+      match bpred with
+      | Some k -> k
+      | None -> Expr_eval.batch_of_predicate pred
+    in
+    Option.map
+      (fun (src, mk) ->
+        ( src,
+          fun () ->
+            let stage = mk () in
+            fun c ->
+              let c = stage c in
+              c.nsel <- kernel ctx c.rows ~sel:c.sel ~n:c.nsel;
+              c ))
+      (chunk_pipeline ctx ~min_rows ~mark_parallel input)
+  | Plan.Project { input; exprs; _ } ->
+    Option.map
+      (fun (src, mk) ->
+        ( src,
+          fun () ->
+            let stage = mk () in
+            let out = make_chunk () in
+            fun c ->
+              let c = stage c in
+              let n = c.nsel in
+              ensure_capacity out n;
+              for j = 0 to n - 1 do
+                let row = c.rows.(c.sel.(j)) in
+                out.rows.(j) <- Array.map (fun e -> e ctx row) exprs;
+                out.sel.(j) <- j
+              done;
+              out.len <- n;
+              out.nsel <- n;
+              out ))
+      (chunk_pipeline ctx ~min_rows ~mark_parallel input)
+  | Plan.Hash_join { left; right; left_keys; right_keys; build_left; _ } -> (
+    let build_plan, probe_plan, build_keys, probe_keys =
+      if build_left then (left, right, left_keys, right_keys)
+      else (right, left, right_keys, left_keys)
+    in
+    match chunk_pipeline ctx ~min_rows ~mark_parallel probe_plan with
+    | None -> None
+    | Some (src, mk) ->
+      (* Sequential build, then probes fuse into the chunk stages; the
+         finished table is only read (concurrently, on the morsel
+         path). *)
+      let probe = build_join_table ctx build_plan build_keys probe_keys in
+      Some
+        ( src,
+          fun () ->
+            let stage = mk () in
+            let out = make_chunk () in
+            fun c ->
+              let c = stage c in
+              let k = ref 0 in
+              for j = 0 to c.nsel - 1 do
+                let prow = c.rows.(c.sel.(j)) in
+                let matches = probe prow in
+                let m = Array.length matches in
+                if m > 0 then begin
+                  Metrics.add m_rows_joined m;
+                  ensure_capacity out (!k + m);
+                  for x = 0 to m - 1 do
+                    out.rows.(!k) <-
+                      (if build_left then concat_rows matches.(x) prow
+                       else concat_rows prow matches.(x));
+                    out.sel.(!k) <- !k;
+                    incr k
+                  done
+                end
+              done;
+              out.len <- !k;
+              out.nsel <- !k;
+              out ))
+  | Plan.Index_scan _ | Plan.Nested_loop _ | Plan.Left_outer_join _
+  | Plan.Aggregate _ | Plan.Sort _ | Plan.Distinct _ | Plan.Limit _
+  | Plan.Append _ | Plan.One_row | Plan.Virtual_scan _ ->
+    None
+
+(* Materialize a hash-join build side into a probe function returning
+   matches in build-scan order. Single-key joins hash the value itself
+   (no per-row key list); NULL keys never join. *)
+and build_join_table ctx build_plan build_keys probe_keys :
+    Value.t array -> Value.t array array =
+  match build_keys, probe_keys with
+  | [ bk ], [ pk ] ->
+    let tmp : Value.t array list Val_table.t = Val_table.create 64 in
+    Seq.iter
+      (fun brow ->
+        let key = bk ctx brow in
+        if not (Value.is_null key) then
+          Val_table.replace tmp key
+            (brow :: Option.value (Val_table.find_opt tmp key) ~default:[]))
+      (run ctx build_plan);
+    let table = Val_table.create (Stdlib.max 16 (Val_table.length tmp)) in
+    Val_table.iter
+      (fun key rows ->
+        Val_table.replace table key (Array.of_list (List.rev rows)))
+      tmp;
+    fun prow ->
+      let key = pk ctx prow in
+      if Value.is_null key then [||]
+      else begin
+        match Val_table.find_opt table key with
+        | Some rows -> rows
+        | None -> [||]
+      end
+  | _ ->
+    let tmp : Value.t array list Key_table.t = Key_table.create 64 in
+    Seq.iter
+      (fun brow ->
+        let key = List.map (fun c -> c ctx brow) build_keys in
+        if not (List.exists Value.is_null key) then
+          Key_table.replace tmp key
+            (brow :: Option.value (Key_table.find_opt tmp key) ~default:[]))
+      (run ctx build_plan);
+    let table = Key_table.create (Stdlib.max 16 (Key_table.length tmp)) in
+    Key_table.iter
+      (fun key rows ->
+        Key_table.replace table key (Array.of_list (List.rev rows)))
+      tmp;
+    fun prow ->
+      let key = List.map (fun c -> c ctx prow) probe_keys in
+      if List.exists Value.is_null key then [||]
+      else begin
+        match Key_table.find_opt table key with
+        | Some rows -> rows
+        | None -> [||]
+      end
+
+(* Sequential batch driver: run a qualifying pipeline chunk-at-a-time as
+   a lazy sequence — one cancellation poll and one buffer fill per
+   chunk, fused kernels in between, each chunk's survivors emitted
+   before the buffers are reused. Laziness across chunks keeps LIMIT
+   early-exit intact at chunk granularity. *)
+and run_chunked ctx (plan : Plan.t) : Value.t array Seq.t option =
+  if (not !batch_enabled) || Failpoint.active () || not (batch_shape plan)
+  then None
+  else
+    Option.map
+      (fun (src, mk) ->
+        let stage = mk () in
+        let c = make_chunk () in
+        let nrids = Array.length src.par_rids in
+        Metrics.add m_rows_scanned nrids;
+        Deadline.charge_rows_scanned ctx.Expr_eval.token nrids;
+        let rec chunks lo () =
+          if lo >= nrids then Seq.Nil
+          else begin
+            Expr_eval.poll ctx;
+            let len = Stdlib.min chunk_size (nrids - lo) in
+            fill_chunk src.par_table src.par_rids lo len c;
+            let out = stage c in
+            let selected = ref [] in
+            for j = out.nsel - 1 downto 0 do
+              selected := out.rows.(out.sel.(j)) :: !selected
+            done;
+            Seq.append (seq_of_list !selected) (chunks (lo + len)) ()
+          end
+        in
+        chunks 0)
+      (chunk_pipeline ctx ~min_rows:!batch_min_rows ~mark_parallel:false plan)
+
 let collect ctx plan = List.of_seq (run ctx plan)
 
 (* --- Parallel execution ------------------------------------------------------ *)
@@ -509,7 +893,10 @@ let min_parallel_rows = ref 1024
 let set_min_parallel_rows n = min_parallel_rows := Stdlib.max 1 n
 
 (* Target rows per morsel; actual morsel count is balanced against the
-   pool size so every domain gets work without oversplitting. *)
+   pool size so every domain gets work without oversplitting. Morsel
+   boundaries align to whole chunks whenever the table is big enough for
+   every task to get at least one full chunk, so morsel tasks and the
+   sequential batch driver see identical chunk shapes. *)
 let morsel_rows = 2048
 
 let morsel_ranges len =
@@ -517,132 +904,51 @@ let morsel_ranges len =
   let by_target = (len + morsel_rows - 1) / morsel_rows in
   let ntasks = Stdlib.min (Stdlib.max n (Stdlib.min (4 * n) by_target)) len in
   let chunk = (len + ntasks - 1) / ntasks in
+  let chunk =
+    if chunk >= chunk_size then
+      (chunk + chunk_size - 1) / chunk_size * chunk_size
+    else chunk
+  in
   let rec go lo acc =
     if lo >= len then List.rev acc
     else go (lo + chunk) ((lo, Stdlib.min chunk (len - lo)) :: acc)
   in
   go 0 []
 
-(* A compiled morsel pipeline: a leaf rid snapshot plus a fused row
-   transform. [transform emit] instantiates the per-row push function
-   for one morsel task; the transform itself holds only read-only state
-   (compiled expressions, materialized hash-join build tables), so every
-   task can share it. *)
-type par_source = { par_table : Table.t; par_rids : int array }
+(* Runs one morsel through its own chunk-stage instance.
 
-let rec par_pipeline ctx (plan : Plan.t) :
-    (par_source * ((Value.t array -> unit) -> Value.t array -> unit)) option =
-  match plan with
-  | Plan.Seq_scan { table; _ } ->
-    let rids = Table.rids_array table in
-    if Array.length rids < !min_parallel_rows then None
-    else Some ({ par_table = table; par_rids = rids }, fun emit -> emit)
-  | Plan.Interval_scan { table; index; lo; hi; _ } ->
-    (* Same candidate set, dedup and adaptive full-scan degradation as
-       the sequential operator, so morsel concatenation reproduces its
-       output exactly. *)
-    let rids = Interval_index.query_overlaps index ~lo ~hi in
-    let rids =
-      if List.length rids > Table.row_count table / 2 then
-        Table.rids_array table
-      else Array.of_list (List.sort_uniq Int.compare rids)
-    in
-    if Array.length rids < !min_parallel_rows then None
-    else Some ({ par_table = table; par_rids = rids }, fun emit -> emit)
-  | Plan.Instrument { input; stats } ->
-    (* Parallel path: operators report the rows that flowed through them
-       (counted atomically across workers) and the [parallel] marker;
-       per-operator time is attributed to the subtree root by
-       [try_parallel], since fused morsel stages have no per-operator
-       boundaries to time. *)
-    Option.map
-      (fun (src, transform) ->
-        Atomic.set stats.Plan.ran_parallel true;
-        ( src,
-          fun emit ->
-            transform (fun row ->
-                Atomic.incr stats.Plan.actual_rows;
-                emit row) ))
-      (par_pipeline ctx input)
-  | Plan.Filter { input; pred; _ } ->
-    Option.map
-      (fun (src, transform) ->
-        ( src,
-          fun emit ->
-            transform (fun row ->
-                if Expr_eval.to_predicate pred ctx row then emit row) ))
-      (par_pipeline ctx input)
-  | Plan.Project { input; exprs; _ } ->
-    Option.map
-      (fun (src, transform) ->
-        ( src,
-          fun emit ->
-            transform (fun row ->
-                emit (Array.map (fun c -> c ctx row) exprs)) ))
-      (par_pipeline ctx input)
-  | Plan.Hash_join { left; right; left_keys; right_keys; _ } -> (
-    match par_pipeline ctx left with
-    | None -> None
-    | Some (src, transform) ->
-      (* Sequential build, then the probe fuses into the morsel tasks;
-         the finished table is only read concurrently. *)
-      let build = Key_table.create 64 in
-      Seq.iter
-        (fun rrow ->
-          let key = List.map (fun c -> c ctx rrow) right_keys in
-          if not (List.exists Value.is_null key) then begin
-            let existing =
-              Option.value (Key_table.find_opt build key) ~default:[]
-            in
-            Key_table.replace build key (rrow :: existing)
-          end)
-        (run ctx right);
-      Some
-        ( src,
-          fun emit ->
-            transform (fun lrow ->
-                let key = List.map (fun c -> c ctx lrow) left_keys in
-                if not (List.exists Value.is_null key) then begin
-                  match Key_table.find_opt build key with
-                  | None -> ()
-                  | Some matches ->
-                    Metrics.add m_rows_joined (List.length matches);
-                    List.iter
-                      (fun rrow -> emit (concat_rows lrow rrow))
-                      (List.rev matches)
-                end) ))
-  | _ -> None
-
-(* Runs one morsel through the fused pipeline, collecting emitted rows.
-
-   Each morsel polls the statement token on entry and then every 1024
-   rows with a task-local counter (the shared ctx tick counter is not
-   used off the coordinating thread, and neither is the failpoint
-   table — both are unsynchronized). Together with [Exec_pool.run
-   ?token] skipping still-queued morsels once the flag is set, a
-   cancelled parallel subtree stops within one morsel, not at
-   join-completion. *)
-let run_morsel token src transform (lo, len) consume =
+   Each morsel polls the statement token on entry and then once per
+   chunk — at most 1024 rows between polls, the same bound the row path
+   keeps (the shared ctx tick counter is not used off the coordinating
+   thread, and neither is the failpoint table — both are
+   unsynchronized). Together with [Exec_pool.run ?token] skipping
+   still-queued morsels once the flag is set, a cancelled parallel
+   subtree stops within one chunk, not at join-completion. *)
+let run_morsel token src (mk : unit -> chunk -> chunk) (lo, len) consume =
   Metrics.incr m_morsels;
   Metrics.add m_rows_scanned len;
-  Deadline.check token;
   Deadline.charge_rows_scanned token len;
-  let push = transform consume in
-  let ticks = ref 0 in
-  for i = lo to lo + len - 1 do
-    incr ticks;
-    if !ticks land 1023 = 0 then Deadline.check token;
-    match Table.get src.par_table src.par_rids.(i) with
-    | Some row -> push row
-    | None -> ()
+  let stage = mk () in
+  let c = make_chunk () in
+  let stop = lo + len in
+  let pos = ref lo in
+  while !pos < stop do
+    Deadline.check token;
+    let n = Stdlib.min chunk_size (stop - !pos) in
+    fill_chunk src.par_table src.par_rids !pos n c;
+    let out = stage c in
+    for j = 0 to out.nsel - 1 do
+      consume out.rows.(out.sel.(j))
+    done;
+    pos := !pos + n
   done
 
-let par_collect token src transform : Value.t array list =
+let par_collect token src mk : Value.t array list =
   let thunks =
     List.map
       (fun range () ->
         let acc = ref [] in
-        run_morsel token src transform range (fun row -> acc := row :: !acc);
+        run_morsel token src mk range (fun row -> acc := row :: !acc);
         List.rev !acc)
       (morsel_ranges (Array.length src.par_rids))
   in
@@ -661,6 +967,10 @@ type pacc =
   | P_sum of Value.t (* Null until the first non-null input *)
   | P_avg of Value.t * int
   | P_extreme of Value.t (* min or max; the spec disambiguates *)
+  | P_user of Value.t
+    (* a user aggregate's own accumulator; only aggregates that
+       registered an [agg_merge] reach the parallel path
+       (Plan.mergeable_agg), so merging is always defined *)
 
 let pacc_init (spec : Plan.agg_spec) =
   match spec.impl with
@@ -668,7 +978,12 @@ let pacc_init (spec : Plan.agg_spec) =
   | Plan.Agg_sum -> P_sum Value.Null
   | Plan.Agg_avg -> P_avg (Value.Null, 0)
   | Plan.Agg_min | Plan.Agg_max -> P_extreme Value.Null
-  | Plan.Agg_user _ -> assert false (* gated by Plan.mergeable_agg *)
+  | Plan.Agg_user (agg, _) -> P_user (agg.Extension.agg_init ())
+
+let spec_user_agg (spec : Plan.agg_spec) =
+  match spec.impl with
+  | Plan.Agg_user (agg, _) -> agg
+  | _ -> assert false
 
 let pacc_step ctx (spec : Plan.agg_spec) acc row =
   let arg () = match spec.arg with Some c -> c ctx row | None -> Value.Null in
@@ -696,10 +1011,18 @@ let pacc_step ctx (spec : Plan.agg_spec) acc row =
       in
       if better then P_extreme v else acc
     end
+  | P_user acc_v ->
+    let v = arg () in
+    if Value.is_null v then acc
+    else begin
+      Metrics.incr m_rows_coalesced;
+      P_user
+        ((spec_user_agg spec).Extension.agg_step ~now:ctx.Expr_eval.now acc_v v)
+    end
 
 (* [a] accumulated earlier input than [b]; ties keep [a], matching the
    sequential runner's strict-improvement rule. *)
-let pacc_merge (spec : Plan.agg_spec) a b =
+let pacc_merge ~now (spec : Plan.agg_spec) a b =
   match a, b with
   | P_count x, P_count y -> P_count (x + y)
   | P_sum x, P_sum y ->
@@ -719,24 +1042,31 @@ let pacc_merge (spec : Plan.agg_spec) a b =
       in
       if better then b else a
     end
-  | (P_count _ | P_sum _ | P_avg _ | P_extreme _), _ -> assert false
+  | P_user x, P_user y -> (
+    match (spec_user_agg spec).Extension.agg_merge with
+    | Some merge -> P_user (merge ~now x y)
+    | None -> assert false (* gated by Plan.mergeable_agg *))
+  | (P_count _ | P_sum _ | P_avg _ | P_extreme _ | P_user _), _ ->
+    assert false
 
-let pacc_final = function
+let pacc_final ~now (spec : Plan.agg_spec) = function
   | P_count n -> Value.Int n
   | P_sum s -> s
   | P_avg (_, 0) -> Value.Null
   | P_avg (s, n) -> Value.Float (Value.to_float s /. float_of_int n)
   | P_extreme v -> v
+  | P_user acc -> (spec_user_agg spec).Extension.agg_final ~now acc
 
-let par_aggregate ctx src transform keys aggs : Value.t array list =
+let par_aggregate ctx src mk keys aggs : Value.t array list =
   let specs = Array.of_list aggs in
+  let now = ctx.Expr_eval.now in
   let token = ctx.Expr_eval.token in
   let thunks =
     List.map
       (fun range () ->
         let groups : pacc array Key_table.t = Key_table.create 64 in
         let order = ref [] in
-        run_morsel token src transform range (fun row ->
+        run_morsel token src mk range (fun row ->
             let key = List.map (fun c -> c ctx row) keys in
             let accs =
               match Key_table.find_opt groups key with
@@ -770,12 +1100,15 @@ let par_aggregate ctx src transform keys aggs : Value.t array list =
             order := key :: !order
           | Some cur ->
             Array.iteri
-              (fun i b -> cur.(i) <- pacc_merge specs.(i) cur.(i) b)
+              (fun i b -> cur.(i) <- pacc_merge ~now specs.(i) cur.(i) b)
               accs)
         part_order)
     partials;
   let emit key accs =
-    Array.of_list (key @ Array.to_list (Array.map pacc_final accs))
+    Array.of_list
+      (key
+      @ Array.to_list
+          (Array.mapi (fun i acc -> pacc_final ~now specs.(i) acc) accs))
   in
   if keys = [] && Key_table.length groups = 0 then
     (* Grand aggregate over an empty input still yields one row. *)
@@ -799,17 +1132,19 @@ let try_parallel ctx plan : Value.t array list option =
       | p -> (p, None)
     in
     let t0 = Trace.now_ns () in
+    let pipeline plan =
+      chunk_pipeline ctx ~min_rows:!min_parallel_rows ~mark_parallel:true plan
+    in
     let result =
       match target with
       | Plan.Aggregate { input; keys; aggs; _ } ->
         Option.map
-          (fun (src, transform) -> par_aggregate ctx src transform keys aggs)
-          (par_pipeline ctx input)
+          (fun (src, mk) -> par_aggregate ctx src mk keys aggs)
+          (pipeline input)
       | _ ->
         Option.map
-          (fun (src, transform) ->
-            par_collect ctx.Expr_eval.token src transform)
-          (par_pipeline ctx target)
+          (fun (src, mk) -> par_collect ctx.Expr_eval.token src mk)
+          (pipeline target)
     in
     (match result with
     | Some rows ->

@@ -33,6 +33,22 @@ val collect_parallel : Expr_eval.ctx -> Plan.t -> Value.t array list
     force tiny tables through the parallel machinery. *)
 val set_min_parallel_rows : int -> unit
 
+(** Rows per execution chunk on the batch and morsel paths (1024). *)
+val chunk_size : int
+
+(** Toggle batch-at-a-time execution (default on). When off, qualifying
+    pipelines run through the row-at-a-time operators instead — the
+    batch-vs-row differential fuzz and the bench's row-mode baseline use
+    this. Armed failpoints disable the batch path implicitly so per-row
+    poll counts stay exact. *)
+val set_batch_enabled : bool -> unit
+
+(** Leaf row-count threshold below which sequential batch dispatch keeps
+    the row path (default 256): chunk setup costs more than it saves on
+    a handful of rows. Tests lower it to force small tables through the
+    batch kernels. *)
+val set_batch_min_rows : int -> unit
+
 (**/**)
 
 (** One aggregate accumulator instance (exposed for tests). *)

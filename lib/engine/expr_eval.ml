@@ -181,6 +181,10 @@ let builtin_binop op a b =
 
 let op_symbol = Pretty.binop_symbol
 
+(* Per-call-site routine dispatch with inline caches for overload
+   resolution and literal-argument casts (see {!Extension.caller}). *)
+let routine_caller ext name = Extension.caller ext ~name
+
 let apply_binop ext ~now op a b =
   if Value.is_null a || Value.is_null b then Value.Null
   else begin
@@ -193,6 +197,23 @@ let apply_binop ext ~now op a b =
         eval_error "operator %s undefined for %s and %s" (op_symbol op)
           (Value.type_name a) (Value.type_name b))
   end
+
+(* [apply_binop] with a per-call-site caller on the non-builtin path, so
+   overload resolution and literal-operand casts are cached across rows. *)
+let binop_applier ext op =
+  let call = routine_caller ext (op_symbol op) in
+  fun ~now a b ->
+    if Value.is_null a || Value.is_null b then Value.Null
+    else begin
+      match builtin_binop op a b with
+      | Some v -> v
+      | None -> (
+        match call ~now [| a; b |] with
+        | v -> v
+        | exception Extension.Resolution_error _ ->
+          eval_error "operator %s undefined for %s and %s" (op_symbol op)
+            (Value.type_name a) (Value.type_name b))
+    end
 
 (* --- LIKE ----------------------------------------------------------------- *)
 
@@ -360,8 +381,8 @@ and compile_node env expr : compiled =
       | v -> eval_error "OR expects booleans, got %s" (Value.type_name v))
   | Ast.Binop (op, a, b) ->
     let ca = compile env a and cb = compile env b in
-    let ext = env.ext in
-    fun ctx row -> apply_binop ext ~now:ctx.now op (ca ctx row) (cb ctx row)
+    let app = binop_applier env.ext op in
+    fun ctx row -> app ~now:ctx.now (ca ctx row) (cb ctx row)
   | Ast.Unop (Ast.Not, e) ->
     let ce = compile env e in
     fun ctx row -> (
@@ -384,10 +405,10 @@ and compile_node env expr : compiled =
           eval_error "cannot negate %s" (Value.type_name v)))
   | Ast.Call (name, args) ->
     let cargs = List.map (compile env) args in
-    let ext = env.ext in
+    let call = routine_caller env.ext name in
     fun ctx row ->
       let argv = Array.of_list (List.map (fun c -> c ctx row) cargs) in
-      (match Extension.apply_routine ext ~now:ctx.now ~name argv with
+      (match call ~now:ctx.now argv with
       | v -> v
       | exception Extension.Resolution_error msg -> eval_error "%s" msg)
   | Ast.Call_distinct (name, _) ->
@@ -514,3 +535,157 @@ let to_predicate (c : compiled) ctx row =
   | Value.Bool b -> b
   | Value.Null -> false
   | v -> eval_error "predicate must be boolean, got %s" (Value.type_name v)
+
+(* --- Batch (chunk-at-a-time) predicate kernels --------------------------- *)
+
+(* A batch predicate reads row indices from the first [n] entries of the
+   selection vector, compacts the vector in place to the rows that pass
+   (WHERE semantics: NULL is not true), and returns the surviving count.
+   Conjuncts then run as sequential kernels over a narrowing vector, so a
+   selective first conjunct shields the rest of the chunk from the more
+   expensive ones. *)
+type batch_pred = ctx -> Value.t array array -> sel:int array -> n:int -> int
+
+let batch_of_predicate (c : compiled) : batch_pred =
+ fun ctx rows ~sel ~n ->
+  let k = ref 0 in
+  for j = 0 to n - 1 do
+    let i = sel.(j) in
+    if to_predicate c ctx rows.(i) then begin
+      sel.(!k) <- i;
+      incr k
+    end
+  done;
+  !k
+
+let pred_truth = function
+  | Value.Bool b -> b
+  | Value.Null -> false
+  | v -> eval_error "predicate must be boolean, got %s" (Value.type_name v)
+
+(* Comparison kernel: integer pairs compare inline; NULL drops the row;
+   every other combination goes through [apply_binop], which is exactly
+   what the row-at-a-time closure would have done. *)
+let cmp_kernel op ca cb ext : batch_pred =
+  let test : int -> int -> bool =
+    match op with
+    | Ast.Eq -> ( = )
+    | Ast.Neq -> ( <> )
+    | Ast.Lt -> ( < )
+    | Ast.Le -> ( <= )
+    | Ast.Gt -> ( > )
+    | Ast.Ge -> ( >= )
+    | _ -> assert false
+  in
+  let app = binop_applier ext op in
+  fun ctx rows ~sel ~n ->
+    let k = ref 0 in
+    for j = 0 to n - 1 do
+      let i = sel.(j) in
+      let row = rows.(i) in
+      let a = ca ctx row and b = cb ctx row in
+      let keep =
+        match a, b with
+        | Value.Int x, Value.Int y -> test x y
+        | Value.Null, _ | _, Value.Null -> false
+        | _, _ -> pred_truth (app ~now:ctx.now a b)
+      in
+      if keep then begin
+        sel.(!k) <- i;
+        incr k
+      end
+    done;
+    !k
+
+(* The extent fast path is sound only for element×element overlaps, whose
+   semantics are nonempty ground intersection: with fixed endpoints an
+   element's extents equal its ground periods exactly, so the pairwise
+   interval test below is precise. Period×period overlaps is the strict
+   Allen relation and NOW-relative endpoints need real grounding — both
+   fall back to routine dispatch per row (cached resolution). Elements
+   hold few periods, so the quadratic pair test with early exit beats
+   setting up a merge. *)
+let finite_extents v =
+  match v with
+  | Value.Ext ("element", _) -> (
+    match Value.extents v with
+    | [] -> None
+    | exts
+      when List.for_all (fun (s, e) -> s > min_int && e < max_int) exts ->
+      Some exts
+    | _ -> None)
+  | _ -> None
+
+let extents_overlap xs ys =
+  List.exists
+    (fun (s1, e1) -> List.exists (fun (s2, e2) -> s1 <= e2 && s2 <= e1) ys)
+    xs
+
+let overlaps_kernel ca cb ext : batch_pred =
+  let call = routine_caller ext "overlaps" in
+  (* Per-side extents caches, keyed by physical identity of the value.
+     A literal side compiles to one shared value per statement, so its
+     string→element coercion and extent extraction happen once, not per
+     row. Slots hold immutable pairs swapped in a single store, so the
+     caches stay race-safe when morsel workers share the kernel. *)
+  let cache_a : (Value.t * (int * int) list option) option ref = ref None in
+  let cache_b : (Value.t * (int * int) list option) option ref = ref None in
+  let coerced_extents ~now v =
+    match finite_extents v with
+    | Some _ as r -> r
+    | None -> (
+      match v with
+      | Value.Str _ -> (
+        match Extension.apply_cast ext ~now v ~to_type:"element" with
+        | coerced -> finite_extents coerced
+        | exception (Extension.Resolution_error _ | Value.Type_error _) ->
+          None)
+      | _ -> None)
+  in
+  let extents_of cache ~now v =
+    match !cache with
+    | Some (vin, ext) when vin == v -> ext
+    | _ ->
+      let ext = coerced_extents ~now v in
+      cache := Some (v, ext);
+      ext
+  in
+  fun ctx rows ~sel ~n ->
+    let k = ref 0 in
+    for j = 0 to n - 1 do
+      let i = sel.(j) in
+      let row = rows.(i) in
+      let a = ca ctx row and b = cb ctx row in
+      let keep =
+        if Value.is_null a || Value.is_null b then false
+        else begin
+          match
+            extents_of cache_a ~now:ctx.now a, extents_of cache_b ~now:ctx.now b
+          with
+          | Some xs, Some ys -> extents_overlap xs ys
+          | _, _ -> (
+            match call ~now:ctx.now [| a; b |] with
+            | v -> pred_truth v
+            | exception Extension.Resolution_error msg -> eval_error "%s" msg)
+        end
+      in
+      if keep then begin
+        sel.(!k) <- i;
+        incr k
+      end
+    done;
+    !k
+
+let rec compile_batch env expr : batch_pred =
+  match expr with
+  | Ast.Binop (Ast.And, a, b) ->
+    let ka = compile_batch env a and kb = compile_batch env b in
+    fun ctx rows ~sel ~n ->
+      let n = ka ctx rows ~sel ~n in
+      kb ctx rows ~sel ~n
+  | Ast.Binop (((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op), a, b)
+    ->
+    cmp_kernel op (compile env a) (compile env b) env.ext
+  | Ast.Call (name, [ a; b ]) when String.lowercase_ascii name = "overlaps" ->
+    overlaps_kernel (compile env a) (compile env b) env.ext
+  | _ -> batch_of_predicate (compile env expr)

@@ -81,6 +81,24 @@ val compile : env -> Ast.expr -> compiled
     @raise Eval_error when the value is not boolean. *)
 val to_predicate : compiled -> ctx -> Value.t array -> bool
 
+(** {1 Batch (chunk-at-a-time) evaluation} *)
+
+(** A fused predicate kernel over a chunk: [bp ctx rows ~sel ~n] reads
+    row indices from the first [n] entries of the selection vector [sel],
+    compacts [sel] in place to the rows that pass (WHERE semantics: NULL
+    is not true), and returns the surviving count. *)
+type batch_pred = ctx -> Value.t array array -> sel:int array -> n:int -> int
+
+(** Generic fallback: row-at-a-time evaluation through {!to_predicate}. *)
+val batch_of_predicate : compiled -> batch_pred
+
+(** Compiles a predicate to a fused batch kernel. Conjunctions become
+    sequential kernels over the narrowing selection vector, integer
+    comparisons and single-extent element OVERLAPS run as tight loops,
+    and everything else falls back to {!batch_of_predicate}. Semantics
+    are identical to [to_predicate (compile env e)] on every row. *)
+val compile_batch : env -> Ast.expr -> batch_pred
+
 (** {1 Pieces exposed for reuse and tests} *)
 
 (** Binary operator semantics: built-ins first, then the extension

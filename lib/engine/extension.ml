@@ -72,6 +72,10 @@ type aggregate = {
   agg_init : unit -> Value.t;         (* accumulator seed *)
   agg_step : now:Tip_core.Chronon.t -> Value.t -> Value.t -> Value.t;
   agg_final : now:Tip_core.Chronon.t -> Value.t -> Value.t;
+  agg_merge :
+    (now:Tip_core.Chronon.t -> Value.t -> Value.t -> Value.t) option;
+    (* combine two partial accumulators; None keeps the aggregate off
+       the morsel-parallel path *)
 }
 
 (* Transaction-time support, registered by a temporal blade: how to
@@ -211,9 +215,17 @@ let arg_cost t p v =
     | P_int | P_float | P_bool | P_string | P_any -> None
   end
 
-(* Resolves and applies the best overload of [name] for [args].
+(* The outcome of overload resolution. Resolution depends only on the
+   arguments' type names (costs, casts and the NULL rules all key off
+   the value's type, with NULL its own type), so call sites may cache a
+   [resolved] keyed by those names and skip re-scoring per row. *)
+type resolved =
+  | R_null  (* strict routine with a NULL argument, or the null-tie rule *)
+  | R_apply of cast option array * routine
+
+(* Resolves the best overload of [name] for [args] without applying it.
    Raises [Resolution_error] when nothing (or too many things) match. *)
-let apply_routine t ~now ~name args =
+let resolve_routine t ~name args =
   let key = canonical name in
   match Hashtbl.find_opt t.routines key with
   | None -> resolution_error "unknown routine %s" name
@@ -254,22 +266,90 @@ let apply_routine t ~now ~name args =
                 (fun (c, _, r) -> c > c1 || r.strict)
                 scored
            && r1.strict ->
-      Value.Null
+      R_null
     | (c1, _, _) :: (c2, _, _) :: _ when c1 = c2 ->
       resolution_error "ambiguous call to %s" name
     | (_, casts, r) :: _ ->
-      if r.strict && Array.exists Value.is_null args then Value.Null
-      else begin
-        let args =
-          Array.mapi
-            (fun i v ->
-              match List.nth casts i with
-              | Some cast -> cast.cast_impl ~now v
-              | None -> v)
-            args
-        in
-        r.impl ~now args
-      end)
+      if r.strict && Array.exists Value.is_null args then R_null
+      else R_apply (Array.of_list casts, r))
+
+let apply_resolved ~now resolved args =
+  match resolved with
+  | R_null -> Value.Null
+  | R_apply (casts, r) ->
+    let args =
+      Array.mapi
+        (fun i v ->
+          match casts.(i) with
+          | Some cast -> cast.cast_impl ~now v
+          | None -> v)
+        args
+    in
+    r.impl ~now args
+
+(* Resolves and applies in one step (resolution cost per call; hot paths
+   cache the [resolved] instead). *)
+let apply_routine t ~now ~name args =
+  apply_resolved ~now (resolve_routine t ~name args) args
+
+(* Per-call-site dispatch with two inline caches: overload resolution is
+   keyed by the argument type names (almost always identical across the
+   rows of one statement), and cast outputs are keyed per position by
+   physical identity of the input value — a literal compiles to one
+   shared value, so e.g. an element constant written as a string parses
+   once instead of once per row. Both caches swap immutable pairs in a
+   single store, so racing morsel workers at worst recompute. The cast
+   cache is only sound while [now] is fixed, i.e. within one compiled
+   statement — create a fresh caller per compilation site. *)
+let caller t ~name =
+  let resolved_cache : (string array * resolved) option ref = ref None in
+  let cast_cache : (Value.t * Value.t) option array ref = ref [||] in
+  fun ~now (argv : Value.t array) ->
+    let n = Array.length argv in
+    let resolved =
+      match !resolved_cache with
+      | Some (tys, r)
+        when Array.length tys = n
+             &&
+             let rec ok i =
+               i >= n
+               || (String.equal tys.(i) (Value.type_name argv.(i))
+                  && ok (i + 1))
+             in
+             ok 0 ->
+        r
+      | _ ->
+        let r = resolve_routine t ~name argv in
+        resolved_cache := Some (Array.map Value.type_name argv, r);
+        r
+    in
+    match resolved with
+    | R_null -> Value.Null
+    | R_apply (casts, r) ->
+      let cache =
+        let c = !cast_cache in
+        if Array.length c = n then c
+        else begin
+          let c = Array.make n None in
+          cast_cache := c;
+          c
+        end
+      in
+      let args =
+        Array.mapi
+          (fun i v ->
+            match casts.(i) with
+            | None -> v
+            | Some cast -> (
+              match cache.(i) with
+              | Some (vin, vout) when vin == v -> vout
+              | _ ->
+                let out = cast.cast_impl ~now v in
+                cache.(i) <- Some (v, out);
+                out))
+          argv
+      in
+      r.impl ~now args
 
 let has_routine t name = Hashtbl.mem t.routines (canonical name)
 

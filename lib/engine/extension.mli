@@ -52,6 +52,10 @@ type aggregate = {
   agg_step : now:Tip_core.Chronon.t -> Value.t -> Value.t -> Value.t;
       (** [step acc v]; NULL inputs are skipped by the executor *)
   agg_final : now:Tip_core.Chronon.t -> Value.t -> Value.t;
+  agg_merge :
+    (now:Tip_core.Chronon.t -> Value.t -> Value.t -> Value.t) option;
+      (** combine two partial accumulators (associative, seed-neutral);
+          [None] keeps the aggregate off the morsel-parallel path *)
 }
 
 (** Transaction-time support, registered by a temporal blade: how to
@@ -123,13 +127,39 @@ val find_cast : t -> from_type:string -> to_type:string -> cast option
 val find_implicit_cast : t -> from_type:string -> to_type:string -> cast option
 val to_chronon : t -> Value.t -> Tip_core.Chronon.t option
 
+(** The outcome of overload resolution: either the answer is known to be
+    NULL (strict routine with a NULL argument), or a routine plus its
+    argument casts. Resolution depends only on the arguments' type
+    names, so call sites may cache a [resolved] keyed by those names and
+    skip re-scoring on every row. *)
+type resolved
+
 (** Resolves the cheapest overload of [name] for the argument values
     (exact match 0, int→float widening 1, implicit casts at their
-    registered cost), applies any argument casts and runs it. Strict
+    registered cost) without applying it.
+    @raise Resolution_error on no match or an ambiguous tie. *)
+val resolve_routine : t -> name:string -> Value.t array -> resolved
+
+(** Applies a previously resolved overload to arguments whose type names
+    match the ones it was resolved for. *)
+val apply_resolved :
+  now:Tip_core.Chronon.t -> resolved -> Value.t array -> Value.t
+
+(** {!resolve_routine} and {!apply_resolved} in one step. Strict
     routines short-circuit to NULL on NULL arguments.
     @raise Resolution_error on no match or an ambiguous tie. *)
 val apply_routine :
   t -> now:Tip_core.Chronon.t -> name:string -> Value.t array -> Value.t
+
+(** A per-call-site applier for [name] with inline caches: overload
+    resolution is reused while the argument type names repeat, and cast
+    outputs are reused while the input value is physically the same — so
+    a literal argument (one shared value per compiled statement) casts
+    once, not once per row. Create a fresh caller per compilation site;
+    the cast cache assumes [now] does not change across calls.
+    @raise Resolution_error on no match or an ambiguous tie. *)
+val caller :
+  t -> name:string -> now:Tip_core.Chronon.t -> Value.t array -> Value.t
 
 (** Applies a registered cast ([expr::Type]); identity casts succeed
     trivially, NULL passes through.

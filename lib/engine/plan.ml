@@ -56,13 +56,23 @@ type t =
       hi : int;
       label : string;
     }
-  | Filter of { input : t; pred : Expr_eval.compiled; label : string }
+  | Filter of {
+      input : t;
+      pred : Expr_eval.compiled;
+      bpred : Expr_eval.batch_pred option;
+        (* fused chunk kernel for the same predicate; None when the
+           predicate was built outside the planner (subplans, rechecks) *)
+      label : string;
+    }
   | Nested_loop of { left : t; right : t }
   | Hash_join of {
       left : t;
       right : t;
       left_keys : Expr_eval.compiled list;
       right_keys : Expr_eval.compiled list;
+      build_left : bool;
+        (* cost-chosen build side: false builds on the right and streams
+           the left (the historical default), true the reverse *)
       label : string;
     }
   | Left_outer_join of {
@@ -106,15 +116,16 @@ type t =
 
 (* An aggregate whose partial states combine associatively across
    morsels: the built-ins (COUNT/SUM/MIN/MAX, and AVG as a (sum, count)
-   pair) without DISTINCT. User aggregates run opaque step functions
-   with no merge, and DISTINCT needs global dedup, so both force the
-   sequential aggregation path. *)
+   pair) without DISTINCT, plus user aggregates that registered an
+   [agg_merge]. DISTINCT needs global dedup, and mergeless user
+   aggregates run opaque step functions, so both force the sequential
+   aggregation path. *)
 let mergeable_agg spec =
   (not spec.distinct)
   &&
   match spec.impl with
   | Agg_count_star | Agg_count | Agg_sum | Agg_avg | Agg_min | Agg_max -> true
-  | Agg_user _ -> false
+  | Agg_user (agg, _) -> agg.Extension.agg_merge <> None
 
 (* A morsel-parallel pipeline: a rid-splittable leaf scan with only
    per-row operators (and hash-join probes) above it. Index scans stay
@@ -123,7 +134,10 @@ let mergeable_agg spec =
 let rec parallel_pipeline = function
   | Seq_scan _ | Interval_scan _ -> true
   | Filter { input; _ } | Project { input; _ } -> parallel_pipeline input
-  | Hash_join { left; _ } -> parallel_pipeline left
+  | Hash_join { left; right; build_left; _ } ->
+    (* the probe side is the streaming pipeline; the build side is
+       materialized up front either way *)
+    parallel_pipeline (if build_left then right else left)
   | Instrument { input; _ } -> parallel_pipeline input
   | Index_scan _ | Nested_loop _ | Left_outer_join _ | Aggregate _ | Sort _
   | Distinct _ | Limit _ | Append _ | One_row | Virtual_scan _ ->

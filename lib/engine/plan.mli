@@ -49,15 +49,25 @@ type t =
       hi : int;
       label : string;
     }  (** candidate rows whose extents intersect the probe window *)
-  | Filter of { input : t; pred : Expr_eval.compiled; label : string }
+  | Filter of {
+      input : t;
+      pred : Expr_eval.compiled;
+      bpred : Expr_eval.batch_pred option;
+          (** fused chunk kernel for the same predicate; [None] when the
+              predicate was built outside the planner *)
+      label : string;
+    }
   | Nested_loop of { left : t; right : t }  (** cross product *)
   | Hash_join of {
       left : t;
       right : t;
       left_keys : Expr_eval.compiled list;
       right_keys : Expr_eval.compiled list;
+      build_left : bool;
+          (** cost-chosen build side: [false] builds on the right and
+              streams the left (the historical default) *)
       label : string;
-    }  (** equi-join; builds on the right, probes from the left *)
+    }  (** equi-join *)
   | Left_outer_join of {
       left : t;
       right : t;
@@ -109,8 +119,9 @@ val instrument : t -> t
     anything unsafe). *)
 
 (** Can this aggregate's partial states merge associatively across
-    morsels? True for the non-DISTINCT built-ins; false for DISTINCT and
-    user-registered aggregates. *)
+    morsels? True for the non-DISTINCT built-ins and for user aggregates
+    that registered an [agg_merge]; false for DISTINCT and mergeless
+    user aggregates. *)
 val mergeable_agg : agg_spec -> bool
 
 (** Is this exact subtree a morsel-parallel pipeline: a [Seq_scan] or

@@ -286,7 +286,7 @@ let interval_index_scan pctx table binding conjunct_exprs =
       | Some { Table.impl = Table.Interval_impl idx; _ } -> (
         match Option.map (probe_extent col) (const_eval pctx const_side) with
         | Some (Some (lo, hi)) ->
-          Some (Plan.Interval_scan { table; index = idx; lo; hi; label })
+          Some (Plan.Interval_scan { table; index = idx; lo; hi; label }, col)
         | Some None | None -> None)
       | Some _ | None -> None)
   in
@@ -300,6 +300,34 @@ let interval_index_scan pctx table binding conjunct_exprs =
     | _ -> None
   in
   List.find_map try_conjunct conjunct_exprs
+
+(* --- Cost model ----------------------------------------------------------- *)
+
+(* The executor degrades an interval scan to a full scan once the probe
+   window matches over half the table, so an index access path is only
+   worth choosing below that selectivity. With ANALYZE statistics the
+   planner makes the same call up front, from histograms instead of a
+   materialized candidate list. *)
+let interval_selectivity_threshold = 0.5
+
+let est_count st sel =
+  int_of_float ((sel *. float_of_int st.Stats.st_rows) +. 0.5)
+
+(* Estimated output cardinality of a pipeline, for hash-join build-side
+   choice: leaf scans read ANALYZE row counts; filters apply the classic
+   1/3 guess. [None] whenever any leaf lacks statistics — planning then
+   keeps the historical build-right default, so un-analyzed databases
+   plan exactly as before. *)
+let rec pipeline_est = function
+  | Plan.Seq_scan { table; _ }
+  | Plan.Interval_scan { table; _ }
+  | Plan.Index_scan { table; _ } ->
+    Option.map (fun st -> st.Stats.st_rows) (Table.stats table)
+  | Plan.Filter { input; _ } ->
+    Option.map (fun n -> Stdlib.max 1 (n / 3)) (pipeline_est input)
+  | Plan.Project { input; _ } | Plan.Instrument { input; _ } ->
+    pipeline_est input
+  | _ -> None
 
 (* --- Planning a FROM tree --------------------------------------------------------- *)
 
@@ -326,28 +354,81 @@ let rec plan_fref pctx layout pool protected fref : Plan.t =
     in
     List.iter (fun c -> c.used <- true) mine;
     let exprs = List.map (fun c -> c.expr) mine in
-    let scan =
+    (* [filter_est]: estimated rows surviving the recheck filter, when the
+       table has ANALYZE statistics. All labels below only gain estimate
+       suffixes when stats exist, so un-analyzed planning (and the
+       EXPLAIN shape tests) stay byte-identical. *)
+    let scan, filter_est =
       match base with
       | B_table table -> (
+        let stats = Table.stats table in
         match interval_index_scan pctx table binding exprs with
-        | Some scan -> scan
+        | Some (scan, col) -> (
+          let cost =
+            match stats, scan with
+            | Some st, Plan.Interval_scan { lo; hi; _ } ->
+              Option.map
+                (fun cs ->
+                  let sel = Stats.overlap_selectivity cs ~lo ~hi in
+                  (st, sel, est_count st sel))
+                (Stats.find_col st col)
+            | _ -> None
+          in
+          match cost, scan with
+          | Some (_, sel, est), Plan.Interval_scan r
+            when sel <= interval_selectivity_threshold ->
+            ( Plan.Interval_scan
+                { r with
+                  label = Printf.sprintf "%s (est rows=%d)" r.label est },
+              Some est )
+          | Some (st, sel, est), _ ->
+            (* The probe window matches most of the table: a full scan
+               avoids the candidate sort/dedup the executor would fall
+               back to anyway. *)
+            ( Plan.Seq_scan
+                { table;
+                  label =
+                    Printf.sprintf
+                      " (est rows=%d, interval probe rejected at \
+                       selectivity %.2f)"
+                      st.Stats.st_rows sel },
+              Some est )
+          | None, _ -> (scan, None))
         | None -> (
           match ordered_index_scan pctx table binding exprs with
-          | Some scan -> scan
-          | None -> Plan.Seq_scan { table; label = "" }))
-      | B_derived plan -> plan
+          | Some scan -> (scan, None)
+          | None ->
+            (match stats with
+            | Some st ->
+              ( Plan.Seq_scan
+                  { table;
+                    label = Printf.sprintf " (est rows=%d)" st.Stats.st_rows },
+                Some (Stdlib.max 1 (st.Stats.st_rows / 3)) )
+            | None -> (Plan.Seq_scan { table; label = "" }, None))))
+      | B_derived plan -> (plan, None)
     in
     if exprs = [] then scan
     else begin
       (* All pushed conjuncts recheck above the scan — index scans may
          over-approximate (interval probes always do). *)
       let shift = binding.offset in
-      let pred =
-        compile_shifted pctx layout ~shift
-          (List.fold_left (fun a b -> Ast.Binop (Ast.And, a, b)) (List.hd exprs)
-             (List.tl exprs))
+      let combined =
+        List.fold_left (fun a b -> Ast.Binop (Ast.And, a, b)) (List.hd exprs)
+          (List.tl exprs)
       in
-      Plan.Filter { input = scan; pred; label = label_of_exprs exprs }
+      let env = shifted_env pctx layout ~shift in
+      let label =
+        label_of_exprs exprs
+        ^
+        match filter_est with
+        | Some est -> Printf.sprintf " (est rows=%d)" est
+        | None -> ""
+      in
+      Plan.Filter
+        { input = scan;
+          pred = Expr_eval.compile env combined;
+          bpred = Some (Expr_eval.compile_batch env combined);
+          label }
     end
   | F_join (l, Ast.Left_outer, on, r) ->
     let lplan = plan_fref pctx layout pool protected l in
@@ -404,34 +485,54 @@ let rec plan_fref pctx layout pool protected fref : Plan.t =
             (fun (_, b, _) -> compile_shifted pctx layout ~shift:(fst rrange) b)
             equi
         in
+        (* Build on the estimated-smaller input when both sides carry
+           ANALYZE statistics; otherwise keep the historical build-right
+           default. *)
+        let lest = pipeline_est lplan and rest = pipeline_est rplan in
+        let build_left =
+          match lest, rest with Some l, Some r -> l < r | _ -> false
+        in
+        let label = label_of_exprs (List.map (fun (_, _, e) -> e) equi) in
+        let label =
+          match lest, rest with
+          | Some l, Some r ->
+            Printf.sprintf "%s (build=%s, est left=%d right=%d)" label
+              (if build_left then "left" else "right")
+              l r
+          | _ -> label
+        in
         Plan.Hash_join
-          { left = lplan; right = rplan; left_keys; right_keys;
-            label = label_of_exprs (List.map (fun (_, _, e) -> e) equi) }
+          { left = lplan; right = rplan; left_keys; right_keys; build_left;
+            label }
       end
     in
     if residual = [] then joined
     else begin
-      let pred =
-        compile_shifted pctx layout ~shift:start
-          (List.fold_left
-             (fun a b -> Ast.Binop (Ast.And, a, b))
-             (List.hd residual) (List.tl residual))
+      let combined =
+        List.fold_left
+          (fun a b -> Ast.Binop (Ast.And, a, b))
+          (List.hd residual) (List.tl residual)
       in
-      Plan.Filter { input = joined; pred; label = label_of_exprs residual }
+      let env = shifted_env pctx layout ~shift:start in
+      Plan.Filter
+        { input = joined;
+          pred = Expr_eval.compile env combined;
+          bpred = Some (Expr_eval.compile_batch env combined);
+          label = label_of_exprs residual }
     end
 
 (* Compiles [e] against [layout], with row offsets shifted down by
    [shift] (the subtree's starting offset). Subqueries are planned with
    this layout as their outer scope, so one level of correlation works
    (outer references become hidden per-row parameters). *)
+and shifted_env pctx layout ~shift =
+  Expr_eval.base_env ~ext:pctx.ext
+    ~plan_subquery:(subquery_hook ~outer:(layout, shift) pctx)
+    ~resolve_column:(fun q name -> resolve_in layout q name - shift)
+    ()
+
 and compile_shifted pctx layout ~shift e =
-  let env =
-    Expr_eval.base_env ~ext:pctx.ext
-      ~plan_subquery:(subquery_hook ~outer:(layout, shift) pctx)
-      ~resolve_column:(fun q name -> resolve_in layout q name - shift)
-      ()
-  in
-  Expr_eval.compile env e
+  Expr_eval.compile (shifted_env pctx layout ~shift) e
 
 (* A caching [plan_subquery] for one compilation environment: the
    row-free analysis and the compiler must see the same answer for the
@@ -597,6 +698,7 @@ and build_fref pctx catalog offset table_ref : fref * int =
             Plan.Filter
               { input = Plan.Seq_scan { table = history; label = "" };
                 pred;
+                bpred = None;
                 label =
                   Printf.sprintf "_tt contains %s"
                     (Tip_core.Chronon.to_string at) };
@@ -678,12 +780,16 @@ and plan_select pctx catalog (s : Ast.select) : Plan.t * string array =
     if leftovers = [] then input
     else begin
       let exprs = List.map (fun c -> c.expr) leftovers in
-      let pred =
-        compile_shifted pctx layout ~shift:0
-          (List.fold_left (fun a b -> Ast.Binop (Ast.And, a, b)) (List.hd exprs)
-             (List.tl exprs))
+      let combined =
+        List.fold_left (fun a b -> Ast.Binop (Ast.And, a, b)) (List.hd exprs)
+          (List.tl exprs)
       in
-      Plan.Filter { input; pred; label = label_of_exprs exprs }
+      let env = shifted_env pctx layout ~shift:0 in
+      Plan.Filter
+        { input;
+          pred = Expr_eval.compile env combined;
+          bpred = Some (Expr_eval.compile_batch env combined);
+          label = label_of_exprs exprs }
     end
   in
   (* 4. ORDER BY rewriting: ordinals and output aliases. *)
@@ -844,7 +950,7 @@ and plan_select pctx catalog (s : Ast.select) : Plan.t * string array =
     | Some e ->
       if not aggregated then plan_error "HAVING requires aggregation";
       Plan.Filter
-        { input; pred = Expr_eval.compile post_env e;
+        { input; pred = Expr_eval.compile post_env e; bpred = None;
           label = Pretty.expr_to_string e }
   in
   (* 7. ORDER BY (pre-projection; Distinct preserves order above).

@@ -140,6 +140,8 @@ type statement =
   | Show_tables
   | Describe of { table : string }
   | Checkpoint (* snapshot + truncate the WAL (no-op without durability) *)
+  | Analyze of string option
+    (* collect optimizer statistics for one table, or all when None *)
   | Stats of string option
     (* the metrics registry as rows; SHOW METRICS is an alias; the
        optional LIKE pattern filters metric names *)

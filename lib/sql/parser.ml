@@ -761,6 +761,12 @@ let rec parse_statement st =
   end
   else if eat_kw st "DESCRIBE" then Ast.Describe { table = ident st }
   else if eat_kw st "CHECKPOINT" then Ast.Checkpoint
+  else if eat_kw st "ANALYZE" then begin
+    (* ANALYZE [table] — statistics for one table, or every table *)
+    match peek st with
+    | Token.Ident _ -> Ast.Analyze (Some (ident st))
+    | _ -> Ast.Analyze None
+  end
   else if eat_kw st "STATS" then Ast.Stats (stats_like st)
   else error st "expected a statement"
 

@@ -1,0 +1,127 @@
+(* Optimizer statistics: per-table row counts plus per-column period
+   histograms, collected by ANALYZE and consumed by the planner's cost
+   model.
+
+   Temporal columns are summarized by two equi-width histograms over
+   ground (unix-second) bounds: where periods *start*, and how *long*
+   they run. Together with the mean period length they answer the one
+   question the planner asks: "what fraction of this table's rows have
+   a period overlapping the probe window [lo, hi]?" — a row's period
+   [s, s+len] intersects the window iff s <= hi && s + len >= lo, so
+   counting starts in [lo - mean_len, hi] is a first-order estimate.
+   NOW-relative bounds (min_int/max_int extents) cannot be bucketed;
+   they are counted separately and treated as overlapping everything,
+   which errs toward the exact-but-slower sequential recheck. *)
+
+type histogram = {
+  h_lo : int;  (* inclusive lower bound of bucket 0 *)
+  h_width : int;  (* bucket width in value units, >= 1 *)
+  h_counts : int array;
+}
+
+type col_stats = {
+  cs_column : int;
+  cs_nonnull : int;
+  cs_periods : int;
+  cs_unbounded : int;
+  cs_avg_len : int;
+  cs_starts : histogram;
+  cs_lengths : histogram;
+}
+
+type t = {
+  st_rows : int;
+  st_buckets : int;
+  st_analyzed_at : string;
+  st_cols : col_stats list;
+}
+
+let total_count h = Array.fold_left ( + ) 0 h.h_counts
+
+(* --- Histogram construction ------------------------------------------------- *)
+
+let build_histogram ~buckets values =
+  let buckets = max 1 buckets in
+  match values with
+  | [] -> { h_lo = 0; h_width = 1; h_counts = Array.make buckets 0 }
+  | v :: rest ->
+    let lo = List.fold_left min v rest and hi = List.fold_left max v rest in
+    (* ceil((hi - lo + 1) / buckets), floored at 1 *)
+    let width = max 1 ((hi - lo + buckets) / buckets) in
+    let counts = Array.make buckets 0 in
+    List.iter
+      (fun x ->
+        let b = min (buckets - 1) ((x - lo) / width) in
+        counts.(b) <- counts.(b) + 1)
+      values;
+    { h_lo = lo; h_width = width; h_counts = counts }
+
+(* Estimated fraction of histogram values falling in [lo, hi], with
+   linear interpolation inside partially-covered buckets. *)
+let fraction_in_window h ~lo ~hi =
+  let total = total_count h in
+  if total = 0 || hi < lo then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i count ->
+        if count > 0 then begin
+          let blo = h.h_lo + (i * h.h_width) in
+          let bhi = blo + h.h_width - 1 in
+          if not (hi < blo || bhi < lo) then begin
+            let cover_lo = max lo blo and cover_hi = min hi bhi in
+            let frac =
+              float_of_int (cover_hi - cover_lo + 1)
+              /. float_of_int h.h_width
+            in
+            acc := !acc +. (float_of_int count *. min 1.0 frac)
+          end
+        end)
+      h.h_counts;
+    min 1.0 (!acc /. float_of_int total)
+  end
+
+(* --- Column statistics ------------------------------------------------------- *)
+
+(* Builds column stats from one (start, length) pair per finite period,
+   plus the count of NOW-relative (unbounded) periods. *)
+let build_col_stats ~column ~buckets ~nonnull ~unbounded pairs =
+  let starts = List.map fst pairs and lengths = List.map snd pairs in
+  let n = List.length pairs in
+  let avg_len =
+    if n = 0 then 0 else List.fold_left ( + ) 0 lengths / n
+  in
+  { cs_column = column;
+    cs_nonnull = nonnull;
+    cs_periods = n + unbounded;
+    cs_unbounded = unbounded;
+    cs_avg_len = avg_len;
+    cs_starts = build_histogram ~buckets starts;
+    cs_lengths = build_histogram ~buckets lengths }
+
+(* Estimated fraction of the column's rows with a period overlapping
+   [lo, hi]. Clamped to [0, 1]; returns 1.0 when the column was never
+   populated (no information -> assume everything matches, which keeps
+   the planner conservative). *)
+let overlap_selectivity cs ~lo ~hi =
+  if cs.cs_periods = 0 then 1.0
+  else begin
+    let finite = cs.cs_periods - cs.cs_unbounded in
+    let unbounded_frac =
+      float_of_int cs.cs_unbounded /. float_of_int cs.cs_periods
+    in
+    if finite = 0 then 1.0
+    else begin
+      (* a period starting at s with the mean length overlaps [lo, hi]
+         iff s is in [lo - mean_len, hi]; saturate the subtraction so a
+         min_int probe bound cannot wrap *)
+      let probe_lo =
+        if lo < min_int + cs.cs_avg_len then min_int else lo - cs.cs_avg_len
+      in
+      let start_frac = fraction_in_window cs.cs_starts ~lo:probe_lo ~hi in
+      min 1.0 (unbounded_frac +. ((1.0 -. unbounded_frac) *. start_frac))
+    end
+  end
+
+let find_col t column =
+  List.find_opt (fun cs -> cs.cs_column = column) t.st_cols

@@ -1,0 +1,54 @@
+(** Optimizer statistics collected by ANALYZE: per-table row counts and
+    per-temporal-column histograms of period starts and lengths, used by
+    the planner to estimate how many rows a probe window selects. *)
+
+(** Equi-width histogram over an integer domain. *)
+type histogram = {
+  h_lo : int;  (** inclusive lower bound of bucket 0 *)
+  h_width : int;  (** bucket width in value units, >= 1 *)
+  h_counts : int array;
+}
+
+type col_stats = {
+  cs_column : int;  (** schema position *)
+  cs_nonnull : int;  (** rows that contributed at least one period *)
+  cs_periods : int;  (** periods observed, including unbounded ones *)
+  cs_unbounded : int;  (** NOW-relative periods (un-bucketable) *)
+  cs_avg_len : int;  (** mean finite period length, seconds *)
+  cs_starts : histogram;  (** where finite periods start *)
+  cs_lengths : histogram;  (** how long finite periods run *)
+}
+
+type t = {
+  st_rows : int;  (** live rows at ANALYZE time *)
+  st_buckets : int;  (** histogram resolution used *)
+  st_analyzed_at : string;  (** the statement's NOW, rendered *)
+  st_cols : col_stats list;
+}
+
+val total_count : histogram -> int
+
+(** Equi-width histogram of [values] with [buckets] buckets (floored at
+    1); empty input yields an all-zero histogram. *)
+val build_histogram : buckets:int -> int list -> histogram
+
+(** Estimated fraction of the histogram's values in [lo, hi], linearly
+    interpolating partially-covered buckets. In [0, 1]. *)
+val fraction_in_window : histogram -> lo:int -> hi:int -> float
+
+(** Column stats from one (start, length) pair per finite period plus
+    the count of unbounded (NOW-relative) periods. *)
+val build_col_stats :
+  column:int ->
+  buckets:int ->
+  nonnull:int ->
+  unbounded:int ->
+  (int * int) list ->
+  col_stats
+
+(** Estimated fraction of the column's rows with a period overlapping
+    [lo, hi]. Unbounded periods count as always overlapping; a column
+    with no observed periods estimates 1.0 (no information). *)
+val overlap_selectivity : col_stats -> lo:int -> hi:int -> float
+
+val find_col : t -> int -> col_stats option

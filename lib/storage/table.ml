@@ -30,6 +30,7 @@ type t = {
   scans : int Atomic.t;
   scan_rows : int Atomic.t;
   writes : int Atomic.t;
+  mutable stats : Stats.t option; (* last ANALYZE, None until one runs *)
 }
 
 let create schema =
@@ -39,7 +40,8 @@ let create schema =
       indexes = [];
       scans = Atomic.make 0;
       scan_rows = Atomic.make 0;
-      writes = Atomic.make 0 }
+      writes = Atomic.make 0;
+      stats = None }
   in
   (match Schema.primary_key_index schema with
   | Some i ->
@@ -180,6 +182,55 @@ let fold f init t =
 let scan_count t = Atomic.get t.scans
 let scan_row_count t = Atomic.get t.scan_rows
 let write_count t = Atomic.get t.writes
+
+(* --- Optimizer statistics (ANALYZE) ----------------------------------- *)
+
+let stats t = t.stats
+let set_stats t s = t.stats <- s
+
+(* One pass over the heap: for every column whose values expose temporal
+   extents, gather (start, length) per finite period and count the
+   NOW-relative ones. Columns that never produced an extent get no
+   col_stats — the planner then knows nothing about them. *)
+let analyze ?(buckets = 32) ~analyzed_at t =
+  let n = Schema.arity t.schema in
+  let pairs = Array.make n [] in
+  let nonnull = Array.make n 0 in
+  let unbounded = Array.make n 0 in
+  let rows = ref 0 in
+  charge_scan t;
+  Heap.iteri
+    (fun _rid row ->
+      incr rows;
+      for i = 0 to n - 1 do
+        match Value.extents row.(i) with
+        | [] -> ()
+        | extents ->
+          nonnull.(i) <- nonnull.(i) + 1;
+          List.iter
+            (fun (lo, hi) ->
+              if lo = min_int || hi = max_int then
+                unbounded.(i) <- unbounded.(i) + 1
+              else pairs.(i) <- (lo, hi - lo) :: pairs.(i))
+            extents
+      done)
+    t.heap;
+  let cols = ref [] in
+  for i = n - 1 downto 0 do
+    if pairs.(i) <> [] || unbounded.(i) > 0 then
+      cols :=
+        Stats.build_col_stats ~column:i ~buckets ~nonnull:nonnull.(i)
+          ~unbounded:unbounded.(i) pairs.(i)
+        :: !cols
+  done;
+  let s =
+    { Stats.st_rows = !rows;
+      st_buckets = buckets;
+      st_analyzed_at = analyzed_at;
+      st_cols = !cols }
+  in
+  t.stats <- Some s;
+  s
 
 (* --- Secondary indexes -------------------------------------------------- *)
 

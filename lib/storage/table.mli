@@ -68,6 +68,21 @@ val scan_row_count : t -> int
 (** Successful inserts, deletes and updates. *)
 val write_count : t -> int
 
+(** {1 Optimizer statistics}
+
+    Collected by ANALYZE, consumed by the planner's cost model. *)
+
+(** The last ANALYZE result; [None] until one runs. *)
+val stats : t -> Stats.t option
+
+val set_stats : t -> Stats.t option -> unit
+
+(** One heap pass building fresh statistics: row count plus period
+    start/length histograms for every column whose values expose
+    temporal extents. Stores and returns the result. [analyzed_at] is
+    the statement's NOW, already rendered. *)
+val analyze : ?buckets:int -> analyzed_at:string -> t -> Stats.t
+
 (** {1 Secondary indexes} *)
 
 val find_index : t -> string -> index option

@@ -23,6 +23,7 @@ let () =
       ("expr-unit", Test_expr_unit.suite);
       ("engine-fuzz", Test_engine_fuzz.suite);
       ("parallel", Test_parallel.suite);
+      ("vector", Test_vector.suite);
       ("server", Test_server.suite);
       ("copy+savepoints", Test_copy_savepoints.suite);
       ("misc-coverage", Test_misc_coverage.suite);

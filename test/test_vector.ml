@@ -1,0 +1,379 @@
+(* Batch-at-a-time execution and the cost-based temporal planner:
+   a batch-vs-row differential fuzz over the engine-fuzz generator,
+   selection-vector edge cases at chunk boundaries, ANALYZE histogram
+   math, and the stats-driven access-path / build-side choices. *)
+
+open Tip_storage
+module Db = Tip_engine.Database
+module Exec_pool = Tip_engine.Exec_pool
+module Executor = Tip_engine.Executor
+module Ast = Tip_sql.Ast
+
+let check = Alcotest.check
+
+let with_batch enabled f =
+  Executor.set_batch_enabled enabled;
+  (* Drop the small-table threshold so the fuzz and edge-case tables
+     actually take the batch path when it is on. *)
+  Executor.set_batch_min_rows 0;
+  Fun.protect
+    ~finally:(fun () ->
+      Executor.set_batch_enabled true;
+      Executor.set_batch_min_rows 256)
+    f
+
+let with_pool ~size ~min_rows f =
+  let old = Exec_pool.size () in
+  Exec_pool.set_size size;
+  Executor.set_min_parallel_rows min_rows;
+  Fun.protect
+    ~finally:(fun () ->
+      Exec_pool.set_size old;
+      Executor.set_min_parallel_rows 1024)
+    f
+
+let show_rows rows =
+  List.map
+    (fun row ->
+      String.concat "|" (Array.to_list (Array.map Value.to_display_string row)))
+    rows
+
+let run_sql db sql = show_rows (Db.rows_exn (Db.exec db sql))
+
+(* Row-mode (batch disabled, one domain) and batch-mode runs of [sql]
+   must produce identical rows in identical order; so must the
+   parallel batch path. *)
+let check_batch_equals_row db name sql =
+  let row =
+    with_pool ~size:1 ~min_rows:1024 (fun () ->
+        with_batch false (fun () -> run_sql db sql))
+  in
+  let batch =
+    with_pool ~size:1 ~min_rows:1024 (fun () ->
+        with_batch true (fun () -> run_sql db sql))
+  in
+  let par_batch =
+    with_pool ~size:4 ~min_rows:1 (fun () ->
+        with_batch true (fun () -> run_sql db sql))
+  in
+  check Alcotest.(list string) (name ^ " (batch)") row batch;
+  check Alcotest.(list string) (name ^ " (parallel batch)") row par_batch
+
+(* --- Selection-vector edge cases -------------------------------------------- *)
+
+(* 2500 rows: the 1024-row chunking crosses two chunk boundaries and
+   ends with a partial chunk. *)
+let edge_db =
+  lazy
+    (let db = Db.create () in
+     ignore (Db.exec db "CREATE TABLE nums (k INT, g INT, v INT)");
+     let table = Catalog.table_exn (Db.catalog db) "nums" in
+     for i = 0 to 2499 do
+       let v = if i mod 13 = 0 then Value.Null else Value.Int (i mod 89) in
+       ignore (Table.insert table [| Value.Int i; Value.Int (i mod 5); v |])
+     done;
+     db)
+
+let test_selection_edges () =
+  let db = Lazy.force edge_db in
+  check Alcotest.int "chunk size is what the cases below assume" 1024
+    Executor.chunk_size;
+  check_batch_equals_row db "all-pass filter" "SELECT k FROM nums WHERE k >= 0";
+  check_batch_equals_row db "all-fail filter" "SELECT k FROM nums WHERE k < 0";
+  check_batch_equals_row db "sparse filter"
+    "SELECT k, v FROM nums WHERE v = 42";
+  check_batch_equals_row db "null-heavy predicate"
+    "SELECT k FROM nums WHERE v > 50";
+  check_batch_equals_row db "fused conjunction"
+    "SELECT k FROM nums WHERE v > 10 AND g = 3 AND k < 2000";
+  (* LIMITs straddling chunk boundaries stop the scan mid-chunk. *)
+  List.iter
+    (fun (limit, offset) ->
+      check_batch_equals_row db
+        (Printf.sprintf "limit %d offset %d" limit offset)
+        (Printf.sprintf "SELECT k FROM nums LIMIT %d OFFSET %d" limit offset))
+    [ (1023, 0); (1024, 0); (1025, 0); (2048, 1); (100, 1020); (5000, 0) ];
+  (* Absolute spot checks so both paths being wrong together would show. *)
+  check Alcotest.(list string) "count" [ "2500" ]
+    (run_sql db "SELECT COUNT(*) FROM nums");
+  check Alcotest.(list string) "empty result is empty" []
+    (run_sql db "SELECT k FROM nums WHERE k < 0")
+
+let test_batch_join_aggregate () =
+  let db = Lazy.force edge_db in
+  ignore (Db.exec db "CREATE TABLE lk (g INT, label CHAR(8))");
+  (match Catalog.find_table (Db.catalog db) "lk" with
+  | Some lk when Table.row_count lk = 0 ->
+    for g = 0 to 3 do
+      ignore
+        (Table.insert lk [| Value.Int g; Value.Str (Printf.sprintf "g%d" g) |])
+    done
+  | _ -> ());
+  check_batch_equals_row db "hash join"
+    "SELECT nums.k, lk.label FROM nums, lk WHERE nums.g = lk.g AND nums.k < 1500";
+  check_batch_equals_row db "join then aggregate"
+    "SELECT lk.label, COUNT(*), SUM(nums.v) FROM nums, lk \
+     WHERE nums.g = lk.g GROUP BY lk.label";
+  check_batch_equals_row db "grouped aggregate over batch scan"
+    "SELECT g, COUNT(*), COUNT(v), SUM(v), MIN(v), MAX(v), AVG(v) \
+     FROM nums GROUP BY g"
+
+(* --- Batched temporal kernels ------------------------------------------------ *)
+
+(* Elements exercising every overlaps-kernel branch: single finite
+   periods (the fast path), multi-period and NOW-relative elements
+   (per-row fallback), and NULLs (dropped). 400 rows keeps the table
+   above the executor's [batch_min_rows] threshold so the batched
+   kernel actually runs. *)
+let temporal_db =
+  lazy
+    (let db = Tip_blade.Blade.create_database () in
+     ignore (Db.exec db "SET NOW = '1999-10-15'");
+     ignore (Db.exec db "CREATE TABLE ev (id INT, valid Element)");
+     for i = 0 to 399 do
+       let m = 1 + (i mod 12) in
+       let sql =
+         if i mod 31 = 30 then
+           Printf.sprintf "INSERT INTO ev VALUES (%d, NULL)" i
+         else if i mod 17 = 16 then
+           Printf.sprintf
+             "INSERT INTO ev VALUES (%d, '{[1999-%02d-01, 1999-%02d-05], \
+              [1999-%02d-20, 1999-%02d-25]}')"
+             i m m m m
+         else if i mod 23 = 22 then
+           Printf.sprintf "INSERT INTO ev VALUES (%d, '{[1999-%02d-01, NOW]}')" i m
+         else
+           Printf.sprintf
+             "INSERT INTO ev VALUES (%d, '{[1999-%02d-01, 1999-%02d-10]}')" i m m
+       in
+       ignore (Db.exec db sql)
+     done;
+     db)
+
+let test_batched_overlaps () =
+  let db = Lazy.force temporal_db in
+  check_batch_equals_row db "overlap filter"
+    "SELECT id FROM ev WHERE overlaps(valid, '{[1999-03-01, 1999-03-31]}')";
+  check_batch_equals_row db "narrow window"
+    "SELECT id FROM ev WHERE overlaps(valid, '{[1999-06-21, 1999-06-22]}')";
+  check_batch_equals_row db "window before all data"
+    "SELECT id FROM ev WHERE overlaps(valid, '{[1990-01-01, 1990-12-31]}')";
+  check_batch_equals_row db "overlaps AND residual comparison"
+    "SELECT id FROM ev WHERE overlaps(valid, '{[1999-05-01, 1999-07-31]}') \
+     AND id > 40";
+  check_batch_equals_row db "temporal self-join"
+    "SELECT e1.id, e2.id FROM ev e1, ev e2 \
+     WHERE e1.id = e2.id AND overlaps(e1.valid, e2.valid)"
+
+(* --- Differential fuzz -------------------------------------------------------- *)
+
+(* Random queries from the engine-fuzz generator (the seeds the
+   seq-vs-parallel fuzz uses), executed row-at-a-time, batch, and
+   parallel-batch: all three outcomes must match exactly. *)
+let prop_batch_matches_row =
+  QCheck.Test.make ~name:"batch = row = parallel batch" ~count:500
+    Test_engine_fuzz.query_arb (fun q ->
+      let db = Lazy.force Test_engine_fuzz.db in
+      let run () =
+        match
+          show_rows (Db.rows_exn (Db.exec_statement db ~params:[] (Ast.Select q)))
+        with
+        | rows -> Ok rows
+        | exception e -> Error (Printexc.to_string e)
+      in
+      let row =
+        with_pool ~size:1 ~min_rows:1024 (fun () -> with_batch false run)
+      in
+      let batch =
+        with_pool ~size:1 ~min_rows:1024 (fun () -> with_batch true run)
+      in
+      let par = with_pool ~size:4 ~min_rows:1 (fun () -> with_batch true run) in
+      if row = batch && row = par then true
+      else begin
+        let show = function
+          | Ok rows -> String.concat "," rows
+          | Error e -> "raised " ^ e
+        in
+        QCheck.Test.fail_reportf "row %s\nbatch %s\npar-batch %s" (show row)
+          (show batch) (show par)
+      end)
+
+(* --- ANALYZE histogram math --------------------------------------------------- *)
+
+let test_histogram_math () =
+  let h = Stats.build_histogram ~buckets:4 (List.init 100 (fun i -> i)) in
+  check Alcotest.int "lo" 0 h.Stats.h_lo;
+  check Alcotest.int "width = ceil(span/buckets)" 25 h.Stats.h_width;
+  check Alcotest.(array int) "equi-width counts" [| 25; 25; 25; 25 |]
+    h.Stats.h_counts;
+  check Alcotest.int "total" 100 (Stats.total_count h);
+  let close msg expected actual =
+    if Float.abs (expected -. actual) > 1e-9 then
+      Alcotest.failf "%s: expected %f, got %f" msg expected actual
+  in
+  close "full window" 1.0 (Stats.fraction_in_window h ~lo:0 ~hi:99);
+  close "half window" 0.5 (Stats.fraction_in_window h ~lo:0 ~hi:49);
+  close "one bucket" 0.25 (Stats.fraction_in_window h ~lo:25 ~hi:49);
+  close "sub-bucket interpolates" 0.05 (Stats.fraction_in_window h ~lo:0 ~hi:4);
+  close "disjoint window" 0.0 (Stats.fraction_in_window h ~lo:200 ~hi:300);
+  close "inverted window" 0.0 (Stats.fraction_in_window h ~lo:50 ~hi:10);
+  let empty = Stats.build_histogram ~buckets:4 [] in
+  close "empty histogram" 0.0 (Stats.fraction_in_window empty ~lo:0 ~hi:100);
+  (* single value: width floors at 1, everything lands in bucket 0 *)
+  let point = Stats.build_histogram ~buckets:8 [ 7; 7; 7 ] in
+  check Alcotest.int "point width" 1 point.Stats.h_width;
+  check Alcotest.int "point bucket" 3 point.Stats.h_counts.(0)
+
+let test_overlap_selectivity () =
+  let close msg expected actual =
+    if Float.abs (expected -. actual) > 1e-9 then
+      Alcotest.failf "%s: expected %f, got %f" msg expected actual
+  in
+  (* 100 unit-length periods starting at 0, 10, ..., 990. *)
+  let pairs = List.init 100 (fun i -> (i * 10, 1)) in
+  let cs =
+    Stats.build_col_stats ~column:0 ~buckets:10 ~nonnull:100 ~unbounded:0 pairs
+  in
+  close "everything" 1.0 (Stats.overlap_selectivity cs ~lo:0 ~hi:1000);
+  close "nothing near the window" 0.0
+    (Stats.overlap_selectivity cs ~lo:5000 ~hi:6000);
+  let mid = Stats.overlap_selectivity cs ~lo:0 ~hi:490 in
+  if mid < 0.4 || mid > 0.6 then
+    Alcotest.failf "half-range selectivity ~0.5, got %f" mid;
+  (* Unbounded periods always count as overlapping. *)
+  let cs_unb =
+    Stats.build_col_stats ~column:0 ~buckets:10 ~nonnull:100 ~unbounded:50 pairs
+  in
+  let s = Stats.overlap_selectivity cs_unb ~lo:5000 ~hi:6000 in
+  close "unbounded floor" (1.0 /. 3.0) s;
+  (* No observed periods: no information, assume everything matches. *)
+  let cs_empty =
+    Stats.build_col_stats ~column:0 ~buckets:10 ~nonnull:0 ~unbounded:0 []
+  in
+  close "no data is conservative" 1.0
+    (Stats.overlap_selectivity cs_empty ~lo:0 ~hi:1)
+
+(* --- Cost-based planning ------------------------------------------------------ *)
+
+let contains hay needle =
+  try
+    ignore (Str.search_forward (Str.regexp_string needle) hay 0);
+    true
+  with Not_found -> false
+
+let explain db sql =
+  match Db.exec db ("EXPLAIN " ^ sql) with
+  | Db.Message m -> m
+  | _ -> Alcotest.fail "expected plan text"
+
+let want db sql needles =
+  let plan = explain db sql in
+  List.iter
+    (fun needle ->
+      if not (contains plan needle) then
+        Alcotest.failf "plan for %s should contain %s:\n%s" sql needle plan)
+    needles
+
+let reject db sql needles =
+  let plan = explain db sql in
+  List.iter
+    (fun needle ->
+      if contains plan needle then
+        Alcotest.failf "plan for %s should not contain %s:\n%s" sql needle plan)
+    needles
+
+let cost_db () =
+  let db = Tip_blade.Blade.create_database () in
+  ignore (Db.exec db "SET NOW = '1999-10-15'");
+  ignore (Db.exec db "CREATE TABLE ev (id INT, valid Element)");
+  ignore (Db.exec db "CREATE INDEX ev_valid ON ev (valid) USING INTERVAL");
+  for i = 0 to 199 do
+    let m = 1 + (i mod 12) in
+    ignore
+      (Db.exec db
+         (Printf.sprintf
+            "INSERT INTO ev VALUES (%d, '{[1999-%02d-01, 1999-%02d-10]}')" i m m))
+  done;
+  db
+
+let narrow = "SELECT id FROM ev WHERE overlaps(valid, '{[1999-03-01, 1999-03-31]}')"
+let wide = "SELECT id FROM ev WHERE overlaps(valid, '{[1998-01-01, 2000-12-31]}')"
+
+let test_cost_access_path () =
+  let db = cost_db () in
+  (* Without statistics the static preference order stands and no
+     estimates are printed. *)
+  want db narrow [ "IntervalScan ev" ];
+  reject db narrow [ "est rows=" ];
+  want db wide [ "IntervalScan ev" ];
+  let narrow_rows = run_sql db (narrow ^ " ORDER BY id") in
+  let wide_rows = run_sql db (wide ^ " ORDER BY id") in
+  (match Db.exec db "ANALYZE ev" with
+  | Db.Message m ->
+    check Alcotest.bool "analyze message" true (contains m "ANALYZE complete")
+  | _ -> Alcotest.fail "expected message");
+  (* A selective window keeps the interval index and gains an estimate;
+     a window matching everything falls back to the plain scan. *)
+  want db narrow [ "IntervalScan ev"; "est rows=" ];
+  want db wide [ "SeqScan ev"; "interval probe rejected" ];
+  reject db wide [ "IntervalScan" ];
+  (* The cost decision must not change answers. *)
+  check Alcotest.(list string) "narrow answers unchanged" narrow_rows
+    (run_sql db (narrow ^ " ORDER BY id"));
+  check Alcotest.(list string) "wide answers unchanged" wide_rows
+    (run_sql db (wide ^ " ORDER BY id"));
+  check_batch_equals_row db "cost-planned query, batch vs row" narrow;
+  (* ANALYZE of a missing table fails cleanly. *)
+  match Db.exec db "ANALYZE nope" with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "ANALYZE nope should fail"
+
+let test_cost_build_side () =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE small (g INT, label CHAR(8))");
+  ignore (Db.exec db "CREATE TABLE big (k INT, g INT)");
+  let small = Catalog.table_exn (Db.catalog db) "small" in
+  let big = Catalog.table_exn (Db.catalog db) "big" in
+  for g = 0 to 4 do
+    ignore
+      (Table.insert small [| Value.Int g; Value.Str (Printf.sprintf "g%d" g) |])
+  done;
+  for i = 0 to 499 do
+    ignore (Table.insert big [| Value.Int i; Value.Int (i mod 5) |])
+  done;
+  let join = "SELECT small.label, big.k FROM small, big WHERE small.g = big.g" in
+  let flipped =
+    "SELECT small.label, big.k FROM big, small WHERE small.g = big.g"
+  in
+  (* No stats: historical build-right default, no annotation. *)
+  reject db join [ "build=" ];
+  let before = run_sql db (join ^ " ORDER BY big.k") in
+  ignore (Db.exec db "ANALYZE");
+  (* The estimated-smaller side becomes the build side. *)
+  want db join [ "HashJoin"; "build=left"; "est left=5 right=500" ];
+  want db flipped [ "HashJoin"; "build=right" ];
+  check Alcotest.(list string) "build-side choice keeps answers" before
+    (run_sql db (join ^ " ORDER BY big.k"));
+  check_batch_equals_row db "cost-planned join, batch vs row" join;
+  (* tip_stat_tables surfaces the ANALYZE state. *)
+  match
+    Db.rows_exn
+      (Db.exec db
+         "SELECT last_analyzed, histogram_buckets FROM tip_stat_tables \
+          WHERE table_name = 'small'")
+  with
+  | [ [| analyzed; buckets |] ] ->
+    check Alcotest.bool "last_analyzed set" true (analyzed <> Value.Null);
+    check Alcotest.bool "bucket count recorded" true
+      (match buckets with Value.Int n -> n > 0 | _ -> false)
+  | _ -> Alcotest.fail "expected one tip_stat_tables row for small"
+
+let suite =
+  [ Alcotest.test_case "selection-vector edge cases" `Quick test_selection_edges;
+    Alcotest.test_case "batch join + aggregate" `Quick test_batch_join_aggregate;
+    Alcotest.test_case "batched overlaps kernels" `Quick test_batched_overlaps;
+    Alcotest.test_case "histogram math" `Quick test_histogram_math;
+    Alcotest.test_case "overlap selectivity" `Quick test_overlap_selectivity;
+    Alcotest.test_case "cost-chosen access path" `Quick test_cost_access_path;
+    Alcotest.test_case "cost-chosen build side" `Quick test_cost_build_side;
+    QCheck_alcotest.to_alcotest prop_batch_matches_row ]
