@@ -1128,6 +1128,169 @@ let bench_vector () =
   in
   print_table [ "case"; "row"; "batch"; "speedup" ] rows
 
+(* --- E22: WAL-shipping replication ------------------------------------------------------------- *)
+
+let bench_replication () =
+  banner "E22 replication"
+    "WAL-shipping read replicas (DESIGN.md §13): replay throughput of the\n\
+     incremental stream parser (Replica.feed) at several chunk sizes, then\n\
+     live loopback propagation — commit-to-visible latency on a streaming\n\
+     replica, and time back to caught-up after a severed link. Expect:\n\
+     replay dominated by statement re-execution (chunk size nearly free),\n\
+     propagation bounded by the primary's 20ms WAL-growth poll tick,\n\
+     reconvergence by the reconnect backoff floor.";
+  let module Replica = Tip_storage.Replica in
+  let module Replication = Tip_server.Replication in
+  let scratch =
+    if Sys.file_exists "/dev/shm" && Sys.is_directory "/dev/shm" then "/dev/shm"
+    else Filename.get_temp_dir_name ()
+  in
+  let dirs = ref [] in
+  let fresh_dir tag =
+    let dir =
+      Filename.concat scratch
+        (Printf.sprintf "tipreplbench_%d_%s" (Unix.getpid ()) tag)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dirs := dir :: !dirs;
+    dir
+  in
+  let wait_until ?(timeout = 30.) pred =
+    let deadline = Unix.gettimeofday () +. timeout in
+    let rec go () =
+      pred ()
+      || (Unix.gettimeofday () < deadline
+         &&
+         (Thread.delay 0.001;
+          go ()))
+    in
+    go ()
+  in
+  (* -- replay throughput: a committed WAL fed straight into Replica.feed -- *)
+  let wal_dir = fresh_dir "wal" in
+  let n_records = 2_000 * scale in
+  let seed, _ =
+    Db.open_durable ~sync:Tip_storage.Wal.Never ~checkpoint_every:0
+      ~dir:wal_dir ()
+  in
+  ignore (Db.exec seed "CREATE TABLE w (a INT PRIMARY KEY, b CHAR(12))");
+  for i = 1 to n_records do
+    ignore (Db.exec seed (Printf.sprintf "INSERT INTO w VALUES (%d, 'r')" i))
+  done;
+  Db.close_durable seed;
+  let wal =
+    let ic = open_in_bin (Tip_storage.Recovery.wal_path ~dir:wal_dir) in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let replay chunk () =
+    let r =
+      Replica.create (Tip_storage.Catalog.create ()) ~generation:1 ~offset:0
+    in
+    let pos = ref 0 in
+    while !pos < String.length wal do
+      let n = min chunk (String.length wal - !pos) in
+      (match Replica.feed r (String.sub wal !pos n) with
+      | Ok () -> ()
+      | Error _ -> failwith "replay must apply cleanly");
+      pos := !pos + n
+    done
+  in
+  let replay_results =
+    measure_tests
+      [ ("replay 4k chunks", replay 4096);
+        ("replay 64k chunks", replay 65536);
+        ("replay whole log", replay (String.length wal)) ]
+  in
+  print_table [ "test"; "ns/replay"; "throughput" ]
+    (List.map
+       (fun (name, ns) ->
+         [ name; ns_to_string ns;
+           (if Float.is_nan ns then "n/a"
+            else
+              Printf.sprintf "%.1f MB/s"
+                (float_of_int (String.length wal) /. (ns /. 1e9) /. 1e6)) ])
+       replay_results);
+  Printf.printf "(%d committed records, %d WAL bytes)\n" n_records
+    (String.length wal);
+  (* -- live propagation: durable primary served over loopback, one
+     streaming replica; measure commit-to-visible and re-convergence -- *)
+  let pdb, _ =
+    Db.open_durable ~sync:Tip_storage.Wal.Never ~checkpoint_every:0
+      ~dir:(fresh_dir "primary") ()
+  in
+  ignore (Db.exec pdb "CREATE TABLE p (a INT PRIMARY KEY, b CHAR(12))");
+  let server = Tip_server.Server.listen ~port:0 pdb in
+  Tip_server.Server.serve_in_background server;
+  let port = Tip_server.Server.port server in
+  let rdb = Db.create () in
+  Db.set_read_only rdb true;
+  let repl = Replication.start ~host:"127.0.0.1" ~port rdb in
+  let primary_offset () =
+    match Db.replication_state pdb with Some (_, o) -> o | None -> 0
+  in
+  let caught_up () =
+    Replication.state repl = "streaming"
+    && Replication.applied_offset repl >= primary_offset ()
+  in
+  if not (wait_until caught_up) then
+    print_endline "replication bench: replica never caught up, skipping"
+  else begin
+    let remote = Tip_server.Remote.connect ~port () in
+    (* commit-to-visible: wall-clock from the remote INSERT returning to
+       the replica confirming that offset — the full ship/parse/apply
+       path, polled at 1ms *)
+    let n_probes = 30 in
+    let total = ref 0. and worst = ref 0. in
+    for i = 1 to n_probes do
+      let t0 = Unix.gettimeofday () in
+      ignore
+        (Tip_server.Remote.execute remote
+           (Printf.sprintf "INSERT INTO p VALUES (%d, 'x')" i));
+      ignore (wait_until caught_up);
+      let dt = Unix.gettimeofday () -. t0 in
+      total := !total +. dt;
+      if dt > !worst then worst := dt
+    done;
+    let mean_ns = !total /. float_of_int n_probes *. 1e9 in
+    records :=
+      !records
+      @ [ (!current_suite, "propagation mean", mean_ns);
+          (!current_suite, "propagation worst", !worst *. 1e9) ];
+    (* reconvergence: sever the link, commit a burst the replica cannot
+       see, and time reconnect + resume + drain back to caught-up *)
+    Replication.inject_disconnect repl;
+    for i = 1 to 100 do
+      ignore
+        (Tip_server.Remote.execute remote
+           (Printf.sprintf "INSERT INTO p VALUES (%d, 'y')" (1000 + i)))
+    done;
+    let t0 = Unix.gettimeofday () in
+    let reconverged = wait_until caught_up in
+    let reconv_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    records :=
+      !records @ [ (!current_suite, "reconverge after cut", reconv_ns) ];
+    Tip_server.Remote.close remote;
+    print_table [ "test"; "time" ]
+      [ [ "commit-to-visible mean"; ns_to_string mean_ns ];
+        [ "commit-to-visible worst"; ns_to_string (!worst *. 1e9) ];
+        [ "reconverge after cut (100 commits)";
+          (if reconverged then ns_to_string reconv_ns else "never") ] ]
+  end;
+  Replication.stop repl;
+  Tip_server.Server.stop server;
+  Db.close_durable pdb;
+  List.iter
+    (fun dir ->
+      if Sys.file_exists dir && Sys.is_directory dir then begin
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      end)
+    !dirs
+
 let suites =
   [ ("element", bench_element);
     ("coalesce", bench_coalesce);
@@ -1144,7 +1307,8 @@ let suites =
     ("observability", bench_observability);
     ("governance", bench_governance);
     ("introspect", bench_introspect);
-    ("vector", bench_vector) ]
+    ("vector", bench_vector);
+    ("replication", bench_replication) ]
 
 let () =
   let rec parse_args = function

@@ -4,10 +4,17 @@
      tip_serve --port 5499 --demo
      tip_serve --port 5499 --load db.snapshot --save db.snapshot
      tip_serve --port 5499 --durability ./dbdir --sync always
+     tip_serve --port 5499 --replica-of 127.0.0.1:5498
 
    With --durability DIR every committed statement is logged to DIR/wal
    before its result is returned, and startup recovers from DIR (snapshot
    plus committed log tail); --load/--save are ignored in that mode.
+
+   With --replica-of HOST:PORT the server is a read replica: it
+   bootstraps a snapshot from the primary, tails its WAL stream, and
+   serves reads (writes answer E READ_ONLY). Losing the primary keeps
+   reads flowing with honestly growing staleness. Conflicts with
+   --durability (a replica's durability is its primary's).
 
    Clients: tip_shell --connect 127.0.0.1:5499, or Tip_server.Remote. *)
 
@@ -29,14 +36,43 @@ let parse_log_format s =
     Printf.eprintf "tip_server: bad --log-format %S (want text|json)\n" s;
     exit 2
 
+let parse_replica_of s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when host <> "" -> (host, p)
+    | _ ->
+      Printf.eprintf "tip_server: bad --replica-of %S (want HOST:PORT)\n" s;
+      exit 2)
+  | None ->
+    Printf.eprintf "tip_server: bad --replica-of %S (want HOST:PORT)\n" s;
+    exit 2
+
 let main port demo load save durability sync idle_timeout now slow_ms
-    max_sessions statement_timeout_ms trace_dir log_format =
+    max_sessions statement_timeout_ms trace_dir log_format replica_of =
   (* every server log line — Logs sources and our own announcements —
      goes through the one mutex-guarded timestamped sink *)
   Option.iter (fun s -> Sink.set_format (parse_log_format s)) log_format;
   Option.iter (fun d -> Tip_obs.Trace.set_trace_dir (Some d)) trace_dir;
   Logs.set_reporter (Sink.reporter ());
+  if Option.is_some replica_of && Option.is_some durability then begin
+    Printf.eprintf
+      "tip_server: --replica-of conflicts with --durability (a replica's \
+       durability is its primary's)\n";
+    exit 2
+  end;
   let db =
+    match replica_of, durability with
+    | Some _, _ ->
+      (* a replica starts empty (the bootstrap fills it) and read-only *)
+      Tip_blade.Values.register_types ();
+      let db = Db.create () in
+      Tip_blade.Blade.install db;
+      Db.set_read_only db true;
+      db
+    | None, durability -> (
     match durability with
     | Some dir ->
       Tip_blade.Values.register_types ();
@@ -59,7 +95,7 @@ let main port demo load save durability sync idle_timeout now slow_ms
         let db = Db.create ~catalog () in
         Tip_blade.Blade.install db;
         db
-      | false, None -> Tip_blade.Blade.create_database ())
+      | false, None -> Tip_blade.Blade.create_database ()))
   in
   Option.iter
     (fun d -> ignore (Db.exec db (Printf.sprintf "SET NOW = '%s'" d)))
@@ -67,6 +103,20 @@ let main port demo load save durability sync idle_timeout now slow_ms
   let server =
     Tip_server.Server.listen ?idle_timeout ?slow_ms ?max_sessions
       ?statement_timeout_ms ~port db
+  in
+  let replication =
+    Option.map
+      (fun spec ->
+        let host, pport = parse_replica_of spec in
+        let repl =
+          Tip_server.Replication.start
+            ~lock:(Tip_server.Server.db_mutex server) ~host ~port:pport db
+        in
+        Tip_server.Server.set_staleness_probe server (fun () ->
+            Tip_server.Replication.staleness_seconds repl);
+        Sink.line "tip_server: replicating from %s:%d (read-only)" host pport;
+        repl)
+      replica_of
   in
   Sink.line "tip_server: listening on port %d%s"
     (Tip_server.Server.port server)
@@ -88,6 +138,7 @@ let main port demo load save durability sync idle_timeout now slow_ms
   Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
   Tip_server.Server.serve server;
   Sink.line "tip_server: draining";
+  Option.iter Tip_server.Replication.stop replication;
   let secs = Tip_server.Server.drain server in
   Sink.line "tip_server: drained in %.3fs, shutting down" secs;
   if Option.is_some durability then begin
@@ -162,10 +213,16 @@ let () =
            ~doc:"Log output format: text (default) or json — one structured \
                  object per line (also settable via TIP_LOG_FORMAT).")
   in
+  let replica_of =
+    Arg.(value & opt (some string) None & info [ "replica-of" ] ~docv:"HOST:PORT"
+           ~doc:"Run as a read replica of the primary at HOST:PORT: \
+                 bootstrap a snapshot, tail its WAL stream, answer writes \
+                 with E READ_ONLY. Conflicts with $(b,--durability).")
+  in
   let term =
     Term.(const main $ port $ demo $ load $ save $ durability $ sync
           $ idle_timeout $ now $ slow_ms $ max_sessions
-          $ statement_timeout_ms $ trace_dir $ log_format)
+          $ statement_timeout_ms $ trace_dir $ log_format $ replica_of)
   in
   let info = Cmd.info "tip_serve" ~doc:"TIP database server" in
   exit (Cmd.eval (Cmd.v info term))

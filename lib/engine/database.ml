@@ -93,6 +93,10 @@ type t = {
   mutable timeout_ms : int option;
       (* default statement deadline, set by SET TIMEOUT; applied to
          statements whose caller armed no deadline of their own *)
+  mutable read_only : bool;
+      (* a read replica: every mutating statement is refused with a
+         typed READ_ONLY error; the replication stream bypasses the
+         statement layer entirely (Wal.apply against the catalog) *)
 }
 
 type result =
@@ -112,7 +116,8 @@ let create ?catalog () =
     durability = None;
     pending = [];
     stmt_undo = [];
-    timeout_ms = None }
+    timeout_ms = None;
+    read_only = false }
 
 let catalog t = t.catalog
 let extension t = t.ext
@@ -120,6 +125,8 @@ let now_override t = t.now_override
 let in_transaction t = t.tx <> None
 let durability_dir t = Option.map (fun d -> d.dir) t.durability
 let statement_timeout_ms t = t.timeout_ms
+let set_read_only t flag = t.read_only <- flag
+let read_only t = t.read_only
 
 let log_undo t u =
   t.stmt_undo <- u :: t.stmt_undo;
@@ -172,6 +179,11 @@ let checkpoint t =
   | None -> 0
   | Some d ->
     flush_pending t;
+    (* Bring the durability point current before rendering the
+       snapshot: an Every_n policy may be holding up to n-1 commits it
+       has not fsynced, and a checkpoint is an explicit durability
+       request. *)
+    if Wal.pending_sync d.wal then Wal.sync d.wal;
     let truncated = Wal.record_count d.wal in
     let gen = d.gen + 1 in
     Persist.save ~wal_gen:gen t.catalog (Recovery.snapshot_path ~dir:d.dir);
@@ -420,7 +432,21 @@ let reorder_columns schema columns values =
       cols values;
     row
 
+(* Statements a read replica may run: nothing that mutates rows or the
+   catalog, no transactions (a replica has nothing of its own to
+   commit), no CHECKPOINT (the replica's source of truth is the
+   primary's WAL). ANALYZE and COPY TO are allowed — they touch only
+   local planner statistics / an output file. *)
+let replica_allowed = function
+  | Ast.Select _ | Ast.Select_compound _ | Ast.Explain _ | Ast.Show_tables
+  | Ast.Describe _ | Ast.Stats _ | Ast.Analyze _ | Ast.Set_timeout _
+  | Ast.Set_now _ | Ast.Copy_to _ ->
+    true
+  | _ -> false
+
 let exec_statement_raw t ~token ~params stmt =
+  if t.read_only && not (replica_allowed stmt) then
+    db_error "READ_ONLY: this is a read replica; send writes to the primary";
   (* The statement's NOW is read from the clock exactly once, here, and
      frozen for the whole statement: the root span opens with it, and
      [Tx_clock.with_override] makes every later read — blade routines,
@@ -1023,14 +1049,43 @@ let open_durable ?(sync = Wal.Always) ?(checkpoint_every = 10_000) ~dir () =
 
 (* Detaches and closes the WAL without checkpointing — on-disk state is
    untouched, so this is safe even after a simulated crash. A graceful
-   shutdown should [checkpoint] first. *)
+   shutdown should [checkpoint] first. The one flush performed here:
+   an Every_n policy's unsynced tail is fsynced so a clean close never
+   abandons the up-to-n-1 commits the policy was still holding (extra
+   durability can only extend the surviving prefix, so this stays safe
+   after a simulated crash too; failures are swallowed because the fd
+   may already be unusable then). *)
 let close_durable t =
   match t.durability with
   | None -> ()
   | Some d ->
     t.durability <- None;
     t.pending <- [];
+    (try if Wal.pending_sync d.wal then Wal.sync d.wal with _ -> ());
     Wal.close d.wal
+
+(* --- Replication (primary side) ---------------------------------------------- *)
+
+(* Where a caught-up subscriber stands: current WAL generation and its
+   end-of-log byte offset. *)
+let replication_state t =
+  Option.map (fun d -> (d.gen, Wal.offset d.wal)) t.durability
+
+let replication_wal_path t =
+  Option.map (fun d -> Recovery.wal_path ~dir:d.dir) t.durability
+
+(* The bootstrap payload: snapshot text plus the (generation, offset)
+   pair it is consistent with. Must run under the server's database
+   lock so no statement commits between rendering the snapshot and
+   reading the offset; refused inside an open transaction because the
+   snapshot would leak uncommitted rows. *)
+let replication_snapshot t =
+  match t.durability with
+  | None -> None
+  | Some d ->
+    if t.tx <> None then
+      db_error "BUSY: cannot bootstrap a replica inside an open transaction";
+    Some (d.gen, Persist.snapshot_string ~wal_gen:d.gen t.catalog, Wal.offset d.wal)
 
 (* --- Result helpers ----------------------------------------------------------- *)
 

@@ -119,8 +119,38 @@ val durability_dir : t -> string option
 val checkpoint : t -> int
 
 (** Detaches and closes the WAL without checkpointing; safe after a
-    simulated crash. Graceful shutdown should [checkpoint] first. *)
+    simulated crash. Graceful shutdown should [checkpoint] first. An
+    [Every_n] sync policy's unsynced tail is fsynced on the way out so
+    a clean close never abandons commits the policy was still holding. *)
 val close_durable : t -> unit
+
+(** {1 Replication}
+
+    The primary side of WAL shipping (DESIGN.md §13). All three calls
+    must run under the server's database lock so the (generation,
+    offset) pairs they return are consistent with the catalog and the
+    log. *)
+
+(** Marks the database as a read replica: every statement that would
+    mutate rows, the catalog, or transaction state is refused with a
+    typed [READ_ONLY:] {!Error}. Reads, EXPLAIN, SHOW/DESCRIBE/STATS,
+    ANALYZE, COPY TO and SET TIMEOUT/NOW still run. *)
+val set_read_only : t -> bool -> unit
+
+val read_only : t -> bool
+
+(** Current WAL generation and end-of-log byte offset — where a fully
+    caught-up subscriber stands. [None] without durable storage. *)
+val replication_state : t -> (int * int) option
+
+(** Path of the live WAL file, for the primary's stream reader. *)
+val replication_wal_path : t -> string option
+
+(** The bootstrap payload: [(generation, snapshot_text, wal_offset)],
+    mutually consistent. [None] without durable storage.
+    @raise Error (typed [BUSY:]) inside an open transaction — the
+    snapshot would leak uncommitted rows. *)
+val replication_snapshot : t -> (int * string * int) option
 
 (** {1 Result helpers}
 

@@ -66,12 +66,20 @@ type request =
   | Bind of string * Value.t
   | Metrics
   | Quit
+  | Wal_subscribe of { gen : int; offset : int }
+  | Snapshot_request
+  | Ack of { offset : int; commits : int }
+  | Lag_probe
 
 let encode_request = function
   | Execute sql -> "Q " ^ escape sql
   | Bind (name, v) -> Printf.sprintf "B %s\t%s" (escape name) (encode_typed v)
   | Metrics -> "M"
   | Quit -> "X"
+  | Wal_subscribe { gen; offset } -> Printf.sprintf "S %d %d" gen offset
+  | Snapshot_request -> "P"
+  | Ack { offset; commits } -> Printf.sprintf "K %d %d" offset commits
+  | Lag_probe -> "L"
 
 let decode_request line =
   if String.length line >= 2 && String.sub line 0 2 = "Q " then
@@ -85,6 +93,28 @@ let decode_request line =
   end
   else if String.equal line "M" then Some Metrics
   else if String.equal line "X" then Some Quit
+  else if String.equal line "P" then Some Snapshot_request
+  else if String.equal line "L" then Some Lag_probe
+  else if String.length line >= 2 && String.sub line 0 2 = "S " then begin
+    match
+      String.split_on_char ' ' (String.sub line 2 (String.length line - 2))
+    with
+    | [ gen; offset ] -> (
+      match (int_of_string_opt gen, int_of_string_opt offset) with
+      | Some gen, Some offset -> Some (Wal_subscribe { gen; offset })
+      | _ -> None)
+    | _ -> None
+  end
+  else if String.length line >= 2 && String.sub line 0 2 = "K " then begin
+    match
+      String.split_on_char ' ' (String.sub line 2 (String.length line - 2))
+    with
+    | [ offset; commits ] -> (
+      match (int_of_string_opt offset, int_of_string_opt commits) with
+      | Some offset, Some commits -> Some (Ack { offset; commits })
+      | _ -> None)
+    | _ -> None
+  end
   else None
 
 (* --- Responses --------------------------------------------------------------- *)
@@ -146,3 +176,41 @@ let read_response ic =
   else if String.length line >= 2 && String.sub line 0 2 = "E " then
     Error (unescape (String.sub line 2 (String.length line - 2)))
   else failwith ("protocol: unexpected line " ^ line)
+
+(* --- WAL stream framing ------------------------------------------------------ *)
+
+(* Replication subscriptions carry raw WAL bytes, which are arbitrary
+   binary as far as the wire is concerned (CRC hex, payload text, torn
+   prefixes under failpoints), so they travel length-prefixed instead
+   of escaped:
+
+     D <len>\n<len raw bytes>\n
+
+   interleaved with ordinary [M]/[E] lines for keepalives and typed
+   stream errors. *)
+
+let write_chunk oc payload =
+  Printf.fprintf oc "D %d\n" (String.length payload);
+  output_string oc payload;
+  output_char oc '\n'
+
+let read_stream_item ic =
+  let line = input_line ic in
+  if String.length line >= 2 && String.sub line 0 2 = "D " then begin
+    let len =
+      match int_of_string_opt (String.sub line 2 (String.length line - 2)) with
+      | Some n when n >= 0 -> n
+      | _ -> failwith ("protocol: bad chunk header " ^ line)
+    in
+    let payload = Bytes.create len in
+    really_input ic payload 0 len;
+    (match input_char ic with
+    | '\n' -> ()
+    | _ -> failwith "protocol: missing chunk terminator");
+    `Chunk (Bytes.to_string payload)
+  end
+  else if String.length line >= 2 && String.sub line 0 2 = "M " then
+    `Info (unescape (String.sub line 2 (String.length line - 2)))
+  else if String.length line >= 2 && String.sub line 0 2 = "E " then
+    `Err (unescape (String.sub line 2 (String.length line - 2)))
+  else failwith ("protocol: unexpected stream line " ^ line)

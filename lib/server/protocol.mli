@@ -16,6 +16,18 @@ type request =
   | Bind of string * Value.t
   | Metrics  (** text dump of the server's metrics registry *)
   | Quit
+  | Wal_subscribe of { gen : int; offset : int }
+      (** [S <gen> <offset>]: stream raw WAL bytes of generation [gen]
+          from byte [offset]; the session becomes a replication stream *)
+  | Snapshot_request
+      (** [P]: one snapshot-bootstrap exchange —
+          [M snapshot <gen> <offset>] followed by a single chunk *)
+  | Ack of { offset : int; commits : int }
+      (** [K <offset> <commits>]: subscriber's confirmed replay position,
+          sent upstream on the same socket *)
+  | Lag_probe
+      (** [L]: answered [M <staleness_seconds>] by a replica ([0] on a
+          primary) — the routing client's cheap staleness check *)
 
 val encode_request : request -> string
 val decode_request : string -> request option
@@ -31,6 +43,19 @@ val write_response : out_channel -> response -> unit
 (** @raise Failure on malformed protocol data
     @raise End_of_file when the peer hangs up. *)
 val read_response : in_channel -> response
+
+(** {1 WAL stream framing}
+
+    Replication subscriptions ship raw WAL bytes length-prefixed
+    ([D <len>\n<bytes>\n]) — binary-safe, no escaping — interleaved
+    with ordinary [M] keepalives and typed [E] stream errors. *)
+
+val write_chunk : out_channel -> string -> unit
+
+(** @raise Failure on malformed framing
+    @raise End_of_file when the peer hangs up. *)
+val read_stream_item :
+  in_channel -> [ `Chunk of string | `Info of string | `Err of string ]
 
 (**/**)
 

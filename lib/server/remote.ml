@@ -28,6 +28,8 @@ type error_code =
   | Shutdown
   | Idle_timeout
   | Cancelled
+  | Read_only
+  | Stale_read
   | Other
 
 (* Typed server errors are "CODE: human text"; everything else (engine
@@ -43,13 +45,20 @@ let error_code msg =
   else if prefixed "SHUTDOWN:" then Shutdown
   else if prefixed "IDLE_TIMEOUT:" then Idle_timeout
   else if prefixed "CANCELLED:" then Cancelled
+  else if prefixed "READ_ONLY:" then Read_only
+  else if prefixed "STALE_READ:" then Stale_read
   else Other
 
 (* Transient connect failures — the server not up yet, or the network
    hiccuping — are worth retrying; anything else (bad address, no
-   route policy, ...) fails immediately. *)
+   route policy, ...) fails immediately. EPIPE/ECONNABORTED belong
+   here: racing a server restart, the kernel can complete the TCP
+   handshake against the dying listener and then kill the socket on
+   (or right after) the first send, which should retry exactly like a
+   refused connection would have. *)
 let transient = function
-  | Unix.ECONNREFUSED | Unix.ETIMEDOUT | Unix.ENETUNREACH | Unix.ECONNRESET ->
+  | Unix.ECONNREFUSED | Unix.ETIMEDOUT | Unix.ENETUNREACH | Unix.ECONNRESET
+  | Unix.EPIPE | Unix.ECONNABORTED ->
     true
   | _ -> false
 
@@ -187,9 +196,149 @@ let metrics ?deadline t =
     raise (Remote_error "unexpected response to a metrics request")
   | exception End_of_file -> raise (Remote_error "server closed the connection")
 
+(* How far behind the primary the server's reads are, in seconds (L
+   probe). A primary answers 0; a replica that lost its primary answers
+   a growing number.
+   @raise Remote_error on a malformed answer or server-side error. *)
+let staleness ?deadline t =
+  check_open t;
+  with_deadline t deadline @@ fun () ->
+  send t Protocol.Lag_probe;
+  match Protocol.read_response t.ic with
+  | Protocol.Message m -> (
+    match String.split_on_char ' ' m with
+    | [ "staleness"; s ] -> (
+      match float_of_string_opt s with
+      | Some s -> s
+      | None -> raise (Remote_error ("bad staleness response: " ^ m)))
+    | _ -> raise (Remote_error ("unexpected staleness response: " ^ m)))
+  | Protocol.Error e -> raise (Remote_error e)
+  | Protocol.Rows _ | Protocol.Affected _ ->
+    raise (Remote_error "unexpected response to a lag probe")
+  | exception End_of_file -> raise (Remote_error "server closed the connection")
+
 let close t =
   if not t.closed then begin
     (try send t Protocol.Quit with Sys_error _ | Remote_error _ -> ());
     t.closed <- true;
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
+
+let channels t = (t.ic, t.oc)
+
+(* --- Read routing ------------------------------------------------------- *)
+
+(* A routed connection: writes always go to the primary; reads prefer
+   the replica while it is reachable and — when [max_staleness] is set
+   — provably fresh enough. Staleness probes are cheap (one L
+   round-trip) and cached briefly so a burst of reads does not probe
+   per statement. *)
+
+type routed = {
+  r_primary : t;
+  mutable r_replica : t option;
+  r_max_staleness : float option;
+  r_on_stale : [ `Primary | `Error ];
+  mutable r_last_probe : float; (* unix time of the cached probe *)
+  mutable r_last_staleness : float;
+}
+
+let probe_cache_secs = 0.2
+
+let connect_routed ?max_staleness ?(on_stale = `Primary) ?replica
+    ~primary:(phost, pport) () =
+  let p = connect ~host:phost ~port:pport () in
+  let r =
+    match replica with
+    | None -> None
+    | Some (host, port) -> (
+      (* a dead replica at connect time is degradation, not failure *)
+      try Some (connect ~host ~attempts:2 ~port ()) with Remote_error _ -> None)
+  in
+  { r_primary = p;
+    r_replica = r;
+    r_max_staleness = max_staleness;
+    r_on_stale = on_stale;
+    r_last_probe = 0.;
+    r_last_staleness = 0. }
+
+(* Reads are routable; everything else (DML, DDL, transactions, SET,
+   COPY FROM ...) must see the primary. *)
+let is_read sql =
+  let sql = String.trim sql in
+  let n = String.length sql in
+  let rec word_end i =
+    if i < n && (sql.[i] = '_' ||
+                 (sql.[i] >= 'a' && sql.[i] <= 'z') ||
+                 (sql.[i] >= 'A' && sql.[i] <= 'Z'))
+    then word_end (i + 1)
+    else i
+  in
+  match String.lowercase_ascii (String.sub sql 0 (word_end 0)) with
+  | "select" | "show" | "describe" | "explain" | "stats" -> true
+  | _ -> false
+
+let replica_fresh ?deadline r =
+  match r.r_max_staleness, r.r_replica with
+  | None, Some _ -> `Fresh
+  | _, None -> `Gone
+  | Some bound, Some rep ->
+    let now = Unix.gettimeofday () in
+    let s =
+      if now -. r.r_last_probe <= probe_cache_secs then r.r_last_staleness
+      else begin
+        match staleness ?deadline rep with
+        | s ->
+          r.r_last_probe <- now;
+          r.r_last_staleness <- s;
+          s
+        | exception Remote_error _ ->
+          (* unreachable replica: drop it; reads fall back to primary *)
+          (try close rep with _ -> ());
+          r.r_replica <- None;
+          infinity
+      end
+    in
+    if r.r_replica = None then `Gone
+    else if s <= bound then `Fresh
+    else `Stale s
+
+let execute_routed ?deadline r sql =
+  let on_primary () = execute ?deadline r.r_primary sql in
+  if not (is_read sql) then on_primary ()
+  else
+    match replica_fresh ?deadline r with
+    | `Gone -> on_primary ()
+    | `Stale s -> (
+      match r.r_on_stale with
+      | `Primary -> on_primary ()
+      | `Error ->
+        raise
+          (Remote_error
+             (Printf.sprintf
+                "STALE_READ: replica is %.3fs behind (max_staleness %gs)" s
+                (Option.value r.r_max_staleness ~default:0.))))
+    | `Fresh -> (
+      match r.r_replica with
+      | None -> on_primary ()
+      | Some rep -> (
+        match execute ?deadline rep sql with
+        | v -> v
+        | exception Remote_error msg when error_code msg = Other ->
+          (* engine errors replay identically on the primary; transport
+             failures mean the replica is gone — either way the primary
+             is the answer, and a dead replica connection is dropped *)
+          (match execute ~deadline:1.0 rep "SELECT 1;" with
+          | _ -> ()
+          | exception Remote_error _ ->
+            (try close rep with _ -> ());
+            r.r_replica <- None);
+          on_primary ()))
+
+let routed_primary r = r.r_primary
+let routed_replica r = r.r_replica
+
+let close_routed r =
+  (match r.r_replica with Some rep -> (try close rep with _ -> ()) | None -> ());
+  r.r_replica <- None;
+  close r.r_primary

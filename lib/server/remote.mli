@@ -17,6 +17,11 @@ type error_code =
   | Shutdown
   | Idle_timeout
   | Cancelled
+  | Read_only
+      (** the statement would write and the server is a read replica *)
+  | Stale_read
+      (** a routed read refused because the replica exceeds the
+          [max_staleness] bound (client-side, {!execute_routed}) *)
   | Other
 
 val error_code : string -> error_code
@@ -55,4 +60,55 @@ val execute : ?deadline:float -> t -> string -> Tip_engine.Database.result
     @raise Remote_error on server-side errors or a lost connection. *)
 val metrics : ?deadline:float -> t -> string
 
+(** Seconds the server's reads are behind its primary ([L] probe): a
+    primary answers [0.], a replica its measured lag — growing without
+    bound once it loses its primary.
+    @raise Remote_error on a malformed answer or lost connection. *)
+val staleness : ?deadline:float -> t -> float
+
 val close : t -> unit
+
+(** {1 Read routing}
+
+    A routed connection sends writes to the primary and routes reads
+    (SELECT/SHOW/DESCRIBE/EXPLAIN/STATS) to a replica while it is
+    reachable and fresh enough. With [max_staleness] set, each read
+    first checks the replica's staleness (probes are cached for 0.2 s);
+    a too-stale replica either falls back to the primary (default) or
+    raises a typed [STALE_READ:] error ([on_stale = `Error]) so the
+    caller can decide. A replica that dies mid-session is dropped and
+    every read falls back to the primary — graceful degradation, not
+    failure. *)
+
+type routed
+
+(** Connects to the primary (required) and optionally a replica; a
+    replica that cannot be reached leaves the routed connection in
+    primary-only mode.
+    @raise Remote_error when the primary is unreachable. *)
+val connect_routed :
+  ?max_staleness:float ->
+  ?on_stale:[ `Primary | `Error ] ->
+  ?replica:string * int ->
+  primary:string * int ->
+  unit ->
+  routed
+
+(** Executes one statement on the routed connection.
+    @raise Remote_error on server errors; [STALE_READ: ...] when a
+    bounded read found the replica too stale under [on_stale = `Error]. *)
+val execute_routed :
+  ?deadline:float -> routed -> string -> Tip_engine.Database.result
+
+val routed_primary : routed -> t
+
+(** The replica connection still in use, if any. *)
+val routed_replica : routed -> t option
+
+val close_routed : routed -> unit
+
+(**/**)
+
+(** The raw buffered channels over the socket — the replication
+    client's entry to stream framing. *)
+val channels : t -> in_channel * out_channel

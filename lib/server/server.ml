@@ -53,6 +53,22 @@ let h_statement_ns =
   Metrics.histogram "server_statement_ns"
     ~help:"Wire statement latency (ns), queueing on the db lock included"
 
+let g_replicas =
+  Metrics.gauge "repl_subscribers_active"
+    ~help:"Replication subscribers currently streaming"
+
+let m_repl_chunks =
+  Metrics.counter "repl_chunks_sent_total"
+    ~help:"WAL chunks shipped to replication subscribers"
+
+let m_repl_bytes =
+  Metrics.counter "repl_bytes_sent_total"
+    ~help:"WAL bytes shipped to replication subscribers"
+
+let m_repl_bootstraps =
+  Metrics.counter "repl_bootstraps_total"
+    ~help:"Snapshot bootstraps served to replicas"
+
 (* Per-session statement-timeout override (SET TIMEOUT n):
    [Inherit] uses the server-wide default, [Off] disables deadlines for
    this session, [Ms n] arms n milliseconds. *)
@@ -71,6 +87,20 @@ type session_info = {
   mutable si_token : Deadline.t option; (* current statement's token *)
 }
 
+(* Live subscriber row for tip_stat_replication (primary side). The
+   streaming thread writes sent/state; the ack-reader thread writes
+   acked fields; the vtab snapshot reads under [replicas_lock]. *)
+type replica_info = {
+  ri_id : int;
+  ri_addr : string;
+  mutable ri_state : string; (* "streaming" | "caught_up" *)
+  mutable ri_gen : int;
+  mutable ri_sent_offset : int; (* WAL bytes shipped so far *)
+  mutable ri_acked_offset : int; (* subscriber's confirmed replay position *)
+  mutable ri_acked_commits : int;
+  mutable ri_last_ack : float; (* unix time of the last ack *)
+}
+
 type t = {
   db : Db.t;
   db_lock : Mutex.t;
@@ -86,6 +116,13 @@ type t = {
   sessions : (int, session_info) Hashtbl.t; (* session id -> live row *)
   sessions_lock : Mutex.t;
   session_ids : int Atomic.t;
+  replicas : (int, replica_info) Hashtbl.t; (* subscriber id -> live row *)
+  replicas_lock : Mutex.t;
+  replica_ids : int Atomic.t;
+  mutable staleness_probe : (unit -> float) option;
+      (* installed by the replication client on a replica server so L
+         probes (and tip_stat_replication) can report how far behind
+         the primary this server's reads are *)
   mutable draining : bool;
   mutable running : bool;
 }
@@ -187,6 +224,234 @@ let activity_rows t () =
          match a.(0), b.(0) with
          | Tip_storage.Value.Int x, Tip_storage.Value.Int y -> Int.compare x y
          | _ -> 0)
+
+(* --- Replication stream (primary side) ---------------------------------- *)
+
+module Failpoint = Tip_storage.Failpoint
+
+let with_replicas_lock t f =
+  Mutex.lock t.replicas_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.replicas_lock) f
+
+let with_db_lock t f =
+  Mutex.lock t.db_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.db_lock) f
+
+(* tip_stat_replication rows, primary side: one per live subscriber.
+   Runs inside a statement, which already holds the db lock, so the
+   WAL end offset is read directly. *)
+let replication_rows t () =
+  let module Value = Tip_storage.Value in
+  let wal_end =
+    match Db.replication_state t.db with Some (_, off) -> off | None -> 0
+  in
+  let now = Unix.gettimeofday () in
+  with_replicas_lock t (fun () ->
+      Hashtbl.fold
+        (fun _ ri acc ->
+          let lag_bytes = Stdlib.max 0 (wal_end - ri.ri_acked_offset) in
+          [| Value.Str ri.ri_addr;
+             Value.Str "replica";
+             Value.Str ri.ri_state;
+             Value.Int ri.ri_gen;
+             Value.Int wal_end;
+             Value.Int ri.ri_acked_offset;
+             Value.Int lag_bytes;
+             Value.Int ri.ri_acked_commits;
+             (if lag_bytes = 0 then Value.Float 0.
+              else Value.Float (now -. ri.ri_last_ack)) |]
+          :: acc)
+        t.replicas [])
+
+let rec read_some fd buf off len =
+  match Unix.read fd buf off len with
+  | 0 -> off
+  | n -> if n = len then off + n else read_some fd buf (off + n) (len - n)
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_some fd buf off len
+
+(* Serves one [S <gen> <offset>] subscription until the link dies, the
+   generation changes, or the server drains. The session socket becomes
+   a one-way WAL byte stream (chunks + keepalives) with a companion
+   thread blocking-reading the subscriber's acks; every outgoing chunk
+   passes through the [repl.send] failpoint so tests can drop, delay,
+   truncate or bit-flip it in flight.
+
+   The WAL file is read under the db lock: a checkpoint — the only
+   truncation — holds that lock for its whole duration, so a read that
+   started under generation g cannot observe a truncated file. *)
+let handle_replication_stream t fd ic oc ~addr ~gen ~offset =
+  let send_error msg =
+    try
+      Protocol.write_response oc (Protocol.Error msg);
+      flush oc
+    with Sys_error _ | Unix.Unix_error _ -> ()
+  in
+  match Db.replication_wal_path t.db with
+  | None -> send_error "REPLICATION: this server has no durable WAL to ship"
+  | Some wal_path ->
+    (* The stream writes; its reads are sparse acks that can be minutes
+       apart, so the session idle-read timeout must not apply. *)
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0. with _ -> ());
+    let ri =
+      { ri_id = Atomic.fetch_and_add t.replica_ids 1;
+        ri_addr = addr;
+        ri_state = "streaming";
+        ri_gen = gen;
+        ri_sent_offset = offset;
+        ri_acked_offset = offset;
+        ri_acked_commits = 0;
+        ri_last_ack = Unix.gettimeofday () }
+    in
+    with_replicas_lock t (fun () -> Hashtbl.replace t.replicas ri.ri_id ri);
+    Metrics.gauge_add g_replicas 1;
+    Log.info (fun m ->
+        m "replication subscriber %s: gen %d from offset %d" addr gen offset);
+    (* Ack reader: owns all reads on this socket from here on. Exits
+       when the peer closes (or the session teardown closes the fd). *)
+    ignore
+      (Thread.create
+         (fun () ->
+           let rec go () =
+             match input_line ic with
+             | exception _ -> ()
+             | line -> (
+               match (try Protocol.decode_request line with _ -> None) with
+               | Some (Protocol.Ack { offset; commits }) ->
+                 with_replicas_lock t (fun () ->
+                     ri.ri_acked_offset <- Stdlib.max ri.ri_acked_offset offset;
+                     ri.ri_acked_commits <- ri.ri_acked_commits + commits;
+                     ri.ri_last_ack <- Unix.gettimeofday ());
+                 go ()
+               | Some Protocol.Quit -> ()
+               | _ -> go ())
+           in
+           go ())
+         ());
+    let wal_fd =
+      try Some (Unix.openfile wal_path [ Unix.O_RDONLY ] 0)
+      with Unix.Unix_error _ -> None
+    in
+    let send_chunk payload =
+      match Failpoint.stream ~site:"repl.send" payload with
+      | None, _ -> `Close (* dropped: sever so the resume path engages *)
+      | Some p, kill -> (
+        match
+          Protocol.write_chunk oc p;
+          flush oc
+        with
+        | () ->
+          Metrics.incr m_repl_chunks;
+          Metrics.add m_repl_bytes (String.length p);
+          if kill then `Close else `Sent
+        | exception (Sys_error _ | Unix.Unix_error _) -> `Close)
+    in
+    let last_send = ref (Unix.gettimeofday ()) in
+    let rec stream () =
+      if t.draining then
+        send_error (Deadline.reason_message Deadline.Shutdown)
+      else begin
+        let status =
+          with_db_lock t (fun () ->
+              match Db.replication_state t.db with
+              | None -> `Error "REPLICATION: durable storage detached"
+              | Some (cur_gen, wal_end) ->
+                if cur_gen <> ri.ri_gen then
+                  `Error
+                    (Printf.sprintf
+                       "GEN_CHANGED: WAL generation is now %d (subscribed at \
+                        %d); bootstrap a fresh snapshot"
+                       cur_gen ri.ri_gen)
+                else if ri.ri_sent_offset > wal_end then
+                  `Error
+                    (Printf.sprintf
+                       "GEN_CHANGED: offset %d beyond end of log %d; bootstrap \
+                        a fresh snapshot"
+                       ri.ri_sent_offset wal_end)
+                else if ri.ri_sent_offset = wal_end then `Idle wal_end
+                else begin
+                  match wal_fd with
+                  | None -> `Error "REPLICATION: cannot open the WAL file"
+                  | Some wfd ->
+                    let want = Stdlib.min 65536 (wal_end - ri.ri_sent_offset) in
+                    ignore (Unix.lseek wfd ri.ri_sent_offset Unix.SEEK_SET);
+                    let buf = Bytes.create want in
+                    let got = read_some wfd buf 0 want in
+                    if got = 0 then `Idle wal_end
+                    else `Data (Bytes.sub_string buf 0 got)
+                end)
+        in
+        match status with
+        | `Error msg -> send_error msg
+        | `Idle wal_end ->
+          with_replicas_lock t (fun () -> ri.ri_state <- "caught_up");
+          let now = Unix.gettimeofday () in
+          if now -. !last_send >= 0.5 then begin
+            match
+              Protocol.write_response oc
+                (Protocol.Message (Printf.sprintf "keepalive %d" wal_end));
+              flush oc
+            with
+            | () ->
+              last_send := now;
+              Thread.delay 0.02;
+              stream ()
+            | exception (Sys_error _ | Unix.Unix_error _) -> ()
+          end
+          else begin
+            Thread.delay 0.02;
+            stream ()
+          end
+        | `Data payload -> (
+          with_replicas_lock t (fun () -> ri.ri_state <- "streaming");
+          match send_chunk payload with
+          | `Close -> ()
+          | `Sent ->
+            ri.ri_sent_offset <- ri.ri_sent_offset + String.length payload;
+            last_send := Unix.gettimeofday ();
+            stream ())
+      end
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        (match wal_fd with
+        | Some wfd -> ( try Unix.close wfd with Unix.Unix_error _ -> ())
+        | None -> ());
+        with_replicas_lock t (fun () -> Hashtbl.remove t.replicas ri.ri_id);
+        Metrics.gauge_add g_replicas (-1);
+        Log.info (fun m -> m "replication subscriber %s gone" addr))
+      stream
+
+(* Serves one [P] snapshot-bootstrap exchange:
+   [M snapshot <gen> <offset>] followed by a single chunk holding the
+   snapshot text, all three mutually consistent (rendered under the db
+   lock). Returns whether the session should continue — a failpoint
+   killing the bootstrap mid-flight ends the session, which is exactly
+   how a real mid-bootstrap crash presents to the replica. *)
+let handle_snapshot_request t oc =
+  let reply r =
+    try
+      Protocol.write_response oc r;
+      flush oc;
+      true
+    with Sys_error _ | Unix.Unix_error _ -> false
+  in
+  match with_db_lock t (fun () -> Db.replication_snapshot t.db) with
+  | exception Db.Error msg -> reply (Protocol.Error msg)
+  | None ->
+    reply (Protocol.Error "REPLICATION: this server has no durable WAL to ship")
+  | Some (gen, text, offset) -> (
+    Metrics.incr m_repl_bootstraps;
+    match Failpoint.stream ~site:"repl.snapshot" text with
+    | None, _ -> false (* dropped mid-bootstrap: sever *)
+    | Some p, kill -> (
+      match
+        Protocol.write_response oc
+          (Protocol.Message (Printf.sprintf "snapshot %d %d" gen offset));
+        Protocol.write_chunk oc p;
+        flush oc
+      with
+      | () -> not kill
+      | exception (Sys_error _ | Unix.Unix_error _) -> false))
 
 (* --- Statement execution ------------------------------------------------ *)
 
@@ -380,6 +645,23 @@ let handle_session t fd addr =
         if reply response then loop ()
       | Ok (Some Protocol.Metrics) ->
         if reply (Protocol.Message (Metrics.dump_text ())) then loop ()
+      | Ok (Some (Protocol.Wal_subscribe { gen; offset })) ->
+        (* the session becomes a replication stream; when the stream
+           ends (drain, gen change, broken link) so does the session *)
+        if t.draining then
+          ignore (reply (Protocol.Error (Deadline.reason_message Deadline.Shutdown)))
+        else handle_replication_stream t fd ic oc ~addr ~gen ~offset
+      | Ok (Some Protocol.Snapshot_request) ->
+        if t.draining then
+          ignore (reply (Protocol.Error (Deadline.reason_message Deadline.Shutdown)))
+        else if handle_snapshot_request t oc then loop ()
+      | Ok (Some (Protocol.Ack _)) ->
+        (* an ack outside a subscription has nothing to update *)
+        loop ()
+      | Ok (Some Protocol.Lag_probe) ->
+        let s = match t.staleness_probe with Some f -> f () | None -> 0.0 in
+        if reply (Protocol.Message (Printf.sprintf "staleness %.6f" s)) then
+          loop ()
       | Ok None ->
         if reply (Protocol.Error "malformed request") then loop ()
       | Error e ->
@@ -393,6 +675,12 @@ let handle_session t fd addr =
       unregister_session t session;
       Metrics.gauge_add g_sessions_active (-1);
       Atomic.decr t.active;
+      (* shutdown before close: a replication stream's ack-reader thread
+         may still be blocked in read() on this fd, and that in-flight
+         read keeps the socket's file description alive past close() —
+         the peer would never see FIN. shutdown() severs the connection
+         itself, waking both the blocked reader and the remote end. *)
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
       try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       try loop ()
@@ -448,9 +736,35 @@ let listen ?(host = "127.0.0.1") ?idle_timeout ?slow_ms ?max_sessions
       sessions = Hashtbl.create 16;
       sessions_lock = Mutex.create ();
       session_ids = Atomic.make 1;
+      replicas = Hashtbl.create 4;
+      replicas_lock = Mutex.create ();
+      replica_ids = Atomic.make 1;
+      staleness_probe = None;
       draining = false;
       running = true }
   in
+  (* Per-subscriber replication lag, queryable on the primary. Only a
+     durable server can be a primary; on a replica the replication
+     client registers its own upstream-facing view under the same name
+     and column shape. The registry is process-global, so registration
+     CHAINS onto any provider already there: a process hosting both
+     ends (tests, cascading setups) reports the union, with the [role]
+     column telling subscriber rows from the upstream row apart. *)
+  if Db.durability_dir db <> None then begin
+    let prev = Tip_engine.Vtab.find "tip_stat_replication" in
+    Tip_engine.Vtab.register
+      { Tip_engine.Vtab.vt_name = "tip_stat_replication";
+        vt_cols =
+          [| "peer_addr"; "role"; "state"; "generation"; "wal_bytes";
+             "acked_bytes"; "lag_bytes"; "acked_commits"; "lag_seconds" |];
+        vt_help = "one row per replication subscriber (primary side)";
+        vt_rows =
+          (fun catalog ->
+            (match prev with
+            | Some p -> p.Tip_engine.Vtab.vt_rows catalog
+            | None -> [])
+            @ replication_rows t ()) }
+  end;
   (* Live session activity as a queryable relation. Registered per
      server instance (the newest server in the process wins — tests
      spin up one at a time); the catalog argument is ignored because
@@ -539,8 +853,17 @@ let drain ?(grace = 5.0) t =
   Hashtbl.iter (fun _ tok -> Deadline.cancel tok Deadline.Shutdown) t.inflight;
   Mutex.unlock t.inflight_lock;
   let deadline = t0 +. grace in
+  let replicas_left () =
+    with_replicas_lock t (fun () -> Hashtbl.length t.replicas)
+  in
+  (* Replication streams poll [t.draining] and answer their subscribers
+     E SHUTDOWN themselves; wait for them alongside the in-flight
+     statements so a drained primary has told every replica goodbye. *)
   let rec wait () =
-    if inflight_count t > 0 && Unix.gettimeofday () < deadline then begin
+    if
+      (inflight_count t > 0 || replicas_left () > 0)
+      && Unix.gettimeofday () < deadline
+    then begin
       Thread.delay 0.01;
       wait ()
     end
@@ -555,3 +878,13 @@ let drain ?(grace = 5.0) t =
 
 let draining t = t.draining
 let active_sessions t = Atomic.get t.active
+
+(* The statement-serialization mutex, shared with the replication
+   client on a replica so stream replay and reads interleave safely. *)
+let db_mutex t = t.db_lock
+
+(* Installed by the replication client on a replica server: lets L
+   probes report how far behind the primary this server's reads are. *)
+let set_staleness_probe t f = t.staleness_probe <- Some f
+
+let replica_count t = with_replicas_lock t (fun () -> Hashtbl.length t.replicas)

@@ -61,3 +61,24 @@ val draining : t -> bool
 
 (** Sessions currently connected. *)
 val active_sessions : t -> int
+
+(** {1 Replication}
+
+    A durable server is a potential primary: [S <gen> <offset>] turns a
+    session into a WAL byte stream (chunks, keepalives, subscriber acks
+    on the same socket) and [P] serves a consistent snapshot bootstrap;
+    per-subscriber lag is queryable as [tip_stat_replication]. {!drain}
+    answers every open stream [E SHUTDOWN]. Streamed chunks pass the
+    [repl.send] failpoint and the bootstrap passes [repl.snapshot], so
+    tests can drop/delay/truncate/bit-flip frames in flight. *)
+
+(** The statement-serialization mutex. The replication client on a
+    replica shares it so stream replay and reads interleave safely. *)
+val db_mutex : t -> Mutex.t
+
+(** Installs the staleness probe answering [L] requests — on a replica,
+    seconds behind the primary (a primary answers [0] by default). *)
+val set_staleness_probe : t -> (unit -> float) -> unit
+
+(** Live replication subscribers (primary side). *)
+val replica_count : t -> int

@@ -56,6 +56,17 @@ let create_index t ~idx_name ~table_name ~column ~unique ~kind =
   Hashtbl.replace t.index_owner idx_key (key table_name);
   idx
 
+(* Replaces [t]'s contents with [from]'s, in place. Replication
+   re-bootstrap needs this: the replica's catalog object is shared with
+   the engine, planner and registered virtual tables, so on a fresh
+   snapshot the contents must be swapped under the existing handle
+   rather than allocating a new catalog. *)
+let assign t ~from =
+  Hashtbl.reset t.tables;
+  Hashtbl.reset t.index_owner;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.tables k v) from.tables;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.index_owner k v) from.index_owner
+
 let drop_index t idx_name =
   let idx_key = key idx_name in
   match Hashtbl.find_opt t.index_owner idx_key with

@@ -33,3 +33,9 @@ val create_index :
   Table.index
 
 val drop_index : t -> string -> bool
+
+(** Replaces [t]'s contents (tables and index namespace) with [from]'s,
+    keeping the handle itself — replication re-bootstrap swaps in a
+    freshly loaded snapshot under the catalog object the engine and
+    virtual tables already share. *)
+val assign : t -> from:t -> unit

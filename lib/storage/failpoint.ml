@@ -24,6 +24,8 @@ type action =
   | Short_write of int (* write only the first N bytes, then crash *)
   | Bit_flip of int (* flip bit N (mod payload bits), carry on *)
   | Fail of string (* raise a plain Failure — an "unexpected" error *)
+  | Drop (* stream sites: swallow the payload and sever the link *)
+  | Delay of float (* stream sites: sleep before delivering *)
 
 type arm_point = { site : string; hit : int; action : action }
 
@@ -36,6 +38,7 @@ let parse_action s =
   | None -> (
     match s with
     | "crash" -> Crash_now
+    | "drop" -> Drop
     | _ -> invalid_arg ("TIP_FAILPOINTS: unknown action " ^ s))
   | Some i -> (
     let name = String.sub s 0 i in
@@ -44,6 +47,7 @@ let parse_action s =
     | "shortwrite" -> Short_write (int_of_string arg)
     | "bitflip" -> Bit_flip (int_of_string arg)
     | "fail" -> Fail arg
+    | "delay" -> Delay (float_of_string arg)
     | _ -> invalid_arg ("TIP_FAILPOINTS: unknown action " ^ name))
 
 let parse_env spec =
@@ -90,12 +94,14 @@ let check site =
 
 let crash site = raise (Crash (Printf.sprintf "injected crash at %s" site))
 
-(* A control-flow-only site (no I/O): supports Crash_now and Fail. *)
+(* A control-flow-only site (no I/O): supports Crash_now, Fail and
+   Delay; byte-level actions are meaningless here and ignored. *)
 let hit ~site () =
   match check site with
-  | None | Some (Short_write _) | Some (Bit_flip _) -> ()
+  | None | Some (Short_write _) | Some (Bit_flip _) | Some Drop -> ()
   | Some Crash_now -> crash site
   | Some (Fail msg) -> failwith msg
+  | Some (Delay s) -> Unix.sleepf s
 
 let write_all fd bytes len =
   let rec go off =
@@ -106,34 +112,71 @@ let write_all fd bytes len =
   in
   go 0
 
+let flip_bit s bit =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  if len > 0 then begin
+    let bit = abs bit mod (len * 8) in
+    let byte = bit / 8 and inside = bit mod 8 in
+    Bytes.set b byte
+      (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl inside)))
+  end;
+  Bytes.to_string b
+
 (* Writes the whole buffer through the failpoint at [site]. *)
 let write ~site fd bytes =
   let len = Bytes.length bytes in
   match check site with
-  | None -> write_all fd bytes len
+  | None | Some Drop -> write_all fd bytes len
+  | Some (Delay s) ->
+    Unix.sleepf s;
+    write_all fd bytes len
   | Some Crash_now -> crash site
   | Some (Fail msg) -> failwith msg
   | Some (Short_write n) ->
     write_all fd bytes (min n len);
     crash site
   | Some (Bit_flip bit) ->
-    let bytes = Bytes.copy bytes in
-    if len > 0 then begin
-      let bit = abs bit mod (len * 8) in
-      let byte = bit / 8 and inside = bit mod 8 in
-      Bytes.set bytes byte
-        (Char.chr (Char.code (Bytes.get bytes byte) lxor (1 lsl inside)))
-    end;
+    let bytes = Bytes.of_string (flip_bit (Bytes.to_string bytes) bit) in
     write_all fd bytes len
 
 let fsync ~site fd =
   match check site with
-  | None | Some (Short_write _) | Some (Bit_flip _) -> Unix.fsync fd
+  | None | Some (Short_write _) | Some (Bit_flip _) | Some Drop -> Unix.fsync fd
+  | Some (Delay s) ->
+    Unix.sleepf s;
+    Unix.fsync fd
   | Some Crash_now -> crash site
   | Some (Fail msg) -> failwith msg
 
 let rename ~site src dst =
   match check site with
-  | None | Some (Short_write _) | Some (Bit_flip _) -> Sys.rename src dst
+  | None | Some (Short_write _) | Some (Bit_flip _) | Some Drop ->
+    Sys.rename src dst
+  | Some (Delay s) ->
+    Unix.sleepf s;
+    Sys.rename src dst
   | Some Crash_now -> crash site
   | Some (Fail msg) -> failwith msg
+
+(* A replication-stream site: decides what (if anything) of [payload]
+   actually goes on the wire and whether the link dies afterwards.
+   Returns [payload_to_send option * kill_connection_after].  [Drop]
+   swallows the payload AND severs the link: on a reliable transport a
+   silently lost frame could never be repaired, so the interesting
+   failure is losing the tail and re-syncing from the confirmed
+   offset.  [Short_write n] ships a prefix then severs the link (a torn
+   frame in flight); [Bit_flip] corrupts silently and leaves the link
+   up, exercising the receiver's CRC rejection. *)
+let stream ~site payload =
+  match check site with
+  | None -> (Some payload, false)
+  | Some Crash_now -> crash site
+  | Some (Fail msg) -> failwith msg
+  | Some Drop -> (None, true)
+  | Some (Delay s) ->
+    Unix.sleepf s;
+    (Some payload, false)
+  | Some (Short_write n) ->
+    (Some (String.sub payload 0 (min n (String.length payload))), true)
+  | Some (Bit_flip bit) -> (Some (flip_bit payload bit), false)

@@ -21,6 +21,8 @@ type action =
   | Short_write of int  (** write only the first N bytes, then crash *)
   | Bit_flip of int  (** flip bit N (mod payload size), then continue *)
   | Fail of string  (** raise [Failure msg] — a generic software fault *)
+  | Drop  (** stream sites: swallow the payload, sever the link *)
+  | Delay of float  (** stream sites: sleep this long before delivering *)
 
 (** Arms [site] so that its [hit]-th invocation (1-based) performs
     [action]. Multiple arms may target the same site. *)
@@ -42,3 +44,14 @@ val write : site:string -> Unix.file_descr -> Bytes.t -> unit
 
 val fsync : site:string -> Unix.file_descr -> unit
 val rename : site:string -> string -> string -> unit
+
+(** A replication-stream site. Decides what, if anything, of [payload]
+    goes on the wire and whether the connection is killed afterwards:
+    returns [(what_to_send, kill_link_after)]. [Drop] yields
+    [(None, true)] — the payload is lost and the link severed, so the
+    receiver's resume-from-confirmed-offset path engages; [Short_write
+    n] ships an n-byte prefix then severs; [Bit_flip] corrupts the
+    payload silently and keeps the link up; [Delay s] sleeps then
+    delivers intact. TIP_FAILPOINTS actions [drop] and [delay=SECS]
+    map to the two stream-only constructors. *)
+val stream : site:string -> string -> string option * bool

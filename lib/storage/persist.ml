@@ -170,14 +170,37 @@ let save ?wal_gen catalog path =
 
 (* --- Loading ------------------------------------------------------------- *)
 
-type reader = { ic : in_channel; mutable line_no : int }
+(* Abstract line source, so the same loader serves both on-disk
+   snapshots and snapshot payloads received over the wire. *)
+type reader = { next : unit -> string option; mutable line_no : int }
+
+let reader_of_channel ic =
+  { next = (fun () -> try Some (input_line ic) with End_of_file -> None);
+    line_no = 0 }
+
+let reader_of_string s =
+  let pos = ref 0 in
+  let next () =
+    if !pos >= String.length s then None
+    else begin
+      let nl =
+        match String.index_from_opt s !pos '\n' with
+        | Some nl -> nl
+        | None -> String.length s
+      in
+      let line = String.sub s !pos (nl - !pos) in
+      pos := nl + 1;
+      Some line
+    end
+  in
+  { next; line_no = 0 }
 
 let read_line_opt r =
-  match input_line r.ic with
-  | line ->
+  match r.next () with
+  | Some line ->
     r.line_no <- r.line_no + 1;
     Some line
-  | exception End_of_file -> None
+  | None -> None
 
 let read_line_exn r what =
   match read_line_opt r with
@@ -272,32 +295,34 @@ let load_table r catalog first_line =
       end)
     (List.rev !index_specs)
 
+let load_from r =
+  (match read_line_opt r with
+  | Some "tipdb 1" -> ()
+  | Some line -> format_error "bad magic %S" line
+  | None -> format_error "empty file");
+  let catalog = Catalog.create () in
+  let wal_gen = ref None in
+  let rec tables () =
+    match read_line_opt r with
+    | None -> ()
+    | Some "" -> tables ()
+    | Some line -> (
+      match split_words line with
+      | [ "walgen"; g ] ->
+        wal_gen := Some (int_cell g);
+        tables ()
+      | _ ->
+        load_table r catalog line;
+        tables ())
+  in
+  tables ();
+  (catalog, !wal_gen)
+
 let load_full path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let r = { ic; line_no = 0 } in
-      (match read_line_opt r with
-      | Some "tipdb 1" -> ()
-      | Some line -> format_error "bad magic %S" line
-      | None -> format_error "empty file");
-      let catalog = Catalog.create () in
-      let wal_gen = ref None in
-      let rec tables () =
-        match read_line_opt r with
-        | None -> ()
-        | Some "" -> tables ()
-        | Some line -> (
-          match split_words line with
-          | [ "walgen"; g ] ->
-            wal_gen := Some (int_cell g);
-            tables ()
-          | _ ->
-            load_table r catalog line;
-            tables ())
-      in
-      tables ();
-      (catalog, !wal_gen))
+    (fun () -> load_from (reader_of_channel ic))
 
 let load path = fst (load_full path)
+let load_string s = load_from (reader_of_string s)

@@ -30,6 +30,11 @@ val load : string -> Catalog.t
 (** Like {!load}, also returning the snapshot's WAL generation. *)
 val load_full : string -> Catalog.t * int option
 
+(** Like {!load_full} but from snapshot text in memory — the inverse of
+    {!snapshot_string}, used by replication bootstrap where the snapshot
+    arrives over the wire rather than from a file. *)
+val load_string : string -> Catalog.t * int option
+
 (**/**)
 
 val serialize_value : Value.t -> string

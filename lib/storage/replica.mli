@@ -1,0 +1,50 @@
+(** Incremental replay of a shipped WAL stream (DESIGN.md §13).
+
+    Buffers raw WAL bytes as they arrive from the primary, cuts them
+    into CRC-checked frames, and applies only whole committed batches
+    to the catalog. The confirmed position ({!applied_offset}) moves
+    exclusively at commit boundaries, so a disconnect mid-batch costs
+    nothing: {!reset_stream} drops the open fragment and the subscriber
+    resumes from the last statement boundary.
+
+    A generation frame that does not match the replica's bootstrap
+    generation means the primary checkpointed and truncated its log;
+    it surfaces as [Apply_failed] and the caller must re-bootstrap
+    ({!rebase} after loading the fresh snapshot) instead of diverging.
+
+    Not thread-safe: callers serialize {!feed} with reads under the
+    database lock. *)
+
+type error =
+  | Stream_corrupt of string
+      (** a damaged frame — CRC mismatch, torn header; drop the
+          connection and resume from {!applied_offset} *)
+  | Apply_failed of string
+      (** the stream does not fit the replica's state (generation
+          change, record/catalog mismatch); re-bootstrap *)
+
+type t
+
+(** A replica positioned at byte [offset] of the generation-[generation]
+    WAL, with [catalog] already holding the matching base state. *)
+val create : Catalog.t -> generation:int -> offset:int -> t
+
+(** Ingests stream bytes, applying every complete committed batch.
+    On [Error] the replica's confirmed state is still consistent (the
+    failing batch was not partially applied unless the failure came
+    from mid-batch [Wal.apply], which only happens on a stream that
+    lies about its base state — re-bootstrap repairs both cases). *)
+val feed : t -> string -> (unit, error) result
+
+(** Drops the half-received tail, keeping all confirmed state. *)
+val reset_stream : t -> unit
+
+(** Re-points the replica at a fresh snapshot's generation and offset
+    (the caller swaps catalog contents via [Catalog.assign] first). *)
+val rebase : t -> generation:int -> offset:int -> unit
+
+val generation : t -> int
+val applied_offset : t -> int
+val applied_commits : t -> int
+val applied_records : t -> int
+val catalog : t -> Catalog.t

@@ -191,6 +191,7 @@ type writer = {
   sync_policy : sync_policy;
   mutable unsynced_commits : int;
   mutable appended : int; (* records since open/truncate *)
+  mutable bytes : int; (* bytes written since open/truncate *)
   mutable closed : bool;
 }
 
@@ -199,7 +200,8 @@ let write_frames w records =
   List.iter (fun r -> Buffer.add_string buf (frame r)) records;
   Metrics.add m_appends (List.length records);
   Metrics.add m_bytes (Buffer.length buf);
-  Failpoint.write ~site:"wal.write" w.fd (Buffer.to_bytes buf)
+  Failpoint.write ~site:"wal.write" w.fd (Buffer.to_bytes buf);
+  w.bytes <- w.bytes + Buffer.length buf
 
 (* All durable-path fsyncs funnel through here so the counter cannot
    drift from the failpoint site. *)
@@ -218,6 +220,7 @@ let create ?(sync = Always) ~gen path =
       sync_policy = sync;
       unsynced_commits = 0;
       appended = 0;
+      bytes = 0;
       closed = false }
   in
   write_frames w [ Generation gen ];
@@ -245,6 +248,8 @@ let commit w records =
     end
 
 let record_count w = w.appended
+let offset w = w.bytes
+let pending_sync w = w.unsynced_commits > 0
 
 (* Empties the log and stamps the new generation (the checkpoint's
    second half; the snapshot carrying [gen] must already be in place). *)
@@ -253,6 +258,7 @@ let truncate w ~gen =
   Metrics.incr m_truncates;
   Unix.ftruncate w.fd 0;
   ignore (Unix.lseek w.fd 0 Unix.SEEK_SET);
+  w.bytes <- 0;
   write_frames w [ Generation gen ];
   fsync_fd w.fd;
   w.appended <- 0;
@@ -307,6 +313,51 @@ let read_frame ic =
         corrupt "CRC mismatch (stored %s, computed %s)" crc actual;
       Some (decode payload)
     | _ -> corrupt "bad frame header %S" header)
+
+(* Incremental frame parser over a byte buffer — the replication
+   receiver's entry point. Unlike [read_frame] it never raises: a
+   partial frame is reported as [`Need_more] so the caller can wait for
+   more bytes, and damage as [`Corrupt].
+
+   Frame headers are short ("tipwal <len> <crc>\n" tops out well under
+   64 bytes), so a missing newline in a 64-byte window is damage, not
+   an incomplete header — without that bound a corrupted header would
+   make the receiver wait for more bytes forever. *)
+let max_header = 64
+
+let parse_frame buf ~pos =
+  let len = String.length buf in
+  if pos >= len then `Need_more
+  else
+    match String.index_from_opt buf pos '\n' with
+    | None -> if len - pos > max_header then `Corrupt "unterminated frame header" else `Need_more
+    | Some nl when nl - pos > max_header -> `Corrupt "oversized frame header"
+    | Some nl -> (
+      let header = String.sub buf pos (nl - pos) in
+      match String.split_on_char ' ' header with
+      | [ "tipwal"; plen; crc ] -> (
+        match int_of_string plen with
+        | exception Failure _ -> `Corrupt (Printf.sprintf "bad frame length %S" plen)
+        | plen when plen < 0 -> `Corrupt (Printf.sprintf "bad frame length %d" plen)
+        | plen ->
+          (* header \n payload \n *)
+          let frame_end = nl + 1 + plen + 1 in
+          if len < frame_end then `Need_more
+          else begin
+            let payload = String.sub buf (nl + 1) plen in
+            if buf.[frame_end - 1] <> '\n' then `Corrupt "missing frame terminator"
+            else
+              let actual = Printf.sprintf "%08lx" (crc32 payload) in
+              if not (String.equal actual crc) then
+                `Corrupt
+                  (Printf.sprintf "CRC mismatch (stored %s, computed %s)" crc
+                     actual)
+              else
+                match decode payload with
+                | record -> `Frame (record, frame_end)
+                | exception Corrupt msg -> `Corrupt msg
+          end)
+      | _ -> `Corrupt (Printf.sprintf "bad frame header %S" header))
 
 (* Scans the whole log, stopping cleanly at the first torn or corrupt
    frame; an uncommitted trailing batch is discarded. Never raises on

@@ -73,6 +73,15 @@ val commit : writer -> record list -> unit
     (commit markers included) — the checkpoint trigger. *)
 val record_count : writer -> int
 
+(** Bytes written since the writer was created or last truncated — the
+    current end-of-log position a replication subscriber resumes from.
+    Resets to 0 (then grows past the generation frame) on {!truncate}. *)
+val offset : writer -> int
+
+(** Whether an [Every_n] writer is holding commits it has not yet
+    fsynced — the tail a clean shutdown or checkpoint must flush. *)
+val pending_sync : writer -> bool
+
 (** Empties the log and stamps the new generation (the second half of a
     checkpoint; the snapshot carrying [gen] must already be renamed into
     place). *)
@@ -98,6 +107,15 @@ type scan = {
     frame; an uncommitted trailing batch is discarded. Never raises on
     damaged input; a missing file reads as empty. *)
 val scan : string -> scan
+
+(** Incrementally parses one frame out of [buf] starting at [pos] —
+    the replication receiver's entry point. [`Frame (r, next)] yields
+    the record and the position just past its frame; [`Need_more]
+    means the buffer holds only a prefix of a frame; [`Corrupt] is
+    damage (bad header, CRC mismatch, unparseable payload). Never
+    raises. *)
+val parse_frame :
+  string -> pos:int -> [ `Frame of record * int | `Need_more | `Corrupt of string ]
 
 (** Applies one record to the catalog (replay path — bypasses the
     engine, so history shadow tables are not re-maintained; their

@@ -30,4 +30,5 @@ let () =
       ("durability", Test_durability.suite);
       ("obs", Test_obs.suite);
       ("governor", Test_governor.suite);
-      ("introspect", Test_introspect.suite) ]
+      ("introspect", Test_introspect.suite);
+      ("replication", Test_replication.suite) ]
