@@ -409,10 +409,32 @@ let insert_row t ~now table values =
       values
   in
   let rid = Table.insert table row in
+  Catalog.note_partition_write t.catalog table row;
   log_undo t (U_insert (table, rid));
   journal_insert t table (Table.get_exn table rid);
   history_open t ~now table row;
   rid
+
+(* Coerce a value row against the partitioned parent's schema, route it
+   to the owning partition by its period start, and insert there. The
+   coercion must happen before routing (string literals only gain an
+   extent once they become period values); [insert_row] re-coercing the
+   already-typed row is a no-op. *)
+let insert_routed t ~now pt values =
+  let schema = pt.Partition.pt_schema in
+  if Array.length values <> Schema.arity schema then
+    db_error "INSERT arity mismatch: expected %d values, got %d"
+      (Schema.arity schema) (Array.length values);
+  let row =
+    Array.mapi
+      (fun i v -> coerce_into t ~now (Schema.column schema i).Schema.ty v)
+      values
+  in
+  let part =
+    try Partition.route pt row
+    with Partition.Partition_error msg -> db_error "%s" msg
+  in
+  ignore (insert_row t ~now part.Partition.p_table row)
 
 let reorder_columns schema columns values =
   match columns with
@@ -483,12 +505,19 @@ let exec_statement_raw t ~token ~params stmt =
         run_explain_analyze t ectx ~now target
       | Ast.Explain _ -> db_error "EXPLAIN supports only SELECT"
       | Ast.Insert { table; columns; source } -> (
-        let table =
+        (* A partitioned parent accepts INSERTs like a plain table; the
+           only difference is the sink, which routes each row to its
+           owning partition. *)
+        let schema, sink =
           match Catalog.find_table t.catalog table with
-          | Some tbl -> tbl
-          | None -> db_error "no such table: %s" table
+          | Some tbl ->
+            (Table.schema tbl, fun row -> ignore (insert_row t ~now tbl row))
+          | None -> (
+            match Catalog.find_partitioned t.catalog table with
+            | Some pt ->
+              (pt.Partition.pt_schema, fun row -> insert_routed t ~now pt row)
+            | None -> db_error "no such table: %s" table)
         in
-        let schema = Table.schema table in
         match source with
         | Ast.Values rows ->
           let n =
@@ -496,7 +525,7 @@ let exec_statement_raw t ~token ~params stmt =
               (fun n exprs ->
                 let values = List.map (eval_standalone t ectx) exprs in
                 let row = reorder_columns schema columns values in
-                ignore (insert_row t ~now table row);
+                sink row;
                 n + 1)
               0 rows
           in
@@ -509,74 +538,132 @@ let exec_statement_raw t ~token ~params stmt =
               let row =
                 reorder_columns schema columns (Array.to_list produced)
               in
-              ignore (insert_row t ~now table row);
+              sink row;
               incr n)
             (Executor.run ectx plan);
           Affected !n)
-      | Ast.Update { table; assignments; where } ->
-        let table =
-          match Catalog.find_table t.catalog table with
-          | Some tbl -> tbl
-          | None -> db_error "no such table: %s" table
-        in
-        let schema = Table.schema table in
-        let layout_resolve _q name = Schema.column_index_exn schema name in
-        let env =
-          Expr_eval.base_env ~ext:t.ext
-            ~plan_subquery:
-              (Planner.subquery_runner_for_table ~ext:t.ext ~ectx t.catalog
-                 schema)
-            ~resolve_column:layout_resolve ()
-        in
-        let compiled_assignments =
+      | Ast.Update { table = tname; assignments; where } -> (
+        let compile_assignments schema =
+          let layout_resolve _q name = Schema.column_index_exn schema name in
+          let env =
+            Expr_eval.base_env ~ext:t.ext
+              ~plan_subquery:
+                (Planner.subquery_runner_for_table ~ext:t.ext ~ectx t.catalog
+                   schema)
+              ~resolve_column:layout_resolve ()
+          in
           List.map
             (fun (col, e) ->
               let i = Schema.column_index_exn schema col in
               (i, Expr_eval.compile env e))
             assignments
         in
-        let matches = dml_matches t ectx table where in
-        List.iter
-          (fun (rid, old_row) ->
-            Expr_eval.tick ectx;
-            let row = Array.copy old_row in
-            List.iter
-              (fun (i, c) ->
-                row.(i) <-
-                  coerce_into t ~now (Schema.column schema i).Schema.ty
-                    (c ectx old_row))
-              compiled_assignments;
-            if Table.update table rid row then begin
-              log_undo t (U_update (table, rid, old_row));
-              journal_update t table ~old_row
-                ~new_row:(Table.get_exn table rid);
-              history_close t ~now table old_row;
-              (match Table.get table rid with
-              | Some stored -> history_open t ~now table stored
-              | None -> ())
-            end)
-          matches;
-        Affected (List.length matches)
-      | Ast.Delete { table; where } ->
-        let table =
-          match Catalog.find_table t.catalog table with
-          | Some tbl -> tbl
-          | None -> db_error "no such table: %s" table
+        let apply_assignments schema compiled old_row =
+          let row = Array.copy old_row in
+          List.iter
+            (fun (i, c) ->
+              row.(i) <-
+                coerce_into t ~now (Schema.column schema i).Schema.ty
+                  (c ectx old_row))
+            compiled;
+          row
         in
-        let matches = dml_matches t ectx table where in
-        List.iter
-          (fun (rid, old_row) ->
-            Expr_eval.tick ectx;
-            if Table.delete table rid then begin
-              log_undo t (U_delete (table, old_row));
-              journal_delete t table old_row;
-              history_close t ~now table old_row
-            end)
-          matches;
-        Affected (List.length matches)
-      | Ast.Create_table { table; if_not_exists; columns; with_history } ->
-        if if_not_exists && Catalog.find_table t.catalog table <> None then
-          Message (Printf.sprintf "table %s already exists, skipped" table)
+        let update_in_place table rid old_row row =
+          if Table.update table rid row then begin
+            Catalog.note_partition_write t.catalog table row;
+            log_undo t (U_update (table, rid, old_row));
+            journal_update t table ~old_row ~new_row:(Table.get_exn table rid);
+            history_close t ~now table old_row;
+            match Table.get table rid with
+            | Some stored -> history_open t ~now table stored
+            | None -> ()
+          end
+        in
+        match Catalog.find_table t.catalog tname with
+        | Some table ->
+          let schema = Table.schema table in
+          let compiled = compile_assignments schema in
+          let matches = dml_matches t ectx table where in
+          List.iter
+            (fun (rid, old_row) ->
+              Expr_eval.tick ectx;
+              update_in_place table rid old_row
+                (apply_assignments schema compiled old_row))
+            matches;
+          Affected (List.length matches)
+        | None -> (
+          match Catalog.find_partitioned t.catalog tname with
+          | None -> db_error "no such table: %s" tname
+          | Some pt ->
+            (* Children share the parent's column layout, so assignments
+               compile once against the parent schema. All matches are
+               collected before any row is touched: a row moved forward
+               into a not-yet-visited partition must not match again
+               there (the Halloween problem). *)
+            let schema = pt.Partition.pt_schema in
+            let compiled = compile_assignments schema in
+            let matches =
+              List.concat_map
+                (fun (src : Partition.part) ->
+                  List.map
+                    (fun (rid, old_row) -> (src, rid, old_row))
+                    (dml_matches t ectx src.Partition.p_table where))
+                (Partition.all_parts pt)
+            in
+            List.iter
+              (fun ((src : Partition.part), rid, old_row) ->
+                Expr_eval.tick ectx;
+                let table = src.Partition.p_table in
+                let row = apply_assignments schema compiled old_row in
+                let dst =
+                  try Partition.route pt row
+                  with Partition.Partition_error msg -> db_error "%s" msg
+                in
+                if dst.Partition.p_name = src.Partition.p_name then
+                  update_in_place table rid old_row row
+                else if Table.delete table rid then begin
+                  (* Cross-partition move, journaled as a child-table
+                     DELETE plus INSERT so recovery and replicas replay
+                     it without partition awareness. *)
+                  log_undo t (U_delete (table, old_row));
+                  journal_delete t table old_row;
+                  history_close t ~now table old_row;
+                  ignore (insert_row t ~now dst.Partition.p_table row)
+                end)
+              matches;
+            Affected (List.length matches)))
+      | Ast.Delete { table = tname; where } -> (
+        let delete_from table =
+          let matches = dml_matches t ectx table where in
+          List.iter
+            (fun (rid, old_row) ->
+              Expr_eval.tick ectx;
+              if Table.delete table rid then begin
+                log_undo t (U_delete (table, old_row));
+                journal_delete t table old_row;
+                history_close t ~now table old_row
+              end)
+            matches;
+          List.length matches
+        in
+        match Catalog.find_table t.catalog tname with
+        | Some table -> Affected (delete_from table)
+        | None -> (
+          match Catalog.find_partitioned t.catalog tname with
+          | Some pt ->
+            Affected
+              (List.fold_left
+                 (fun acc (p : Partition.part) ->
+                   acc + delete_from p.Partition.p_table)
+                 0 (Partition.all_parts pt))
+          | None -> db_error "no such table: %s" tname))
+      | Ast.Create_table { table; if_not_exists; columns; with_history; partition_by }
+        ->
+        if
+          if_not_exists
+          && (Catalog.find_table t.catalog table <> None
+             || Catalog.find_partitioned t.catalog table <> None)
+        then Message (Printf.sprintf "table %s already exists, skipped" table)
         else begin
           let cols =
             List.map
@@ -586,6 +673,44 @@ let exec_statement_raw t ~token ~params stmt =
                   ~primary_key:c.col_primary_key c.col_name ty)
               columns
           in
+          match partition_by with
+          | Some pc ->
+            if with_history then
+              db_error
+                "PARTITION BY cannot be combined with WITH HISTORY (partition \
+                 the current table and shadow it manually if both are needed)";
+            let parse_instant pname s =
+              match Tip_core.Chronon.of_string s with
+              | Some c -> Tip_core.Chronon.to_unix_seconds c
+              | None ->
+                db_error "partition %s: cannot parse instant '%s'" pname s
+            in
+            let parts =
+              List.map
+                (fun (d : Ast.partition_def) ->
+                  match d.Ast.part_range with
+                  | None -> (d.Ast.part_name, None)
+                  | Some (f, upto) ->
+                    ( d.Ast.part_name,
+                      Some
+                        ( parse_instant d.Ast.part_name f,
+                          parse_instant d.Ast.part_name upto ) ))
+                pc.Ast.part_defs
+            in
+            (try
+               ignore
+                 (Catalog.create_partitioned t.catalog
+                    (Schema.make ~table_name:table cols)
+                    ~column:pc.Ast.part_column ~parts)
+             with Partition.Partition_error msg -> db_error "%s" msg);
+            journal_ddl t
+              (Wal.Create_partitioned
+                 { table; columns = cols; column = pc.Ast.part_column; parts });
+            Message
+              (Printf.sprintf "table %s created (%d partitions)"
+                 (String.lowercase_ascii table)
+                 (List.length parts))
+          | None ->
           (* Resolve history support before creating anything, so a
              failure leaves no half-created table behind. *)
           let history_cols =
@@ -672,30 +797,72 @@ let exec_statement_raw t ~token ~params stmt =
         end
         else if if_exists then Message "no such table, skipped"
         else db_error "no such table: %s" table
-      | Ast.Create_index { index; table; column; unique; using } ->
+      | Ast.Create_index { index; table; column; unique; using } -> (
         let kind =
           match Option.map String.lowercase_ascii using with
           | None | Some "btree" | Some "ordered" -> Table.Ordered
           | Some "interval" -> Table.Interval
           | Some other -> db_error "unknown index kind %s" other
         in
-        ignore
-          (Catalog.create_index t.catalog ~idx_name:index ~table_name:table
-             ~column ~unique ~kind);
-        journal_ddl t
-          (Wal.Create_index
-             { idx_name = index;
-               table;
-               column;
-               interval = kind = Table.Interval;
-               unique });
-        Message (Printf.sprintf "index %s created" index)
+        let journal_one ~idx_name ~table_name =
+          journal_ddl t
+            (Wal.Create_index
+               { idx_name;
+                 table = table_name;
+                 column;
+                 interval = kind = Table.Interval;
+                 unique })
+        in
+        match Catalog.find_partitioned t.catalog table with
+        | Some pt ->
+          (* One physical index per child, [<index>__<partition>]; DROP
+             INDEX on the parent-level name removes the whole family. *)
+          List.iter
+            (fun (p : Partition.part) ->
+              let idx_name = index ^ "__" ^ p.Partition.p_name in
+              let table_name = Table.name p.Partition.p_table in
+              ignore
+                (Catalog.create_index t.catalog ~idx_name ~table_name ~column
+                   ~unique ~kind);
+              journal_one ~idx_name ~table_name)
+            (Partition.all_parts pt);
+          Message
+            (Printf.sprintf "index %s created (%d partitions)" index
+               (List.length (Partition.all_parts pt)))
+        | None ->
+          ignore
+            (Catalog.create_index t.catalog ~idx_name:index ~table_name:table
+               ~column ~unique ~kind);
+          journal_one ~idx_name:index ~table_name:table;
+          Message (Printf.sprintf "index %s created" index))
       | Ast.Drop_index { index } ->
         if Catalog.drop_index t.catalog index then begin
           journal_ddl t (Wal.Drop_index index);
           Message (Printf.sprintf "index %s dropped" index)
         end
-        else db_error "no such index: %s" index
+        else begin
+          (* A parent-level name for a per-partition index family:
+             drop every [<index>__<partition>] member that exists. *)
+          let dropped = ref 0 in
+          List.iter
+            (fun parent ->
+              match Catalog.find_partitioned t.catalog parent with
+              | None -> ()
+              | Some pt ->
+                List.iter
+                  (fun (p : Partition.part) ->
+                    let idx_name = index ^ "__" ^ p.Partition.p_name in
+                    if Catalog.drop_index t.catalog idx_name then begin
+                      journal_ddl t (Wal.Drop_index idx_name);
+                      incr dropped
+                    end)
+                  (Partition.all_parts pt))
+            (Catalog.partitioned_names t.catalog);
+          if !dropped > 0 then
+            Message
+              (Printf.sprintf "index %s dropped (%d partitions)" index !dropped)
+          else db_error "no such index: %s" index
+        end
       | Ast.Begin_tx ->
         if t.tx <> None then db_error "already in a transaction";
         t.tx <- Some { undo = [] };
@@ -781,7 +948,13 @@ let exec_statement_raw t ~token ~params stmt =
         let table =
           match Catalog.find_table t.catalog table with
           | Some tbl -> tbl
-          | None -> db_error "no such table: %s" table
+          | None ->
+            if Catalog.find_partitioned t.catalog table <> None then
+              db_error
+                "COPY TO a partitioned table is not supported; COPY each \
+                 partition child (%s__<partition>)"
+                table
+            else db_error "no such table: %s" table
         in
         let n =
           try Csv.export table file
@@ -789,16 +962,18 @@ let exec_statement_raw t ~token ~params stmt =
         in
         Message (Printf.sprintf "COPY %d rows to %s" n file)
       | Ast.Copy_from { table; file } ->
-        let table =
+        let schema, sink =
           match Catalog.find_table t.catalog table with
-          | Some tbl -> tbl
-          | None -> db_error "no such table: %s" table
+          | Some tbl ->
+            (Table.schema tbl, fun row -> ignore (insert_row t ~now tbl row))
+          | None -> (
+            match Catalog.find_partitioned t.catalog table with
+            | Some pt ->
+              (pt.Partition.pt_schema, fun row -> insert_routed t ~now pt row)
+            | None -> db_error "no such table: %s" table)
         in
         let n =
-          try
-            Csv.import ~schema:(Table.schema table)
-              ~insert:(fun row -> ignore (insert_row t ~now table row))
-              file
+          try Csv.import ~schema ~insert:sink file
           with Sys_error msg | Csv.Csv_error msg -> db_error "COPY: %s" msg
         in
         Affected n
@@ -838,14 +1013,18 @@ let exec_statement_raw t ~token ~params stmt =
             rows =
               List.map
                 (fun name -> [| Value.Str name |])
-                (Catalog.table_names t.catalog) }
+                (List.sort String.compare
+                   (Catalog.table_names t.catalog
+                   @ Catalog.partitioned_names t.catalog)) }
       | Ast.Describe { table } ->
-        let table =
+        let schema =
           match Catalog.find_table t.catalog table with
-          | Some tbl -> tbl
-          | None -> db_error "no such table: %s" table
+          | Some tbl -> Table.schema tbl
+          | None -> (
+            match Catalog.find_partitioned t.catalog table with
+            | Some pt -> pt.Partition.pt_schema
+            | None -> db_error "no such table: %s" table)
         in
-        let schema = Table.schema table in
         Rows
           { names = [ "column"; "type"; "not_null"; "primary_key" ];
             rows =
@@ -880,7 +1059,13 @@ let exec_statement_raw t ~token ~params stmt =
           | Some name -> (
             match Catalog.find_table t.catalog name with
             | Some tbl -> [ tbl ]
-            | None -> db_error "no such table: %s" name)
+            | None -> (
+              match Catalog.find_partitioned t.catalog name with
+              | Some pt ->
+                List.map
+                  (fun (p : Partition.part) -> p.Partition.p_table)
+                  (Partition.all_parts pt)
+              | None -> db_error "no such table: %s" name))
           | None ->
             List.filter_map
               (Catalog.find_table t.catalog)
@@ -1233,4 +1418,36 @@ let () =
                      Value.Int (Table.write_count tbl);
                      analyzed;
                      buckets |])
-            (Catalog.table_names catalog)) }
+            (Catalog.table_names catalog)) };
+  Vtab.register
+    { Vtab.vt_name = "tip_stat_partitions";
+      vt_cols =
+        [| "table_name"; "partition"; "from_bound"; "to_bound"; "is_default";
+           "row_count"; "max_end"; "kept_scans"; "pruned_scans" |];
+      vt_help =
+        "partitions of range-partitioned tables: bounds, end watermark and \
+         pruning counters";
+      vt_rows =
+        (fun catalog ->
+          List.concat_map
+            (fun parent ->
+              match Catalog.find_partitioned catalog parent with
+              | None -> []
+              | Some pt ->
+                List.map
+                  (fun (p : Partition.part) ->
+                    let wm = Atomic.get p.Partition.p_max_end in
+                    [| Value.Str parent;
+                       Value.Str p.Partition.p_name;
+                       (if p.Partition.p_default then Value.Null
+                        else Value.Str (Partition.bound_to_string p.Partition.p_from));
+                       (if p.Partition.p_default then Value.Null
+                        else Value.Str (Partition.bound_to_string p.Partition.p_to));
+                       Value.Bool p.Partition.p_default;
+                       Value.Int (Table.row_count p.Partition.p_table);
+                       (if wm = min_int then Value.Null
+                        else Value.Str (Partition.bound_to_string wm));
+                       Value.Int (Atomic.get p.Partition.p_scanned);
+                       Value.Int (Atomic.get p.Partition.p_pruned) |])
+                  (Partition.all_parts pt))
+            (Catalog.partitioned_names catalog)) }

@@ -554,6 +554,13 @@ and run_rows (recurse : recurse) ctx (plan : Plan.t) : Value.t array Seq.t =
     List.fold_left
       (fun acc input -> Seq.append acc (recurse ctx input))
       Seq.empty inputs
+  | Plan.Partition_scan { children; _ } ->
+    (* Partition-wise consumption: each surviving child pipeline goes
+       back through [recurse], so it independently takes the batch or
+       morsel-parallel path exactly as an unpartitioned scan would. *)
+    List.fold_left
+      (fun acc child -> Seq.append acc (recurse ctx child))
+      Seq.empty children
   | Plan.Limit { input; limit; offset } ->
     let s =
       match limit with
@@ -619,17 +626,7 @@ and run_aggregate recurse ctx input keys aggs =
      aggregation path is chosen upstream ([try_parallel]) before this
      runs, so only subtrees it declined — pool off, table too small, or
      unmergeable aggregates — land here. *)
-  let chunked =
-    if
-      !batch_enabled
-      && (not (Failpoint.active ()))
-      && Plan.parallel_pipeline input
-      && Exec_pool.sequential ()
-    then chunk_pipeline ctx ~min_rows:!batch_min_rows ~mark_parallel:false input
-    else None
-  in
-  (match chunked with
-  | Some (src, mk) ->
+  let drive_chunks (src, mk) =
     let nrids = Array.length src.par_rids in
     Metrics.add m_rows_scanned nrids;
     Deadline.charge_rows_scanned ctx.Expr_eval.token nrids;
@@ -646,7 +643,28 @@ and run_aggregate recurse ctx input keys aggs =
       done;
       pos := !pos + len
     done
-  | None -> Seq.iter consume (recurse ctx input));
+  in
+  let batch_ok =
+    !batch_enabled && (not (Failpoint.active ())) && Exec_pool.sequential ()
+  in
+  let rec consume_plan plan =
+    match
+      if batch_ok && Plan.parallel_pipeline plan then
+        chunk_pipeline ctx ~min_rows:!batch_min_rows ~mark_parallel:false plan
+      else None
+    with
+    | Some pipeline -> drive_chunks pipeline
+    | None -> (
+      match plan with
+      | Plan.Partition_scan { children; _ } ->
+        (* Partition-wise consumption: each surviving child pipeline
+           feeds the shared group table chunk-at-a-time on its own, so a
+           partitioned aggregate costs the same per row as the
+           unpartitioned one. *)
+        List.iter consume_plan children
+      | _ -> Seq.iter consume (recurse ctx plan))
+  in
+  consume_plan input;
   Metrics.add m_agg_rows !input_rows;
   let emit (key, runners) =
     Array.of_list (key @ List.map (fun r -> r.final ()) runners)
@@ -795,7 +813,8 @@ and chunk_pipeline ctx ~min_rows ~mark_parallel (plan : Plan.t) :
               out ))
   | Plan.Index_scan _ | Plan.Nested_loop _ | Plan.Left_outer_join _
   | Plan.Aggregate _ | Plan.Sort _ | Plan.Distinct _ | Plan.Limit _
-  | Plan.Append _ | Plan.One_row | Plan.Virtual_scan _ ->
+  | Plan.Append _ | Plan.Partition_scan _ | Plan.One_row
+  | Plan.Virtual_scan _ ->
     None
 
 (* Materialize a hash-join build side into a probe function returning

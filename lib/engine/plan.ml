@@ -101,6 +101,15 @@ type t =
   | Distinct of t
   | Limit of { input : t; limit : int option; offset : int option }
   | Append of t list (* concatenation of same-arity inputs (UNION ALL) *)
+  | Partition_scan of {
+      parent : string; (* partitioned table name *)
+      children : t list;
+        (* one pipeline per surviving partition (scan plus pushed-down
+           recheck filter), declared order; pruned partitions are absent *)
+      total : int; (* partitions declared *)
+      pruned : int;
+      label : string;
+    }
   | One_row (* FROM-less SELECT produces a single empty row *)
   | Virtual_scan of {
       vt_name : string;
@@ -140,7 +149,11 @@ let rec parallel_pipeline = function
     parallel_pipeline (if build_left then right else left)
   | Instrument { input; _ } -> parallel_pipeline input
   | Index_scan _ | Nested_loop _ | Left_outer_join _ | Aggregate _ | Sort _
-  | Distinct _ | Limit _ | Append _ | One_row | Virtual_scan _ ->
+  | Distinct _ | Limit _ | Append _ | Partition_scan _ | One_row
+  | Virtual_scan _ ->
+    (* a partition scan is not itself one rid-splittable source; the
+       executor recurses into each child pipeline, which parallelizes
+       partition-wise on its own *)
     false
 
 let rec parallel_safe = function
@@ -169,6 +182,7 @@ let rec parallel_candidate plan =
   | Left_outer_join { left; right; _ } ->
     parallel_candidate left || parallel_candidate right
   | Append inputs -> List.exists parallel_candidate inputs
+  | Partition_scan { children; _ } -> List.exists parallel_candidate children
   | Seq_scan _ | Index_scan _ | Interval_scan _ | One_row | Virtual_scan _ ->
     false
 
@@ -198,6 +212,8 @@ let rec instrument plan =
       | Distinct p -> Distinct (instrument p)
       | Limit r -> Limit { r with input = instrument r.input }
       | Append ps -> Append (List.map instrument ps)
+      | Partition_scan r ->
+        Partition_scan { r with children = List.map instrument r.children }
       | Instrument _ -> assert false
     in
     Instrument { input; stats = fresh_stats () }
@@ -271,6 +287,10 @@ and pp_suffix ~indent ~suffix ppf plan =
   | Append inputs ->
     Fmt.pf ppf "%aAppend%s@." pad () suffix;
     List.iter (pp ~indent:child ppf) inputs
+  | Partition_scan { parent; children; total; pruned; label } ->
+    Fmt.pf ppf "%aPartitionScan %s partitions=%d/%d pruned=%d%s%s@." pad ()
+      parent (total - pruned) total pruned label suffix;
+    List.iter (pp ~indent:child ppf) children
   | Virtual_scan { vt_name; label; _ } ->
     Fmt.pf ppf "%aVirtualScan %s%s%s@." pad () vt_name label suffix
   | One_row -> Fmt.pf ppf "%aOneRow%s@." pad () suffix

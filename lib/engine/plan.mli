@@ -94,6 +94,19 @@ type t =
   | Distinct of t  (** order-preserving (first occurrence wins) *)
   | Limit of { input : t; limit : int option; offset : int option }
   | Append of t list  (** concatenation of same-arity inputs (UNION ALL) *)
+  | Partition_scan of {
+      parent : string;  (** partitioned table name *)
+      children : t list;
+          (** one pipeline per surviving partition (scan plus
+              pushed-down recheck filter), declared order *)
+      total : int;  (** partitions declared *)
+      pruned : int;
+      label : string;
+    }
+      (** pruned scan over a range-partitioned table; EXPLAIN renders
+          [partitions=kept/total pruned=n]. The executor concatenates
+          the children, each of which batches/parallelizes on its own
+          (partition-wise consumption). *)
   | One_row  (** FROM-less SELECT produces a single empty row *)
   | Virtual_scan of {
       vt_name : string;

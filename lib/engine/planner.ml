@@ -136,6 +136,7 @@ let const_eval pctx e =
 
 type fbase =
   | B_table of Table.t
+  | B_partitioned of Partition.t
   | B_derived of Plan.t
 
 type fref =
@@ -334,6 +335,120 @@ let rec pipeline_est = function
 let label_of_exprs exprs =
   String.concat " AND " (List.map Pretty.expr_to_string exprs)
 
+(* Access path for one stored table: a selective interval probe when a
+   conjunct is sargable, else an ordered index range, else a full scan.
+   Also returns the estimated rows surviving the recheck filter when
+   ANALYZE statistics exist. (Shared by plain scans and by each child
+   of a partitioned scan.) *)
+let plan_base_table pctx table binding exprs =
+  let stats = Table.stats table in
+  match interval_index_scan pctx table binding exprs with
+  | Some (scan, col) -> (
+    let cost =
+      match stats, scan with
+      | Some st, Plan.Interval_scan { lo; hi; _ } ->
+        Option.map
+          (fun cs ->
+            let sel = Stats.overlap_selectivity cs ~lo ~hi in
+            (st, sel, est_count st sel))
+          (Stats.find_col st col)
+      | _ -> None
+    in
+    match cost, scan with
+    | Some (_, sel, est), Plan.Interval_scan r
+      when sel <= interval_selectivity_threshold ->
+      ( Plan.Interval_scan
+          { r with label = Printf.sprintf "%s (est rows=%d)" r.label est },
+        Some est )
+    | Some (st, sel, est), _ ->
+      (* The probe window matches most of the table: a full scan avoids
+         the candidate sort/dedup the executor would fall back to
+         anyway. *)
+      ( Plan.Seq_scan
+          { table;
+            label =
+              Printf.sprintf
+                " (est rows=%d, interval probe rejected at selectivity %.2f)"
+                st.Stats.st_rows sel },
+        Some est )
+    | None, _ -> (scan, None))
+  | None -> (
+    match ordered_index_scan pctx table binding exprs with
+    | Some scan -> (scan, None)
+    | None -> (
+      match stats with
+      | Some st ->
+        ( Plan.Seq_scan
+            { table; label = Printf.sprintf " (est rows=%d)" st.Stats.st_rows },
+          Some (Stdlib.max 1 (st.Stats.st_rows / 3)) )
+      | None -> (Plan.Seq_scan { table; label = "" }, None)))
+
+(* The finite chronon window the pushed conjuncts probe the partition
+   column with, if any: the first interval-sargable call pairing the
+   column with a plan-time constant whose extent is known. A bare
+   string constant is re-read as a literal of the column's type first,
+   mirroring {!interval_index_scan}.
+
+   The third component reports whether the probe also proves the whole
+   filter for fully-covered partitions (filter elision): the probing
+   call is [overlaps], it is the only conjunct pushed to this table,
+   and the constant is one solid bounded period — so any row whose
+   period start falls inside [lo, hi] overlaps it by construction. *)
+let partition_probe pctx layout (pt : Partition.t) binding exprs =
+  let is_part_col = function
+    | Ast.Column (q, name) -> (
+      match resolve_in layout q name with
+      | i -> i = binding.offset + pt.Partition.pt_column
+      | exception _ -> false)
+    | _ -> false
+  in
+  let col_ty =
+    (Schema.column pt.Partition.pt_schema pt.Partition.pt_column).Schema.ty
+  in
+  let typed_const v =
+    match Value.extent v with
+    | Some _ -> Some v
+    | None -> (
+      match v, col_ty with
+      | Value.Str s, Schema.T_ext target -> (
+        match Value.lookup_type target with
+        | Some vt -> (
+          match vt.Value.parse s with
+          | parsed -> Some parsed
+          | exception _ -> None)
+        | None -> None)
+      | _, _ -> None)
+  in
+  let attempt col_side const_side =
+    if not (is_part_col col_side) then None
+    else
+      match Option.bind (const_eval pctx const_side) typed_const with
+      | None -> None
+      | Some v -> (
+        match Value.extent v with
+        | None -> None
+        | Some (lo, hi) ->
+          let solid =
+            match Value.extents v with
+            | [ _ ] -> lo > min_int && hi < max_int
+            | _ -> false
+          in
+          Some (lo, hi, solid))
+  in
+  List.find_map
+    (fun e ->
+      match e with
+      | Ast.Call (name, [ a; b ])
+        when Extension.is_interval_sargable pctx.ext name -> (
+        let sole = String.lowercase_ascii name = "overlaps" && exprs = [ e ] in
+        match
+          match attempt a b with Some w -> Some w | None -> attempt b a
+        with
+        | Some (lo, hi, solid) -> Some (lo, hi, solid && sole)
+        | None -> None)
+      | _ -> None)
+    exprs
+
 let rec plan_fref pctx layout pool protected fref : Plan.t =
   match fref with
   | F_base (base, binding) ->
@@ -354,82 +469,110 @@ let rec plan_fref pctx layout pool protected fref : Plan.t =
     in
     List.iter (fun c -> c.used <- true) mine;
     let exprs = List.map (fun c -> c.expr) mine in
-    (* [filter_est]: estimated rows surviving the recheck filter, when the
-       table has ANALYZE statistics. All labels below only gain estimate
-       suffixes when stats exist, so un-analyzed planning (and the
-       EXPLAIN shape tests) stay byte-identical. *)
-    let scan, filter_est =
-      match base with
-      | B_table table -> (
-        let stats = Table.stats table in
-        match interval_index_scan pctx table binding exprs with
-        | Some (scan, col) -> (
-          let cost =
-            match stats, scan with
-            | Some st, Plan.Interval_scan { lo; hi; _ } ->
-              Option.map
-                (fun cs ->
-                  let sel = Stats.overlap_selectivity cs ~lo ~hi in
-                  (st, sel, est_count st sel))
-                (Stats.find_col st col)
-            | _ -> None
+    (match base with
+    | B_partitioned pt ->
+      (* Pruned partition-wise scan: each surviving child carries its
+         own access path and recheck filter, so each child pipeline
+         batches or parallelizes independently. The compiled predicate
+         is shared — it only ever sees rows, never the table. *)
+      let kept, pruned, implied_window, plabel =
+        match partition_probe pctx layout pt binding exprs with
+        | Some (lo, hi, implied) ->
+          let kept, pruned = Partition.prune pt ~lo ~hi in
+          ( kept, pruned,
+            (if implied then Some (lo, hi) else None),
+            Printf.sprintf " probe [%s, %s]"
+              (Partition.bound_to_string lo)
+              (Partition.bound_to_string hi) )
+        | None -> (Partition.all_parts pt, 0, None, "")
+      in
+      (* Filter elision: when the sole conjunct is [overlaps] against
+         one solid bounded window, a non-default child whose start
+         range sits inside the window and whose rows are all fixed
+         periods (finite end watermark; NOW-relative starts route to
+         DEFAULT) passes the filter by construction — its scan runs
+         bare. *)
+      let elide (p : Partition.part) =
+        match implied_window with
+        | None -> false
+        | Some (lo, hi) ->
+          (not p.Partition.p_default)
+          && p.Partition.p_from >= lo
+          && p.Partition.p_to <= hi + 1
+          && Atomic.get p.Partition.p_max_end < max_int
+      in
+      let wrap =
+        if exprs = [] then fun scan -> scan
+        else begin
+          let shift = binding.offset in
+          let combined =
+            List.fold_left (fun a b -> Ast.Binop (Ast.And, a, b))
+              (List.hd exprs) (List.tl exprs)
           in
-          match cost, scan with
-          | Some (_, sel, est), Plan.Interval_scan r
-            when sel <= interval_selectivity_threshold ->
-            ( Plan.Interval_scan
-                { r with
-                  label = Printf.sprintf "%s (est rows=%d)" r.label est },
-              Some est )
-          | Some (st, sel, est), _ ->
-            (* The probe window matches most of the table: a full scan
-               avoids the candidate sort/dedup the executor would fall
-               back to anyway. *)
-            ( Plan.Seq_scan
-                { table;
-                  label =
-                    Printf.sprintf
-                      " (est rows=%d, interval probe rejected at \
-                       selectivity %.2f)"
-                      st.Stats.st_rows sel },
-              Some est )
-          | None, _ -> (scan, None))
-        | None -> (
-          match ordered_index_scan pctx table binding exprs with
-          | Some scan -> (scan, None)
-          | None ->
-            (match stats with
-            | Some st ->
-              ( Plan.Seq_scan
-                  { table;
-                    label = Printf.sprintf " (est rows=%d)" st.Stats.st_rows },
-                Some (Stdlib.max 1 (st.Stats.st_rows / 3)) )
-            | None -> (Plan.Seq_scan { table; label = "" }, None))))
-      | B_derived plan -> (plan, None)
-    in
-    if exprs = [] then scan
-    else begin
-      (* All pushed conjuncts recheck above the scan — index scans may
-         over-approximate (interval probes always do). *)
-      let shift = binding.offset in
-      let combined =
-        List.fold_left (fun a b -> Ast.Binop (Ast.And, a, b)) (List.hd exprs)
-          (List.tl exprs)
+          let env = shifted_env pctx layout ~shift in
+          let pred = Expr_eval.compile env combined in
+          let bpred = Some (Expr_eval.compile_batch env combined) in
+          let label = label_of_exprs exprs in
+          fun scan -> Plan.Filter { input = scan; pred; bpred; label }
+        end
       in
-      let env = shifted_env pctx layout ~shift in
-      let label =
-        label_of_exprs exprs
-        ^
-        match filter_est with
-        | Some est -> Printf.sprintf " (est rows=%d)" est
-        | None -> ""
+      let elided = ref 0 in
+      let children =
+        List.map
+          (fun (p : Partition.part) ->
+            if elide p then begin
+              incr elided;
+              fst (plan_base_table pctx p.Partition.p_table binding [])
+            end
+            else
+              wrap
+                (fst (plan_base_table pctx p.Partition.p_table binding exprs)))
+          kept
       in
-      Plan.Filter
-        { input = scan;
-          pred = Expr_eval.compile env combined;
-          bpred = Some (Expr_eval.compile_batch env combined);
-          label }
-    end
+      let plabel =
+        if !elided = 0 then plabel
+        else Printf.sprintf "%s filter-elided=%d" plabel !elided
+      in
+      Plan.Partition_scan
+        { parent = pt.Partition.pt_name;
+          children;
+          total = Array.length pt.Partition.pt_parts;
+          pruned;
+          label = plabel }
+    | B_table _ | B_derived _ ->
+      (* [filter_est]: estimated rows surviving the recheck filter, when
+         the table has ANALYZE statistics. All labels below only gain
+         estimate suffixes when stats exist, so un-analyzed planning
+         (and the EXPLAIN shape tests) stay byte-identical. *)
+      let scan, filter_est =
+        match base with
+        | B_table table -> plan_base_table pctx table binding exprs
+        | B_derived plan -> (plan, None)
+        | B_partitioned _ -> assert false
+      in
+      if exprs = [] then scan
+      else begin
+        (* All pushed conjuncts recheck above the scan — index scans may
+           over-approximate (interval probes always do). *)
+        let shift = binding.offset in
+        let combined =
+          List.fold_left (fun a b -> Ast.Binop (Ast.And, a, b)) (List.hd exprs)
+            (List.tl exprs)
+        in
+        let env = shifted_env pctx layout ~shift in
+        let label =
+          label_of_exprs exprs
+          ^
+          match filter_est with
+          | Some est -> Printf.sprintf " (est rows=%d)" est
+          | None -> ""
+        in
+        Plan.Filter
+          { input = scan;
+            pred = Expr_eval.compile env combined;
+            bpred = Some (Expr_eval.compile_batch env combined);
+            label }
+      end)
   | F_join (l, Ast.Left_outer, on, r) ->
     let lplan = plan_fref pctx layout pool protected l in
     let rplan = plan_fref pctx layout pool protected r in
@@ -634,6 +777,16 @@ and build_fref pctx catalog offset table_ref : fref * int =
       let binding = { qual; col_names; offset } in
       (F_base (B_table table, binding), offset + Array.length col_names)
     | None -> (
+      match Catalog.find_partitioned catalog name with
+      | Some pt ->
+        let schema = pt.Partition.pt_schema in
+        let col_names =
+          Array.map (fun c -> c.Schema.name) schema.Schema.columns
+        in
+        let qual = Some (lc (Option.value alias ~default:name)) in
+        let binding = { qual; col_names; offset } in
+        (F_base (B_partitioned pt, binding), offset + Array.length col_names)
+      | None -> (
       (* Catalog miss: the name may be a registered virtual table (a
          tip_stat relation). A real table always shadows a virtual one. *)
       match Vtab.find name with
@@ -648,7 +801,7 @@ and build_fref pctx catalog offset table_ref : fref * int =
         let col_names = p.Vtab.vt_cols in
         let qual = Some (lc (Option.value alias ~default:name)) in
         let binding = { qual; col_names; offset } in
-        (F_base (B_derived plan, binding), offset + Array.length col_names)))
+        (F_base (B_derived plan, binding), offset + Array.length col_names))))
   | Ast.Table { name; alias; as_of = Some at_expr } ->
     (* Time travel: read the WITH HISTORY shadow table as it was at the
        given instant. The scan filters rows whose transaction-time

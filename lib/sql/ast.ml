@@ -93,6 +93,20 @@ type column_def = {
    we support UNION and UNION ALL; an ORDER BY/LIMIT written after the
    last arm belongs to that arm (wrap in a derived table to sort the
    whole union). *)
+(* PARTITION BY RANGE clause of CREATE TABLE: each partition owns the
+   rows whose period starts in [part_from, part_to) (instants as
+   written, resolved by the engine); a DEFAULT partition takes
+   unbounded/NULL starts. *)
+type partition_def = {
+  part_name : string;
+  part_range : (string * string) option; (* FROM .. TO ..; None = DEFAULT *)
+}
+
+type partition_clause = {
+  part_column : string;
+  part_defs : partition_def list;
+}
+
 type compound =
   | Simple of select
   | Union of { all : bool; left : compound; right : compound }
@@ -112,6 +126,7 @@ type statement =
       if_not_exists : bool;
       columns : column_def list;
       with_history : bool; (* maintain a transaction-time shadow table *)
+      partition_by : partition_clause option; (* range partitioning *)
     }
   | Create_table_as of { table : string; query : select }
   | Drop_table of { table : string; if_exists : bool }

@@ -566,6 +566,46 @@ let parse_create st =
       in
       let columns = cols [] in
       expect_sym st ")";
+      (* PARTITION BY RANGE (col) (PARTITION p FOR VALUES FROM 'a' TO 'b',
+         ..., PARTITION pdef DEFAULT) *)
+      let partition_by =
+        if at_kw st "PARTITION" && is_kw "BY" (peek2 st) then begin
+          advance st;
+          advance st;
+          expect_kw st "RANGE";
+          expect_sym st "(";
+          let part_column = ident st in
+          expect_sym st ")";
+          expect_sym st "(";
+          let instant () =
+            match next st with
+            | Token.String s -> s
+            | _ -> error st "expected an instant string literal"
+          in
+          let parse_part () =
+            expect_kw st "PARTITION";
+            let part_name = ident st in
+            if eat_kw st "DEFAULT" then { Ast.part_name; part_range = None }
+            else begin
+              expect_kw st "FOR";
+              expect_kw st "VALUES";
+              expect_kw st "FROM";
+              let from_i = instant () in
+              expect_kw st "TO";
+              let to_i = instant () in
+              { Ast.part_name; part_range = Some (from_i, to_i) }
+            end
+          in
+          let rec parts acc =
+            let p = parse_part () in
+            if eat_sym st "," then parts (p :: acc) else List.rev (p :: acc)
+          in
+          let part_defs = parts [] in
+          expect_sym st ")";
+          Some { Ast.part_column; part_defs }
+        end
+        else None
+      in
       let with_history =
         if at_kw st "WITH" && is_kw "HISTORY" (peek2 st) then begin
           advance st;
@@ -574,7 +614,7 @@ let parse_create st =
         end
         else false
       in
-      Ast.Create_table { table; if_not_exists; columns; with_history }
+      Ast.Create_table { table; if_not_exists; columns; with_history; partition_by }
     end
   end
   else begin

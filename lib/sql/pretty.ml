@@ -164,13 +164,27 @@ and pp_statement ppf = function
   | Ast.Delete { table; where } ->
     Fmt.pf ppf "DELETE FROM %s" table;
     Option.iter (fun e -> Fmt.pf ppf " WHERE %a" pp_expr e) where
-  | Ast.Create_table { table; if_not_exists; columns; with_history } ->
-    Fmt.pf ppf "CREATE TABLE %s%s (%a)%s"
+  | Ast.Create_table { table; if_not_exists; columns; with_history; partition_by }
+    ->
+    Fmt.pf ppf "CREATE TABLE %s%s (%a)"
       (if if_not_exists then "IF NOT EXISTS " else "")
       table
       (Fmt.list ~sep:(Fmt.any ", ") pp_column_def)
-      columns
-      (if with_history then " WITH HISTORY" else "")
+      columns;
+    Option.iter
+      (fun { Ast.part_column; part_defs } ->
+        let pp_part ppf { Ast.part_name; part_range } =
+          match part_range with
+          | Some (f, t) ->
+            Fmt.pf ppf "PARTITION %s FOR VALUES FROM '%s' TO '%s'" part_name
+              (escape_string f) (escape_string t)
+          | None -> Fmt.pf ppf "PARTITION %s DEFAULT" part_name
+        in
+        Fmt.pf ppf " PARTITION BY RANGE (%s) (%a)" part_column
+          (Fmt.list ~sep:(Fmt.any ", ") pp_part)
+          part_defs)
+      partition_by;
+    if with_history then Fmt.pf ppf " WITH HISTORY"
   | Ast.Create_table_as { table; query } ->
     Fmt.pf ppf "CREATE TABLE %s AS %a" table pp_select query
   | Ast.Drop_table { table; if_exists } ->

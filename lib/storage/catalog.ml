@@ -1,6 +1,8 @@
 (* The system catalog: table names to table objects, plus a global index
    namespace (SQL's DROP INDEX takes no table name, so index names must
-   be unique database-wide). *)
+   be unique database-wide), plus the partitioned-table registry mapping
+   a parent name to its {!Partition} descriptor and each child back to
+   its parent. *)
 
 exception Catalog_error of string
 
@@ -9,9 +11,16 @@ let catalog_error fmt = Format.kasprintf (fun s -> raise (Catalog_error s)) fmt
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   index_owner : (string, string) Hashtbl.t; (* index name -> table name *)
+  partitions : (string, Partition.t) Hashtbl.t; (* parent name -> descriptor *)
+  part_parent : (string, Partition.t * Partition.part) Hashtbl.t;
+      (* child table name -> (parent descriptor, its part) *)
 }
 
-let create () = { tables = Hashtbl.create 16; index_owner = Hashtbl.create 16 }
+let create () =
+  { tables = Hashtbl.create 16;
+    index_owner = Hashtbl.create 16;
+    partitions = Hashtbl.create 4;
+    part_parent = Hashtbl.create 8 }
 
 let key name = String.lowercase_ascii name
 
@@ -26,9 +35,24 @@ let table_names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.tables []
   |> List.sort String.compare
 
+let find_partitioned t name = Hashtbl.find_opt t.partitions (key name)
+
+let partitioned_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.partitions []
+  |> List.sort String.compare
+
+let partition_of_child t name = Hashtbl.find_opt t.part_parent (key name)
+
+let note_partition_write t table row =
+  match Hashtbl.find_opt t.part_parent (key (Table.name table)) with
+  | Some (pt, part) -> Partition.note_row part pt row
+  | None -> ()
+
 let create_table t schema =
   let name = key schema.Schema.table_name in
   if Hashtbl.mem t.tables name then catalog_error "table %s already exists" name;
+  if Hashtbl.mem t.partitions name then
+    catalog_error "table %s already exists (partitioned)" name;
   let table = Table.create schema in
   Hashtbl.replace t.tables name table;
   (* The implicit primary-key index joins the global namespace too. *)
@@ -37,7 +61,69 @@ let create_table t schema =
     (Table.indexes table);
   table
 
-let drop_table t name =
+(* Registers the descriptor and the child back-links of an already-built
+   partitioned table. *)
+let register_partitioned t pt =
+  Hashtbl.replace t.partitions pt.Partition.pt_name pt;
+  Array.iter
+    (fun part ->
+      Hashtbl.replace t.part_parent
+        (key (Table.name part.Partition.p_table))
+        (pt, part))
+    pt.Partition.pt_parts
+
+let create_partitioned t schema ~column ~parts =
+  let name = key schema.Schema.table_name in
+  if Hashtbl.mem t.tables name || Hashtbl.mem t.partitions name then
+    catalog_error "table %s already exists" name;
+  (* Create every child first so a bad declaration (duplicate child
+     name, overlapping ranges) leaves nothing behind. *)
+  let created = ref [] in
+  let cleanup () =
+    List.iter
+      (fun child -> ignore (Hashtbl.remove t.tables (key child)))
+      !created
+  in
+  match
+    let with_tables =
+      List.map
+        (fun (pname, bounds) ->
+          let child = Partition.child_name name pname in
+          let child_schema =
+            Schema.make ~table_name:child
+              (Array.to_list schema.Schema.columns)
+          in
+          let table = create_table t child_schema in
+          created := child :: !created;
+          (pname, bounds, table))
+        parts
+    in
+    Partition.make ~name ~schema ~column with_tables
+  with
+  | pt ->
+    register_partitioned t pt;
+    pt
+  | exception e ->
+    cleanup ();
+    raise e
+
+(* Rebinds a loaded partition spec to child tables that already exist
+   (snapshot load re-creates children as ordinary tables first), and
+   rebuilds each child's end watermark from its rows. *)
+let link_partitioned t ~name ~schema ~column ~parts =
+  let with_tables =
+    List.map
+      (fun (pname, bounds) ->
+        let child = Partition.child_name name pname in
+        (pname, bounds, table_exn t child))
+      parts
+  in
+  let pt = Partition.make ~name ~schema ~column with_tables in
+  Array.iter (fun part -> Partition.rebuild_watermark pt part) pt.Partition.pt_parts;
+  register_partitioned t pt;
+  pt
+
+let drop_plain_table t name =
   match find_table t name with
   | None -> false
   | Some table ->
@@ -46,6 +132,23 @@ let drop_table t name =
       (Table.indexes table);
     Hashtbl.remove t.tables (key name);
     true
+
+let drop_table t name =
+  match find_partitioned t name with
+  | Some pt ->
+    Array.iter
+      (fun part ->
+        let child = Table.name part.Partition.p_table in
+        Hashtbl.remove t.part_parent (key child);
+        ignore (drop_plain_table t child))
+      pt.Partition.pt_parts;
+    Hashtbl.remove t.partitions (key name);
+    true
+  | None ->
+    if Hashtbl.mem t.part_parent (key name) then
+      catalog_error
+        "%s is a partition; drop the partitioned parent instead" name;
+    drop_plain_table t name
 
 let create_index t ~idx_name ~table_name ~column ~unique ~kind =
   let idx_key = key idx_name in
@@ -64,8 +167,12 @@ let create_index t ~idx_name ~table_name ~column ~unique ~kind =
 let assign t ~from =
   Hashtbl.reset t.tables;
   Hashtbl.reset t.index_owner;
+  Hashtbl.reset t.partitions;
+  Hashtbl.reset t.part_parent;
   Hashtbl.iter (fun k v -> Hashtbl.replace t.tables k v) from.tables;
-  Hashtbl.iter (fun k v -> Hashtbl.replace t.index_owner k v) from.index_owner
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.index_owner k v) from.index_owner;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.partitions k v) from.partitions;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.part_parent k v) from.part_parent
 
 let drop_index t idx_name =
   let idx_key = key idx_name in

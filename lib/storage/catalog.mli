@@ -19,8 +19,57 @@ val table_names : t -> string list
 (** @raise Catalog_error on duplicate table name. *)
 val create_table : t -> Schema.t -> Table.t
 
-(** Returns whether the table existed; its indexes leave the namespace. *)
+(** Returns whether the table (or partitioned table — children and
+    metadata go with it) existed; its indexes leave the namespace.
+    @raise Catalog_error when [name] is a partition child: children are
+    dropped through their parent. *)
 val drop_table : t -> string -> bool
+
+(** {1 Partitioned tables (DESIGN.md §14)}
+
+    A partitioned parent is not itself a {!Table.t}: it is a
+    {!Partition.t} descriptor over ordinary child tables named
+    [<parent>__<partition>] that live in the catalog like any other
+    table (and therefore index, ANALYZE, journal and replicate
+    unchanged). *)
+
+val find_partitioned : t -> string -> Partition.t option
+
+(** Parent names, sorted. *)
+val partitioned_names : t -> string list
+
+(** The descriptor and part owning a child table name, if the name is a
+    partition child. *)
+val partition_of_child : t -> string -> (Partition.t * Partition.part) option
+
+(** Raises the owning part's end watermark when [table] is a partition
+    child and [row] has a temporal extent; no-op otherwise. Every path
+    that lands a row in a table (engine DML, WAL replay) calls this so
+    pruning stays sound on primaries, replicas and after recovery. *)
+val note_partition_write : t -> Table.t -> Value.t array -> unit
+
+(** Creates the children ([<parent>__<partition>], one per declared
+    partition, same columns as [schema]) and registers the descriptor.
+    Nothing is left behind on failure.
+    @raise Catalog_error / [Partition.Partition_error] on name clashes,
+    overlapping ranges, duplicate partitions or >1 DEFAULT. *)
+val create_partitioned :
+  t ->
+  Schema.t ->
+  column:string ->
+  parts:(string * (int * int) option) list ->
+  Partition.t
+
+(** Re-registers a loaded partition spec over child tables that already
+    exist (snapshot load re-creates children first), rebuilding each
+    child's end watermark from its rows. *)
+val link_partitioned :
+  t ->
+  name:string ->
+  schema:Schema.t ->
+  column:string ->
+  parts:(string * (int * int) option) list ->
+  Partition.t
 
 (** @raise Catalog_error on duplicate index name (database-wide). *)
 val create_index :

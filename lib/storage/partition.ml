@@ -1,0 +1,137 @@
+exception Partition_error of string
+
+let part_error fmt = Format.kasprintf (fun s -> raise (Partition_error s)) fmt
+
+type part = {
+  p_name : string;
+  p_from : int;
+  p_to : int;
+  p_default : bool;
+  p_table : Table.t;
+  p_max_end : int Atomic.t;
+  p_scanned : int Atomic.t;
+  p_pruned : int Atomic.t;
+}
+
+type t = {
+  pt_name : string;
+  pt_column : int;
+  pt_col_name : string;
+  pt_schema : Schema.t;
+  pt_parts : part array;
+}
+
+let lc = String.lowercase_ascii
+let child_name parent pname = lc parent ^ "__" ^ lc pname
+
+let make ~name ~schema ~column parts =
+  let column = lc column in
+  let col_pos =
+    match Schema.column_index schema column with
+    | Some i -> i
+    | None -> part_error "partition column %s does not exist" column
+  in
+  if parts = [] then part_error "partitioned table %s declares no partitions" name;
+  let seen = Hashtbl.create 8 in
+  let mk (pname, bounds, table) =
+    let pname = lc pname in
+    if Hashtbl.mem seen pname then
+      part_error "duplicate partition name %s" pname;
+    Hashtbl.add seen pname ();
+    let p_from, p_to, p_default =
+      match bounds with
+      | Some (f, t) ->
+        if f >= t then
+          part_error "partition %s: FROM bound must precede TO bound" pname;
+        (f, t, false)
+      | None -> (min_int, max_int, true)
+    in
+    { p_name = pname; p_from; p_to; p_default; p_table = table;
+      p_max_end = Atomic.make min_int;
+      p_scanned = Atomic.make 0;
+      p_pruned = Atomic.make 0 }
+  in
+  let parts = List.map mk parts in
+  (match List.filter (fun p -> p.p_default) parts with
+  | [] | [ _ ] -> ()
+  | _ -> part_error "at most one DEFAULT partition is allowed");
+  let ranges = List.filter (fun p -> not p.p_default) parts in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i < j && a.p_from < b.p_to && b.p_from < a.p_to then
+            part_error "partitions %s and %s overlap" a.p_name b.p_name)
+        ranges)
+    ranges;
+  { pt_name = lc name; pt_column = col_pos; pt_col_name = column;
+    pt_schema = schema; pt_parts = Array.of_list parts }
+
+let default_part t =
+  Array.find_opt (fun p -> p.p_default) t.pt_parts
+
+let route t row =
+  let v = row.(t.pt_column) in
+  let to_default why =
+    match default_part t with
+    | Some p -> p
+    | None ->
+      part_error "no DEFAULT partition in %s for %s row" t.pt_name why
+  in
+  match Value.extent v with
+  | None -> to_default "a NULL-period"
+  | Some (lo, _) when lo = min_int -> to_default "an unbounded-start"
+  | Some (lo, _) -> (
+    match
+      Array.find_opt
+        (fun p -> (not p.p_default) && p.p_from <= lo && lo < p.p_to)
+        t.pt_parts
+    with
+    | Some p -> p
+    | None ->
+      to_default
+        (Printf.sprintf "an out-of-range (start %s)"
+           (Tip_core.Chronon.to_string (Tip_core.Chronon.of_unix_seconds lo))))
+
+(* Monotone max: losing a CAS race just means retrying against a larger
+   current value, so the watermark can only grow. *)
+let rec bump a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then bump a v
+
+let note_row part t row =
+  match Value.extent row.(t.pt_column) with
+  | Some (_, hi) -> bump part.p_max_end hi
+  | None -> ()
+
+let rebuild_watermark t part =
+  Atomic.set part.p_max_end min_int;
+  Table.iteri (fun _ row -> note_row part t row) part.p_table
+
+let prune t ~lo ~hi =
+  let kept = ref [] and pruned = ref 0 in
+  Array.iter
+    (fun p ->
+      (* A row in [p] starts in [p_from, p_to) (unbounded for DEFAULT)
+         and ends at or below the watermark, so it can only overlap the
+         probe when the start range begins by [hi] and the watermark
+         reaches [lo]. *)
+      let start_possible = p.p_default || p.p_from <= hi in
+      let end_possible = Atomic.get p.p_max_end >= lo in
+      if start_possible && end_possible then begin
+        Atomic.incr p.p_scanned;
+        kept := p :: !kept
+      end
+      else begin
+        Atomic.incr p.p_pruned;
+        incr pruned
+      end)
+    t.pt_parts;
+  (List.rev !kept, !pruned)
+
+let all_parts t = Array.to_list t.pt_parts
+
+let bound_to_string b =
+  if b = min_int then "-infinity"
+  else if b = max_int then "infinity"
+  else Tip_core.Chronon.to_string (Tip_core.Chronon.of_unix_seconds b)

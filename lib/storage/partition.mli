@@ -1,0 +1,85 @@
+(** Range partitioning by valid time (DESIGN.md §14).
+
+    A partitioned table is a parent name plus an ordered set of child
+    tables, each owning the rows whose period {e starts} inside the
+    child's [\[from, to)] chronon range; rows whose period start is
+    unbounded (NOW-relative or NULL) route to the optional DEFAULT
+    partition. Children are ordinary {!Table.t}s registered in the
+    catalog under [<parent>__<partition>], so indexes, ANALYZE
+    statistics, WAL journaling and replication all apply per child with
+    no new machinery.
+
+    Pruning is two-sided and conservative: a probe window [\[lo, hi\]]
+    can only match a partition whose start range begins at or before
+    [hi] {e and} whose observed maximum period end (a monotone
+    watermark maintained on every insert, never lowered by deletes) is
+    at least [lo]. The watermark makes old partitions of short-lived
+    rows prunable from below, which static bounds alone cannot do. *)
+
+exception Partition_error of string
+
+(** One child partition. *)
+type part = {
+  p_name : string;  (** partition name as declared, lowercase *)
+  p_from : int;  (** inclusive start chronon; ignored for DEFAULT *)
+  p_to : int;  (** exclusive end chronon; ignored for DEFAULT *)
+  p_default : bool;
+  p_table : Table.t;
+  p_max_end : int Atomic.t;
+      (** conservative max period end ever inserted; [min_int] when the
+          partition has never held a temporal row *)
+  p_scanned : int Atomic.t;  (** pruning passes that kept this partition *)
+  p_pruned : int Atomic.t;  (** pruning passes that skipped it *)
+}
+
+type t = {
+  pt_name : string;  (** parent table name, lowercase *)
+  pt_column : int;  (** partition column's schema position *)
+  pt_col_name : string;
+  pt_schema : Schema.t;
+  pt_parts : part array;  (** range parts in declared order, default last *)
+}
+
+(** [<parent>__<partition>], the catalog name of a child table. *)
+val child_name : string -> string -> string
+
+(** Builds the descriptor; validates the column exists, ranges are
+    non-empty and non-overlapping, names are unique, and at most one
+    partition is DEFAULT.
+    @raise Partition_error on any violation. [parts] pairs each declared
+    partition name with [Some (from, to)] or [None] for DEFAULT; the
+    tables must be the already-created children in the same order. *)
+val make :
+  name:string ->
+  schema:Schema.t ->
+  column:string ->
+  (string * (int * int) option * Table.t) list ->
+  t
+
+val default_part : t -> part option
+
+(** The partition owning a row: by the period's start chronon, or the
+    DEFAULT partition for NULL/unbounded starts.
+    @raise Partition_error when no range matches and there is no
+    DEFAULT. *)
+val route : t -> Value.t array -> part
+
+(** Raises the partition's end watermark to cover [row]'s period, if it
+    has one. Called on every path that lands a row in a child: engine
+    DML, WAL replay (replication and recovery) and snapshot load. *)
+val note_row : part -> t -> Value.t array -> unit
+
+(** Recomputes a part's watermark from its current rows (snapshot
+    load). *)
+val rebuild_watermark : t -> part -> unit
+
+(** Partitions that can hold a row overlapping [\[lo, hi\]]; also
+    returns how many were pruned, and bumps each part's
+    scanned/pruned counters. *)
+val prune : t -> lo:int -> hi:int -> part list * int
+
+(** All partitions, in declared order (a scan with no usable probe). *)
+val all_parts : t -> part list
+
+(** Renders a chronon bound for EXPLAIN / [tip_stat_partitions]. *)
+val bound_to_string : int -> string

@@ -146,6 +146,22 @@ let save_table buf table =
     table;
   Buffer.add_string buf "end\n"
 
+(* Partition metadata follows the child tables it refers to, so the
+   loader can link the spec against already-reloaded children. The
+   parent's schema is not repeated: children carry identical columns. *)
+let save_partitioned buf pt =
+  Printf.bprintf buf "partitioned %s %s\n" pt.Partition.pt_name
+    pt.Partition.pt_col_name;
+  Array.iter
+    (fun p ->
+      if p.Partition.p_default then
+        Printf.bprintf buf "part %s default\n" p.Partition.p_name
+      else
+        Printf.bprintf buf "part %s %d %d\n" p.Partition.p_name
+          p.Partition.p_from p.Partition.p_to)
+    pt.Partition.pt_parts;
+  Buffer.add_string buf "end\n"
+
 let snapshot_string ?wal_gen catalog =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "tipdb 1\n";
@@ -153,6 +169,12 @@ let snapshot_string ?wal_gen catalog =
   List.iter
     (fun name -> save_table buf (Catalog.table_exn catalog name))
     (Catalog.table_names catalog);
+  List.iter
+    (fun name ->
+      match Catalog.find_partitioned catalog name with
+      | Some pt -> save_partitioned buf pt
+      | None -> ())
+    (Catalog.partitioned_names catalog);
   Buffer.contents buf
 
 (* Write-to-temp, fsync, rename: a crash at any point leaves either the
@@ -295,6 +317,39 @@ let load_table r catalog first_line =
       end)
     (List.rev !index_specs)
 
+(* A "partitioned <parent> <column>" block: part lines, then "end".
+   The children were reloaded as ordinary tables above, so the spec
+   links straight to them (rebuilding pruning watermarks from rows). *)
+let load_partitioned r catalog ~parent ~column =
+  let rec parts acc =
+    let line = read_line_exn r "part/end" in
+    match split_words line with
+    | [ "end" ] -> List.rev acc
+    | [ "part"; name; "default" ] -> parts ((name, None) :: acc)
+    | [ "part"; name; f; t ] ->
+      parts ((name, Some (int_cell f, int_cell t)) :: acc)
+    | _ -> format_error "bad partition line at line %d: %S" r.line_no line
+  in
+  let parts = parts [] in
+  let first_child =
+    match parts with
+    | (pname, _) :: _ -> Partition.child_name parent pname
+    | [] -> format_error "partitioned table %s declares no partitions" parent
+  in
+  let child =
+    match Catalog.find_table catalog first_child with
+    | Some t -> t
+    | None -> format_error "missing partition child table %s" first_child
+  in
+  let schema =
+    Schema.make ~table_name:parent
+      (Array.to_list (Table.schema child).Schema.columns)
+  in
+  match Catalog.link_partitioned catalog ~name:parent ~schema ~column ~parts with
+  | _ -> ()
+  | exception (Partition.Partition_error msg | Catalog.Catalog_error msg) ->
+    format_error "partitioned table %s: %s" parent msg
+
 let load_from r =
   (match read_line_opt r with
   | Some "tipdb 1" -> ()
@@ -310,6 +365,9 @@ let load_from r =
       match split_words line with
       | [ "walgen"; g ] ->
         wal_gen := Some (int_cell g);
+        tables ()
+      | [ "partitioned"; parent; column ] ->
+        load_partitioned r catalog ~parent ~column;
         tables ()
       | _ ->
         load_table r catalog line;

@@ -99,10 +99,17 @@ let build_col_stats ~column ~buckets ~nonnull ~unbounded pairs =
     cs_starts = build_histogram ~buckets starts;
     cs_lengths = build_histogram ~buckets lengths }
 
+(* Histograms are estimates, not proofs: a probe entirely outside the
+   bucketed range still matches rows inserted since ANALYZE, and exact
+   zeros poison downstream cost arithmetic (ratios, comparisons against
+   thresholds). Estimates for populated columns therefore never go
+   below this floor. *)
+let selectivity_epsilon = 1e-4
+
 (* Estimated fraction of the column's rows with a period overlapping
-   [lo, hi]. Clamped to [0, 1]; returns 1.0 when the column was never
-   populated (no information -> assume everything matches, which keeps
-   the planner conservative). *)
+   [lo, hi]. Clamped to [epsilon, 1]; returns 1.0 when the column was
+   never populated (no information -> assume everything matches, which
+   keeps the planner conservative). *)
 let overlap_selectivity cs ~lo ~hi =
   if cs.cs_periods = 0 then 1.0
   else begin
@@ -119,7 +126,8 @@ let overlap_selectivity cs ~lo ~hi =
         if lo < min_int + cs.cs_avg_len then min_int else lo - cs.cs_avg_len
       in
       let start_frac = fraction_in_window cs.cs_starts ~lo:probe_lo ~hi in
-      min 1.0 (unbounded_frac +. ((1.0 -. unbounded_frac) *. start_frac))
+      Float.max selectivity_epsilon
+        (min 1.0 (unbounded_frac +. ((1.0 -. unbounded_frac) *. start_frac)))
     end
   end
 

@@ -46,9 +46,15 @@ val build_col_stats :
   (int * int) list ->
   col_stats
 
+(** Floor for {!overlap_selectivity} on populated columns: probes
+    entirely outside the histogram range estimate this instead of an
+    exact 0, which would poison cost ratios and threshold comparisons. *)
+val selectivity_epsilon : float
+
 (** Estimated fraction of the column's rows with a period overlapping
     [lo, hi]. Unbounded periods count as always overlapping; a column
-    with no observed periods estimates 1.0 (no information). *)
+    with no observed periods estimates 1.0 (no information); otherwise
+    clamped to [[selectivity_epsilon, 1]]. *)
 val overlap_selectivity : col_stats -> lo:int -> hi:int -> float
 
 val find_col : t -> int -> col_stats option

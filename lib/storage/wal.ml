@@ -82,6 +82,12 @@ type record =
       new_cells : string array;
     }
   | Create_table of { table : string; columns : Schema.column list }
+  | Create_partitioned of {
+      table : string;
+      columns : Schema.column list;
+      column : string;
+      parts : (string * (int * int) option) list;
+    }
   | Drop_table of string
   | Create_index of {
       idx_name : string;
@@ -113,6 +119,17 @@ let encode = function
     String.concat "\n"
       (Printf.sprintf "create_table %s" table
       :: List.map Persist.column_line columns)
+  | Create_partitioned { table; columns; column; parts } ->
+    let part_line (name, bounds) =
+      match bounds with
+      | None -> Printf.sprintf "part %s default" name
+      | Some (f, t) -> Printf.sprintf "part %s %d %d" name f t
+    in
+    String.concat "\n"
+      ((Printf.sprintf "create_partitioned %s %s %d" table column
+          (List.length columns)
+       :: List.map Persist.column_line columns)
+      @ List.map part_line parts)
   | Drop_table table -> Printf.sprintf "drop_table %s" table
   | Create_index { idx_name; table; column; interval; unique } ->
     Printf.sprintf "create_index %s %s %s %s %d" idx_name table column
@@ -144,6 +161,23 @@ let decode payload =
     | [ "create_table"; table ], columns -> (
       match List.map Persist.parse_column_line columns with
       | columns -> Create_table { table; columns }
+      | exception Persist.Format_error msg -> corrupt "%s" msg)
+    | [ "create_partitioned"; table; column; ncols ], rest -> (
+      let ncols = int_field ncols in
+      if List.length rest < ncols then
+        corrupt "truncated create_partitioned record";
+      let columns = List.filteri (fun i _ -> i < ncols) rest in
+      let part_lines = List.filteri (fun i _ -> i >= ncols) rest in
+      let part line =
+        match String.split_on_char ' ' line with
+        | [ "part"; name; "default" ] -> (name, None)
+        | [ "part"; name; f; t ] -> (name, Some (int_field f, int_field t))
+        | _ -> corrupt "bad partition line %S" line
+      in
+      match List.map Persist.parse_column_line columns with
+      | columns ->
+        Create_partitioned
+          { table; columns; column; parts = List.map part part_lines }
       | exception Persist.Format_error msg -> corrupt "%s" msg)
     | [ "drop_table"; table ], [] -> Drop_table table
     | [ "create_index"; idx_name; table; column; kind; unique ], [] ->
@@ -437,7 +471,11 @@ let apply catalog record =
   | Generation _ | Commit -> ()
   | Insert { table; cells } ->
     let table = table_exn table in
-    ignore (Table.insert table (parse_cells table cells))
+    let row = parse_cells table cells in
+    ignore (Table.insert table row);
+    (* Replayed inserts into partition children (recovery, replication)
+       must keep the parent's pruning watermark sound. *)
+    Catalog.note_partition_write catalog table row
   | Delete { table; cells } -> (
     let table = table_exn table in
     match find_row table (parse_cells table cells) with
@@ -446,10 +484,18 @@ let apply catalog record =
   | Update { table; old_cells; new_cells } -> (
     let table = table_exn table in
     match find_row table (parse_cells table old_cells) with
-    | Some rid -> ignore (Table.update table rid (parse_cells table new_cells))
+    | Some rid ->
+      let row = parse_cells table new_cells in
+      ignore (Table.update table rid row);
+      Catalog.note_partition_write catalog table row
     | None -> corrupt "no row matches a logged UPDATE on %s" (Table.name table))
   | Create_table { table; columns } ->
     ignore (Catalog.create_table catalog (Schema.make ~table_name:table columns))
+  | Create_partitioned { table; columns; column; parts } ->
+    ignore
+      (Catalog.create_partitioned catalog
+         (Schema.make ~table_name:table columns)
+         ~column ~parts)
   | Drop_table table -> ignore (Catalog.drop_table catalog table)
   | Create_index { idx_name; table; column; interval; unique } ->
     ignore

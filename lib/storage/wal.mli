@@ -31,6 +31,14 @@ type record =
       new_cells : string array;
     }
   | Create_table of { table : string; columns : Schema.column list }
+  | Create_partitioned of {
+      table : string;
+      columns : Schema.column list;
+      column : string;  (** partition column name *)
+      parts : (string * (int * int) option) list;
+          (** partition name, [Some (from, to)] chronon range or [None]
+              for DEFAULT — the {!Catalog.create_partitioned} shape *)
+    }
   | Drop_table of string
   | Create_index of {
       idx_name : string;

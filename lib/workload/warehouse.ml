@@ -144,3 +144,61 @@ let random_events ?(seed = 11) ~employees ~departments ~events () =
       end
   done;
   List.rev !out
+
+(* --- Years-deep history (partition workloads, E23) -------------------- *)
+
+let deep_table = "fact_history"
+
+let deep_schema ?(table = deep_table) ~partitioned ~start_year ~years () =
+  let cols = "(id INT, dept CHAR(20), valid Element)" in
+  if not partitioned then Printf.sprintf "CREATE TABLE %s %s" table cols
+  else begin
+    let parts =
+      List.init years (fun i ->
+          let y = start_year + i in
+          Printf.sprintf
+            "PARTITION y%d FOR VALUES FROM '%d-01-01' TO '%d-01-01'" y y
+            (y + 1))
+      @ [ "PARTITION pdefault DEFAULT" ]
+    in
+    Printf.sprintf "CREATE TABLE %s %s PARTITION BY RANGE (valid) (%s)" table
+      cols
+      (String.concat ", " parts)
+  end
+
+let deep_history_rows ?(seed = 23) ?(start_year = 2015) ?(years = 10)
+    ?(hot_fraction = 0.5) ?(departments = 20) ~rows () =
+  let st = Random.State.make [| seed |] in
+  (* Real calendar-year boundaries: a flat 365-day stride would drift
+     across leap years and leak the hot tail into the previous year's
+     partition, defeating the watermark prune the workload exercises. *)
+  let year_start =
+    Array.init (years + 1) (fun i ->
+        Chronon.to_unix_seconds (Chronon.of_ymd (start_year + i) 1 1))
+  in
+  List.init rows (fun i ->
+      (* Hot-tail skew: [hot_fraction] of the facts land in the final
+         year, the window a dashboard-style "last year" query hits. *)
+      let year =
+        if years <= 1 || Random.State.float st 1.0 < hot_fraction then
+          years - 1
+        else Random.State.int st (years - 1)
+      in
+      (* Periods stay inside their year (ends capped ~40 days before
+         year end), so per-partition end watermarks prune tightly. *)
+      let span = year_start.(year + 1) - year_start.(year) in
+      let offset = Random.State.int st (span - (40 * 24 * 3600)) in
+      let start = year_start.(year) + offset in
+      let len = 3600 * (1 + Random.State.int st (30 * 24)) in
+      let dept = Printf.sprintf "dept%02d" (Random.State.int st departments) in
+      ( i,
+        dept,
+        Printf.sprintf "{[%s, %s]}"
+          (Chronon.to_string (Chronon.of_unix_seconds start))
+          (Chronon.to_string (Chronon.of_unix_seconds (start + len))) ))
+
+let deep_insert ?(table = deep_table) db (id, dept, element) =
+  ignore
+    (Db.exec db
+       (Printf.sprintf "INSERT INTO %s VALUES (%d, '%s', '%s')" table id dept
+          element))

@@ -42,3 +42,29 @@ val view_of_db :
 val random_events :
   ?seed:int -> employees:int -> departments:int -> events:int -> unit ->
   event list
+
+(** {1 Years-deep history — the partition workload (E23)} *)
+
+(** Default table name for the deep-history fact table. *)
+val deep_table : string
+
+(** The [CREATE TABLE] statement for the deep-history table
+    [(id INT, dept CHAR(20), valid Element)]; with [~partitioned:true]
+    it carries a [PARTITION BY RANGE (valid)] clause with one partition
+    per year plus a DEFAULT partition. *)
+val deep_schema :
+  ?table:string -> partitioned:bool -> start_year:int -> years:int -> unit ->
+  string
+
+(** [rows] facts spread over [years] years from [start_year], with
+    [hot_fraction] of them concentrated in the final year (the hot tail
+    a "last year" dashboard window hits) and the rest uniform over the
+    earlier years. Periods stay inside their year so per-partition end
+    watermarks prune tightly. Returns [(id, dept, element literal)]
+    triples, deterministic per [seed]. *)
+val deep_history_rows :
+  ?seed:int -> ?start_year:int -> ?years:int -> ?hot_fraction:float ->
+  ?departments:int -> rows:int -> unit -> (int * string * string) list
+
+(** Inserts one generated triple into the deep-history table. *)
+val deep_insert : ?table:string -> Db.t -> int * string * string -> unit

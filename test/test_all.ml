@@ -31,4 +31,5 @@ let () =
       ("obs", Test_obs.suite);
       ("governor", Test_governor.suite);
       ("introspect", Test_introspect.suite);
-      ("replication", Test_replication.suite) ]
+      ("replication", Test_replication.suite);
+      ("partition", Test_partition.suite) ]

@@ -1,0 +1,424 @@
+(* Time-partitioned storage tests (DESIGN.md §14): bound routing
+   (boundary starts, NULL/unbounded periods, missing DEFAULT),
+   cross-partition UPDATE moves, planner pruning decisions (static
+   bounds plus the end watermark), crash recovery through both the
+   WAL-replay and snapshot paths, replication convergence, and a
+   differential fuzz — a partitioned table and a flat copy driven by
+   the same random workload must answer every query identically. *)
+
+open Tip_storage
+module Db = Tip_engine.Database
+module Persist = Tip_storage.Persist
+module Wal = Tip_storage.Wal
+module Replica = Tip_storage.Replica
+
+let with_dir = Test_durability.with_dir
+let fingerprint = Test_durability.fingerprint
+let read_file = Test_durability.read_file
+
+let exec = Db.exec
+let rows db sql = Db.rows_exn (exec db sql)
+
+let msg db sql =
+  match exec db sql with
+  | Db.Message m -> m
+  | r -> Alcotest.failf "expected message, got %s" (Db.render_result r)
+
+let count db sql =
+  match rows db sql with
+  | [ [| Value.Int n |] ] -> n
+  | _ -> Alcotest.failf "expected one count from %s" sql
+
+let contains hay needle =
+  try
+    ignore (Str.search_forward (Str.regexp_string needle) hay 0);
+    true
+  with Not_found -> false
+
+let check_contains what hay needle =
+  if not (contains hay needle) then
+    Alcotest.failf "%s: expected %S in:\n%s" what needle hay
+
+(* Order-insensitive query result fingerprint. *)
+let norm result = List.sort compare (List.map Persist.serialize_row result)
+
+let part_ddl ?(default = true) table =
+  Printf.sprintf
+    "CREATE TABLE %s (id INT, dept CHAR(8), valid Element) PARTITION BY \
+     RANGE (valid) (PARTITION y2020 FOR VALUES FROM '2020-01-01' TO \
+     '2021-01-01', PARTITION y2021 FOR VALUES FROM '2021-01-01' TO \
+     '2022-01-01', PARTITION y2022 FOR VALUES FROM '2022-01-01' TO \
+     '2023-01-01'%s)"
+    table
+    (if default then ", PARTITION pdefault DEFAULT" else "")
+
+let seed_rows table =
+  [ Printf.sprintf
+      "INSERT INTO %s VALUES (1, 'a', '{[2020-03-01, 2020-06-01]}')" table;
+    Printf.sprintf
+      "INSERT INTO %s VALUES (2, 'b', '{[2021-03-01, 2021-06-01]}')" table;
+    Printf.sprintf
+      "INSERT INTO %s VALUES (3, 'c', '{[2022-03-01, 2022-06-01]}')" table;
+    Printf.sprintf
+      "INSERT INTO %s VALUES (4, 'd', '{[2020-12-30, 2021-02-01]}')" table ]
+
+(* --- Bound routing ------------------------------------------------------- *)
+
+let check_routing () =
+  let db = Tip_blade.Blade.create_database () in
+  ignore (exec db (part_ddl "t"));
+  (* A start exactly on a boundary belongs to the partition it opens. *)
+  ignore (exec db "INSERT INTO t VALUES (1, 'a', '{[2021-01-01, 2021-02-01]}')");
+  (* One chronon earlier belongs to the previous year. *)
+  ignore
+    (exec db
+       "INSERT INTO t VALUES (2, 'b', '{[2020-12-31 23:59:59, 2021-02-01]}')");
+  (* NULL periods and starts outside every range take the DEFAULT. *)
+  ignore (exec db "INSERT INTO t VALUES (3, 'c', NULL)");
+  ignore (exec db "INSERT INTO t VALUES (4, 'd', '{[2031-01-01, 2031-02-01]}')");
+  Alcotest.(check int) "boundary start routes to opened year" 1
+    (count db "SELECT count(*) FROM t__y2021");
+  Alcotest.(check int) "pre-boundary start routes to previous year" 1
+    (count db "SELECT count(*) FROM t__y2020");
+  Alcotest.(check int) "NULL and out-of-range rows take DEFAULT" 2
+    (count db "SELECT count(*) FROM t__pdefault");
+  Alcotest.(check int) "parent scan unions the children" 4
+    (count db "SELECT count(*) FROM t");
+  (* Without a DEFAULT, an unroutable row is a typed error. *)
+  ignore (exec db (part_ddl ~default:false "nodef"));
+  (match
+     exec db "INSERT INTO nodef VALUES (1, 'x', '{[2031-01-01, 2031-02-01]}')"
+   with
+  | exception Db.Error m -> check_contains "routing error" m "no DEFAULT partition"
+  | r -> Alcotest.failf "expected routing error, got %s" (Db.render_result r));
+  (* Children are managed: direct DROP is refused, dropping the parent
+     removes the whole family. *)
+  (match exec db "DROP TABLE t__y2020" with
+  | exception Catalog.Catalog_error m -> check_contains "child drop" m "parent"
+  | r -> Alcotest.failf "expected child-drop error, got %s" (Db.render_result r));
+  ignore (exec db "DROP TABLE t");
+  Alcotest.(check bool) "children dropped with the parent" true
+    (Catalog.find_table (Db.catalog db) "t__y2021" = None)
+
+(* --- Cross-partition UPDATE moves ----------------------------------------- *)
+
+let check_update_moves () =
+  let db = Tip_blade.Blade.create_database () in
+  ignore (exec db (part_ddl "t"));
+  List.iter (fun sql -> ignore (exec db sql)) (seed_rows "t");
+  (* Rewriting the period into another year physically moves the row. *)
+  (match exec db "UPDATE t SET valid = '{[2022-03-05, 2022-04-01]}' WHERE id = 1" with
+  | Db.Affected 1 -> ()
+  | r -> Alcotest.failf "expected 1 row moved, got %s" (Db.render_result r));
+  Alcotest.(check int) "source partition emptied" 0
+    (count db "SELECT count(*) FROM t__y2020 WHERE id = 1");
+  Alcotest.(check int) "row landed in the target partition" 1
+    (count db "SELECT count(*) FROM t__y2022 WHERE id = 1");
+  Alcotest.(check int) "no rows lost or duplicated" 4
+    (count db "SELECT count(*) FROM t");
+  (* An in-place update (no period change) must not move anything. *)
+  ignore (exec db "UPDATE t SET dept = 'z' WHERE id = 2");
+  Alcotest.(check int) "in-place update stays put" 1
+    (count db "SELECT count(*) FROM t__y2021 WHERE id = 2 AND dept = 'z'")
+
+(* --- Planner pruning -------------------------------------------------------- *)
+
+let check_pruning () =
+  let db = Tip_blade.Blade.create_database () in
+  ignore (exec db (part_ddl "t"));
+  List.iter (fun sql -> ignore (exec db sql)) (seed_rows "t");
+  let window = "overlaps(valid, '{[2021-02-01, 2021-06-15]}')" in
+  let plan = msg db (Printf.sprintf "EXPLAIN SELECT id FROM t WHERE %s" window) in
+  (* y2022 starts after the window; the empty DEFAULT has no end
+     watermark; y2020's watermark (2021-02-01, from row 4) still reaches
+     the window, so exactly two children survive. *)
+  check_contains "two survivors" plan "partitions=2/4 pruned=2";
+  check_contains "probe window shown" plan "probe [2021-02-01, 2021-06-15]";
+  Alcotest.(check (list (list string)))
+    "pruned scan answers match"
+    [ [ "2" ]; [ "4" ] ]
+    (List.map
+       (fun r -> [ Value.to_display_string r.(0) ])
+       (rows db
+          (Printf.sprintf "SELECT id FROM t WHERE %s ORDER BY id" window)));
+  (* The watermark prunes an old partition of short-lived rows from
+     below: nothing in y2020 ends at/after mid-2021. *)
+  let late = "overlaps(valid, '{[2021-06-01, 2021-12-01]}')" in
+  check_contains "watermark prunes from below"
+    (msg db (Printf.sprintf "EXPLAIN SELECT id FROM t WHERE %s" late))
+    "partitions=1/4 pruned=3";
+  (* A non-temporal predicate cannot prune. *)
+  check_contains "no probe, no pruning"
+    (msg db "EXPLAIN SELECT id FROM t WHERE id = 3")
+    "partitions=4/4 pruned=0";
+  (* A NOW-relative row keeps the DEFAULT partition alive for any
+     future window (its end watermark is unbounded). *)
+  ignore (exec db "INSERT INTO t VALUES (9, 'n', '{[2024-01-01, NOW]}')");
+  check_contains "unbounded watermark keeps DEFAULT"
+    (msg db "EXPLAIN SELECT id FROM t WHERE overlaps(valid, '{[2031-01-01, 2031-12-31]}')")
+    "partitions=1/4 pruned=3";
+  (* Deletes never lower the watermark: pruning stays conservative and
+     answers stay right. *)
+  ignore (exec db "DELETE FROM t WHERE id = 4");
+  Alcotest.(check int) "post-delete window answers" 1
+    (count db
+       (Printf.sprintf "SELECT count(*) FROM t WHERE %s" window))
+
+(* --- Filter elision --------------------------------------------------------- *)
+
+let check_filter_elision () =
+  let db = Tip_blade.Blade.create_database () in
+  ignore (exec db (part_ddl "t"));
+  List.iter (fun sql -> ignore (exec db sql)) (seed_rows "t");
+  let year = "overlaps(valid, '{[2021-01-01, 2021-12-31 23:59:59]}')" in
+  let explain w =
+    msg db (Printf.sprintf "EXPLAIN SELECT id FROM t WHERE %s" w)
+  in
+  (* y2021 sits wholly inside the window, so its recheck filter is
+     provably true and drops; y2020 survives only via its watermark and
+     keeps the filter. *)
+  let plan = explain year in
+  check_contains "fully-covered child drops its filter" plan "filter-elided=1";
+  check_contains "partially-covered child keeps it" plan "Filter";
+  let ids w =
+    List.map
+      (fun r -> Value.to_display_string r.(0))
+      (rows db (Printf.sprintf "SELECT id FROM t WHERE %s ORDER BY id" w))
+  in
+  Alcotest.(check (list string)) "elided scan answers match" [ "2"; "4" ]
+    (ids year);
+  (* [contains] is not implied by a start inside the window. *)
+  Alcotest.(check bool) "contains never elides" false
+    (contains
+       (explain "contains(valid, '{[2021-01-01, 2021-12-31 23:59:59]}')")
+       "filter-elided");
+  (* An extra conjunct means the filter still has work to do. *)
+  Alcotest.(check bool) "extra conjunct keeps the filter" false
+    (contains (explain (year ^ " AND id > 0")) "filter-elided");
+  (* A NOW-relative row makes the child's end watermark unbounded: its
+     period can ground empty under an earlier NOW, so elision is off
+     and the filter still decides. *)
+  ignore (exec db "INSERT INTO t VALUES (9, 'n', '{[2021-05-01, NOW]}')");
+  Alcotest.(check bool) "NOW-relative rows disable elision" false
+    (contains (explain year) "filter-elided");
+  ignore (exec db "SET NOW = '2021-03-01'");
+  Alcotest.(check (list string)) "grounded-empty row is filtered out"
+    [ "2"; "4" ] (ids year)
+
+(* --- tip_stat_partitions -------------------------------------------------- *)
+
+let check_stat_partitions () =
+  let db = Tip_blade.Blade.create_database () in
+  ignore (exec db (part_ddl "t"));
+  List.iter (fun sql -> ignore (exec db sql)) (seed_rows "t");
+  ignore
+    (rows db "SELECT id FROM t WHERE overlaps(valid, '{[2021-02-01, 2021-06-15]}')");
+  let stat =
+    rows db
+      "SELECT partition, row_count, kept_scans + pruned_scans FROM \
+       tip_stat_partitions WHERE table_name = 't' ORDER BY partition"
+  in
+  Alcotest.(check int) "one row per partition" 4 (List.length stat);
+  List.iter
+    (fun r ->
+      match r with
+      | [| Value.Str _; Value.Int _; Value.Int passes |] ->
+        Alcotest.(check int) "every partition saw the pruning pass" 1 passes
+      | _ -> Alcotest.fail "unexpected tip_stat_partitions row shape")
+    stat;
+  Alcotest.(check int) "row counts sum to the table" 4
+    (count db
+       "SELECT sum(row_count) FROM tip_stat_partitions WHERE table_name = 't'")
+
+(* --- Differential fuzz ----------------------------------------------------- *)
+
+(* The same random workload drives a partitioned table and a flat copy;
+   every SELECT (windowed and full) must answer identically, and the
+   final contents must match. *)
+let run_fuzz seed =
+  let st = Random.State.make [| seed |] in
+  let db = Tip_blade.Blade.create_database () in
+  ignore (exec db (part_ddl "p"));
+  ignore (exec db "CREATE TABLE f (id INT, dept CHAR(8), valid Element)");
+  let both sql_of =
+    let rp = exec db (sql_of "p") and rf = exec db (sql_of "f") in
+    match rp, rf with
+    | Db.Affected a, Db.Affected b when a <> b ->
+      Alcotest.failf "seed %d: affected %d (partitioned) vs %d (flat): %s" seed
+        a b (sql_of "p")
+    | _ -> ()
+  in
+  let compare_q sql_of =
+    let qp = norm (rows db (sql_of "p")) and qf = norm (rows db (sql_of "f")) in
+    if qp <> qf then
+      Alcotest.failf "seed %d: divergence on %s" seed (sql_of "f")
+  in
+  let span_from y m d days =
+    let lo = Tip_core.Chronon.of_ymd y m d in
+    let hi = Tip_core.Chronon.add lo (Tip_core.Span.of_hours (24 * days)) in
+    Printf.sprintf "'{[%s, %s]}'"
+      (Tip_core.Chronon.to_string lo)
+      (Tip_core.Chronon.to_string hi)
+  in
+  let random_element () =
+    if Random.State.int st 20 = 0 then "NULL"
+    else
+      span_from
+        (2019 + Random.State.int st 6)
+        (1 + Random.State.int st 12)
+        (1 + Random.State.int st 28)
+        (1 + Random.State.int st 90)
+  in
+  let random_window () =
+    span_from
+      (2019 + Random.State.int st 6)
+      (1 + Random.State.int st 12)
+      1
+      (1 + Random.State.int st 120)
+  in
+  let next_id = ref 0 in
+  for _ = 1 to 160 do
+    match Random.State.int st 10 with
+    | 0 | 1 | 2 | 3 | 4 ->
+      incr next_id;
+      let id = !next_id
+      and dept = Random.State.int st 5
+      and el = random_element () in
+      both (fun t ->
+          Printf.sprintf "INSERT INTO %s VALUES (%d, 'd%d', %s)" t id dept el)
+    | 5 ->
+      (* period rewrite: exercises cross-partition moves *)
+      let el = random_element () and k = Random.State.int st 7 in
+      both (fun t ->
+          Printf.sprintf "UPDATE %s SET valid = %s WHERE id %% 7 = %d" t el k)
+    | 6 ->
+      let k = Random.State.int st 5 in
+      both (fun t ->
+          Printf.sprintf "UPDATE %s SET dept = 'u' WHERE id %% 5 = %d" t k)
+    | 7 ->
+      let k = Random.State.int st 11 in
+      both (fun t -> Printf.sprintf "DELETE FROM %s WHERE id %% 11 = %d" t k)
+    | 8 ->
+      let w = random_window () in
+      compare_q (fun t ->
+          Printf.sprintf
+            "SELECT id, dept FROM %s WHERE overlaps(valid, %s) ORDER BY id" t w)
+    | _ ->
+      let w = random_window () in
+      compare_q (fun t ->
+          Printf.sprintf
+            "SELECT count(*) FROM %s WHERE contains(valid, %s)" t w)
+  done;
+  compare_q (Printf.sprintf "SELECT id, dept, valid::CHAR FROM %s");
+  (* The flat copy and the union of the children hold identical rows. *)
+  compare_q (fun t ->
+      Printf.sprintf "SELECT count(*) FROM %s" t)
+
+let check_fuzz () = List.iter run_fuzz [ 3; 17; 42; 99 ]
+
+(* --- Crash recovery --------------------------------------------------------- *)
+
+let check_recovery () =
+  with_dir (fun dir ->
+      Tip_blade.Values.register_types ();
+      let db, _ = Db.open_durable ~dir () in
+      Tip_blade.Blade.install db;
+      ignore (exec db (part_ddl "t"));
+      List.iter (fun sql -> ignore (exec db sql)) (seed_rows "t");
+      ignore (exec db "UPDATE t SET valid = '{[2022-03-05, 2022-04-01]}' WHERE id = 1");
+      ignore (exec db "DELETE FROM t WHERE id = 3");
+      let before = fingerprint (Db.catalog db) in
+      Db.close_durable db;
+      (* WAL replay path: partition DDL and routed child DML replay
+         record by record. *)
+      let db2, _ = Db.open_durable ~dir () in
+      Tip_blade.Blade.install db2;
+      Alcotest.(check string) "WAL replay restores every child" before
+        (fingerprint (Db.catalog db2));
+      Alcotest.(check bool) "partition metadata survives replay" true
+        (Catalog.find_partitioned (Db.catalog db2) "t" <> None);
+      check_contains "watermarks rebuilt by replay"
+        (msg db2
+           "EXPLAIN SELECT id FROM t WHERE overlaps(valid, '{[2022-02-01, 2022-06-01]}')")
+        "pruned=3";
+      (* Snapshot path: CHECKPOINT writes partition blocks after the
+         child tables; the loader re-links and rebuilds watermarks. *)
+      ignore (exec db2 "CHECKPOINT");
+      Db.close_durable db2;
+      let db3, _ = Db.open_durable ~dir () in
+      Tip_blade.Blade.install db3;
+      Alcotest.(check string) "snapshot restores every child" before
+        (fingerprint (Db.catalog db3));
+      check_contains "watermarks rebuilt from the snapshot"
+        (msg db3
+           "EXPLAIN SELECT id FROM t WHERE overlaps(valid, '{[2022-02-01, 2022-06-01]}')")
+        "pruned=3";
+      ignore (exec db3 "INSERT INTO t VALUES (9, 'z', '{[2021-08-01, 2021-09-01]}')");
+      Alcotest.(check int) "recovered parent still routes" 2
+        (count db3 "SELECT count(*) FROM t__y2021");
+      Db.close_durable db3)
+
+(* --- Replication convergence ---------------------------------------------- *)
+
+let check_replication () =
+  with_dir (fun dir ->
+      Tip_blade.Values.register_types ();
+      let db, _ = Db.open_durable ~sync:Wal.Always ~dir () in
+      Tip_blade.Blade.install db;
+      ignore (exec db (part_ddl "t"));
+      List.iter (fun sql -> ignore (exec db sql)) (seed_rows "t");
+      (* Bootstrap a replica from the snapshot payload... *)
+      let gen, snap, offset =
+        match Db.replication_snapshot db with
+        | Some s -> s
+        | None -> Alcotest.fail "expected a replication snapshot"
+      in
+      let catalog, _ = Persist.load_string snap in
+      Alcotest.(check bool) "snapshot bootstrap carries partitions" true
+        (Catalog.find_partitioned catalog "t" <> None);
+      let replica = Replica.create catalog ~generation:gen ~offset in
+      (* ... then stream everything the primary does next, including a
+         cross-partition move. *)
+      ignore (exec db "INSERT INTO t VALUES (5, 'e', '{[2021-07-01, 2021-08-01]}')");
+      ignore (exec db "UPDATE t SET valid = '{[2022-03-05, 2022-04-01]}' WHERE id = 1");
+      ignore (exec db "DELETE FROM t WHERE id = 3");
+      let wal = read_file (Option.get (Db.replication_wal_path db)) in
+      (match
+         Replica.feed replica
+           (String.sub wal offset (String.length wal - offset))
+       with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "stream apply failed");
+      Alcotest.(check string) "replica converged byte-for-byte"
+        (fingerprint (Db.catalog db))
+        (fingerprint catalog);
+      (* Streamed inserts maintained the replica's watermarks: a reader
+         over the replica catalog prunes like the primary. *)
+      let rdb = Db.create ~catalog () in
+      Tip_blade.Blade.install rdb;
+      Db.set_read_only rdb true;
+      check_contains "replica reader prunes"
+        (msg rdb
+           "EXPLAIN SELECT id FROM t WHERE overlaps(valid, '{[2022-02-01, 2022-06-01]}')")
+        "pruned=3";
+      (* Only the moved row remains in 2022: id 3 was deleted in the
+         streamed phase. *)
+      Alcotest.(check int) "replica routed reads answer" 1
+        (count rdb
+           "SELECT count(*) FROM t WHERE overlaps(valid, '{[2022-01-01, 2022-12-31]}')");
+      Db.close_durable db)
+
+let suite =
+  [ Alcotest.test_case "bound routing (boundaries, DEFAULT, errors)" `Quick
+      check_routing;
+    Alcotest.test_case "cross-partition UPDATE moves" `Quick check_update_moves;
+    Alcotest.test_case "planner pruning (bounds + watermark)" `Quick
+      check_pruning;
+    Alcotest.test_case "filter elision on fully-covered partitions" `Quick
+      check_filter_elision;
+    Alcotest.test_case "tip_stat_partitions" `Quick check_stat_partitions;
+    Alcotest.test_case "differential fuzz vs flat copy (4 seeds)" `Quick
+      check_fuzz;
+    Alcotest.test_case "crash recovery (WAL replay + snapshot)" `Quick
+      check_recovery;
+    Alcotest.test_case "replication convergence" `Quick check_replication ]
