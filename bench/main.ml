@@ -1186,7 +1186,7 @@ let bench_replication () =
   in
   let replay chunk () =
     let r =
-      Replica.create (Tip_storage.Catalog.create ()) ~generation:1 ~offset:0
+      Replica.create (Tip_storage.Catalog.create ()) ~generation:1 ~epoch:0 ~offset:0
     in
     let pos = ref 0 in
     while !pos < String.length wal do
@@ -1228,7 +1228,7 @@ let bench_replication () =
   Db.set_read_only rdb true;
   let repl = Replication.start ~host:"127.0.0.1" ~port rdb in
   let primary_offset () =
-    match Db.replication_state pdb with Some (_, o) -> o | None -> 0
+    match Db.replication_state pdb with Some (_, o, _) -> o | None -> 0
   in
   let caught_up () =
     Replication.state repl = "streaming"
@@ -1365,6 +1365,226 @@ let bench_partition () =
   in
   print_table [ "case"; "flat"; "partitioned"; "speedup" ] rows_out
 
+(* --- E24: high availability ------------------------------------------------------------- *)
+
+let bench_ha () =
+  banner "E24 ha"
+    "High availability (DESIGN.md §15): the archiving tax on the commit\n\
+     path (WAL sealing happens at checkpoint, so commits with an archive\n\
+     attached must cost the same as without — the --gate flag enforces a\n\
+     3% bound), checkpoint+seal against plain checkpoint, failover time\n\
+     (primary demoted to first acknowledged write on the promoted\n\
+     replica, through the HA client's rediscovery), and PITR restore\n\
+     throughput against plain crash recovery of the same history.";
+  let module Wal = Tip_storage.Wal in
+  let module Archive = Tip_storage.Archive in
+  let module Recovery = Tip_storage.Recovery in
+  let module Server = Tip_server.Server in
+  let module Remote = Tip_server.Remote in
+  let module Replication = Tip_server.Replication in
+  let scratch =
+    if Sys.file_exists "/dev/shm" && Sys.is_directory "/dev/shm" then "/dev/shm"
+    else Filename.get_temp_dir_name ()
+  in
+  let dirs = ref [] in
+  let fresh_dir tag =
+    let dir =
+      Filename.concat scratch
+        (Printf.sprintf "tiphabench_%d_%s" (Unix.getpid ()) tag)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dirs := dir :: !dirs;
+    dir
+  in
+  let rm_rf dir =
+    if Sys.file_exists dir && Sys.is_directory dir then begin
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end
+  in
+  let wait_until ?(timeout = 30.) pred =
+    let deadline = Unix.gettimeofday () +. timeout in
+    let rec go () =
+      pred ()
+      || (Unix.gettimeofday () < deadline
+         &&
+         (Thread.delay 0.001;
+          go ()))
+    in
+    go ()
+  in
+  let n_commits = 1_500 * scale in
+  let checkpoints = 5 in
+  (* -- commit-path tax: the same workload, with and without an archive;
+     only the insert segments count toward the tax (the seal runs at
+     checkpoint), best-of-3 against scheduler noise -- *)
+  let commit_run ~tag ~archive () =
+    let dir = fresh_dir tag in
+    let adir = if archive then Some (fresh_dir (tag ^ "_arc")) else None in
+    let db, _ =
+      Db.open_durable ~sync:Wal.Always ~checkpoint_every:0 ?archive_dir:adir
+        ~dir ()
+    in
+    ignore (Db.exec db "CREATE TABLE b (a INT PRIMARY KEY, b CHAR(12))");
+    let commit_secs = ref 0. and ckpt_secs = ref 0. in
+    let per_seg = n_commits / checkpoints in
+    for seg = 0 to checkpoints - 1 do
+      let t0 = Unix.gettimeofday () in
+      for i = 1 to per_seg do
+        ignore
+          (Db.exec db
+             (Printf.sprintf "INSERT INTO b VALUES (%d, 'r')"
+                ((seg * per_seg) + i)))
+      done;
+      commit_secs := !commit_secs +. (Unix.gettimeofday () -. t0);
+      let c0 = Unix.gettimeofday () in
+      ignore (Db.exec db "CHECKPOINT");
+      ckpt_secs := !ckpt_secs +. (Unix.gettimeofday () -. c0)
+    done;
+    Db.close_durable db;
+    rm_rf dir;
+    Option.iter rm_rf adir;
+    (!commit_secs, !ckpt_secs)
+  in
+  let best_of k f =
+    let best_c = ref infinity and best_k = ref infinity in
+    for _ = 1 to k do
+      let c, ck = f () in
+      if c < !best_c then best_c := c;
+      if ck < !best_k then best_k := ck
+    done;
+    (!best_c, !best_k)
+  in
+  let plain_c, plain_k = best_of 3 (commit_run ~tag:"plain" ~archive:false) in
+  let arc_c, arc_k = best_of 3 (commit_run ~tag:"arch" ~archive:true) in
+  let tax = (arc_c -. plain_c) /. plain_c *. 100. in
+  records :=
+    !records
+    @ [ (!current_suite, "commit path plain", plain_c /. float_of_int n_commits *. 1e9);
+        (!current_suite, "commit path archived", arc_c /. float_of_int n_commits *. 1e9);
+        (!current_suite, "checkpoint plain", plain_k /. float_of_int checkpoints *. 1e9);
+        (!current_suite, "checkpoint+seal", arc_k /. float_of_int checkpoints *. 1e9) ];
+  print_table [ "case"; "plain"; "archived"; "delta" ]
+    [ [ Printf.sprintf "commit path (%d commits)" n_commits;
+        ns_to_string (plain_c /. float_of_int n_commits *. 1e9);
+        ns_to_string (arc_c /. float_of_int n_commits *. 1e9);
+        Printf.sprintf "%+.2f%%" tax ];
+      [ Printf.sprintf "checkpoint (%d)" checkpoints;
+        ns_to_string (plain_k /. float_of_int checkpoints *. 1e9);
+        ns_to_string (arc_k /. float_of_int checkpoints *. 1e9);
+        Printf.sprintf "%+.2f%%" ((arc_k -. plain_k) /. plain_k *. 100.) ] ];
+  if !gate && not (arc_c <= plain_c *. 1.03) then
+    gate_failures :=
+      Printf.sprintf
+        "ha: archiving tax on the commit path %.2f%% exceeds the 3%% bound"
+        tax
+      :: !gate_failures;
+  (* -- failover: primary + streaming replica, demote the primary, and
+     time from demotion to the HA client's first acknowledged write on
+     the promoted node -- *)
+  let dirA = fresh_dir "failA" and dirB = fresh_dir "failB" in
+  let pdb, _ = Db.open_durable ~sync:Wal.Always ~dir:dirA () in
+  ignore (Db.exec pdb "CREATE TABLE f (a INT PRIMARY KEY)");
+  let serverA = Server.listen ~port:0 pdb in
+  Server.serve_in_background serverA;
+  let rdb = Db.create () in
+  Db.set_read_only rdb true;
+  let lock = Mutex.create () in
+  let repl =
+    Replication.start ~lock ~host:"127.0.0.1" ~port:(Server.port serverA) rdb
+  in
+  let serverB = Server.listen ~port:0 rdb in
+  Server.serve_in_background serverB;
+  Server.set_promote_handler serverB (fun () ->
+      Replication.promote repl ~dir:dirB ());
+  let ha =
+    Remote.connect_ha
+      [ ("127.0.0.1", Server.port serverA);
+        ("127.0.0.1", Server.port serverB) ]
+  in
+  for i = 1 to 50 do
+    ignore (Remote.execute_ha ha (Printf.sprintf "INSERT INTO f VALUES (%d)" i))
+  done;
+  let caught_up () =
+    Replication.state repl = "streaming" && Replication.lag_bytes repl = 0
+  in
+  if not (wait_until caught_up) then
+    print_endline "ha bench: replica never caught up, skipping failover"
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Db.set_read_only pdb true;
+    (match Server.promote serverB with
+    | Ok _ -> ()
+    | Error e -> failwith ("promotion failed: " ^ e));
+    ignore (Remote.execute_ha ha "INSERT INTO f VALUES (1000)");
+    let failover_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    records :=
+      !records @ [ (!current_suite, "failover commit-to-writable", failover_ns) ];
+    print_table [ "test"; "time" ]
+      [ [ "failover: demote -> acked write on new primary";
+          ns_to_string failover_ns ] ]
+  end;
+  Remote.close_ha ha;
+  Server.stop serverA;
+  Server.stop serverB;
+  Replication.stop repl;
+  (try Db.close_durable pdb with _ -> ());
+  (try Db.close_durable rdb with _ -> ());
+  (* -- PITR restore vs plain crash recovery of the same history -- *)
+  let pitr_dir = fresh_dir "pitr" and pitr_arc = fresh_dir "pitr_arc" in
+  let pitr_bak = fresh_dir "pitr_bak" in
+  let db, _ =
+    Db.open_durable ~sync:Wal.Never ~checkpoint_every:0 ~archive_dir:pitr_arc
+      ~dir:pitr_dir ()
+  in
+  ignore (Db.exec db "CREATE TABLE h (a INT PRIMARY KEY, b CHAR(12))");
+  ignore (Db.backup db ~dir:pitr_bak);
+  let per_seg = n_commits / checkpoints in
+  for seg = 0 to checkpoints - 1 do
+    for i = 1 to per_seg do
+      ignore
+        (Db.exec db
+           (Printf.sprintf "INSERT INTO h VALUES (%d, 'r')"
+              ((seg * per_seg) + i)))
+    done;
+    if seg < checkpoints - 1 then ignore (Db.exec db "CHECKPOINT")
+  done;
+  Db.close_durable db;
+  let t0 = Unix.gettimeofday () in
+  let _catalog, info =
+    Archive.restore ~backup:pitr_bak ~archive_dir:pitr_arc
+      ~tail:(Recovery.wal_path ~dir:pitr_dir) ()
+  in
+  let restore_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  (* the recovery twin: the same commits left entirely in the live log *)
+  let rec_dir = fresh_dir "recov" in
+  let db, _ =
+    Db.open_durable ~sync:Wal.Never ~checkpoint_every:0 ~dir:rec_dir ()
+  in
+  ignore (Db.exec db "CREATE TABLE h (a INT PRIMARY KEY, b CHAR(12))");
+  for i = 1 to n_commits do
+    ignore (Db.exec db (Printf.sprintf "INSERT INTO h VALUES (%d, 'r')" i))
+  done;
+  Db.close_durable db;
+  let t0 = Unix.gettimeofday () in
+  let db, rinfo = Db.open_durable ~dir:rec_dir () in
+  let recovery_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  Db.close_durable db;
+  records :=
+    !records
+    @ [ (!current_suite, "pitr restore", restore_ns);
+        (!current_suite, "plain recovery", recovery_ns) ];
+  print_table [ "test"; "time"; "records" ]
+    [ [ Printf.sprintf "PITR restore (%d segments + tail)"
+          info.Archive.r_segments;
+        ns_to_string restore_ns;
+        string_of_int info.Archive.r_applied_records ];
+      [ "plain recovery (same history, live log)"; ns_to_string recovery_ns;
+        string_of_int rinfo.Tip_storage.Recovery.replayed_records ] ];
+  List.iter rm_rf !dirs
+
 let suites =
   [ ("element", bench_element);
     ("coalesce", bench_coalesce);
@@ -1383,7 +1603,8 @@ let suites =
     ("introspect", bench_introspect);
     ("vector", bench_vector);
     ("replication", bench_replication);
-    ("partition", bench_partition) ]
+    ("partition", bench_partition);
+    ("ha", bench_ha) ]
 
 let () =
   let rec parse_args = function

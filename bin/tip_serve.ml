@@ -13,8 +13,19 @@
    With --replica-of HOST:PORT the server is a read replica: it
    bootstraps a snapshot from the primary, tails its WAL stream, and
    serves reads (writes answer E READ_ONLY). Losing the primary keeps
-   reads flowing with honestly growing staleness. Conflicts with
-   --durability (a replica's durability is its primary's).
+   reads flowing with honestly growing staleness.
+
+   Combining --replica-of with --durability makes an HA node
+   (DESIGN.md §15): startup recovers the local durable state and offers
+   it back to the primary (a fence or generation change demotes it to a
+   fresh bootstrap), and PROMOTE — the wire statement or SIGUSR1 —
+   stops following and turns the node into a writable primary rooted at
+   the durability directory under a bumped epoch.
+
+   With --archive-dir DIR every checkpoint seals the finished WAL
+   generation into DIR (CRC-verified chain manifest) instead of
+   discarding it; together with BACKUP TO this enables point-in-time
+   recovery via tip_restore.
 
    Clients: tip_shell --connect 127.0.0.1:5499, or Tip_server.Remote. *)
 
@@ -50,52 +61,62 @@ let parse_replica_of s =
     Printf.eprintf "tip_server: bad --replica-of %S (want HOST:PORT)\n" s;
     exit 2
 
-let main port demo load save durability sync idle_timeout now slow_ms
-    max_sessions statement_timeout_ms trace_dir log_format replica_of =
+let main port demo load save durability sync archive_dir idle_timeout now
+    slow_ms max_sessions statement_timeout_ms trace_dir log_format replica_of =
   (* every server log line — Logs sources and our own announcements —
      goes through the one mutex-guarded timestamped sink *)
   Option.iter (fun s -> Sink.set_format (parse_log_format s)) log_format;
   Option.iter (fun d -> Tip_obs.Trace.set_trace_dir (Some d)) trace_dir;
   Logs.set_reporter (Sink.reporter ());
-  if Option.is_some replica_of && Option.is_some durability then begin
+  if Option.is_some archive_dir && Option.is_none durability then begin
     Printf.eprintf
-      "tip_server: --replica-of conflicts with --durability (a replica's \
-       durability is its primary's)\n";
+      "tip_server: --archive-dir requires --durability (the archive seals \
+       finished WAL generations)\n";
     exit 2
   end;
-  let db =
+  let open_durable dir =
+    Tip_blade.Values.register_types ();
+    let db, info =
+      Db.open_durable ~sync:(parse_sync sync) ?archive_dir ~dir ()
+    in
+    Tip_blade.Blade.install db;
+    if info.Tip_storage.Recovery.replayed_records > 0 then
+      Sink.line "tip_server: replayed %d log record(s) from %s"
+        info.Tip_storage.Recovery.replayed_records dir;
+    (match info.Tip_storage.Recovery.stopped with
+    | Some reason ->
+      Sink.line "tip_server: log tail dropped during recovery: %s" reason
+    | None -> ());
+    db
+  in
+  let db, resume =
     match replica_of, durability with
-    | Some _, _ ->
-      (* a replica starts empty (the bootstrap fills it) and read-only *)
+    | Some _, Some dir ->
+      (* HA node: recover the local durable state and offer it back to
+         the primary as a resume position — the primary's epoch fence
+         decides whether that history is reusable or must be demoted to
+         a fresh bootstrap *)
+      let db = open_durable dir in
+      Db.set_read_only db true;
+      (db, Db.replication_state db)
+    | Some _, None ->
+      (* a plain replica starts empty (the bootstrap fills it) *)
       Tip_blade.Values.register_types ();
       let db = Db.create () in
       Tip_blade.Blade.install db;
       Db.set_read_only db true;
-      db
-    | None, durability -> (
-    match durability with
-    | Some dir ->
-      Tip_blade.Values.register_types ();
-      let db, info = Db.open_durable ~sync:(parse_sync sync) ~dir () in
-      Tip_blade.Blade.install db;
-      if info.Tip_storage.Recovery.replayed_records > 0 then
-        Sink.line "tip_server: replayed %d log record(s) from %s"
-          info.Tip_storage.Recovery.replayed_records dir;
-      (match info.Tip_storage.Recovery.stopped with
-      | Some reason ->
-        Sink.line "tip_server: log tail dropped during recovery: %s" reason
-      | None -> ());
-      db
-    | None -> (
+      (db, None)
+    | None, Some dir -> (open_durable dir, None)
+    | None, None -> (
       match demo, load with
-      | true, _ -> Tip_workload.Medical.demo_database ()
+      | true, _ -> (Tip_workload.Medical.demo_database (), None)
       | false, Some file ->
         Tip_blade.Values.register_types ();
         let catalog = Tip_storage.Persist.load file in
         let db = Db.create ~catalog () in
         Tip_blade.Blade.install db;
-        db
-      | false, None -> Tip_blade.Blade.create_database ()))
+        (db, None)
+      | false, None -> (Tip_blade.Blade.create_database (), None))
   in
   Option.iter
     (fun d -> ignore (Db.exec db (Printf.sprintf "SET NOW = '%s'" d)))
@@ -110,10 +131,31 @@ let main port demo load save durability sync idle_timeout now slow_ms
         let host, pport = parse_replica_of spec in
         let repl =
           Tip_server.Replication.start
-            ~lock:(Tip_server.Server.db_mutex server) ~host ~port:pport db
+            ~lock:(Tip_server.Server.db_mutex server) ?resume ~host ~port:pport
+            db
         in
         Tip_server.Server.set_staleness_probe server (fun () ->
-            Tip_server.Replication.staleness_seconds repl);
+            (* a promoted node is the primary: its reads are fresh *)
+            if String.equal (Tip_server.Replication.state repl) "promoted" then
+              0.
+            else Tip_server.Replication.staleness_seconds repl);
+        Tip_server.Server.set_promote_handler server (fun () ->
+            match durability with
+            | None ->
+              Error
+                "PROMOTE: this replica has no --durability directory to root \
+                 a primary WAL"
+            | Some dir -> (
+              match
+                Tip_server.Replication.promote ~sync:(parse_sync sync)
+                  ?archive_dir repl ~dir ()
+              with
+              | Ok (gen, epoch) ->
+                Sink.line
+                  "tip_server: promoted to primary (generation %d, epoch %d)"
+                  gen epoch;
+                Ok (gen, epoch)
+              | Error e -> Error e));
         Sink.line "tip_server: replicating from %s:%d (read-only)" host pport;
         repl)
       replica_of
@@ -136,6 +178,20 @@ let main port demo load save durability sync idle_timeout now slow_ms
   in
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
   Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  (* SIGUSR1 promotes a served replica (the orchestrator-driven failover
+     path); the handler only spawns a thread — promotion joins the
+     follower thread and must not run inside a signal context *)
+  if Option.is_some replica_of then
+    Sys.set_signal Sys.sigusr1
+      (Sys.Signal_handle
+         (fun _ ->
+           ignore
+             (Thread.create
+                (fun () ->
+                  match Tip_server.Server.promote server with
+                  | Ok _ -> ()
+                  | Error e -> Sink.line "tip_server: %s" e)
+                ())));
   Tip_server.Server.serve server;
   Sink.line "tip_server: draining";
   Option.iter Tip_server.Replication.stop replication;
@@ -177,6 +233,12 @@ let () =
     Arg.(value & opt string "always" & info [ "sync" ] ~docv:"MODE"
            ~doc:"WAL sync policy: always, never, or every=N.")
   in
+  let archive_dir =
+    Arg.(value & opt (some string) None & info [ "archive-dir" ] ~docv:"DIR"
+           ~doc:"WAL archive: seal every finished generation into DIR at \
+                 checkpoint (CRC-verified chain manifest) for point-in-time \
+                 recovery with tip_restore. Requires $(b,--durability).")
+  in
   let idle_timeout =
     Arg.(value & opt (some float) None & info [ "idle-timeout" ] ~docv:"SECONDS"
            ~doc:"Drop client sessions idle longer than this.")
@@ -217,11 +279,13 @@ let () =
     Arg.(value & opt (some string) None & info [ "replica-of" ] ~docv:"HOST:PORT"
            ~doc:"Run as a read replica of the primary at HOST:PORT: \
                  bootstrap a snapshot, tail its WAL stream, answer writes \
-                 with E READ_ONLY. Conflicts with $(b,--durability).")
+                 with E READ_ONLY. With $(b,--durability) the node is an HA \
+                 member: it rejoins from its recovered local state and can \
+                 be promoted to primary (PROMOTE statement or SIGUSR1).")
   in
   let term =
     Term.(const main $ port $ demo $ load $ save $ durability $ sync
-          $ idle_timeout $ now $ slow_ms $ max_sessions
+          $ archive_dir $ idle_timeout $ now $ slow_ms $ max_sessions
           $ statement_timeout_ms $ trace_dir $ log_format $ replica_of)
   in
   let info = Cmd.info "tip_serve" ~doc:"TIP database server" in

@@ -76,7 +76,12 @@ type durability = {
   dir : string;
   wal : Wal.writer;
   mutable gen : int; (* generation shared by snapshot and log *)
+  mutable epoch : int; (* promotion epoch (DESIGN.md §15); bumps on promote *)
+  archive_dir : string option; (* seal generations here at checkpoint *)
   checkpoint_every : int; (* auto-checkpoint threshold in records; 0 = off *)
+  mutable last_commit_at : int option;
+      (* instant (unix seconds) of the newest commit in the log — stamps
+         snapshots ([asof]) so backups know their PITR floor *)
 }
 
 type t = {
@@ -155,7 +160,10 @@ let journal_update t table ~old_row ~new_row =
          new_cells = row_cells new_row })
 
 (* Appends the statement's records (plus a commit marker) to the log.
-   Only called at a commit boundary: outside a transaction. *)
+   Only called at a commit boundary: outside a transaction. The marker
+   is stamped with the statement's NOW (so SET NOW keeps replay
+   deterministic) — the transaction-time instant point-in-time recovery
+   stops on. *)
 let flush_pending t =
   match t.durability with
   | None -> ()
@@ -167,13 +175,26 @@ let flush_pending t =
           (List.rev t.pending)
       in
       t.pending <- [];
-      if records <> [] then Wal.commit d.wal records
+      if records <> [] then begin
+        let at =
+          Tip_core.Chronon.to_unix_seconds
+            (match t.now_override with
+            | Some c -> c
+            | None -> Tip_core.Tx_clock.now ())
+        in
+        Wal.commit ~at d.wal records;
+        d.last_commit_at <- Some at
+      end
     end
 
 (* Atomic checkpoint: render the catalog to snapshot.tmp, fsync, rename
    over the old snapshot, then truncate the log — both stamped with the
    next generation so a crash between the two steps leaves a stale log
-   that recovery skips instead of double-applying. *)
+   that recovery skips instead of double-applying. With an archive
+   attached, the closing generation is sealed *before* the snapshot
+   rename: any stale log a crash can leave behind is therefore already
+   in the archive, so the chain never loses a generation to the
+   crash window. *)
 let checkpoint t =
   match t.durability with
   | None -> 0
@@ -185,8 +206,14 @@ let checkpoint t =
        request. *)
     if Wal.pending_sync d.wal then Wal.sync d.wal;
     let truncated = Wal.record_count d.wal in
+    Option.iter
+      (fun adir ->
+        Archive.seal ~dir:adir ~wal_path:(Recovery.wal_path ~dir:d.dir)
+          ~gen:d.gen)
+      d.archive_dir;
     let gen = d.gen + 1 in
-    Persist.save ~wal_gen:gen t.catalog (Recovery.snapshot_path ~dir:d.dir);
+    Persist.save ~wal_gen:gen ~epoch:d.epoch ?asof:d.last_commit_at t.catalog
+      (Recovery.snapshot_path ~dir:d.dir);
     Wal.truncate d.wal ~gen;
     d.gen <- gen;
     Metrics.incr m_checkpoints;
@@ -202,6 +229,33 @@ let maybe_auto_checkpoint t =
         m "auto checkpoint (%d log records)" (Wal.record_count d.wal));
     ignore (checkpoint t)
   | Some _ | None -> ()
+
+(* Renders an online backup into [dir]: the same consistent snapshot a
+   replica bootstrap ships, plus an origin stamp recording the
+   (generation, offset, epoch, asof) it pairs with — the point the
+   archived chain resumes from at restore. Runs under the caller's
+   (server's) database lock; offsets are commit boundaries because
+   flushing happens at statement boundaries only. *)
+let backup t ~dir =
+  match t.durability with
+  | None -> db_error "BACKUP requires a durable database (--durability)"
+  | Some d ->
+    if t.tx <> None then
+      db_error "BUSY: cannot render a backup inside an open transaction";
+    flush_pending t;
+    if Wal.pending_sync d.wal then Wal.sync d.wal;
+    let origin =
+      { Archive.o_gen = d.gen;
+        o_offset = Wal.offset d.wal;
+        o_epoch = d.epoch;
+        o_asof = d.last_commit_at }
+    in
+    Archive.write_backup ~dir
+      ~snapshot:
+        (Persist.snapshot_string ~wal_gen:d.gen ~epoch:d.epoch
+           ?asof:d.last_commit_at t.catalog)
+      origin;
+    origin
 
 let undo_entry = function
   | U_insert (table, rid) -> ignore (Table.delete table rid)
@@ -1092,7 +1146,19 @@ let exec_statement_raw t ~token ~params stmt =
         | Some _ ->
           let n = checkpoint t in
           Message
-            (Printf.sprintf "CHECKPOINT complete (%d log records truncated)" n)))
+            (Printf.sprintf "CHECKPOINT complete (%d log records truncated)" n))
+      | Ast.Backup dir ->
+        let origin = backup t ~dir in
+        Message
+          (Printf.sprintf
+             "BACKUP complete: %s (generation %d, epoch %d, offset %d)" dir
+             origin.Archive.o_gen origin.Archive.o_epoch origin.Archive.o_offset)
+      | Ast.Promote ->
+        (* Promotion needs the replication client (it owns the follower
+           loop and the primary's stream position); the server installs
+           a handler that intercepts PROMOTE before execution reaches
+           here. An embedded database has nothing to promote. *)
+        db_error "PROMOTE: this database is not a replica")
 
 (* Layers the database-default statement timeout (SET TIMEOUT) under
    whatever token the caller supplied: a fresh token when the caller is
@@ -1216,7 +1282,8 @@ let exec_script ?token ?(params = []) t sql =
    snapshot and the old (possibly torn) log is superseded by a fresh one
    of the next generation. Extension types must be registered before the
    call; install the blade on the returned database afterwards. *)
-let open_durable ?(sync = Wal.Always) ?(checkpoint_every = 10_000) ~dir () =
+let open_durable ?(sync = Wal.Always) ?(checkpoint_every = 10_000) ?archive_dir
+    ~dir () =
   let catalog, info = Recovery.recover ~dir in
   if info.Recovery.replayed_records > 0 || info.Recovery.stopped <> None then
     Log.info (fun m ->
@@ -1226,10 +1293,32 @@ let open_durable ?(sync = Wal.Always) ?(checkpoint_every = 10_000) ~dir () =
           | Some reason -> Printf.sprintf " (log tail dropped: %s)" reason
           | None -> ""));
   let t = create ~catalog () in
+  let epoch = info.Recovery.epoch in
+  (* The re-checkpoint below supersedes the recovered log; with an
+     archive attached, seal it first (under the generation its own
+     frame carries — a stale log was already sealed at its checkpoint,
+     so re-sealing is an idempotent overwrite with identical bytes). *)
+  Option.iter
+    (fun adir ->
+      let wal_path = Recovery.wal_path ~dir in
+      let scan = Wal.scan wal_path in
+      Option.iter
+        (fun gen -> Archive.seal ~dir:adir ~wal_path ~gen)
+        scan.Wal.generation)
+    archive_dir;
   let gen = info.Recovery.generation + 1 in
-  Persist.save ~wal_gen:gen catalog (Recovery.snapshot_path ~dir);
-  let wal = Wal.create ~sync ~gen (Recovery.wal_path ~dir) in
-  t.durability <- Some { dir; wal; gen; checkpoint_every };
+  Persist.save ~wal_gen:gen ~epoch ?asof:info.Recovery.last_commit_at catalog
+    (Recovery.snapshot_path ~dir);
+  let wal = Wal.create ~sync ~epoch ~gen (Recovery.wal_path ~dir) in
+  t.durability <-
+    Some
+      { dir;
+        wal;
+        gen;
+        epoch;
+        archive_dir;
+        checkpoint_every;
+        last_commit_at = info.Recovery.last_commit_at };
   (t, info)
 
 (* Detaches and closes the WAL without checkpointing — on-disk state is
@@ -1249,28 +1338,61 @@ let close_durable t =
     (try if Wal.pending_sync d.wal then Wal.sync d.wal with _ -> ());
     Wal.close d.wal
 
-(* --- Replication (primary side) ---------------------------------------------- *)
+(* --- Replication and high availability (primary side) ------------------------ *)
 
-(* Where a caught-up subscriber stands: current WAL generation and its
-   end-of-log byte offset. *)
+let epoch t = match t.durability with Some d -> d.epoch | None -> 0
+let last_commit_at t = Option.bind t.durability (fun d -> d.last_commit_at)
+
+(* Where a caught-up subscriber stands: current WAL generation, its
+   end-of-log byte offset, and the promotion epoch. *)
 let replication_state t =
-  Option.map (fun d -> (d.gen, Wal.offset d.wal)) t.durability
+  Option.map (fun d -> (d.gen, Wal.offset d.wal, d.epoch)) t.durability
 
 let replication_wal_path t =
   Option.map (fun d -> Recovery.wal_path ~dir:d.dir) t.durability
 
-(* The bootstrap payload: snapshot text plus the (generation, offset)
-   pair it is consistent with. Must run under the server's database
-   lock so no statement commits between rendering the snapshot and
-   reading the offset; refused inside an open transaction because the
-   snapshot would leak uncommitted rows. *)
+(* The bootstrap payload: snapshot text plus the (generation, offset,
+   epoch) triple it is consistent with. Must run under the server's
+   database lock so no statement commits between rendering the snapshot
+   and reading the offset; refused inside an open transaction because
+   the snapshot would leak uncommitted rows. *)
 let replication_snapshot t =
   match t.durability with
   | None -> None
   | Some d ->
     if t.tx <> None then
       db_error "BUSY: cannot bootstrap a replica inside an open transaction";
-    Some (d.gen, Persist.snapshot_string ~wal_gen:d.gen t.catalog, Wal.offset d.wal)
+    Some
+      ( d.gen,
+        Persist.snapshot_string ~wal_gen:d.gen ~epoch:d.epoch
+          ?asof:d.last_commit_at t.catalog,
+        Wal.offset d.wal,
+        d.epoch )
+
+(* Promotion (replica side): turns a read-only replica into a writable
+   primary rooted at [dir]. The replica's streamed state becomes a full
+   snapshot stamped with generation [gen] and the bumped promotion
+   epoch [epoch]; a fresh WAL opens under that epoch, so every
+   generation frame the new primary ships fences subscribers still on
+   the old epoch. Any previous durability attachment (an HA node's
+   pre-demotion life) is closed, not sealed — its history was
+   superseded by the re-bootstrap that made this node a replica. *)
+let promote_replica ?(sync = Wal.Always) ?(checkpoint_every = 10_000)
+    ?archive_dir ?asof t ~dir ~gen ~epoch () =
+  (match t.durability with
+  | Some d -> (
+    t.durability <- None;
+    t.pending <- [];
+    try Wal.close d.wal with _ -> ())
+  | None -> ());
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  Persist.save ~wal_gen:gen ~epoch ?asof t.catalog
+    (Recovery.snapshot_path ~dir);
+  let wal = Wal.create ~sync ~epoch ~gen (Recovery.wal_path ~dir) in
+  t.durability <-
+    Some { dir; wal; gen; epoch; archive_dir; checkpoint_every;
+           last_commit_at = asof };
+  t.read_only <- false
 
 (* --- Result helpers ----------------------------------------------------------- *)
 

@@ -101,10 +101,15 @@ val statement_timeout_ms : t -> int option
     afterwards. [sync] controls when the log is fsynced (default
     {!Wal.Always}: a statement's effects survive any later crash once
     its result has been returned). [checkpoint_every] bounds the log
-    at that many records (default 10_000; [0] disables auto-checkpoint). *)
+    at that many records (default 10_000; [0] disables auto-checkpoint).
+    [archive_dir] turns on WAL archiving: every generation the database
+    retires — at checkpoints, and the recovered log on open — is sealed
+    into that directory's chain ({!Archive}) instead of existing only
+    until truncation. *)
 val open_durable :
   ?sync:Wal.sync_policy ->
   ?checkpoint_every:int ->
+  ?archive_dir:string ->
   dir:string ->
   unit ->
   t * Recovery.info
@@ -124,12 +129,12 @@ val checkpoint : t -> int
     a clean close never abandons commits the policy was still holding. *)
 val close_durable : t -> unit
 
-(** {1 Replication}
+(** {1 Replication and high availability}
 
-    The primary side of WAL shipping (DESIGN.md §13). All three calls
-    must run under the server's database lock so the (generation,
-    offset) pairs they return are consistent with the catalog and the
-    log. *)
+    The primary side of WAL shipping (DESIGN.md §13) and the HA
+    surfaces built on it (§15). The replication calls must run under
+    the server's database lock so the (generation, offset, epoch)
+    tuples they return are consistent with the catalog and the log. *)
 
 (** Marks the database as a read replica: every statement that would
     mutate rows, the catalog, or transaction state is refused with a
@@ -139,18 +144,52 @@ val set_read_only : t -> bool -> unit
 
 val read_only : t -> bool
 
-(** Current WAL generation and end-of-log byte offset — where a fully
-    caught-up subscriber stands. [None] without durable storage. *)
-val replication_state : t -> (int * int) option
+(** The promotion epoch this database's generation frames carry —
+    [0] until a promotion somewhere in its ancestry bumped it (and for
+    non-durable databases). *)
+val epoch : t -> int
+
+(** Instant (unix seconds) of the newest commit in the log, if any. *)
+val last_commit_at : t -> int option
+
+(** Current WAL generation, end-of-log byte offset and promotion epoch
+    — where a fully caught-up subscriber stands. [None] without
+    durable storage. *)
+val replication_state : t -> (int * int * int) option
 
 (** Path of the live WAL file, for the primary's stream reader. *)
 val replication_wal_path : t -> string option
 
-(** The bootstrap payload: [(generation, snapshot_text, wal_offset)],
-    mutually consistent. [None] without durable storage.
+(** The bootstrap payload: [(generation, snapshot_text, wal_offset,
+    epoch)], mutually consistent. [None] without durable storage.
     @raise Error (typed [BUSY:]) inside an open transaction — the
     snapshot would leak uncommitted rows. *)
-val replication_snapshot : t -> (int * string * int) option
+val replication_snapshot : t -> (int * string * int * int) option
+
+(** Renders an online backup into [dir] ([BACKUP TO 'dir']): the
+    consistent snapshot plus its {!Archive.origin} stamp. Must run
+    under the server's database lock.
+    @raise Error without durable storage, or (typed [BUSY:]) inside an
+    open transaction. *)
+val backup : t -> dir:string -> Archive.origin
+
+(** Turns a read-only replica into a writable primary rooted at [dir]:
+    saves the streamed state as a full snapshot stamped with [gen] and
+    the bumped promotion epoch [epoch], opens a fresh WAL under that
+    epoch, clears the read-only mark. [asof] is the replica's newest
+    applied commit instant. Called by the server's PROMOTE handler —
+    the replication client owns the gen/epoch bookkeeping. *)
+val promote_replica :
+  ?sync:Wal.sync_policy ->
+  ?checkpoint_every:int ->
+  ?archive_dir:string ->
+  ?asof:int ->
+  t ->
+  dir:string ->
+  gen:int ->
+  epoch:int ->
+  unit ->
+  unit
 
 (** {1 Result helpers}
 

@@ -66,20 +66,23 @@ type request =
   | Bind of string * Value.t
   | Metrics
   | Quit
-  | Wal_subscribe of { gen : int; offset : int }
+  | Wal_subscribe of { gen : int; offset : int; epoch : int }
   | Snapshot_request
   | Ack of { offset : int; commits : int }
   | Lag_probe
+  | Role_probe
 
 let encode_request = function
   | Execute sql -> "Q " ^ escape sql
   | Bind (name, v) -> Printf.sprintf "B %s\t%s" (escape name) (encode_typed v)
   | Metrics -> "M"
   | Quit -> "X"
-  | Wal_subscribe { gen; offset } -> Printf.sprintf "S %d %d" gen offset
+  | Wal_subscribe { gen; offset; epoch } ->
+    Printf.sprintf "S %d %d %d" gen offset epoch
   | Snapshot_request -> "P"
   | Ack { offset; commits } -> Printf.sprintf "K %d %d" offset commits
   | Lag_probe -> "L"
+  | Role_probe -> "W"
 
 let decode_request line =
   if String.length line >= 2 && String.sub line 0 2 = "Q " then
@@ -95,13 +98,23 @@ let decode_request line =
   else if String.equal line "X" then Some Quit
   else if String.equal line "P" then Some Snapshot_request
   else if String.equal line "L" then Some Lag_probe
+  else if String.equal line "W" then Some Role_probe
   else if String.length line >= 2 && String.sub line 0 2 = "S " then begin
+    (* pre-HA subscribers send two fields; their epoch reads as 0,
+       matching pre-HA generation frames *)
     match
       String.split_on_char ' ' (String.sub line 2 (String.length line - 2))
     with
     | [ gen; offset ] -> (
       match (int_of_string_opt gen, int_of_string_opt offset) with
-      | Some gen, Some offset -> Some (Wal_subscribe { gen; offset })
+      | Some gen, Some offset -> Some (Wal_subscribe { gen; offset; epoch = 0 })
+      | _ -> None)
+    | [ gen; offset; epoch ] -> (
+      match
+        (int_of_string_opt gen, int_of_string_opt offset, int_of_string_opt epoch)
+      with
+      | Some gen, Some offset, Some epoch ->
+        Some (Wal_subscribe { gen; offset; epoch })
       | _ -> None)
     | _ -> None
   end

@@ -16,18 +16,26 @@ type request =
   | Bind of string * Value.t
   | Metrics  (** text dump of the server's metrics registry *)
   | Quit
-  | Wal_subscribe of { gen : int; offset : int }
-      (** [S <gen> <offset>]: stream raw WAL bytes of generation [gen]
-          from byte [offset]; the session becomes a replication stream *)
+  | Wal_subscribe of { gen : int; offset : int; epoch : int }
+      (** [S <gen> <offset> <epoch>]: stream raw WAL bytes of generation
+          [gen] from byte [offset]; the session becomes a replication
+          stream. [epoch] is the subscriber's promotion epoch — a
+          mismatch is fenced with a typed [STALE_EPOCH:] error
+          (DESIGN.md §15). Pre-HA two-field subscriptions decode with
+          epoch 0. *)
   | Snapshot_request
       (** [P]: one snapshot-bootstrap exchange —
-          [M snapshot <gen> <offset>] followed by a single chunk *)
+          [M snapshot <gen> <offset> <epoch>] followed by a single
+          chunk *)
   | Ack of { offset : int; commits : int }
       (** [K <offset> <commits>]: subscriber's confirmed replay position,
           sent upstream on the same socket *)
   | Lag_probe
       (** [L]: answered [M <staleness_seconds>] by a replica ([0] on a
           primary) — the routing client's cheap staleness check *)
+  | Role_probe
+      (** [W]: answered [M role <primary|replica> <epoch>] — the HA
+          client's primary-discovery probe *)
 
 val encode_request : request -> string
 val decode_request : string -> request option

@@ -30,6 +30,8 @@ type error_code =
   | Cancelled
   | Read_only
   | Stale_read
+  | Stale_epoch
+  | Failover
   | Other
 
 (* Typed server errors are "CODE: human text"; everything else (engine
@@ -47,6 +49,8 @@ let error_code msg =
   else if prefixed "CANCELLED:" then Cancelled
   else if prefixed "READ_ONLY:" then Read_only
   else if prefixed "STALE_READ:" then Stale_read
+  else if prefixed "STALE_EPOCH:" then Stale_epoch
+  else if prefixed "FAILOVER:" then Failover
   else Other
 
 (* Transient connect failures — the server not up yet, or the network
@@ -217,6 +221,28 @@ let staleness ?deadline t =
     raise (Remote_error "unexpected response to a lag probe")
   | exception End_of_file -> raise (Remote_error "server closed the connection")
 
+(* Which role the server is playing right now (W probe): [`Primary] or
+   [`Replica], plus its promotion epoch. The HA client uses this to
+   discover the writable member of a group.
+   @raise Remote_error on a malformed answer or server-side error. *)
+let role ?deadline t =
+  check_open t;
+  with_deadline t deadline @@ fun () ->
+  send t Protocol.Role_probe;
+  match Protocol.read_response t.ic with
+  | Protocol.Message m -> (
+    match String.split_on_char ' ' m with
+    | [ "role"; r; e ] -> (
+      match r, int_of_string_opt e with
+      | "primary", Some e -> (`Primary, e)
+      | "replica", Some e -> (`Replica, e)
+      | _ -> raise (Remote_error ("bad role response: " ^ m)))
+    | _ -> raise (Remote_error ("unexpected role response: " ^ m)))
+  | Protocol.Error e -> raise (Remote_error e)
+  | Protocol.Rows _ | Protocol.Affected _ ->
+    raise (Remote_error "unexpected response to a role probe")
+  | exception End_of_file -> raise (Remote_error "server closed the connection")
+
 let close t =
   if not t.closed then begin
     (try send t Protocol.Quit with Sys_error _ | Remote_error _ -> ());
@@ -342,3 +368,131 @@ let close_routed r =
   (match r.r_replica with Some rep -> (try close rep with _ -> ()) | None -> ());
   r.r_replica <- None;
   close r.r_primary
+
+(* --- High-availability client failover (DESIGN.md §15) ------------------ *)
+
+(* An HA connection: a list of candidate endpoints, exactly one of
+   which should be a writable primary at any moment. [connect_ha]
+   probes every endpoint (W), connects to the primary with the newest
+   promotion epoch, and remembers that epoch; when the connection dies
+   — or the server answers READ_ONLY (demoted under us) or STALE_EPOCH
+   — the client re-runs discovery under bounded backoff, riding out
+   the promotion window where no member is writable yet. Exhausting
+   the rounds raises a typed [FAILOVER:] error. *)
+
+type ha = {
+  ha_endpoints : (string * int) list;
+  ha_rounds : int; (* discovery passes before giving up *)
+  ha_backoff : float; (* base pause between passes, doubling *)
+  ha_deadline : float option;
+  mutable ha_conn : t option;
+  mutable ha_epoch : int; (* newest promotion epoch seen *)
+  mutable ha_failovers : int; (* re-discoveries after the first *)
+}
+
+let ha_drop h =
+  (match h.ha_conn with Some c -> (try close c with _ -> ()) | None -> ());
+  h.ha_conn <- None
+
+(* One discovery pass: probe every endpoint, keep the writable primary
+   with the newest epoch (ties broken by endpoint order). A "primary"
+   answering with an epoch older than one we have already seen is a
+   fenced ex-primary that has not noticed the promotion yet — never
+   route writes to it. *)
+let ha_discover_once h =
+  let best = ref None in
+  List.iter
+    (fun (host, port) ->
+      match connect ~host ~attempts:1 ?deadline:h.ha_deadline ~port () with
+      | exception Remote_error _ -> ()
+      | c -> (
+        match role ?deadline:h.ha_deadline c with
+        | `Primary, e when e >= h.ha_epoch -> (
+          match !best with
+          | Some (_, be) when be >= e -> ( try close c with _ -> ())
+          | Some (bc, _) ->
+            (try close bc with _ -> ());
+            best := Some (c, e)
+          | None -> best := Some (c, e))
+        | _ -> ( try close c with _ -> ())
+        | exception Remote_error _ -> ( try close c with _ -> ())))
+    h.ha_endpoints;
+  !best
+
+let ha_discover h =
+  let rec pass n delay =
+    match ha_discover_once h with
+    | Some (c, e) ->
+      h.ha_epoch <- max h.ha_epoch e;
+      h.ha_conn <- Some c;
+      c
+    | None ->
+      if n >= h.ha_rounds then
+        raise
+          (Remote_error
+             (Printf.sprintf
+                "FAILOVER: no writable primary among %d endpoint%s after %d \
+                 discovery pass%s"
+                (List.length h.ha_endpoints)
+                (if List.length h.ha_endpoints = 1 then "" else "s")
+                n
+                (if n = 1 then "" else "es")))
+      else begin
+        Unix.sleepf (delay +. Random.float (delay /. 2.));
+        pass (n + 1) (delay *. 2.)
+      end
+  in
+  pass 1 (Float.max 0.001 h.ha_backoff)
+
+let connect_ha ?(rounds = 8) ?(retry_delay = 0.05) ?deadline endpoints =
+  if endpoints = [] then raise (Remote_error "FAILOVER: empty endpoint list");
+  let h =
+    { ha_endpoints = endpoints;
+      ha_rounds = max 1 rounds;
+      ha_backoff = retry_delay;
+      ha_deadline = deadline;
+      ha_conn = None;
+      ha_epoch = 0;
+      ha_failovers = 0 }
+  in
+  ignore (ha_discover h);
+  h
+
+(* Failover-eligible failures: the connection is gone, the server is
+   going away (SHUTDOWN / IDLE_TIMEOUT / a wire TIMEOUT), or it
+   stopped being a writable primary (READ_ONLY after a demotion,
+   STALE_EPOCH). Engine errors are not — they would fail identically
+   on any member. *)
+let ha_should_failover msg =
+  match error_code msg with
+  | Read_only | Stale_epoch | Shutdown | Idle_timeout | Timeout -> true
+  | _ -> String.equal msg "server closed the connection"
+
+let execute_ha ?deadline h sql =
+  let rec go attempt =
+    let c =
+      match h.ha_conn with
+      | Some c -> c
+      | None ->
+        let c = ha_discover h in
+        h.ha_failovers <- h.ha_failovers + 1;
+        c
+    in
+    match execute ?deadline c sql with
+    | v -> v
+    | exception Remote_error msg when ha_should_failover msg && attempt < 3 ->
+      ha_drop h;
+      go (attempt + 1)
+    | exception (Sys_error _ | End_of_file) when attempt < 3 ->
+      ha_drop h;
+      go (attempt + 1)
+    | exception Unix.Unix_error (e, _, _) when transient e && attempt < 3 ->
+      ha_drop h;
+      go (attempt + 1)
+  in
+  go 1
+
+let ha_primary h = h.ha_conn
+let ha_epoch h = h.ha_epoch
+let ha_failovers h = h.ha_failovers
+let close_ha h = ha_drop h

@@ -22,6 +22,12 @@ type error_code =
   | Stale_read
       (** a routed read refused because the replica exceeds the
           [max_staleness] bound (client-side, {!execute_routed}) *)
+  | Stale_epoch
+      (** a replication subscription fenced: the peer's promotion epoch
+          is older than the server's (split-brain protection) *)
+  | Failover
+      (** the HA client exhausted its discovery passes without finding
+          a writable primary ({!connect_ha} / {!execute_ha}) *)
   | Other
 
 val error_code : string -> error_code
@@ -66,6 +72,11 @@ val metrics : ?deadline:float -> t -> string
     @raise Remote_error on a malformed answer or lost connection. *)
 val staleness : ?deadline:float -> t -> float
 
+(** The server's current role ([W] probe) and its promotion epoch —
+    the HA client's primary-discovery primitive.
+    @raise Remote_error on a malformed answer or lost connection. *)
+val role : ?deadline:float -> t -> [ `Primary | `Replica ] * int
+
 val close : t -> unit
 
 (** {1 Read routing}
@@ -106,6 +117,51 @@ val routed_primary : routed -> t
 val routed_replica : routed -> t option
 
 val close_routed : routed -> unit
+
+(** {1 High-availability failover}
+
+    An HA connection holds a list of candidate endpoints — one group of
+    servers of which exactly one should be the writable primary at any
+    moment (DESIGN.md §15). Discovery probes every endpoint's role ([W])
+    and connects to the primary with the newest promotion epoch; an
+    endpoint claiming primacy under an epoch older than one already
+    seen is a fenced ex-primary and is never used. When the connection
+    is lost — or the server answers [READ_ONLY:] (demoted under us) or
+    [STALE_EPOCH:] — the client transparently re-runs discovery with
+    doubling backoff, riding out the promotion window in which no
+    member is writable yet. *)
+
+type ha
+
+(** Discovers and connects to the group's writable primary. [rounds]
+    (default 8) bounds discovery passes; [retry_delay] (default 0.05 s)
+    is the pause after the first failed pass, doubling with jitter.
+    @raise Remote_error with a [FAILOVER:] message when no writable
+    primary is found within the budget (classified {!Failover}). *)
+val connect_ha :
+  ?rounds:int ->
+  ?retry_delay:float ->
+  ?deadline:float ->
+  (string * int) list ->
+  ha
+
+(** Executes one statement on the current primary, failing over (up to
+    two re-discoveries per call) when the connection drops or the
+    server stops being a writable primary. Engine errors pass through
+    untouched — they would fail identically on any member.
+    @raise Remote_error on engine errors or failed failover. *)
+val execute_ha : ?deadline:float -> ha -> string -> Tip_engine.Database.result
+
+(** The live primary connection, if one is currently established. *)
+val ha_primary : ha -> t option
+
+(** The newest promotion epoch this client has observed. *)
+val ha_epoch : ha -> int
+
+(** Completed re-discoveries (0 right after {!connect_ha}). *)
+val ha_failovers : ha -> int
+
+val close_ha : ha -> unit
 
 (**/**)
 

@@ -25,9 +25,20 @@
    connection and resumes from the confirmed offset — re-shipping the
    tail repairs it; a generation change ([E GEN_CHANGED], or a
    mismatched generation frame in-stream) forces a fresh snapshot
-   bootstrap instead of diverging; a primary drain ([E SHUTDOWN]) or
-   loss parks the client in reconnect-with-backoff while the replica
-   keeps serving reads and reports growing staleness. *)
+   bootstrap instead of diverging; an epoch fence ([E STALE_EPOCH], or
+   a mismatched epoch in-stream) does the same — our history predates a
+   promotion and may have diverged, so only a fresh snapshot under the
+   new epoch is safe; a primary drain ([E SHUTDOWN]) or loss parks the
+   client in reconnect-with-backoff while the replica keeps serving
+   reads and reports growing staleness.
+
+   Two HA additions (DESIGN.md §15): [start ?resume] lets a rejoining
+   node (an old primary coming back with its recovered durable state)
+   offer its local (generation, offset, epoch) as a subscription before
+   falling back to a bootstrap — the primary's epoch fence decides
+   whether that history is still usable; [promote] stops the follower
+   loop at a commit boundary (whole batches only ever apply) and turns
+   the database into a writable primary under a bumped epoch. *)
 
 module Db = Tip_engine.Database
 module Metrics = Tip_obs.Metrics
@@ -53,6 +64,10 @@ let m_stream_errors =
 let g_lag_bytes =
   Metrics.gauge "repl_lag_bytes" ~help:"Bytes behind the primary's WAL end"
 
+let m_fence_rejections =
+  Metrics.counter "ha_fence_rejections_total"
+    ~help:"Times this client was fenced with STALE_EPOCH and re-bootstrapped"
+
 type t = {
   host : string;
   port : int;
@@ -60,7 +75,10 @@ type t = {
   lock : Mutex.t;
   mutable replica : Replica.t option; (* None until first bootstrap *)
   mutable state : string;
-      (* "connecting" | "bootstrapping" | "streaming" | "disconnected" *)
+      (* "connecting" | "bootstrapping" | "streaming" | "disconnected"
+         | "promoted" | "stopped" *)
+  mutable primary_epoch : int; (* newest epoch the primary has shown us *)
+  mutable fenced : int; (* STALE_EPOCH rejections suffered *)
   mutable known_primary_offset : int;
   mutable caught_up_at : float; (* unix time last provably caught up *)
   mutable last_contact : float;
@@ -98,6 +116,8 @@ let applied_offset t =
   match t.replica with None -> 0 | Some r -> Replica.applied_offset r
 let reconnects t = t.reconnects
 let bootstraps t = t.bootstraps
+let epoch t = t.primary_epoch
+let fence_rejections t = t.fenced
 
 let replication_rows t () =
   let module Value = Tip_storage.Value in
@@ -111,7 +131,8 @@ let replication_rows t () =
        Value.Int (applied_offset t);
        Value.Int (lag_bytes t);
        Value.Int (lag_commits_applied t);
-       Value.Float (staleness_seconds t) |] ]
+       Value.Float (staleness_seconds t);
+       Value.Int t.primary_epoch |] ]
 
 (* --- Wire helpers ------------------------------------------------------- *)
 
@@ -139,8 +160,9 @@ let note_contact t =
 
 (* --- Bootstrap ---------------------------------------------------------- *)
 
-(* One [P] exchange: [M snapshot <gen> <offset>] then a single chunk of
-   snapshot text. Parses outside the lock, swaps contents under it. *)
+(* One [P] exchange: [M snapshot <gen> <offset> <epoch>] then a single
+   chunk of snapshot text. Parses outside the lock, swaps contents
+   under it. Pre-HA primaries send a two-field header (epoch 0). *)
 let bootstrap t ic oc =
   t.state <- "bootstrapping";
   Failpoint.hit ~site:"repl.bootstrap" ();
@@ -149,41 +171,57 @@ let bootstrap t ic oc =
   | `Err msg -> Error msg
   | `Chunk _ -> Error "protocol: chunk before snapshot header"
   | `Info info -> (
-    match String.split_on_char ' ' info with
-    | [ "snapshot"; gen; offset ] -> (
-      match (int_of_string_opt gen, int_of_string_opt offset) with
-      | Some gen, Some offset -> (
-        match Protocol.read_stream_item ic with
-        | `Chunk text -> (
-          match Tip_storage.Persist.load_string text with
-          | exception Tip_storage.Persist.Format_error msg ->
-            Error ("bad snapshot: " ^ msg)
-          | loaded, _wal_gen ->
-            with_lock t (fun () ->
-                Tip_storage.Catalog.assign (Db.catalog t.db) ~from:loaded;
+    let header =
+      match String.split_on_char ' ' info with
+      | [ "snapshot"; gen; offset ] -> (
+        match (int_of_string_opt gen, int_of_string_opt offset) with
+        | Some gen, Some offset -> Some (gen, offset, 0)
+        | _ -> None)
+      | [ "snapshot"; gen; offset; epoch ] -> (
+        match
+          ( int_of_string_opt gen,
+            int_of_string_opt offset,
+            int_of_string_opt epoch )
+        with
+        | Some gen, Some offset, Some epoch -> Some (gen, offset, epoch)
+        | _ -> None)
+      | _ -> None
+    in
+    match header with
+    | None -> Error ("protocol: bad snapshot header " ^ info)
+    | Some (gen, offset, epoch) -> (
+      match Protocol.read_stream_item ic with
+      | `Chunk text -> (
+        match Tip_storage.Persist.load_string text with
+        | exception Tip_storage.Persist.Format_error msg ->
+          Error ("bad snapshot: " ^ msg)
+        | loaded, _meta ->
+          with_lock t (fun () ->
+              Tip_storage.Catalog.assign (Db.catalog t.db) ~from:loaded;
+              (match t.replica with
+              | None ->
+                t.replica <-
+                  Some
+                    (Replica.create (Db.catalog t.db) ~generation:gen ~epoch
+                       ~offset)
+              | Some r -> Replica.rebase r ~generation:gen ~epoch ~offset);
+              t.primary_epoch <- epoch;
+              t.known_primary_offset <- offset;
+              t.acked_commits <-
                 (match t.replica with
-                | None ->
-                  t.replica <-
-                    Some (Replica.create (Db.catalog t.db) ~generation:gen ~offset)
-                | Some r -> Replica.rebase r ~generation:gen ~offset);
-                t.known_primary_offset <- offset;
-                t.acked_commits <-
-                  (match t.replica with
-                  | Some r -> Replica.applied_commits r
-                  | None -> 0));
-            t.bootstraps <- t.bootstraps + 1;
-            Metrics.incr m_bootstraps;
-            note_contact t;
-            t.caught_up_at <- Unix.gettimeofday ();
-            Log.info (fun m ->
-                m "bootstrapped from %s:%d: gen %d, offset %d (%d bytes of \
-                   snapshot)"
-                  t.host t.port gen offset (String.length text));
-            Ok ())
-        | `Info i -> Error ("protocol: expected snapshot chunk, got " ^ i)
-        | `Err msg -> Error msg)
-      | _ -> Error ("protocol: bad snapshot header " ^ info))
-    | _ -> Error ("protocol: expected snapshot header, got " ^ info))
+                | Some r -> Replica.applied_commits r
+                | None -> 0));
+          t.bootstraps <- t.bootstraps + 1;
+          Metrics.incr m_bootstraps;
+          note_contact t;
+          t.caught_up_at <- Unix.gettimeofday ();
+          Log.info (fun m ->
+              m "bootstrapped from %s:%d: gen %d, offset %d, epoch %d (%d \
+                 bytes of snapshot)"
+                t.host t.port gen offset epoch (String.length text));
+          Ok ())
+      | `Info i -> Error ("protocol: expected snapshot chunk, got " ^ i)
+      | `Err msg -> Error msg))
 
 (* --- Streaming ---------------------------------------------------------- *)
 
@@ -194,7 +232,9 @@ let stream t ic oc r =
   t.state <- "streaming";
   send_line oc
     (Protocol.Wal_subscribe
-       { gen = Replica.generation r; offset = Replica.applied_offset r });
+       { gen = Replica.generation r;
+         offset = Replica.applied_offset r;
+         epoch = Replica.epoch r });
   (* where the next chunk lands in the primary's log: confirmed offset
      plus everything buffered but not yet confirmed *)
   let recv = ref (Replica.applied_offset r) in
@@ -231,13 +271,24 @@ let stream t ic oc r =
         loop ()
       | `Err msg -> (
         Metrics.incr m_stream_errors;
+        let has_prefix p =
+          String.length msg >= String.length p
+          && String.equal (String.sub msg 0 (String.length p)) p
+        in
         match Remote.error_code msg with
         | Remote.Shutdown ->
           Log.info (fun m -> m "primary draining: %s" msg);
           `Retry
-        | _
-          when String.length msg >= 12
-               && String.equal (String.sub msg 0 12) "GEN_CHANGED:" ->
+        | Remote.Stale_epoch ->
+          (* fenced: a promotion happened and our history may have
+             diverged past it — only a fresh snapshot under the new
+             epoch is safe (the demotion path for a rejoining
+             ex-primary) *)
+          t.fenced <- t.fenced + 1;
+          Metrics.incr m_fence_rejections;
+          Log.warn (fun m -> m "fenced by the primary: %s" msg);
+          `Rebootstrap
+        | _ when has_prefix "GEN_CHANGED:" ->
           Log.info (fun m -> m "%s" msg);
           `Rebootstrap
         | _ ->
@@ -333,7 +384,7 @@ let run t =
 
 (* --- Lifecycle ---------------------------------------------------------- *)
 
-let start ?lock ~host ~port db =
+let start ?lock ?resume ~host ~port db =
   let t =
     { host;
       port;
@@ -341,6 +392,8 @@ let start ?lock ~host ~port db =
       lock = (match lock with Some l -> l | None -> Mutex.create ());
       replica = None;
       state = "connecting";
+      primary_epoch = 0;
+      fenced = 0;
       known_primary_offset = 0;
       caught_up_at = Unix.gettimeofday ();
       last_contact = Unix.gettimeofday ();
@@ -351,6 +404,22 @@ let start ?lock ~host ~port db =
       stopping = false;
       thread = None }
   in
+  (* A rejoining node (an ex-primary restarted with its durable state
+     recovered) offers its local position as a subscription instead of
+     bootstrapping blind: if the primary accepts (same generation and
+     epoch) the existing state is reused; a GEN_CHANGED or STALE_EPOCH
+     rejection falls back to a fresh bootstrap — the fence-then-demote
+     path. *)
+  (match resume with
+  | Some (gen, offset, epoch) ->
+    t.replica <-
+      Some (Replica.create (Db.catalog db) ~generation:gen ~epoch ~offset);
+    t.primary_epoch <- epoch;
+    t.known_primary_offset <- offset;
+    Log.info (fun m ->
+        m "rejoining %s:%d from local state: gen %d, offset %d, epoch %d" host
+          port gen offset epoch)
+  | None -> ());
   (* The upstream-facing view, same name and column shape as the
      primary's subscriber view: one row describing our primary. The
      registry is process-global, so chain onto any provider already
@@ -361,7 +430,8 @@ let start ?lock ~host ~port db =
     { Tip_engine.Vtab.vt_name = "tip_stat_replication";
       vt_cols =
         [| "peer_addr"; "role"; "state"; "generation"; "wal_bytes";
-           "acked_bytes"; "lag_bytes"; "acked_commits"; "lag_seconds" |];
+           "acked_bytes"; "lag_bytes"; "acked_commits"; "lag_seconds";
+           "epoch" |];
       vt_help = "this replica's view of its primary";
       vt_rows =
         (fun catalog ->
@@ -385,3 +455,32 @@ let stop t =
   match t.thread with
   | Some th -> ( try Thread.join th with _ -> ())
   | None -> ()
+
+(* --- Promotion (DESIGN.md §15) ------------------------------------------ *)
+
+(* Stops following and becomes the primary. The follower thread is
+   joined first — [Replica.feed] only ever applies whole committed
+   batches, so the state the promotion freezes is a commit boundary of
+   the old primary's history. The new epoch outbids every epoch this
+   client has seen, so the old primary (which is at most at
+   [primary_epoch]) is fenced the moment it tries to subscribe to
+   anyone who has heard from us. *)
+let promote ?sync ?checkpoint_every ?archive_dir t ~dir () =
+  stop t;
+  match t.replica with
+  | None ->
+    Error
+      "PROMOTE: replica has no base state yet (never bootstrapped); cannot \
+       become primary"
+  | Some r ->
+    let epoch = Stdlib.max t.primary_epoch (Replica.epoch r) + 1 in
+    let gen = Replica.generation r + 1 in
+    with_lock t (fun () ->
+        Db.promote_replica ?sync ?checkpoint_every ?archive_dir
+          ?asof:(Replica.last_commit_at r) t.db ~dir ~gen ~epoch ());
+    t.state <- "promoted";
+    Log.info (fun m ->
+        m "promoted: primary at generation %d, epoch %d (applied %d commits \
+           from the old primary)"
+          gen epoch (Replica.applied_commits r));
+    Ok (gen, epoch)

@@ -19,8 +19,19 @@ type t
     is the mutex replay shares with readers — pass the server's
     {!Server.db_mutex} so statements and replay serialize. The thread
     retries forever until {!stop}; a primary that is down at start is
-    simply retried. *)
-val start : ?lock:Mutex.t -> host:string -> port:int -> Tip_engine.Database.t -> t
+    simply retried. [resume] is a rejoining node's local
+    [(generation, offset, epoch)] — offered as a subscription before
+    falling back to a bootstrap, so an ex-primary's recovered state is
+    either reused (primary accepts) or discarded (fenced with
+    [STALE_EPOCH], or [GEN_CHANGED]) and replaced by a fresh snapshot:
+    the demotion path. *)
+val start :
+  ?lock:Mutex.t ->
+  ?resume:int * int * int ->
+  host:string ->
+  port:int ->
+  Tip_engine.Database.t ->
+  t
 
 (** Stops the thread and closes the connection. Idempotent. *)
 val stop : t -> unit
@@ -34,8 +45,32 @@ val lag_bytes : t -> int
 val staleness_seconds : t -> float
 
 (** ["connecting"], ["bootstrapping"], ["streaming"], ["disconnected"],
-    or ["stopped"]. *)
+    ["promoted"], or ["stopped"]. *)
 val state : t -> string
+
+(** Stops following the primary and turns the database into a writable
+    primary rooted at [dir] (DESIGN.md §15): joins the follower thread
+    (the frozen state is a commit boundary — replay only ever applies
+    whole batches), saves the streamed state as a full snapshot, opens
+    a fresh WAL under a promotion epoch one past anything this client
+    has seen, and clears the read-only mark. Returns the new
+    [(generation, epoch)]. Idempotent in effect but meant to run once;
+    fails if the client never completed a bootstrap. *)
+val promote :
+  ?sync:Tip_storage.Wal.sync_policy ->
+  ?checkpoint_every:int ->
+  ?archive_dir:string ->
+  t ->
+  dir:string ->
+  unit ->
+  (int * int, string) result
+
+(** The newest promotion epoch the primary has shown this client. *)
+val epoch : t -> int
+
+(** Times this client was fenced with [STALE_EPOCH] (then demoted to a
+    fresh bootstrap under the new epoch). *)
+val fence_rejections : t -> int
 
 (** WAL generation currently replicated (0 before first bootstrap). *)
 val generation : t -> int

@@ -69,6 +69,14 @@ let m_repl_bootstraps =
   Metrics.counter "repl_bootstraps_total"
     ~help:"Snapshot bootstraps served to replicas"
 
+let m_fenced =
+  Metrics.counter "ha_fenced_total"
+    ~help:"Stale-epoch replication subscriptions rejected (split-brain fence)"
+
+let m_promotions =
+  Metrics.counter "ha_promotions_total"
+    ~help:"Replica promotions performed by this server"
+
 (* Per-session statement-timeout override (SET TIMEOUT n):
    [Inherit] uses the server-wide default, [Off] disables deadlines for
    this session, [Ms n] arms n milliseconds. *)
@@ -95,6 +103,7 @@ type replica_info = {
   ri_addr : string;
   mutable ri_state : string; (* "streaming" | "caught_up" *)
   mutable ri_gen : int;
+  ri_epoch : int; (* the subscription's promotion epoch *)
   mutable ri_sent_offset : int; (* WAL bytes shipped so far *)
   mutable ri_acked_offset : int; (* subscriber's confirmed replay position *)
   mutable ri_acked_commits : int;
@@ -123,6 +132,10 @@ type t = {
       (* installed by the replication client on a replica server so L
          probes (and tip_stat_replication) can report how far behind
          the primary this server's reads are *)
+  mutable promote_handler : (unit -> (int * int, string) result) option;
+      (* installed on a served replica; PROMOTE runs it (outside the db
+         lock — it owns its own locking) and it returns the new
+         (generation, epoch) or a typed error *)
   mutable draining : bool;
   mutable running : bool;
 }
@@ -243,7 +256,7 @@ let with_db_lock t f =
 let replication_rows t () =
   let module Value = Tip_storage.Value in
   let wal_end =
-    match Db.replication_state t.db with Some (_, off) -> off | None -> 0
+    match Db.replication_state t.db with Some (_, off, _) -> off | None -> 0
   in
   let now = Unix.gettimeofday () in
   with_replicas_lock t (fun () ->
@@ -259,7 +272,8 @@ let replication_rows t () =
              Value.Int lag_bytes;
              Value.Int ri.ri_acked_commits;
              (if lag_bytes = 0 then Value.Float 0.
-              else Value.Float (now -. ri.ri_last_ack)) |]
+              else Value.Float (now -. ri.ri_last_ack));
+             Value.Int ri.ri_epoch |]
           :: acc)
         t.replicas [])
 
@@ -279,13 +293,36 @@ let rec read_some fd buf off len =
    The WAL file is read under the db lock: a checkpoint — the only
    truncation — holds that lock for its whole duration, so a read that
    started under generation g cannot observe a truncated file. *)
-let handle_replication_stream t fd ic oc ~addr ~gen ~offset =
+let handle_replication_stream t fd ic oc ~addr ~gen ~offset ~epoch =
   let send_error msg =
     try
       Protocol.write_response oc (Protocol.Error msg);
       flush oc
     with Sys_error _ | Unix.Unix_error _ -> ()
   in
+  (* The split-brain fence (DESIGN.md §15): a subscription whose
+     promotion epoch does not match ours is answered with a typed
+     error before a single byte is shipped. A stale subscriber (an old
+     primary rejoining after a failover it missed) must re-bootstrap —
+     its history past the promotion point may have diverged; a NEWER
+     subscriber epoch means this server itself is the stale one and
+     the client should go find the real primary. *)
+  let fence =
+    with_db_lock t (fun () ->
+        let own = Db.epoch t.db in
+        if epoch <> own then Some own else None)
+  in
+  match fence with
+  | Some own ->
+    Metrics.incr m_fenced;
+    Log.warn (fun m ->
+        m "fencing subscriber %s: epoch %d vs our %d" addr epoch own);
+    send_error
+      (Printf.sprintf
+         "STALE_EPOCH: subscription epoch %d, primary epoch %d; a promotion \
+          happened — bootstrap a fresh snapshot"
+         epoch own)
+  | None -> (
   match Db.replication_wal_path t.db with
   | None -> send_error "REPLICATION: this server has no durable WAL to ship"
   | Some wal_path ->
@@ -297,6 +334,7 @@ let handle_replication_stream t fd ic oc ~addr ~gen ~offset =
         ri_addr = addr;
         ri_state = "streaming";
         ri_gen = gen;
+        ri_epoch = epoch;
         ri_sent_offset = offset;
         ri_acked_offset = offset;
         ri_acked_commits = 0;
@@ -354,7 +392,7 @@ let handle_replication_stream t fd ic oc ~addr ~gen ~offset =
           with_db_lock t (fun () ->
               match Db.replication_state t.db with
               | None -> `Error "REPLICATION: durable storage detached"
-              | Some (cur_gen, wal_end) ->
+              | Some (cur_gen, wal_end, _) ->
                 if cur_gen <> ri.ri_gen then
                   `Error
                     (Printf.sprintf
@@ -419,7 +457,7 @@ let handle_replication_stream t fd ic oc ~addr ~gen ~offset =
         with_replicas_lock t (fun () -> Hashtbl.remove t.replicas ri.ri_id);
         Metrics.gauge_add g_replicas (-1);
         Log.info (fun m -> m "replication subscriber %s gone" addr))
-      stream
+      stream)
 
 (* Serves one [P] snapshot-bootstrap exchange:
    [M snapshot <gen> <offset>] followed by a single chunk holding the
@@ -439,14 +477,14 @@ let handle_snapshot_request t oc =
   | exception Db.Error msg -> reply (Protocol.Error msg)
   | None ->
     reply (Protocol.Error "REPLICATION: this server has no durable WAL to ship")
-  | Some (gen, text, offset) -> (
+  | Some (gen, text, offset, epoch) -> (
     Metrics.incr m_repl_bootstraps;
     match Failpoint.stream ~site:"repl.snapshot" text with
     | None, _ -> false (* dropped mid-bootstrap: sever *)
     | Some p, kill -> (
       match
         Protocol.write_response oc
-          (Protocol.Message (Printf.sprintf "snapshot %d %d" gen offset));
+          (Protocol.Message (Printf.sprintf "snapshot %d %d %d" gen offset epoch));
         Protocol.write_chunk oc p;
         flush oc
       with
@@ -540,6 +578,25 @@ let execute_guarded t ~session ~session_timeout ~params sql =
         session_timeout := setting;
         (Protocol.Message text, None)
       end
+    | Ast.Promote when t.promote_handler <> None ->
+      (* Runs the replication client's promotion outside the db lock —
+         the handler stops the follower loop (which may itself be
+         holding the lock to apply a batch) and takes the lock for the
+         switch itself. *)
+      if t.draining then
+        (Protocol.Error (Deadline.reason_message Deadline.Shutdown), None)
+      else (
+        match (Option.get t.promote_handler) () with
+        | Ok (gen, epoch) ->
+          Metrics.incr m_promotions;
+          ( Protocol.Message
+              (Printf.sprintf
+                 "PROMOTE complete: now primary (generation %d, epoch %d)" gen
+                 epoch),
+            None )
+        | Error msg -> (Protocol.Error msg, None)
+        | exception e ->
+          (Protocol.Error ("PROMOTE failed: " ^ Printexc.to_string e), None))
     | stmt ->
       if t.draining then
         (Protocol.Error (Deadline.reason_message Deadline.Shutdown), None)
@@ -645,12 +702,12 @@ let handle_session t fd addr =
         if reply response then loop ()
       | Ok (Some Protocol.Metrics) ->
         if reply (Protocol.Message (Metrics.dump_text ())) then loop ()
-      | Ok (Some (Protocol.Wal_subscribe { gen; offset })) ->
+      | Ok (Some (Protocol.Wal_subscribe { gen; offset; epoch })) ->
         (* the session becomes a replication stream; when the stream
            ends (drain, gen change, broken link) so does the session *)
         if t.draining then
           ignore (reply (Protocol.Error (Deadline.reason_message Deadline.Shutdown)))
-        else handle_replication_stream t fd ic oc ~addr ~gen ~offset
+        else handle_replication_stream t fd ic oc ~addr ~gen ~offset ~epoch
       | Ok (Some Protocol.Snapshot_request) ->
         if t.draining then
           ignore (reply (Protocol.Error (Deadline.reason_message Deadline.Shutdown)))
@@ -662,6 +719,17 @@ let handle_session t fd addr =
         let s = match t.staleness_probe with Some f -> f () | None -> 0.0 in
         if reply (Protocol.Message (Printf.sprintf "staleness %.6f" s)) then
           loop ()
+      | Ok (Some Protocol.Role_probe) ->
+        (* Primary discovery for HA clients: role + promotion epoch,
+           read under the db lock so a concurrent PROMOTE can never
+           show a half-switched answer. *)
+        let role, epoch =
+          with_db_lock t (fun () ->
+              ((if Db.read_only t.db then "replica" else "primary"),
+               Db.epoch t.db))
+        in
+        if reply (Protocol.Message (Printf.sprintf "role %s %d" role epoch))
+        then loop ()
       | Ok None ->
         if reply (Protocol.Error "malformed request") then loop ()
       | Error e ->
@@ -740,6 +808,7 @@ let listen ?(host = "127.0.0.1") ?idle_timeout ?slow_ms ?max_sessions
       replicas_lock = Mutex.create ();
       replica_ids = Atomic.make 1;
       staleness_probe = None;
+      promote_handler = None;
       draining = false;
       running = true }
   in
@@ -756,7 +825,8 @@ let listen ?(host = "127.0.0.1") ?idle_timeout ?slow_ms ?max_sessions
       { Tip_engine.Vtab.vt_name = "tip_stat_replication";
         vt_cols =
           [| "peer_addr"; "role"; "state"; "generation"; "wal_bytes";
-             "acked_bytes"; "lag_bytes"; "acked_commits"; "lag_seconds" |];
+             "acked_bytes"; "lag_bytes"; "acked_commits"; "lag_seconds";
+             "epoch" |];
         vt_help = "one row per replication subscriber (primary side)";
         vt_rows =
           (fun catalog ->
@@ -886,5 +956,19 @@ let db_mutex t = t.db_lock
 (* Installed by the replication client on a replica server: lets L
    probes report how far behind the primary this server's reads are. *)
 let set_staleness_probe t f = t.staleness_probe <- Some f
+
+(* Installed by the replication client on a served replica: PROMOTE
+   (wire statement or SIGUSR1) runs it to perform the failover. *)
+let set_promote_handler t f = t.promote_handler <- Some f
+
+let promote t =
+  match t.promote_handler with
+  | None -> Error "PROMOTE: this server is not a replica"
+  | Some f -> (
+    match f () with
+    | Ok _ as ok ->
+      Metrics.incr m_promotions;
+      ok
+    | Error _ as e -> e)
 
 let replica_count t = with_replicas_lock t (fun () -> Hashtbl.length t.replicas)

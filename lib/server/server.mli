@@ -62,15 +62,20 @@ val draining : t -> bool
 (** Sessions currently connected. *)
 val active_sessions : t -> int
 
-(** {1 Replication}
+(** {1 Replication and high availability}
 
-    A durable server is a potential primary: [S <gen> <offset>] turns a
-    session into a WAL byte stream (chunks, keepalives, subscriber acks
-    on the same socket) and [P] serves a consistent snapshot bootstrap;
-    per-subscriber lag is queryable as [tip_stat_replication]. {!drain}
-    answers every open stream [E SHUTDOWN]. Streamed chunks pass the
-    [repl.send] failpoint and the bootstrap passes [repl.snapshot], so
-    tests can drop/delay/truncate/bit-flip frames in flight. *)
+    A durable server is a potential primary: [S <gen> <offset> <epoch>]
+    turns a session into a WAL byte stream (chunks, keepalives,
+    subscriber acks on the same socket) and [P] serves a consistent
+    snapshot bootstrap; per-subscriber lag is queryable as
+    [tip_stat_replication]. A subscription whose promotion epoch does
+    not match the server's is fenced with [E STALE_EPOCH: ...] before
+    any byte is shipped (split-brain protection, DESIGN.md §15). [W]
+    answers [M role <primary|replica> <epoch>] for client failover
+    discovery. {!drain} answers every open stream [E SHUTDOWN].
+    Streamed chunks pass the [repl.send] failpoint and the bootstrap
+    passes [repl.snapshot], so tests can drop/delay/truncate/bit-flip
+    frames in flight. *)
 
 (** The statement-serialization mutex. The replication client on a
     replica shares it so stream replay and reads interleave safely. *)
@@ -79,6 +84,15 @@ val db_mutex : t -> Mutex.t
 (** Installs the staleness probe answering [L] requests — on a replica,
     seconds behind the primary (a primary answers [0] by default). *)
 val set_staleness_probe : t -> (unit -> float) -> unit
+
+(** Installs the promotion handler a served replica runs on [PROMOTE]
+    (wire statement or SIGUSR1 via {!promote}). The handler is invoked
+    outside the db lock — it owns its own locking — and returns the new
+    [(generation, epoch)] or a typed error. *)
+val set_promote_handler : t -> (unit -> (int * int, string) result) -> unit
+
+(** Runs the installed promotion handler (the SIGUSR1 path). *)
+val promote : t -> (int * int, string) result
 
 (** Live replication subscribers (primary side). *)
 val replica_count : t -> int

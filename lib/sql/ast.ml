@@ -155,6 +155,12 @@ type statement =
   | Show_tables
   | Describe of { table : string }
   | Checkpoint (* snapshot + truncate the WAL (no-op without durability) *)
+  | Backup of string
+    (* BACKUP TO 'dir': render a consistent online backup (snapshot +
+       origin stamp) for point-in-time recovery (tip_restore) *)
+  | Promote
+    (* PROMOTE: stop following the primary and become writable under a
+       bumped promotion epoch; only meaningful on a served replica *)
   | Analyze of string option
     (* collect optimizer statistics for one table, or all when None *)
   | Stats of string option

@@ -801,6 +801,14 @@ let rec parse_statement st =
   end
   else if eat_kw st "DESCRIBE" then Ast.Describe { table = ident st }
   else if eat_kw st "CHECKPOINT" then Ast.Checkpoint
+  else if eat_kw st "BACKUP" then begin
+    (* BACKUP TO 'dir' *)
+    if not (eat_kw st "TO") then error st "expected TO";
+    match next st with
+    | Token.String dir -> Ast.Backup dir
+    | _ -> error st "expected a quoted backup directory"
+  end
+  else if eat_kw st "PROMOTE" then Ast.Promote
   else if eat_kw st "ANALYZE" then begin
     (* ANALYZE [table] — statistics for one table, or every table *)
     match peek st with

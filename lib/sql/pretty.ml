@@ -214,6 +214,8 @@ and pp_statement ppf = function
   | Ast.Show_tables -> Fmt.string ppf "SHOW TABLES"
   | Ast.Describe { table } -> Fmt.pf ppf "DESCRIBE %s" table
   | Ast.Checkpoint -> Fmt.string ppf "CHECKPOINT"
+  | Ast.Backup dir -> Fmt.pf ppf "BACKUP TO '%s'" (escape_string dir)
+  | Ast.Promote -> Fmt.string ppf "PROMOTE"
   | Ast.Analyze None -> Fmt.string ppf "ANALYZE"
   | Ast.Analyze (Some table) -> Fmt.pf ppf "ANALYZE %s" table
   | Ast.Stats None -> Fmt.string ppf "STATS"

@@ -162,10 +162,12 @@ let save_partitioned buf pt =
     pt.Partition.pt_parts;
   Buffer.add_string buf "end\n"
 
-let snapshot_string ?wal_gen catalog =
+let snapshot_string ?wal_gen ?epoch ?asof catalog =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "tipdb 1\n";
   Option.iter (fun g -> Printf.bprintf buf "walgen %d\n" g) wal_gen;
+  Option.iter (fun e -> Printf.bprintf buf "epoch %d\n" e) epoch;
+  Option.iter (fun a -> Printf.bprintf buf "asof %d\n" a) asof;
   List.iter
     (fun name -> save_table buf (Catalog.table_exn catalog name))
     (Catalog.table_names catalog);
@@ -179,8 +181,8 @@ let snapshot_string ?wal_gen catalog =
 
 (* Write-to-temp, fsync, rename: a crash at any point leaves either the
    old snapshot or the new one, never a truncated mix. *)
-let save ?wal_gen catalog path =
-  let content = snapshot_string ?wal_gen catalog in
+let save ?wal_gen ?epoch ?asof catalog path =
+  let content = snapshot_string ?wal_gen ?epoch ?asof catalog in
   let tmp = path ^ ".tmp" in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   Fun.protect
@@ -350,6 +352,12 @@ let load_partitioned r catalog ~parent ~column =
   | exception (Partition.Partition_error msg | Catalog.Catalog_error msg) ->
     format_error "partitioned table %s: %s" parent msg
 
+type meta = {
+  m_wal_gen : int option; (* the walgen line, when present *)
+  m_epoch : int; (* promotion epoch (0 for pre-HA snapshots) *)
+  m_asof : int option; (* instant of the newest commit folded in *)
+}
+
 let load_from r =
   (match read_line_opt r with
   | Some "tipdb 1" -> ()
@@ -357,6 +365,8 @@ let load_from r =
   | None -> format_error "empty file");
   let catalog = Catalog.create () in
   let wal_gen = ref None in
+  let epoch = ref 0 in
+  let asof = ref None in
   let rec tables () =
     match read_line_opt r with
     | None -> ()
@@ -366,6 +376,12 @@ let load_from r =
       | [ "walgen"; g ] ->
         wal_gen := Some (int_cell g);
         tables ()
+      | [ "epoch"; e ] ->
+        epoch := int_cell e;
+        tables ()
+      | [ "asof"; a ] ->
+        asof := Some (int_cell a);
+        tables ()
       | [ "partitioned"; parent; column ] ->
         load_partitioned r catalog ~parent ~column;
         tables ()
@@ -374,13 +390,17 @@ let load_from r =
         tables ())
   in
   tables ();
-  (catalog, !wal_gen)
+  (catalog, { m_wal_gen = !wal_gen; m_epoch = !epoch; m_asof = !asof })
 
-let load_full path =
+let load_meta path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> load_from (reader_of_channel ic))
 
-let load path = fst (load_full path)
+let load_full path =
+  let catalog, meta = load_meta path in
+  (catalog, meta.m_wal_gen)
+
+let load path = fst (load_meta path)
 let load_string s = load_from (reader_of_string s)

@@ -14,11 +14,23 @@ exception Format_error of string
 
 (** Writes every table (schema, indexes, rows) to the file, atomically
     (tmp + fsync + rename). [wal_gen] stamps the snapshot with the WAL
-    generation it pairs with (see {!Recovery}). *)
-val save : ?wal_gen:int -> Catalog.t -> string -> unit
+    generation it pairs with (see {!Recovery}); [epoch] with the
+    promotion epoch; [asof] with the instant (unix seconds) of the
+    newest commit folded into it (the backup base instant PITR refuses
+    to restore before). *)
+val save : ?wal_gen:int -> ?epoch:int -> ?asof:int -> Catalog.t -> string -> unit
 
 (** The snapshot text {!save} would write, for diffing and tests. *)
-val snapshot_string : ?wal_gen:int -> Catalog.t -> string
+val snapshot_string :
+  ?wal_gen:int -> ?epoch:int -> ?asof:int -> Catalog.t -> string
+
+(** The header stamps a snapshot carries alongside its tables. Absent
+    lines (pre-HA snapshots) read as [None] / epoch 0. *)
+type meta = {
+  m_wal_gen : int option;
+  m_epoch : int;
+  m_asof : int option;
+}
 
 (** Rebuilds a catalog from a snapshot: rows re-inserted, secondary
     indexes recreated and backfilled.
@@ -27,13 +39,16 @@ val snapshot_string : ?wal_gen:int -> Catalog.t -> string
     @raise Sys_error on I/O failure. *)
 val load : string -> Catalog.t
 
-(** Like {!load}, also returning the snapshot's WAL generation. *)
+(** Like {!load}, also returning the header stamps. *)
+val load_meta : string -> Catalog.t * meta
+
+(** Like {!load_meta}, returning only the WAL generation. *)
 val load_full : string -> Catalog.t * int option
 
-(** Like {!load_full} but from snapshot text in memory — the inverse of
+(** Like {!load_meta} but from snapshot text in memory — the inverse of
     {!snapshot_string}, used by replication bootstrap where the snapshot
     arrives over the wire rather than from a file. *)
-val load_string : string -> Catalog.t * int option
+val load_string : string -> Catalog.t * meta
 
 (**/**)
 

@@ -34,10 +34,15 @@ let wal_path ~dir = Filename.concat dir "wal"
 type info = {
   snapshot_loaded : bool;
   generation : int; (* snapshot's WAL generation (0 when fresh) *)
+  epoch : int; (* promotion epoch recovered with the snapshot *)
   replayed_records : int; (* redo records applied from the log *)
   replayed_batches : int;
   stale_wal : bool; (* generation mismatch: log skipped *)
   stopped : string option; (* why replay stopped before the log's end *)
+  last_commit_at : int option;
+      (* instant (unix seconds) of the newest commit in the recovered
+         state: the last replayed stamped commit, else the snapshot's
+         own asof stamp *)
 }
 
 let ensure_dir dir =
@@ -56,13 +61,17 @@ let recover ~dir =
     Log.info (fun m -> m "discarding interrupted checkpoint %s" tmp);
     try Sys.remove tmp with Sys_error _ -> ()
   end;
-  let catalog, snap_gen, snapshot_loaded =
+  let catalog, snap_meta, snapshot_loaded =
     if Sys.file_exists snapshot then begin
-      let catalog, gen = Persist.load_full snapshot in
-      (catalog, Option.value gen ~default:0, true)
+      let catalog, meta = Persist.load_meta snapshot in
+      (catalog, meta, true)
     end
-    else (Catalog.create (), 0, false)
+    else
+      ( Catalog.create (),
+        { Persist.m_wal_gen = None; m_epoch = 0; m_asof = None },
+        false )
   in
+  let snap_gen = Option.value snap_meta.Persist.m_wal_gen ~default:0 in
   let scan = Wal.scan (wal_path ~dir) in
   let wal_gen = Option.value scan.Wal.generation ~default:0 in
   let stale = scan.Wal.batches <> [] && wal_gen <> snap_gen in
@@ -71,6 +80,7 @@ let recover ~dir =
         m "skipping stale WAL (generation %d, snapshot is %d)" wal_gen snap_gen);
   let replayed_records = ref 0 in
   let replayed_batches = ref 0 in
+  let last_commit_at = ref snap_meta.Persist.m_asof in
   let stopped = ref scan.Wal.stopped in
   if not stale then begin
     try
@@ -79,7 +89,10 @@ let recover ~dir =
           List.iter
             (fun record ->
               Wal.apply catalog record;
-              incr replayed_records)
+              match record with
+              | Wal.Commit at ->
+                (match at with Some _ -> last_commit_at := at | None -> ())
+              | _ -> incr replayed_records)
             batch;
           incr replayed_batches)
         scan.Wal.batches
@@ -97,7 +110,10 @@ let recover ~dir =
   ( catalog,
     { snapshot_loaded;
       generation = snap_gen;
+      epoch = (if stale then snap_meta.Persist.m_epoch else
+                 Stdlib.max snap_meta.Persist.m_epoch scan.Wal.epoch);
       replayed_records = !replayed_records;
       replayed_batches = !replayed_batches;
       stale_wal = stale;
-      stopped = !stopped } )
+      stopped = !stopped;
+      last_commit_at = !last_commit_at } )

@@ -16,11 +16,17 @@ val wal_path : dir:string -> string
 type info = {
   snapshot_loaded : bool;
   generation : int;  (** snapshot's WAL generation (0 when fresh) *)
-  replayed_records : int;  (** redo records applied from the log *)
+  epoch : int;  (** promotion epoch recovered with the snapshot/log *)
+  replayed_records : int;
+      (** redo records applied from the log (commit markers excluded) *)
   replayed_batches : int;
   stale_wal : bool;  (** generation mismatch: log skipped *)
   stopped : string option;
       (** why replay stopped before the log's end, if it did *)
+  last_commit_at : int option;
+      (** instant (unix seconds) of the newest commit in the recovered
+          state — the last stamped commit replayed, else the snapshot's
+          own [asof] stamp *)
 }
 
 (** Rebuilds the catalog from [dir], creating the directory when

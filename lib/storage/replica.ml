@@ -16,7 +16,16 @@
    from, so a mismatched generation frame (the primary checkpointed and
    truncated its log) surfaces as [Apply_failed] and the caller must
    re-bootstrap from a fresh snapshot instead of replaying records onto
-   the wrong base state.
+   the wrong base state. The frame's epoch is fenced the same way: a
+   frame stamped with a different promotion epoch means a failover
+   happened around this stream and its history may have diverged.
+
+   The unconfirmed buffer is capped: a stream that keeps shipping
+   records without ever reaching a commit boundary (a runaway batch, a
+   malicious or corrupt primary) would otherwise grow [buf] without
+   bound. Overflow is classified [Stream_corrupt] — a well-formed
+   primary commits every statement, so a batch larger than the cap is
+   not something replay can ever confirm.
 
    Thread safety: none here — the replication client serializes [feed]
    with reads under the database lock. *)
@@ -37,31 +46,42 @@ let m_bytes =
 
 type error = Stream_corrupt of string | Apply_failed of string
 
+let default_max_pending = 16 * 1024 * 1024
+
 type t = {
   catalog : Catalog.t;
   mutable generation : int;
+  mutable epoch : int; (* promotion epoch the stream must carry *)
+  max_pending : int; (* cap on [buf] (received, unconfirmed bytes) *)
   mutable buf : string; (* received, unconfirmed bytes *)
   mutable parsed : int; (* prefix of [buf] already cut into [pending] *)
   mutable pending : Wal.record list; (* current batch, newest first *)
   mutable applied_offset : int; (* confirmed WAL byte position *)
   mutable applied_commits : int;
   mutable applied_records : int;
+  mutable last_commit_at : int option; (* newest applied commit instant *)
 }
 
-let create catalog ~generation ~offset =
+let create ?(max_pending = default_max_pending) catalog ~generation ~epoch
+    ~offset =
   { catalog;
     generation;
+    epoch;
+    max_pending;
     buf = "";
     parsed = 0;
     pending = [];
     applied_offset = offset;
     applied_commits = 0;
-    applied_records = 0 }
+    applied_records = 0;
+    last_commit_at = None }
 
 let generation t = t.generation
+let epoch t = t.epoch
 let applied_offset t = t.applied_offset
 let applied_commits t = t.applied_commits
 let applied_records t = t.applied_records
+let last_commit_at t = t.last_commit_at
 let catalog t = t.catalog
 
 (* Drops any half-received batch; the confirmed state is untouched.
@@ -72,10 +92,11 @@ let reset_stream t =
   t.pending <- []
 
 (* Points the replica at a fresh base state (a new snapshot bootstrap):
-   new generation, new confirmed offset, stream buffer cleared. The
-   catalog contents are swapped by the caller ([Catalog.assign]). *)
-let rebase t ~generation ~offset =
+   new generation/epoch, new confirmed offset, stream buffer cleared.
+   The catalog contents are swapped by the caller ([Catalog.assign]). *)
+let rebase t ~generation ~epoch ~offset =
   t.generation <- generation;
+  t.epoch <- epoch;
   t.applied_offset <- offset;
   reset_stream t
 
@@ -100,35 +121,50 @@ let apply_batch t records =
 
 let feed t bytes =
   if String.length bytes > 0 then t.buf <- t.buf ^ bytes;
-  let rec step () =
-    match Wal.parse_frame t.buf ~pos:t.parsed with
-    | `Need_more -> Ok ()
-    | `Corrupt msg -> err (Stream_corrupt msg)
-    | `Frame (record, next) -> (
-      match record with
-      | Wal.Generation g ->
-        if t.pending <> [] then
-          err (Stream_corrupt "generation frame inside an open batch")
-        else if g <> t.generation then
-          err
-            (Apply_failed
-               (Printf.sprintf "generation changed (have %d, stream is %d)"
-                  t.generation g))
-        else begin
-          confirm t next;
-          step ()
-        end
-      | Wal.Commit -> (
-        let batch = List.rev t.pending in
-        match apply_batch t batch with
-        | () ->
-          confirm t next;
-          step ()
-        | exception Wal.Corrupt msg -> err (Apply_failed msg)
-        | exception Catalog.Catalog_error msg -> err (Apply_failed msg))
-      | record ->
-        t.pending <- record :: t.pending;
-        t.parsed <- next;
-        step ())
-  in
-  step ()
+  if String.length t.buf > t.max_pending then
+    err
+      (Stream_corrupt
+         (Printf.sprintf
+            "pending stream tail exceeds %d bytes without a commit boundary"
+            t.max_pending))
+  else
+    let rec step () =
+      match Wal.parse_frame t.buf ~pos:t.parsed with
+      | `Need_more -> Ok ()
+      | `Corrupt msg -> err (Stream_corrupt msg)
+      | `Frame (record, next) -> (
+        match record with
+        | Wal.Generation { gen; epoch } ->
+          if t.pending <> [] then
+            err (Stream_corrupt "generation frame inside an open batch")
+          else if epoch <> t.epoch then
+            err
+              (Apply_failed
+                 (Printf.sprintf
+                    "epoch changed (have %d, stream is %d): a promotion \
+                     happened around this stream"
+                    t.epoch epoch))
+          else if gen <> t.generation then
+            err
+              (Apply_failed
+                 (Printf.sprintf "generation changed (have %d, stream is %d)"
+                    t.generation gen))
+          else begin
+            confirm t next;
+            step ()
+          end
+        | Wal.Commit at -> (
+          let batch = List.rev t.pending in
+          match apply_batch t batch with
+          | () ->
+            (match at with Some _ -> t.last_commit_at <- at | None -> ());
+            confirm t next;
+            step ()
+          | exception Wal.Corrupt msg -> err (Apply_failed msg)
+          | exception Catalog.Catalog_error msg -> err (Apply_failed msg))
+        | record ->
+          t.pending <- record :: t.pending;
+          t.parsed <- next;
+          step ())
+    in
+    step ()

@@ -11,23 +11,30 @@
     generation means the primary checkpointed and truncated its log;
     it surfaces as [Apply_failed] and the caller must re-bootstrap
     ({!rebase} after loading the fresh snapshot) instead of diverging.
+    A frame carrying a different promotion epoch is fenced the same
+    way — a failover happened around this stream (DESIGN.md §15).
 
     Not thread-safe: callers serialize {!feed} with reads under the
     database lock. *)
 
 type error =
   | Stream_corrupt of string
-      (** a damaged frame — CRC mismatch, torn header; drop the
-          connection and resume from {!applied_offset} *)
+      (** a damaged frame — CRC mismatch, torn header, or an
+          unconfirmed tail past the buffering cap; drop the connection
+          and resume from {!applied_offset} *)
   | Apply_failed of string
-      (** the stream does not fit the replica's state (generation
-          change, record/catalog mismatch); re-bootstrap *)
+      (** the stream does not fit the replica's state (generation or
+          epoch change, record/catalog mismatch); re-bootstrap *)
 
 type t
 
 (** A replica positioned at byte [offset] of the generation-[generation]
-    WAL, with [catalog] already holding the matching base state. *)
-val create : Catalog.t -> generation:int -> offset:int -> t
+    WAL stamped with promotion epoch [epoch], with [catalog] already
+    holding the matching base state. [max_pending] caps the received
+    unconfirmed bytes (default 16 MiB): a stream that never reaches a
+    commit boundary within the cap is classified [Stream_corrupt]. *)
+val create :
+  ?max_pending:int -> Catalog.t -> generation:int -> epoch:int -> offset:int -> t
 
 (** Ingests stream bytes, applying every complete committed batch.
     On [Error] the replica's confirmed state is still consistent (the
@@ -39,12 +46,19 @@ val feed : t -> string -> (unit, error) result
 (** Drops the half-received tail, keeping all confirmed state. *)
 val reset_stream : t -> unit
 
-(** Re-points the replica at a fresh snapshot's generation and offset
-    (the caller swaps catalog contents via [Catalog.assign] first). *)
-val rebase : t -> generation:int -> offset:int -> unit
+(** Re-points the replica at a fresh snapshot's generation, epoch and
+    offset (the caller swaps catalog contents via [Catalog.assign]
+    first). *)
+val rebase : t -> generation:int -> epoch:int -> offset:int -> unit
 
 val generation : t -> int
+val epoch : t -> int
 val applied_offset : t -> int
 val applied_commits : t -> int
 val applied_records : t -> int
+
+(** Instant (unix seconds) of the newest stamped commit applied from
+    the stream — the replica's applied-state clock. *)
+val last_commit_at : t -> int option
+
 val catalog : t -> Catalog.t

@@ -73,7 +73,7 @@ let crc32 s =
 (* --- Records ----------------------------------------------------------- *)
 
 type record =
-  | Generation of int
+  | Generation of { gen : int; epoch : int }
   | Insert of { table : string; cells : string array }
   | Delete of { table : string; cells : string array }
   | Update of {
@@ -97,7 +97,7 @@ type record =
       unique : bool;
     }
   | Drop_index of string
-  | Commit
+  | Commit of int option
 
 exception Corrupt of string
 
@@ -107,7 +107,7 @@ let cells_line cells = String.concat "\t" (Array.to_list cells)
 let cells_of_line line = Array.of_list (String.split_on_char '\t' line)
 
 let encode = function
-  | Generation g -> Printf.sprintf "generation %d" g
+  | Generation { gen; epoch } -> Printf.sprintf "generation %d %d" gen epoch
   | Insert { table; cells } ->
     Printf.sprintf "insert %s\n%s" table (cells_line cells)
   | Delete { table; cells } ->
@@ -136,7 +136,8 @@ let encode = function
       (if interval then "interval" else "ordered")
       (if unique then 1 else 0)
   | Drop_index idx_name -> Printf.sprintf "drop_index %s" idx_name
-  | Commit -> "commit"
+  | Commit None -> "commit"
+  | Commit (Some at) -> Printf.sprintf "commit %d" at
 
 let int_field s =
   match int_of_string s with
@@ -148,7 +149,10 @@ let decode payload =
   | [] -> corrupt "empty record payload"
   | first :: rest -> (
     match String.split_on_char ' ' first, rest with
-    | [ "generation"; g ], [] -> Generation (int_field g)
+    (* the bare pre-HA form decodes as epoch 0 *)
+    | [ "generation"; g ], [] -> Generation { gen = int_field g; epoch = 0 }
+    | [ "generation"; g; e ], [] ->
+      Generation { gen = int_field g; epoch = int_field e }
     | [ "insert"; table ], [ cells ] ->
       Insert { table; cells = cells_of_line cells }
     | [ "delete"; table ], [ cells ] ->
@@ -189,7 +193,9 @@ let decode payload =
       in
       Create_index { idx_name; table; column; interval; unique = unique = "1" }
     | [ "drop_index"; idx_name ], [] -> Drop_index idx_name
-    | [ "commit" ], [] -> Commit
+    (* the bare pre-HA marker decodes as "instant unknown" *)
+    | [ "commit" ], [] -> Commit None
+    | [ "commit"; at ], [] -> Commit (Some (int_field at))
     | _ -> corrupt "unrecognized record %S" first)
 
 let frame record =
@@ -223,6 +229,7 @@ type writer = {
   path : string;
   fd : Unix.file_descr;
   sync_policy : sync_policy;
+  mutable epoch : int; (* promotion epoch stamped into generation frames *)
   mutable unsynced_commits : int;
   mutable appended : int; (* records since open/truncate *)
   mutable bytes : int; (* bytes written since open/truncate *)
@@ -243,8 +250,8 @@ let fsync_fd fd =
   Metrics.incr m_fsyncs;
   Failpoint.fsync ~site:"wal.fsync" fd
 
-(* Creates (or truncates) the log and stamps it with [gen]. *)
-let create ?(sync = Always) ~gen path =
+(* Creates (or truncates) the log and stamps it with [gen]/[epoch]. *)
+let create ?(sync = Always) ?(epoch = 0) ~gen path =
   let fd =
     Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
   in
@@ -252,24 +259,26 @@ let create ?(sync = Always) ~gen path =
     { path;
       fd;
       sync_policy = sync;
+      epoch;
       unsynced_commits = 0;
       appended = 0;
       bytes = 0;
       closed = false }
   in
-  write_frames w [ Generation gen ];
+  write_frames w [ Generation { gen; epoch } ];
   fsync_fd fd;
   w
 
 let check_open w = if w.closed then invalid_arg "Wal: writer is closed"
 
-(* Appends the records plus a commit marker in one write, then syncs
-   according to the policy. Once this returns under [Always], the
-   records survive any crash. *)
-let commit w records =
+(* Appends the records plus a commit marker — stamped with the commit
+   instant [at] (unix seconds) when the caller knows it — in one write,
+   then syncs according to the policy. Once this returns under
+   [Always], the records survive any crash. *)
+let commit ?at w records =
   check_open w;
   Metrics.incr m_commits;
-  write_frames w (records @ [ Commit ]);
+  write_frames w (records @ [ Commit at ]);
   w.appended <- w.appended + List.length records + 1;
   match w.sync_policy with
   | Always -> fsync_fd w.fd
@@ -284,16 +293,19 @@ let commit w records =
 let record_count w = w.appended
 let offset w = w.bytes
 let pending_sync w = w.unsynced_commits > 0
+let writer_epoch w = w.epoch
 
 (* Empties the log and stamps the new generation (the checkpoint's
-   second half; the snapshot carrying [gen] must already be in place). *)
-let truncate w ~gen =
+   second half; the snapshot carrying [gen] must already be in place).
+   [epoch] bumps the promotion epoch — only a replica promotion does. *)
+let truncate ?epoch w ~gen =
   check_open w;
   Metrics.incr m_truncates;
+  (match epoch with Some e -> w.epoch <- e | None -> ());
   Unix.ftruncate w.fd 0;
   ignore (Unix.lseek w.fd 0 Unix.SEEK_SET);
   w.bytes <- 0;
-  write_frames w [ Generation gen ];
+  write_frames w [ Generation { gen; epoch = w.epoch } ];
   fsync_fd w.fd;
   w.appended <- 0;
   w.unsynced_commits <- 0
@@ -315,6 +327,7 @@ let close w =
 
 type scan = {
   generation : int option;
+  epoch : int; (* promotion epoch of the leading frame (0 when absent) *)
   batches : record list list; (* committed batches, oldest first *)
   stopped : string option; (* why reading stopped before the end *)
 }
@@ -398,24 +411,26 @@ let parse_frame buf ~pos =
    damaged input. *)
 let scan path =
   if not (Sys.file_exists path) then
-    { generation = None; batches = []; stopped = None }
+    { generation = None; epoch = 0; batches = []; stopped = None }
   else begin
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () ->
         let generation = ref None in
+        let epoch = ref 0 in
         let batches = ref [] in
         let pending = ref [] in
         let stopped = ref None in
         let rec go first =
           match read_frame ic with
           | None -> ()
-          | Some (Generation g) when first ->
-            generation := Some g;
+          | Some (Generation { gen; epoch = e }) when first ->
+            generation := Some gen;
+            epoch := e;
             go false
-          | Some Commit ->
-            batches := List.rev !pending :: !batches;
+          | Some (Commit _ as c) ->
+            batches := List.rev (c :: !pending) :: !batches;
             pending := [];
             go false
           | Some r ->
@@ -425,6 +440,7 @@ let scan path =
         in
         go true;
         { generation = !generation;
+          epoch = !epoch;
           batches = List.rev !batches;
           stopped = !stopped })
   end
@@ -468,7 +484,7 @@ let apply catalog record =
     | None -> corrupt "no such table %s in log replay" name
   in
   match record with
-  | Generation _ | Commit -> ()
+  | Generation _ | Commit _ -> ()
   | Insert { table; cells } ->
     let table = table_exn table in
     let row = parse_cells table cells in

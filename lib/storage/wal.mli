@@ -22,7 +22,10 @@ val crc32 : string -> int32
     row by full-row equality (the engine has no stable physical row ids
     across snapshot reload). *)
 type record =
-  | Generation of int
+  | Generation of { gen : int; epoch : int }
+      (** [epoch] is the promotion epoch (DESIGN.md §15): bumped when a
+          replica is promoted to primary, so a stale pre-promotion
+          stream can be fenced. Pre-HA logs decode as epoch 0. *)
   | Insert of { table : string; cells : string array }
   | Delete of { table : string; cells : string array }
   | Update of {
@@ -48,7 +51,10 @@ type record =
       unique : bool;
     }
   | Drop_index of string
-  | Commit
+  | Commit of int option
+      (** the commit instant in unix seconds — the transaction time that
+          point-in-time recovery stops on. [None] when decoded from a
+          pre-HA bare [commit] marker. *)
 
 (** A damaged frame or a record that does not fit the catalog. {!scan}
     never lets it escape; {!apply} raises it. *)
@@ -69,13 +75,14 @@ val sync_policy_to_string : sync_policy -> string
 type writer
 
 (** Creates (or truncates) the log at [path], stamped with generation
-    [gen] and fsynced. *)
-val create : ?sync:sync_policy -> gen:int -> string -> writer
+    [gen] (and promotion epoch [epoch], default 0) and fsynced. *)
+val create : ?sync:sync_policy -> ?epoch:int -> gen:int -> string -> writer
 
-(** Appends the records plus a commit marker in one write, then syncs
+(** Appends the records plus a commit marker — stamped with the commit
+    instant [at] (unix seconds) when given — in one write, then syncs
     per the policy. Under [Always], once this returns the batch survives
     any crash. *)
-val commit : writer -> record list -> unit
+val commit : ?at:int -> writer -> record list -> unit
 
 (** Records appended since the writer was created or last truncated
     (commit markers included) — the checkpoint trigger. *)
@@ -92,8 +99,12 @@ val pending_sync : writer -> bool
 
 (** Empties the log and stamps the new generation (the second half of a
     checkpoint; the snapshot carrying [gen] must already be renamed into
-    place). *)
-val truncate : writer -> gen:int -> unit
+    place). [epoch] bumps the writer's promotion epoch — only a replica
+    promotion passes it. *)
+val truncate : ?epoch:int -> writer -> gen:int -> unit
+
+(** The promotion epoch stamped into this writer's generation frames. *)
+val writer_epoch : writer -> int
 
 (** Forces an fsync regardless of policy. *)
 val sync : writer -> unit
@@ -106,7 +117,11 @@ val close : writer -> unit
 
 type scan = {
   generation : int option;  (** the leading generation frame, if any *)
-  batches : record list list;  (** committed batches, oldest first *)
+  epoch : int;  (** its promotion epoch (0 when absent or pre-HA) *)
+  batches : record list list;
+      (** committed batches, oldest first; each batch ends with its
+          {!constructor-Commit} marker so callers can read the commit
+          instant *)
   stopped : string option;
       (** why reading stopped before a clean end of file *)
 }

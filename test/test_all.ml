@@ -32,4 +32,5 @@ let () =
       ("governor", Test_governor.suite);
       ("introspect", Test_introspect.suite);
       ("replication", Test_replication.suite);
-      ("partition", Test_partition.suite) ]
+      ("partition", Test_partition.suite);
+      ("ha", Test_ha.suite) ]

@@ -78,7 +78,8 @@ let sample_columns =
 
 let check_record_roundtrip () =
   let records =
-    [ Wal.Generation 42;
+    [ Wal.Generation { gen = 42; epoch = 0 };
+      Wal.Generation { gen = 7; epoch = 3 };
       Wal.Insert { table = "t"; cells = [| "1"; "x\ty" |] };
       Wal.Delete { table = "t"; cells = [| "1"; "x\ty" |] };
       Wal.Update
@@ -89,7 +90,8 @@ let check_record_roundtrip () =
         { idx_name = "i"; table = "t"; column = "b"; interval = false;
           unique = true };
       Wal.Drop_index "i";
-      Wal.Commit ]
+      Wal.Commit None;
+      Wal.Commit (Some 959861015) ]
   in
   List.iter
     (fun r ->
@@ -150,7 +152,9 @@ let check_bit_flip_detected () =
       write_sample_log path;
       let whole = read_file path in
       (* flip one bit inside the first batch, past the generation frame *)
-      let gen_len = String.length (Wal.frame (Wal.Generation 1)) in
+      let gen_len =
+        String.length (Wal.frame (Wal.Generation { gen = 1; epoch = 0 }))
+      in
       let b = Bytes.of_string whole in
       let target = gen_len + 10 in
       Bytes.set b target (Char.chr (Char.code (Bytes.get b target) lxor 0x10));

@@ -368,7 +368,7 @@ let check_replication () =
       ignore (exec db (part_ddl "t"));
       List.iter (fun sql -> ignore (exec db sql)) (seed_rows "t");
       (* Bootstrap a replica from the snapshot payload... *)
-      let gen, snap, offset =
+      let gen, snap, offset, epoch =
         match Db.replication_snapshot db with
         | Some s -> s
         | None -> Alcotest.fail "expected a replication snapshot"
@@ -376,7 +376,7 @@ let check_replication () =
       let catalog, _ = Persist.load_string snap in
       Alcotest.(check bool) "snapshot bootstrap carries partitions" true
         (Catalog.find_partitioned catalog "t" <> None);
-      let replica = Replica.create catalog ~generation:gen ~offset in
+      let replica = Replica.create catalog ~generation:gen ~epoch ~offset in
       (* ... then stream everything the primary does next, including a
          cross-partition move. *)
       ignore (exec db "INSERT INTO t VALUES (5, 'e', '{[2021-07-01, 2021-08-01]}')");

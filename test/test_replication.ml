@@ -59,7 +59,7 @@ let check_feed_chunked () =
       let wal, fp = build_wal dir in
       List.iter
         (fun chunk ->
-          let r = Replica.create (Catalog.create ()) ~generation:1 ~offset:0 in
+          let r = Replica.create (Catalog.create ()) ~generation:1 ~epoch:0 ~offset:0 in
           let pos = ref 0 in
           while !pos < String.length wal do
             let n = min chunk (String.length wal - !pos) in
@@ -87,7 +87,7 @@ let check_feed_bitflip_resume () =
       let flip_at = String.length wal * 3 / 5 in
       let bad = Bytes.of_string wal in
       Bytes.set bad flip_at (Char.chr (Char.code (Bytes.get bad flip_at) lxor 0x10));
-      let r = Replica.create (Catalog.create ()) ~generation:1 ~offset:0 in
+      let r = Replica.create (Catalog.create ()) ~generation:1 ~epoch:0 ~offset:0 in
       (match Replica.feed r (Bytes.to_string bad) with
       | Error (Replica.Stream_corrupt _) -> ()
       | Ok () -> Alcotest.fail "bit flip must not apply cleanly"
@@ -110,7 +110,7 @@ let check_feed_bitflip_resume () =
 let check_feed_generation_mismatch () =
   with_dir (fun dir ->
       let wal, _ = build_wal dir in
-      let r = Replica.create (Catalog.create ()) ~generation:999 ~offset:0 in
+      let r = Replica.create (Catalog.create ()) ~generation:999 ~epoch:0 ~offset:0 in
       match Replica.feed r wal with
       | Error (Replica.Apply_failed _) -> ()
       | Ok () -> Alcotest.fail "a foreign generation must not apply"
