@@ -62,7 +62,8 @@ let parse_replica_of s =
     exit 2
 
 let main port demo load save durability sync archive_dir idle_timeout now
-    slow_ms max_sessions statement_timeout_ms trace_dir log_format replica_of =
+    slow_ms max_sessions statement_timeout_ms trace_dir log_format replica_of
+    monitor_port ready_max_staleness =
   (* every server log line — Logs sources and our own announcements —
      goes through the one mutex-guarded timestamped sink *)
   Option.iter (fun s -> Sink.set_format (parse_log_format s)) log_format;
@@ -160,6 +161,45 @@ let main port demo load save durability sync archive_dir idle_timeout now
         repl)
       replica_of
   in
+  (* The ops-facing HTTP endpoint (DESIGN.md §16): liveness, readiness,
+     Prometheus metrics and the ASH ring, all off the database lock.
+     Readiness: recovery is done by the time we listen, so a primary is
+     ready unless draining; a replica must be streaming (or promoted)
+     with staleness under --ready-max-staleness. *)
+  let monitor =
+    Option.map
+      (fun mp ->
+        Tip_server.Monitor.start ~port:mp
+          ~ready:(fun () ->
+            if Tip_server.Server.draining server then (false, "draining")
+            else
+              match replication with
+              | None -> (true, "ready: primary")
+              | Some repl -> (
+                match Tip_server.Replication.state repl with
+                | "promoted" -> (true, "ready: promoted primary")
+                | "streaming" ->
+                  let stale =
+                    Tip_server.Replication.staleness_seconds repl
+                  in
+                  if stale <= ready_max_staleness then
+                    ( true,
+                      Printf.sprintf "ready: streaming, staleness %.3fs" stale
+                    )
+                  else
+                    ( false,
+                      Printf.sprintf
+                        "not ready: staleness %.3fs exceeds %.3fs" stale
+                        ready_max_staleness )
+                | st -> (false, "not ready: replication " ^ st)))
+          ())
+      monitor_port
+  in
+  Option.iter
+    (fun m ->
+      Sink.line "tip_server: monitoring endpoint on port %d"
+        (Tip_server.Monitor.port m))
+    monitor;
   Sink.line "tip_server: listening on port %d%s"
     (Tip_server.Server.port server)
     (if demo then " (medical demo loaded)" else "");
@@ -194,6 +234,7 @@ let main port demo load save durability sync archive_dir idle_timeout now
                 ())));
   Tip_server.Server.serve server;
   Sink.line "tip_server: draining";
+  Option.iter Tip_server.Monitor.stop monitor;
   Option.iter Tip_server.Replication.stop replication;
   let secs = Tip_server.Server.drain server in
   Sink.line "tip_server: drained in %.3fs, shutting down" secs;
@@ -283,10 +324,24 @@ let () =
                  member: it rejoins from its recovered local state and can \
                  be promoted to primary (PROMOTE statement or SIGUSR1).")
   in
+  let monitor_port =
+    Arg.(value & opt (some int) None & info [ "monitor-port" ] ~docv:"PORT"
+           ~doc:"Serve the HTTP monitoring endpoint on PORT: GET /metrics \
+                 (Prometheus exposition), /healthz (liveness), /readyz \
+                 (readiness), /ash.json (active session history). 0 picks \
+                 an ephemeral port.")
+  in
+  let ready_max_staleness =
+    Arg.(value & opt float 10.0 & info [ "ready-max-staleness" ]
+           ~docv:"SECONDS"
+           ~doc:"Replica readiness threshold for /readyz: a streaming \
+                 replica further behind its primary than this answers 503.")
+  in
   let term =
     Term.(const main $ port $ demo $ load $ save $ durability $ sync
           $ archive_dir $ idle_timeout $ now $ slow_ms $ max_sessions
-          $ statement_timeout_ms $ trace_dir $ log_format $ replica_of)
+          $ statement_timeout_ms $ trace_dir $ log_format $ replica_of
+          $ monitor_port $ ready_max_staleness)
   in
   let info = Cmd.info "tip_serve" ~doc:"TIP database server" in
   exit (Cmd.eval (Cmd.v info term))

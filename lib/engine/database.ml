@@ -16,6 +16,7 @@ open Tip_storage
 module Ast = Tip_sql.Ast
 module Parser = Tip_sql.Parser
 module Metrics = Tip_obs.Metrics
+module Wait = Tip_obs.Wait
 module Trace = Tip_obs.Trace
 module Introspect = Tip_obs.Introspect
 module Deadline = Tip_core.Deadline
@@ -199,6 +200,7 @@ let checkpoint t =
   match t.durability with
   | None -> 0
   | Some d ->
+    Wait.with_wait Wait.Checkpoint @@ fun () ->
     flush_pending t;
     (* Bring the durability point current before rendering the
        snapshot: an Every_n policy may be holding up to n-1 commits it
@@ -217,6 +219,10 @@ let checkpoint t =
     Wal.truncate d.wal ~gen;
     d.gen <- gen;
     Metrics.incr m_checkpoints;
+    Tip_obs.Events.record ~kind:"checkpoint"
+      ~detail:
+        (Printf.sprintf "gen %d sealed, %d log record(s) truncated" (gen - 1)
+           truncated);
     truncated
 
 let maybe_auto_checkpoint t =
@@ -255,6 +261,10 @@ let backup t ~dir =
         (Persist.snapshot_string ~wal_gen:d.gen ~epoch:d.epoch
            ?asof:d.last_commit_at t.catalog)
       origin;
+    Tip_obs.Events.record ~kind:"backup"
+      ~detail:
+        (Printf.sprintf "to %s at gen %d offset %d epoch %d" dir d.gen
+           origin.Archive.o_offset d.epoch);
     origin
 
 let undo_entry = function
@@ -1319,6 +1329,18 @@ let open_durable ?(sync = Wal.Always) ?(checkpoint_every = 10_000) ?archive_dir
         archive_dir;
         checkpoint_every;
         last_commit_at = info.Recovery.last_commit_at };
+  (* The durable open is where a process becomes a database server of
+     some kind: attach the persistent event journal next to the WAL and
+     turn the ASH sampler on. *)
+  Tip_obs.Events.set_journal (Some (Filename.concat dir "events.log"));
+  Tip_obs.Events.record ~kind:"recovery"
+    ~detail:
+      (Printf.sprintf "opened %s at gen %d epoch %d, replayed %d record(s)%s"
+         dir gen epoch info.Recovery.replayed_records
+         (match info.Recovery.stopped with
+         | Some reason -> Printf.sprintf " (log tail dropped: %s)" reason
+         | None -> ""));
+  Tip_obs.Wait.start_sampler ();
   (t, info)
 
 (* Detaches and closes the WAL without checkpointing — on-disk state is
@@ -1350,6 +1372,17 @@ let replication_state t =
 
 let replication_wal_path t =
   Option.map (fun d -> Recovery.wal_path ~dir:d.dir) t.durability
+
+(* Highest WAL generation sealed into the attached archive — what
+   tip_stat_replication reports as [archive_generation]. [None] without
+   an archive (or before the first seal). *)
+let archive_generation t =
+  match t.durability with
+  | Some { archive_dir = Some adir; _ } -> (
+    match Archive.sealed_generations adir with
+    | [] -> None
+    | gens -> Some (List.fold_left max 0 gens))
+  | Some _ | None -> None
 
 (* The bootstrap payload: snapshot text plus the (generation, offset,
    epoch) triple it is consistent with. Must run under the server's
@@ -1392,7 +1425,13 @@ let promote_replica ?(sync = Wal.Always) ?(checkpoint_every = 10_000)
   t.durability <-
     Some { dir; wal; gen; epoch; archive_dir; checkpoint_every;
            last_commit_at = asof };
-  t.read_only <- false
+  t.read_only <- false;
+  Tip_obs.Events.set_journal (Some (Filename.concat dir "events.log"));
+  Tip_obs.Events.record ~kind:"promotion"
+    ~detail:(Printf.sprintf "writable at %s, gen %d epoch %d" dir gen epoch);
+  Tip_obs.Events.record ~kind:"epoch_change"
+    ~detail:(Printf.sprintf "epoch now %d" epoch);
+  Tip_obs.Wait.start_sampler ()
 
 (* --- Result helpers ----------------------------------------------------------- *)
 
@@ -1456,6 +1495,37 @@ let render_result result =
    or served) resolves them. *)
 
 let ms ns = Value.Float (float_of_int ns /. 1e6)
+
+(* Typed temporal values for the observability vtabs: the engine cannot
+   depend on the blade, so it renders the text form and parses it
+   through the registered type vtable (the same trick the server uses
+   for tip_stat_activity), degrading gracefully when the blade is not
+   installed. *)
+let typed_value type_name text fallback =
+  match Value.lookup_type type_name with
+  | Some vt -> (
+    try vt.Value.parse text with Value.Type_error _ -> fallback)
+  | None -> fallback
+
+let instant_value unix_time =
+  let c = Tip_core.Chronon.of_unix_seconds (int_of_float unix_time) in
+  typed_value "instant" (Tip_core.Chronon.to_string c) (Value.Date c)
+
+(* An ASH sample's valid time: the closed chronon span of its tick, as
+   a one-period ELEMENT — the same shape as any valid-time column, so
+   the set-algebra [overlaps]/[contains] predicates (and the planner's
+   sargable pruning) window it exactly like table history. Chronons are
+   second-granular, so a 100ms tick renders as the degenerate period
+   [t, t] — closed, hence still windowable. *)
+let period_value ~from_s ~to_s =
+  let c1 = Tip_core.Chronon.of_unix_seconds (int_of_float from_s) in
+  let c2 = Tip_core.Chronon.of_unix_seconds (int_of_float (Float.max from_s to_s)) in
+  let text =
+    Printf.sprintf "{[%s, %s]}"
+      (Tip_core.Chronon.to_string c1)
+      (Tip_core.Chronon.to_string c2)
+  in
+  typed_value "element" text (Value.Str text)
 
 let () =
   Vtab.register
@@ -1572,4 +1642,54 @@ let () =
                        Value.Int (Atomic.get p.Partition.p_scanned);
                        Value.Int (Atomic.get p.Partition.p_pruned) |])
                   (Partition.all_parts pt))
-            (Catalog.partitioned_names catalog)) }
+            (Catalog.partitioned_names catalog)) };
+  Vtab.register
+    { Vtab.vt_name = "tip_stat_waits";
+      vt_cols = [| "wait_class"; "waits"; "total_wait_ms" |];
+      vt_help =
+        "cumulative wait-event profile: completed waits and total waited \
+         time per class";
+      vt_rows =
+        (fun _catalog ->
+          List.map
+            (fun (cls, count, total_ns) ->
+              [| Value.Str (Wait.label cls); Value.Int count; ms total_ns |])
+            (Wait.stats ())) };
+  Vtab.register
+    { Vtab.vt_name = "tip_stat_ash";
+      vt_cols =
+        [| "sample_seq"; "at"; "session_id"; "kind"; "query"; "wait_class";
+           "valid" |];
+      vt_help =
+        "active session history: periodic samples of every session's \
+         current statement and wait state, each with a valid-time PERIOD";
+      vt_rows =
+        (fun _catalog ->
+          List.map
+            (fun (sa : Tip_obs.Wait.sample) ->
+              [| Value.Int sa.sa_seq;
+                 instant_value sa.sa_at;
+                 Value.Int sa.sa_session;
+                 Value.Str sa.sa_kind;
+                 (match sa.sa_query with
+                 | Some q -> Value.Str q
+                 | None -> Value.Null);
+                 Value.Str sa.sa_state;
+                 period_value ~from_s:sa.sa_at
+                   ~to_s:(sa.sa_at +. (float_of_int sa.sa_interval_ms /. 1000.)) |])
+            (Wait.samples ())) };
+  Vtab.register
+    { Vtab.vt_name = "tip_stat_events";
+      vt_cols = [| "seq"; "at"; "kind"; "detail" |];
+      vt_help =
+        "the structured event journal: checkpoints, backups, recovery, \
+         promotions, epoch changes";
+      vt_rows =
+        (fun _catalog ->
+          List.map
+            (fun (ev : Tip_obs.Events.event) ->
+              [| Value.Int ev.ev_seq;
+                 instant_value ev.ev_at;
+                 Value.Str ev.ev_kind;
+                 Value.Str ev.ev_detail |])
+            (Tip_obs.Events.events ())) }

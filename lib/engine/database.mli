@@ -160,6 +160,11 @@ val replication_state : t -> (int * int * int) option
 (** Path of the live WAL file, for the primary's stream reader. *)
 val replication_wal_path : t -> string option
 
+(** Highest WAL generation sealed into the attached archive — the
+    [archive_generation] column of [tip_stat_replication]. [None]
+    without an archive, or before the first seal. *)
+val archive_generation : t -> int option
+
 (** The bootstrap payload: [(generation, snapshot_text, wal_offset,
     epoch)], mutually consistent. [None] without durable storage.
     @raise Error (typed [BUSY:]) inside an open transaction — the

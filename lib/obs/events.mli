@@ -1,0 +1,35 @@
+(** The structured event journal (DESIGN.md §16): a persistent,
+    append-only record of the rare-but-load-bearing lifecycle events —
+    checkpoints, backups, recovery, promotion, epoch changes, fencing —
+    each stamped with a unix instant, so a post-incident timeline is
+    one [SELECT * FROM tip_stat_events] away.
+
+    Events always land in a bounded in-memory window; when a journal
+    file is attached (a durable database attaches
+    [<dir>/events.log] on open) they are also appended there and the
+    existing tail is reloaded, so the timeline survives restarts. *)
+
+type event = {
+  ev_seq : int;
+  ev_at : float;  (** unix seconds *)
+  ev_kind : string;
+      (** ["checkpoint"], ["backup"], ["recovery"], ["promotion"],
+          ["epoch_change"], ["fenced"], ... *)
+  ev_detail : string;
+}
+
+(** Attaches (or with [None], detaches) the journal file. Reloads any
+    events already recorded in it, newest [window] retained. *)
+val set_journal : string option -> unit
+
+val journal_path : unit -> string option
+
+(** Appends an event: into memory, and into the journal when attached.
+    Never raises — a full disk degrades to memory-only. *)
+val record : kind:string -> detail:string -> unit
+
+(** The retained window, oldest first. *)
+val events : unit -> event list
+
+(** Drops the in-memory window and detaches the journal (tests). *)
+val reset : unit -> unit

@@ -257,20 +257,44 @@ let infos () =
              i_sum_ns = Some (histogram_sum h);
              i_percentiles = Some (pct 0.50, pct 0.95, pct 0.99) })
 
+(* Prometheus exposition text: HELP payloads escape backslash and
+   newline (the format's two escapes on HELP lines). *)
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let dump_text () =
   let buf = Buffer.create 1024 in
+  let help_line name help =
+    if help <> "" then
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP tip_%s %s\n" name (escape_help help))
+  in
   List.iter
     (fun (name, m, help) ->
-      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP tip_%s %s\n" name help);
       match m with
       | M_counter c ->
+        help_line name help;
         Buffer.add_string buf (Printf.sprintf "# TYPE tip_%s counter\n" name);
         Buffer.add_string buf
           (Printf.sprintf "tip_%s %d\n" name (counter_value c))
       | M_gauge g ->
+        help_line name help;
         Buffer.add_string buf (Printf.sprintf "# TYPE tip_%s gauge\n" name);
         Buffer.add_string buf (Printf.sprintf "tip_%s %d\n" name (gauge_value g))
       | M_histogram h ->
+        (* A histogram family may only contain _bucket/_sum/_count
+           samples; the percentile conveniences are emitted after it as
+           their own gauge families so a strict scraper accepts the
+           whole page. *)
+        help_line name help;
         Buffer.add_string buf (Printf.sprintf "# TYPE tip_%s histogram\n" name);
         let buckets = histogram_buckets h in
         Array.iteri
@@ -289,6 +313,8 @@ let dump_text () =
         let raw = raw_buckets h in
         List.iter
           (fun (label, q) ->
+            Buffer.add_string buf
+              (Printf.sprintf "# TYPE tip_%s_%s gauge\n" name label);
             Buffer.add_string buf
               (Printf.sprintf "tip_%s_%s %.0f\n" name label
                  (percentile_of_buckets raw q)))

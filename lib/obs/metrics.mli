@@ -96,8 +96,13 @@ val infos : unit -> info list
 (** The registry sorted by name, one {!info} per metric. *)
 
 val dump_text : unit -> string
-(** Prometheus-style text exposition of every registered metric (the
-    payload of the wire protocol's [M] request). *)
+(** Prometheus text exposition (format 0.0.4) of every registered
+    metric — the payload of the wire protocol's [M] request and of the
+    monitor endpoint's [/metrics]. Histograms are genuine histogram
+    families (cumulative [_bucket{le="..."}] in nanoseconds plus
+    [_sum]/[_count]); the interpolated [_p50_ns]/[_p95_ns]/[_p99_ns]
+    conveniences follow as separate gauge families, and HELP text is
+    escaped, so the page parses under a strict scraper. *)
 
 val reset_all : unit -> unit
 (** Zero every registered metric (tests and benchmarks). *)

@@ -1,0 +1,118 @@
+(** Wait-event instrumentation and the active-session-history sampler
+    (DESIGN.md §16).
+
+    Every place a session can block — the database mutex, a WAL fsync,
+    a socket read — is wrapped in {!with_wait}, which stamps the
+    calling thread's registered session with the wait class for the
+    duration and charges the elapsed nanoseconds to a per-class
+    cumulative counter. A background sampler wakes on a fixed tick
+    (default 100ms, [TIP_ASH_INTERVAL_MS]) and snapshots every
+    registered session — its id, statement fingerprint, and current
+    wait class (or [Cpu] when on-CPU) — into a bounded ring buffer:
+    the active session history. The cumulative counters answer "where
+    does this server wait, ever"; the ring answers "what was every
+    session doing over the last few minutes", and is served as the
+    [tip_stat_ash] virtual table with one valid-time [PERIOD] per
+    sample so it can be windowed with ordinary TIP period predicates.
+
+    Instrumentation is always on (two clock reads and two atomic adds
+    per wait); only the sampler thread is optional. *)
+
+(** The typed wait classes. [Checkpoint] brackets the whole checkpoint
+    (so its time includes the WAL fsyncs issued inside it — attribution
+    is per-site, not exclusive). *)
+type wait_class =
+  | DbLock  (** queued on the statement-serialization mutex *)
+  | WalFsync  (** inside fsync on the WAL (or snapshot/manifest) fd *)
+  | WalAppend  (** writing framed records into the WAL *)
+  | ArchiveSeal  (** sealing a WAL generation into the archive *)
+  | ReplicaApply  (** replica-side replay of a streamed commit batch *)
+  | ClientRead  (** blocked reading the next client request *)
+  | ClientWrite  (** blocked writing a response to the client *)
+  | Checkpoint  (** inside a snapshot checkpoint *)
+  | Admission  (** turning away a connection over [max_sessions] *)
+
+val all : wait_class list
+val label : wait_class -> string
+
+(** {1 Sessions} *)
+
+(** A registered session: something the sampler should watch. Client
+    sessions register in the server accept path; the replication
+    follower registers itself with kind ["replication"]. *)
+type session
+
+(** Registers a session and binds it to the calling thread, so
+    {!with_wait} calls made by this thread are attributed to it.
+    [id] is the wire session id (or any stable small int); [kind] is
+    ["client"] or ["replication"]. *)
+val register : id:int -> kind:string -> session
+
+(** Unregisters and unbinds. Idempotent. *)
+val unregister : session -> unit
+
+(** Current statement fingerprint (shown in ASH samples), or [None]
+    between statements. *)
+val set_query : session -> string option -> unit
+
+(** Whether the session is executing a statement. Sessions that are
+    neither active nor waiting are skipped by the sampler. *)
+val set_active : session -> bool -> unit
+
+val session_count : unit -> int
+
+(** {1 Wait scoping and cumulative stats} *)
+
+(** [with_wait cls f] runs [f ()], attributing its wall-clock time to
+    [cls]: the calling thread's session (if registered) shows [cls]
+    while inside, and the per-class counters are bumped on exit.
+    Re-entrant — a nested wait restores the enclosing class. Threads
+    with no registered session still feed the cumulative counters. *)
+val with_wait : wait_class -> (unit -> 'a) -> 'a
+
+(** [(class, completed waits, total nanoseconds)] for every class,
+    in declaration order, including zero rows. *)
+val stats : unit -> (wait_class * int * int) list
+
+val reset_stats : unit -> unit
+
+(** {1 The active session history} *)
+
+type sample = {
+  sa_seq : int;  (** monotonically increasing; survives eviction *)
+  sa_at : float;  (** unix seconds at the tick *)
+  sa_interval_ms : int;  (** tick width, for the sample's valid period *)
+  sa_session : int;
+  sa_kind : string;
+  sa_query : string option;
+  sa_state : string;  (** a wait-class label, or ["Cpu"] *)
+}
+
+(** Sampler tick in milliseconds ([TIP_ASH_INTERVAL_MS], default 100,
+    floor 5). *)
+val interval_ms : unit -> int
+
+(** Ring capacity in samples ([TIP_ASH_RING], default 4096). *)
+val ring_capacity : unit -> int
+
+(** Resizes (and clears) the ring — tests use a tiny ring to exercise
+    eviction. *)
+val set_ring_capacity : int -> unit
+
+(** The retained window, oldest first. *)
+val samples : unit -> sample list
+
+(** Takes one synchronous sample of every watchable session — the
+    sampler thread's tick body, callable directly from tests. *)
+val sample_now : unit -> unit
+
+val clear_samples : unit -> unit
+
+(** Starts the background sampler thread (idempotent). Disabled
+    entirely when [TIP_ASH=off]. *)
+val start_sampler : unit -> unit
+
+(** Stops and joins the sampler thread (idempotent). *)
+val stop_sampler : unit -> unit
+
+val sampler_running : unit -> bool

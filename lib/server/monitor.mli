@@ -1,0 +1,30 @@
+(** The ops-facing HTTP monitoring endpoint (DESIGN.md §16).
+
+    A tiny embedded HTTP/1.1 server ([tip_serve --monitor-port P])
+    answering the four probes an orchestrator or scraper wants, off
+    the database lock entirely:
+
+    - [GET /metrics] — the metrics registry in Prometheus text
+      exposition format ({!Tip_obs.Metrics.dump_text});
+    - [GET /healthz] — liveness: [200 ok] whenever the process can
+      answer at all;
+    - [GET /readyz] — readiness: [200]/[503] from the installed probe
+      (recovery finished, not draining; on a replica, streaming with
+      staleness below [--ready-max-staleness]);
+    - [GET /ash.json] — the active-session-history ring as JSON.
+
+    Anything else is [404]. Every connection is answered and closed;
+    there is no keep-alive — probes are one-shot by nature. *)
+
+type t
+
+(** Binds and starts the accept thread; [port 0] picks an ephemeral
+    port. [ready] is consulted per [/readyz] request and returns
+    readiness plus a one-line explanation that becomes the body. *)
+val start : port:int -> ready:(unit -> bool * string) -> unit -> t
+
+(** The actual bound port. *)
+val port : t -> int
+
+(** Stops the accept thread and closes the listener. Idempotent. *)
+val stop : t -> unit

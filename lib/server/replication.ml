@@ -42,6 +42,7 @@
 
 module Db = Tip_engine.Database
 module Metrics = Tip_obs.Metrics
+module Wait = Tip_obs.Wait
 module Replica = Tip_storage.Replica
 module Failpoint = Tip_storage.Failpoint
 
@@ -75,8 +76,8 @@ type t = {
   lock : Mutex.t;
   mutable replica : Replica.t option; (* None until first bootstrap *)
   mutable state : string;
-      (* "connecting" | "bootstrapping" | "streaming" | "disconnected"
-         | "promoted" | "stopped" *)
+      (* "connecting" | "bootstrapping" | "subscribing" | "streaming"
+         | "disconnected" | "promoted" | "stopped" *)
   mutable primary_epoch : int; (* newest epoch the primary has shown us *)
   mutable fenced : int; (* STALE_EPOCH rejections suffered *)
   mutable known_primary_offset : int;
@@ -132,7 +133,11 @@ let replication_rows t () =
        Value.Int (lag_bytes t);
        Value.Int (lag_commits_applied t);
        Value.Float (staleness_seconds t);
-       Value.Int t.primary_epoch |] ]
+       Value.Int t.primary_epoch;
+       (* a replica normally has no archive of its own *)
+       (match Db.archive_generation t.db with
+       | Some g -> Value.Int g
+       | None -> Value.Null) |] ]
 
 (* --- Wire helpers ------------------------------------------------------- *)
 
@@ -229,7 +234,11 @@ let bootstrap t ic oc =
    and resubscribes from the confirmed offset; [`Rebootstrap] discards
    it for a fresh snapshot; [`Stop] obeys [stop]. *)
 let stream t ic oc r =
-  t.state <- "streaming";
+  (* "streaming" is claimed only once the primary answers the
+     subscription (first chunk or keepalive, at most 0.5s away): a
+     rejoining ex-primary's resumed offer may be about to be fenced,
+     and /readyz must not vouch for a stream that was never accepted *)
+  t.state <- "subscribing";
   send_line oc
     (Protocol.Wal_subscribe
        { gen = Replica.generation r;
@@ -243,9 +252,13 @@ let stream t ic oc r =
     else begin
       match Protocol.read_stream_item ic with
       | `Chunk bytes -> (
+        t.state <- "streaming";
         recv := !recv + String.length bytes;
         t.known_primary_offset <- Stdlib.max t.known_primary_offset !recv;
-        match with_lock t (fun () -> Replica.feed r bytes) with
+        match
+          Wait.with_wait Wait.ReplicaApply (fun () ->
+              with_lock t (fun () -> Replica.feed r bytes))
+        with
         | Ok () ->
           (try ack t oc with Sys_error _ | Unix.Unix_error _ -> ());
           note_contact t;
@@ -259,6 +272,7 @@ let stream t ic oc r =
           Log.warn (fun m -> m "apply failed: %s; re-bootstrapping" msg);
           `Rebootstrap)
       | `Info info ->
+        t.state <- "streaming";
         (match String.split_on_char ' ' info with
         | [ "keepalive"; off ] -> (
           match int_of_string_opt off with
@@ -286,6 +300,11 @@ let stream t ic oc r =
              ex-primary) *)
           t.fenced <- t.fenced + 1;
           Metrics.incr m_fence_rejections;
+          Tip_obs.Events.record ~kind:"failover"
+            ~detail:
+              (Printf.sprintf
+                 "fenced by %s:%d at epoch %d; demoting to a fresh bootstrap"
+                 t.host t.port t.primary_epoch);
           Log.warn (fun m -> m "fenced by the primary: %s" msg);
           `Rebootstrap
         | _ when has_prefix "GEN_CHANGED:" ->
@@ -311,6 +330,10 @@ let stream t ic oc r =
 let max_backoff = 2.0
 
 let run t =
+  (* the follower is a session too: its apply waits show up in the ASH
+     under kind "replication" *)
+  let wait_slot = Wait.register ~id:(-1) ~kind:"replication" in
+  Wait.set_query wait_slot (Some (Printf.sprintf "replica of %s:%d" t.host t.port));
   let rec round delay =
     if not t.stopping then begin
       t.state <- (if t.replica = None then "connecting" else "disconnected");
@@ -380,6 +403,7 @@ let run t =
     end
   in
   round 0.05;
+  Wait.unregister wait_slot;
   t.state <- "stopped"
 
 (* --- Lifecycle ---------------------------------------------------------- *)
@@ -431,7 +455,7 @@ let start ?lock ?resume ~host ~port db =
       vt_cols =
         [| "peer_addr"; "role"; "state"; "generation"; "wal_bytes";
            "acked_bytes"; "lag_bytes"; "acked_commits"; "lag_seconds";
-           "epoch" |];
+           "epoch"; "archive_generation" |];
       vt_help = "this replica's view of its primary";
       vt_rows =
         (fun catalog ->

@@ -17,6 +17,7 @@
 
 module Db = Tip_engine.Database
 module Metrics = Tip_obs.Metrics
+module Wait = Tip_obs.Wait
 module Trace = Tip_obs.Trace
 module Deadline = Tip_core.Deadline
 module Ast = Tip_sql.Ast
@@ -93,6 +94,8 @@ type session_info = {
   mutable si_started : float; (* unix time: statement start (session
                                  start while idle) *)
   mutable si_token : Deadline.t option; (* current statement's token *)
+  mutable si_wait : Wait.session option; (* ASH slot, bound in the
+                                            session's own thread *)
 }
 
 (* Live subscriber row for tip_stat_replication (primary side). The
@@ -176,22 +179,31 @@ let with_sessions_lock t f =
   Mutex.lock t.sessions_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.sessions_lock) f
 
+(* Runs on the session's own thread, so the ASH slot binds to it. *)
 let register_session t addr =
+  let id = Atomic.fetch_and_add t.session_ids 1 in
   let si =
-    { si_id = Atomic.fetch_and_add t.session_ids 1;
+    { si_id = id;
       si_addr = addr;
       si_state = "idle";
       si_query = None;
       si_started = Unix.gettimeofday ();
-      si_token = None }
+      si_token = None;
+      si_wait = Some (Wait.register ~id ~kind:"client") }
   in
   with_sessions_lock t (fun () -> Hashtbl.replace t.sessions si.si_id si);
   si
 
 let unregister_session t si =
+  Option.iter Wait.unregister si.si_wait;
   with_sessions_lock t (fun () -> Hashtbl.remove t.sessions si.si_id)
 
 let session_begin_statement t si ~sql ~token =
+  (match si.si_wait with
+  | Some w ->
+    Wait.set_query w (Some (Tip_sql.Lexer.fingerprint sql));
+    Wait.set_active w true
+  | None -> ());
   with_sessions_lock t (fun () ->
       si.si_state <- "active";
       si.si_query <- Some sql;
@@ -199,6 +211,11 @@ let session_begin_statement t si ~sql ~token =
       si.si_token <- Some token)
 
 let session_end_statement t si =
+  (match si.si_wait with
+  | Some w ->
+    Wait.set_active w false;
+    Wait.set_query w None
+  | None -> ());
   with_sessions_lock t (fun () ->
       si.si_state <- "idle";
       si.si_query <- None;
@@ -246,8 +263,12 @@ let with_replicas_lock t f =
   Mutex.lock t.replicas_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.replicas_lock) f
 
+(* Acquiring the statement-serialization mutex is THE DbLock wait —
+   the number the MVCC roadmap item exists to drive down. Only the
+   acquisition is attributed; time spent holding the lock lands on the
+   session's other wait classes (or Cpu). *)
 let with_db_lock t f =
-  Mutex.lock t.db_lock;
+  Wait.with_wait Wait.DbLock (fun () -> Mutex.lock t.db_lock);
   Fun.protect ~finally:(fun () -> Mutex.unlock t.db_lock) f
 
 (* tip_stat_replication rows, primary side: one per live subscriber.
@@ -257,6 +278,11 @@ let replication_rows t () =
   let module Value = Tip_storage.Value in
   let wal_end =
     match Db.replication_state t.db with Some (_, off, _) -> off | None -> 0
+  in
+  let archive_gen =
+    match Db.archive_generation t.db with
+    | Some g -> Value.Int g
+    | None -> Value.Null
   in
   let now = Unix.gettimeofday () in
   with_replicas_lock t (fun () ->
@@ -273,7 +299,8 @@ let replication_rows t () =
              Value.Int ri.ri_acked_commits;
              (if lag_bytes = 0 then Value.Float 0.
               else Value.Float (now -. ri.ri_last_ack));
-             Value.Int ri.ri_epoch |]
+             Value.Int ri.ri_epoch;
+             archive_gen |]
           :: acc)
         t.replicas [])
 
@@ -315,6 +342,10 @@ let handle_replication_stream t fd ic oc ~addr ~gen ~offset ~epoch =
   match fence with
   | Some own ->
     Metrics.incr m_fenced;
+    Tip_obs.Events.record ~kind:"fenced"
+      ~detail:
+        (Printf.sprintf "subscriber %s at epoch %d fenced (our epoch %d)" addr
+           epoch own);
     Log.warn (fun m ->
         m "fencing subscriber %s: epoch %d vs our %d" addr epoch own);
     send_error
@@ -504,7 +535,7 @@ let handle_snapshot_request t oc =
    under the db lock, so it cannot be another session's): the caller
    exports it when the statement turns out slow and --trace-dir is on. *)
 let execute_statement_guarded t ~token ~params ~sql stmt =
-  Mutex.lock t.db_lock;
+  Wait.with_wait Wait.DbLock (fun () -> Mutex.lock t.db_lock);
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.db_lock)
     (fun () ->
@@ -657,8 +688,9 @@ let handle_session t fd addr =
   let session = register_session t addr in
   let reply response =
     try
-      Protocol.write_response oc response;
-      flush oc;
+      Wait.with_wait Wait.ClientWrite (fun () ->
+          Protocol.write_response oc response;
+          flush oc);
       true
     with Sys_error _ | Unix.Unix_error _ -> false (* peer went away *)
   in
@@ -672,7 +704,7 @@ let handle_session t fd addr =
     Log.debug (fun m -> m "dropping idle session")
   in
   let rec loop () =
-    match input_line ic with
+    match Wait.with_wait Wait.ClientRead (fun () -> input_line ic) with
     | exception End_of_file -> ()
     | exception Sys_error _ ->
       (* read timed out (SO_RCVTIMEO); if the socket is actually broken
@@ -826,7 +858,7 @@ let listen ?(host = "127.0.0.1") ?idle_timeout ?slow_ms ?max_sessions
         vt_cols =
           [| "peer_addr"; "role"; "state"; "generation"; "wal_bytes";
              "acked_bytes"; "lag_bytes"; "acked_commits"; "lag_seconds";
-             "epoch" |];
+             "epoch"; "archive_generation" |];
         vt_help = "one row per replication subscriber (primary side)";
         vt_rows =
           (fun catalog ->
@@ -884,11 +916,12 @@ let serve t =
           ignore
             (Thread.create
                (fun () ->
-                 reject_session client_fd
-                   (Printf.sprintf
-                      "OVERLOADED: %d sessions active (max %d), retry later"
-                      (Atomic.get t.active)
-                      (Option.value t.max_sessions ~default:0)))
+                 Wait.with_wait Wait.Admission (fun () ->
+                     reject_session client_fd
+                       (Printf.sprintf
+                          "OVERLOADED: %d sessions active (max %d), retry later"
+                          (Atomic.get t.active)
+                          (Option.value t.max_sessions ~default:0))))
                ())
         end;
         accept_loop ()

@@ -30,6 +30,7 @@
    statement boundary. *)
 
 module Metrics = Tip_obs.Metrics
+module Wait = Tip_obs.Wait
 
 let m_appends =
   Metrics.counter "wal_appends_total" ~help:"Redo records appended to the log"
@@ -241,14 +242,16 @@ let write_frames w records =
   List.iter (fun r -> Buffer.add_string buf (frame r)) records;
   Metrics.add m_appends (List.length records);
   Metrics.add m_bytes (Buffer.length buf);
-  Failpoint.write ~site:"wal.write" w.fd (Buffer.to_bytes buf);
+  Wait.with_wait Wait.WalAppend (fun () ->
+      Failpoint.write ~site:"wal.write" w.fd (Buffer.to_bytes buf));
   w.bytes <- w.bytes + Buffer.length buf
 
-(* All durable-path fsyncs funnel through here so the counter cannot
-   drift from the failpoint site. *)
+(* All durable-path fsyncs funnel through here so the counter (and the
+   WalFsync wait attribution) cannot drift from the failpoint site. *)
 let fsync_fd fd =
   Metrics.incr m_fsyncs;
-  Failpoint.fsync ~site:"wal.fsync" fd
+  Wait.with_wait Wait.WalFsync (fun () ->
+      Failpoint.fsync ~site:"wal.fsync" fd)
 
 (* Creates (or truncates) the log and stamps it with [gen]/[epoch]. *)
 let create ?(sync = Always) ?(epoch = 0) ~gen path =

@@ -33,4 +33,5 @@ let () =
       ("introspect", Test_introspect.suite);
       ("replication", Test_replication.suite);
       ("partition", Test_partition.suite);
-      ("ha", Test_ha.suite) ]
+      ("ha", Test_ha.suite);
+      ("waits", Test_waits.suite) ]
